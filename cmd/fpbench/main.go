@@ -1,0 +1,95 @@
+// Command fpbench regenerates the paper's evaluation tables and figures
+// on the fpmix substrate.
+//
+// Usage:
+//
+//	fpbench -exp all                 # every experiment
+//	fpbench -exp fig10 -classes W,A  # the search table at chosen classes
+//	fpbench -exp fig11 -class W      # the SuperLU threshold sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"fpmix/internal/experiments"
+	"fpmix/internal/kernels"
+	"fpmix/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, all")
+	class := flag.String("class", "W", "input class for single-class experiments (W, A, C)")
+	classes := flag.String("classes", "W,A", "comma-separated classes for fig10")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel search evaluations")
+	flag.Parse()
+
+	cl := kernels.Class(*class)
+	var cls []kernels.Class
+	for _, c := range strings.Split(*classes, ",") {
+		cls = append(cls, kernels.Class(strings.TrimSpace(c)))
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		report.Rule(os.Stdout)
+	}
+
+	run("fig8", func() error {
+		rows, err := experiments.Fig8(kernels.ClassA)
+		if err != nil {
+			return err
+		}
+		report.Fig8(os.Stdout, rows)
+		return nil
+	})
+	run("fig9", func() error {
+		rows, err := experiments.Fig9([]kernels.Class{kernels.ClassA, kernels.ClassC})
+		if err != nil {
+			return err
+		}
+		report.Fig9(os.Stdout, rows)
+		return nil
+	})
+	run("fig10", func() error {
+		rows, err := experiments.Fig10(experiments.Fig10Benches, cls, *workers)
+		if err != nil {
+			return err
+		}
+		report.Fig10(os.Stdout, rows)
+		return nil
+	})
+	run("fig11", func() error {
+		rows, err := experiments.Fig11(cl, *workers)
+		if err != nil {
+			return err
+		}
+		report.Fig11(os.Stdout, rows)
+		return nil
+	})
+	run("amg", func() error {
+		res, err := experiments.AMG(cl, *workers)
+		if err != nil {
+			return err
+		}
+		report.AMG(os.Stdout, res)
+		return nil
+	})
+	run("bitexact", func() error {
+		rows, err := experiments.BitExact(cl)
+		if err != nil {
+			return err
+		}
+		report.BitExact(os.Stdout, rows)
+		return nil
+	})
+}

@@ -1,0 +1,95 @@
+// Command fpconf materializes benchmark binaries and their default
+// precision configurations.
+//
+// Build a benchmark image and write its baseline configuration:
+//
+//	fpconf -bench cg -class W -o cg.fpx -config cg.cfg
+//
+// Generate the configuration of an existing image:
+//
+//	fpconf -in prog.fpx -config prog.cfg
+//
+// The configuration file uses the paper's exchange format (Figure 3) and
+// can be edited by hand (flag column: d/s/i) and fed to fpinst.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to build (one of kernels.Names())")
+	class := flag.String("class", "W", "input class (W, A, C)")
+	in := flag.String("in", "", "existing image to read instead of building a benchmark")
+	out := flag.String("o", "", "write the program image here")
+	cfgOut := flag.String("config", "", "write the default configuration here (- for stdout)")
+	flag.Parse()
+
+	m, err := loadModule(*bench, *class, *in)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		img, err := prog.Save(m)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, img, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpconf: wrote %s (%d bytes, %d candidates)\n",
+			*out, len(img), len(m.Candidates()))
+	}
+	if *cfgOut != "" {
+		c, err := config.FromModule(m)
+		if err != nil {
+			fatal(err)
+		}
+		w := os.Stdout
+		if *cfgOut != "-" {
+			f, err := os.Create(*cfgOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := c.Write(w); err != nil {
+			fatal(err)
+		}
+	}
+	if *out == "" && *cfgOut == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func loadModule(bench, class, in string) (*prog.Module, error) {
+	switch {
+	case in != "":
+		img, err := os.ReadFile(in)
+		if err != nil {
+			return nil, err
+		}
+		return prog.Load(img)
+	case bench != "":
+		b, err := kernels.Get(bench, kernels.Class(class))
+		if err != nil {
+			return nil, err
+		}
+		return b.Module, nil
+	default:
+		return nil, fmt.Errorf("need -bench or -in")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpconf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command fpdump disassembles a program image: per-function instruction
+// listings in the AT&T-style syntax of the configuration files, with
+// double-precision replacement candidates marked — the raw view under
+// the configuration tree.
+//
+//	fpdump -in cg.fpx
+//	fpdump -bench cg -class W -func matvec
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/cfg"
+	"fpmix/internal/isa"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+)
+
+func main() {
+	in := flag.String("in", "", "program image to disassemble")
+	bench := flag.String("bench", "", "benchmark to build instead of reading an image")
+	class := flag.String("class", "W", "input class")
+	fnName := flag.String("func", "", "restrict the listing to one function")
+	flag.Parse()
+
+	var m *prog.Module
+	switch {
+	case *in != "":
+		img, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = prog.Load(img)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		b, err := kernels.Get(*bench, kernels.Class(*class))
+		if err != nil {
+			fatal(err)
+		}
+		m = b.Module
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	g, err := cfg.Build(m)
+	if err != nil {
+		fatal(err)
+	}
+	total, cands := 0, 0
+	for _, fg := range g.Funcs {
+		if *fnName != "" && fg.Func.Name != *fnName {
+			continue
+		}
+		fmt.Printf("\n%s:  [%#x, %#x)  %d blocks\n",
+			fg.Func.Name, fg.Func.Addr, fg.Func.End, len(fg.Blocks))
+		for _, b := range fg.Blocks {
+			fmt.Printf("  block %#x:\n", b.Addr)
+			for _, ins := range b.Instrs {
+				mark := " "
+				if isa.IsCandidate(ins.Op) {
+					mark = "*"
+					cands++
+				}
+				total++
+				src := ""
+				if lbl, ok := m.Debug[ins.Addr]; ok {
+					src = "    ; " + lbl
+				}
+				fmt.Printf("  %s %#08x  %-34s%s\n", mark, ins.Addr, isa.Disasm(ins), src)
+			}
+		}
+	}
+	fmt.Printf("\n%d instructions, %d double-precision candidates (*)\n", total, cands)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpdump:", err)
+	os.Exit(1)
+}

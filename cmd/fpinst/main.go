@@ -1,0 +1,120 @@
+// Command fpinst rewrites a program image according to a precision
+// configuration, producing a new runnable image in which every selected
+// double-precision instruction has been replaced with its single-precision
+// snippet (paper §2.3-2.4).
+//
+//	fpinst -in cg.fpx -config cg.cfg -o cg-mixed.fpx
+//	fpinst -in cg.fpx -config cg.cfg -run
+//
+// With -run the instrumented program is executed immediately and its
+// outputs and modeled cycles are printed next to the original's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/config"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+func main() {
+	in := flag.String("in", "", "input program image")
+	cfgPath := flag.String("config", "", "precision configuration file")
+	out := flag.String("o", "", "write the instrumented image here")
+	run := flag.Bool("run", false, "execute original and instrumented images and compare")
+	flag.Parse()
+
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	img, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := prog.Load(img)
+	if err != nil {
+		fatal(err)
+	}
+
+	var c *config.Config
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = config.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		// Default: all-double wrapping (the overhead base case).
+		c, err = config.FromModule(m)
+		if err != nil {
+			fatal(err)
+		}
+		c.SetAll(config.Double)
+	}
+
+	inst, err := replace.Instrument(m, c, replace.InstrumentOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		outImg, err := prog.Save(inst)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, outImg, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpinst: wrote %s (%d -> %d bytes)\n", *out, len(img), len(outImg))
+	}
+	if *run {
+		orig, err := execute(m)
+		if err != nil {
+			fatal(fmt.Errorf("original: %w", err))
+		}
+		mixed, err := execute(inst)
+		if err != nil {
+			fatal(fmt.Errorf("instrumented: %w", err))
+		}
+		fmt.Printf("%-14s %-22s %-22s\n", "", "original", "instrumented")
+		fmt.Printf("%-14s %-22d %-22d\n", "cycles", orig.Cycles, mixed.Cycles)
+		fmt.Printf("%-14s %-22s %.2fX\n", "overhead", "", float64(mixed.Cycles)/float64(orig.Cycles))
+		a, b := verify.Decode(orig.Out), verify.Decode(mixed.Out)
+		for i := range a {
+			got := "?"
+			if i < len(b) {
+				got = fmt.Sprintf("%-22.12g", b[i])
+			}
+			fmt.Printf("out[%d]%8s %-22.12g %s\n", i, "", a[i], got)
+		}
+	}
+	if *out == "" && !*run {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func execute(m *prog.Module) (*vm.Machine, error) {
+	mach, err := vm.New(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := mach.Run(); err != nil {
+		return nil, err
+	}
+	return mach, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpinst:", err)
+	os.Exit(1)
+}

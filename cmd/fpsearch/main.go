@@ -1,0 +1,111 @@
+// Command fpsearch runs the automatic breadth-first mixed-precision
+// search (paper §2.2) on a benchmark and reports the Figure 10 metrics,
+// optionally writing the final composed configuration.
+//
+//	fpsearch -bench mg -class W -o mg-final.cfg
+//	fpsearch -bench cg -class A -granularity block -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/search"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to search (one of kernels.Names())")
+	class := flag.String("class", "W", "input class (W, A, C)")
+	out := flag.String("o", "", "write the final composed configuration here")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel evaluations")
+	gran := flag.String("granularity", "insn", "finest search level: func, block or insn")
+	noSplit := flag.Bool("nosplit", false, "disable the binary-splitting optimization")
+	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
+	compose := flag.Bool("compose", false, "run the second search phase when the union fails (§3.1)")
+	verbose := flag.Bool("v", false, "list every passing piece")
+	flag.Parse()
+
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	b, err := kernels.Get(*bench, kernels.Class(*class))
+	if err != nil {
+		fatal(err)
+	}
+	g := config.KindInsn
+	switch *gran {
+	case "func":
+		g = config.KindFunc
+	case "block":
+		g = config.KindBlock
+	case "insn":
+	default:
+		fatal(fmt.Errorf("unknown granularity %q", *gran))
+	}
+	target := search.Target{
+		Module:   b.Module,
+		Verify:   b.Verify,
+		MaxSteps: b.MaxSteps,
+		Base:     b.Base,
+	}
+	res, err := search.Run(target, search.Options{
+		Workers:     *workers,
+		Granularity: g,
+		BinarySplit: !*noSplit,
+		Prioritize:  !*noPrio,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	verdict := "fail"
+	if res.FinalPass {
+		verdict = "pass"
+	}
+	fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
+	fmt.Printf("candidates:           %d\n", res.Candidates)
+	fmt.Printf("configurations tested: %d\n", res.Tested)
+	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
+	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
+	fmt.Printf("final verification:   %s\n", verdict)
+	finalCfg := res.Final
+	if *compose && !res.FinalPass {
+		cr, err := search.Compose(target, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("second phase:         dropped %d pieces in %d tests, pass: %v\n",
+			len(cr.Dropped), cr.Tested, cr.Pass)
+		if cr.Pass {
+			fmt.Printf("composed replaced:    %.1f%% static, %.1f%% dynamic\n",
+				cr.Stats.StaticPct, cr.Stats.DynamicPct)
+			finalCfg = cr.Config
+		}
+	}
+	if *verbose {
+		fmt.Println("passing pieces (coarsest granularity):")
+		for _, p := range res.Passing {
+			fmt.Printf("  %-40s %d instructions, weight %d\n", p.Label, len(p.Addrs), p.Weight)
+		}
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := finalCfg.Write(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpsearch: wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpsearch:", err)
+	os.Exit(1)
+}

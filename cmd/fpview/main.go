@@ -1,0 +1,120 @@
+// Command fpview renders a precision configuration as an annotated tree —
+// the terminal counterpart of the paper's GUI configuration editor
+// (Figure 4). Each node shows its flag (d/s/i, or inherited), and with
+// -bench the per-instruction execution counts from a profiling run are
+// shown so hot unreplaced regions stand out.
+//
+//	fpview -config mg-final.cfg
+//	fpview -config mg-final.cfg -bench mg -class W
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/vm"
+)
+
+func main() {
+	cfgPath := flag.String("config", "", "configuration file to display")
+	bench := flag.String("bench", "", "benchmark for profile annotation (optional)")
+	class := flag.String("class", "W", "input class")
+	flag.Parse()
+
+	if *cfgPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := config.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	profile := map[uint64]uint64{}
+	debug := map[uint64]string{}
+	if *bench != "" {
+		b, err := kernels.Get(*bench, kernels.Class(*class))
+		if err != nil {
+			fatal(err)
+		}
+		if b.Module.Debug != nil {
+			debug = b.Module.Debug
+		}
+		m, err := vm.New(b.Module)
+		if err != nil {
+			fatal(err)
+		}
+		m.MaxSteps = b.MaxSteps
+		if err := m.Run(); err != nil {
+			fatal(err)
+		}
+		profile = m.Profile()
+	}
+
+	eff := c.Effective()
+	var render func(n *config.Node, depth int, inherited config.Precision)
+	render = func(n *config.Node, depth int, inherited config.Precision) {
+		flagCh := n.Flag.String()
+		if flagCh == "" {
+			flagCh = "."
+		}
+		indent := ""
+		for i := 0; i < depth; i++ {
+			indent += "  "
+		}
+		var desc string
+		switch n.Kind {
+		case config.KindModule:
+			desc = fmt.Sprintf("module %s", n.Name)
+		case config.KindFunc:
+			desc = fmt.Sprintf("func %s()", n.Name)
+		case config.KindBlock:
+			desc = fmt.Sprintf("block %#x", n.Addr)
+		case config.KindInsn:
+			desc = fmt.Sprintf("%#x %s", n.Addr, n.Name)
+		}
+		line := fmt.Sprintf("%s %s%s", flagCh, indent, desc)
+		if n.Kind == config.KindInsn {
+			p := eff[n.Addr]
+			extra := fmt.Sprintf("  [%s", p)
+			if cnt := profile[n.Addr]; cnt > 0 {
+				extra += fmt.Sprintf(", %d execs", cnt)
+			}
+			if src, ok := debug[n.Addr]; ok {
+				extra += ", " + src
+			}
+			extra += "]"
+			line += extra
+		}
+		fmt.Println(line)
+		next := inherited
+		if next == config.Unset && n.Flag != config.Unset {
+			next = n.Flag
+		}
+		for _, ch := range n.Children {
+			render(ch, depth+1, next)
+		}
+	}
+	render(c.Root, 0, config.Unset)
+
+	// Summary.
+	counts := map[config.Precision]int{}
+	for _, p := range eff {
+		counts[p]++
+	}
+	fmt.Printf("\n%d candidates: %d single, %d double, %d ignored\n",
+		len(eff), counts[config.Single], counts[config.Double], counts[config.Ignore])
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpview:", err)
+	os.Exit(1)
+}

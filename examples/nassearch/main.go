@@ -1,0 +1,34 @@
+// NAS search sweep (paper Figure 10): run the automatic breadth-first
+// search over the seven NAS-style kernels at one or two classes and print
+// the candidates / tested / static% / dynamic% / final-verification table.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+
+	"fpmix/internal/experiments"
+	"fpmix/internal/kernels"
+	"fpmix/internal/report"
+)
+
+func main() {
+	classes := flag.String("classes", "W", "comma-separated input classes")
+	benches := flag.String("benches", strings.Join(experiments.Fig10Benches, ","),
+		"comma-separated benchmarks")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel evaluations")
+	flag.Parse()
+
+	var cls []kernels.Class
+	for _, c := range strings.Split(*classes, ",") {
+		cls = append(cls, kernels.Class(strings.TrimSpace(c)))
+	}
+	rows, err := experiments.Fig10(strings.Split(*benches, ","), cls, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Fig10(os.Stdout, rows)
+}

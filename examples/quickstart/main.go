@@ -1,0 +1,112 @@
+// Quickstart: build a small double-precision program, run the automatic
+// mixed-precision search against a verification routine, and print the
+// resulting configuration — the complete analysis loop of the paper in
+// ~80 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/replace"
+	"fpmix/internal/search"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+func main() {
+	// A toy program with one precision-tolerant region (polynomial
+	// evaluation) and one precision-critical region (accumulating tiny
+	// increments that vanish in float32).
+	p := hl.New("quickstart", hl.ModeF64)
+	poly := p.Scalar("poly")
+	tiny := p.ScalarInit("tiny", 1.0)
+	x := p.ScalarInit("x", 1.4142135623730951)
+	i := p.Int("i")
+
+	main := p.Func("main")
+	main.Call("evaluate")
+	main.Call("accumulate")
+	main.Out(hl.Load(poly))
+	main.Out(hl.Load(tiny))
+	main.Halt()
+
+	ev := p.Func("evaluate")
+	// poly = ((x*3 - 2)*x + 0.5)*x via Horner.
+	ev.Set(poly, hl.Mul(hl.Const(3), hl.Load(x)))
+	ev.Set(poly, hl.Sub(hl.Load(poly), hl.Const(2)))
+	ev.Set(poly, hl.Add(hl.Mul(hl.Load(poly), hl.Load(x)), hl.Const(0.5)))
+	ev.Set(poly, hl.Mul(hl.Load(poly), hl.Load(x)))
+	ev.Ret()
+
+	acc := p.Func("accumulate")
+	acc.For(i, hl.IConst(0), hl.IConst(500), func() {
+		acc.Set(tiny, hl.Add(hl.Load(tiny), hl.Const(1e-9)))
+	})
+	acc.Ret()
+
+	mod, err := p.Build("main")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trusted reference outputs from the double-precision binary.
+	ref, err := vm.New(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ref.Run(); err != nil {
+		log.Fatal(err)
+	}
+	refVals := verify.Decode(ref.Out)
+	fmt.Printf("reference: poly=%.15g tiny=%.15g (%d cycles)\n",
+		refVals[0], refVals[1], ref.Cycles)
+
+	// Verification: the polynomial result may drift to single accuracy,
+	// but the accumulated sum must stay double-exact — a per-output
+	// tolerance, as application verification routines typically are.
+	verifyFn := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != 2 {
+			return false
+		}
+		return math.Abs(got[0]-refVals[0]) < 1e-5 &&
+			math.Abs(got[1]-refVals[1]) < 1e-12
+	}
+	res, err := search.Run(search.Target{
+		Module: mod,
+		Verify: verifyFn,
+	}, search.Options{Workers: 4, BinarySplit: true, Prioritize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nsearch: %d candidates, %d configurations tested\n",
+		res.Candidates, res.Tested)
+	fmt.Printf("replaceable: %.0f%% static, %.0f%% dynamic, final pass: %v\n",
+		res.Stats.StaticPct, res.Stats.DynamicPct, res.FinalPass)
+	for _, piece := range res.Passing {
+		fmt.Printf("  passes in single precision: %s\n", piece.Label)
+	}
+
+	// Run the final mixed-precision binary.
+	inst, err := replace.Instrument(mod, res.Final, replace.InstrumentOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	got := verify.Decode(m.Out)
+	fmt.Printf("\nmixed-precision run: poly=%.15g tiny=%.15g\n", got[0], got[1])
+	fmt.Printf("poly drift: %.2g (single-precision region)\n", math.Abs(got[0]-refVals[0]))
+	fmt.Printf("tiny drift: %.2g (kept double)\n", math.Abs(got[1]-refVals[1]))
+
+	fmt.Printf("\nfinal configuration:\n%s", res.Final.String())
+}

@@ -1,0 +1,49 @@
+// SuperLU threshold sweep (paper §3.3, Figure 11): drive the automatic
+// search with the solver's own reported error metric compared against
+// successively tighter bounds, and watch the replaceable fraction shrink.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"fpmix/internal/experiments"
+	"fpmix/internal/kernels"
+	"fpmix/internal/report"
+	"fpmix/internal/vm"
+)
+
+func main() {
+	b, err := kernels.Get("superlu", kernels.ClassW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := vm.New(b.Module)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		log.Fatal(err)
+	}
+	s, err := vm.New(b.ModuleF32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("double-precision solver reported error: %.3g\n", d.Out[0].F64())
+	fmt.Printf("single-precision solver reported error: %.3g\n", float64(s.Out[0].F32()))
+	fmt.Printf("manual single-precision speedup:        %.2fX\n\n",
+		float64(d.Cycles)/float64(s.Cycles))
+
+	rows, err := experiments.Fig11(kernels.ClassW, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Fig11(os.Stdout, rows)
+	fmt.Println("\nTighter thresholds leave fewer instructions replaceable, and the")
+	fmt.Println("final composed error stays well below the bound used during the")
+	fmt.Println("search — the tool maps where the solver is sensitive to roundoff.")
+}

@@ -1,0 +1,3 @@
+module fpmix
+
+go 1.22

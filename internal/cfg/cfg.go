@@ -1,0 +1,147 @@
+// Package cfg builds control-flow graphs over fpmix program images and
+// provides the binary-patching primitives the mixed-precision instrumenter
+// is built on: basic-block discovery, block splitting at arbitrary
+// instructions (Figure 7 of the paper), and a whole-image rewriter that
+// relocates code, expands selected instructions into snippet sequences and
+// fixes up every branch target — the role Dyninst's CFG-patching API and
+// binary rewriter play in the original system.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// Block is a basic block: a maximal single-entry straight-line instruction
+// sequence.
+type Block struct {
+	Addr   uint64 // address of the first instruction
+	Instrs []isa.Instr
+}
+
+// End returns the address one past the last instruction.
+func (b *Block) End() uint64 {
+	last := b.Instrs[len(b.Instrs)-1]
+	return last.Addr + uint64(isa.EncodedSize(last))
+}
+
+// FuncGraph is the set of basic blocks of one function.
+type FuncGraph struct {
+	Func   *prog.Func
+	Blocks []*Block // sorted by address
+}
+
+// Graph is the control-flow view of a whole module.
+type Graph struct {
+	Module *prog.Module
+	Funcs  []*FuncGraph
+}
+
+// Build discovers basic blocks in every function of m. Leaders are the
+// function entry, targets of intra-module branches, and instructions
+// following a block-ending instruction.
+func Build(m *prog.Module) (*Graph, error) {
+	// Collect every branch target in the module first: a branch may target
+	// another function's interior (the hl compiler never emits these, but
+	// the format allows them).
+	targets := make(map[uint64]bool)
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op.IsBranch() && in.Op != isa.CALL {
+				targets[uint64(in.A.Imm)] = true
+			}
+		}
+	}
+	g := &Graph{Module: m}
+	for _, f := range m.Funcs {
+		fg := &FuncGraph{Func: f}
+		leader := make(map[uint64]bool, len(f.Instrs))
+		if len(f.Instrs) == 0 {
+			return nil, fmt.Errorf("cfg: function %s is empty", f.Name)
+		}
+		leader[f.Instrs[0].Addr] = true
+		for i, in := range f.Instrs {
+			if targets[in.Addr] {
+				leader[in.Addr] = true
+			}
+			if in.Op.EndsBlock() && i+1 < len(f.Instrs) {
+				leader[f.Instrs[i+1].Addr] = true
+			}
+		}
+		var cur *Block
+		for _, in := range f.Instrs {
+			if leader[in.Addr] {
+				cur = &Block{Addr: in.Addr}
+				fg.Blocks = append(fg.Blocks, cur)
+			}
+			cur.Instrs = append(cur.Instrs, in)
+		}
+		g.Funcs = append(g.Funcs, fg)
+	}
+	return g, nil
+}
+
+// FuncGraphByName returns the function graph with the given name, or nil.
+func (g *Graph) FuncGraphByName(name string) *FuncGraph {
+	for _, fg := range g.Funcs {
+		if fg.Func.Name == name {
+			return fg
+		}
+	}
+	return nil
+}
+
+// BlockAt returns the block starting at exactly addr, or nil.
+func (fg *FuncGraph) BlockAt(addr uint64) *Block {
+	i := sort.Search(len(fg.Blocks), func(i int) bool { return fg.Blocks[i].Addr >= addr })
+	if i < len(fg.Blocks) && fg.Blocks[i].Addr == addr {
+		return fg.Blocks[i]
+	}
+	return nil
+}
+
+// BlockContaining returns the block whose address range contains addr.
+func (fg *FuncGraph) BlockContaining(addr uint64) *Block {
+	i := sort.Search(len(fg.Blocks), func(i int) bool { return fg.Blocks[i].End() > addr })
+	if i < len(fg.Blocks) && fg.Blocks[i].Addr <= addr {
+		return fg.Blocks[i]
+	}
+	return nil
+}
+
+// Split splits the block containing addr so that addr begins a new block,
+// mirroring the Dyninst block-splitting primitive the paper's patcher uses
+// (Figure 7). It returns the two halves; if addr already starts a block
+// the block is returned unchanged as both halves' second element.
+func (fg *FuncGraph) Split(addr uint64) (before, after *Block, err error) {
+	b := fg.BlockContaining(addr)
+	if b == nil {
+		return nil, nil, fmt.Errorf("cfg: %s: no block contains %#x", fg.Func.Name, addr)
+	}
+	if b.Addr == addr {
+		return nil, b, nil
+	}
+	idx := -1
+	for i, in := range b.Instrs {
+		if in.Addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, nil, fmt.Errorf("cfg: %#x is not an instruction boundary in block %#x", addr, b.Addr)
+	}
+	after = &Block{Addr: addr, Instrs: b.Instrs[idx:]}
+	b.Instrs = b.Instrs[:idx:idx]
+	// Insert after b, keeping the slice sorted.
+	for i, bb := range fg.Blocks {
+		if bb == b {
+			fg.Blocks = append(fg.Blocks[:i+1], append([]*Block{after}, fg.Blocks[i+1:]...)...)
+			break
+		}
+	}
+	return b, after, nil
+}

@@ -1,0 +1,291 @@
+package cfg
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// buildMod assembles a module with one function containing a loop:
+//
+//	main:
+//	  movri rcx, 3
+//	  movri r15, bits(1.0); movq xmm1, r15
+//	  xorr rax, rax ; xorpd? no — movq xmm0, rax (0.0)
+//	loop:
+//	  addsd xmm0, xmm1
+//	  subi rcx, 1
+//	  cmpi rcx, 0
+//	  jg loop
+//	  syscall out_f64
+//	  halt
+func buildMod(t *testing.T) *prog.Module {
+	t.Helper()
+	one := int64(math.Float64bits(1.0))
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(3)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(one)),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.XORR, isa.Gpr(isa.RAX), isa.Gpr(isa.RAX)),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.RAX)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // loop head, index 5
+		isa.I(isa.SUBI, isa.Gpr(isa.RCX), isa.Imm(1)),
+		isa.I(isa.CMPI, isa.Gpr(isa.RCX), isa.Imm(0)),
+		isa.I(isa.JG, isa.Imm(0)), // patched
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	}}
+	m, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+4096, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Instrs[8].A.Imm = int64(f.Instrs[5].Addr)
+	return m
+}
+
+func TestBuildBlocks(t *testing.T) {
+	m := buildMod(t)
+	g, err := Build(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fg := g.FuncGraphByName("main")
+	if fg == nil {
+		t.Fatal("main not found")
+	}
+	// Expect 3 blocks: prologue, loop body, epilogue.
+	if len(fg.Blocks) != 3 {
+		t.Fatalf("blocks = %d, want 3", len(fg.Blocks))
+	}
+	if fg.Blocks[1].Addr != m.Funcs[0].Instrs[5].Addr {
+		t.Errorf("loop block at %#x", fg.Blocks[1].Addr)
+	}
+	if n := len(fg.Blocks[1].Instrs); n != 4 {
+		t.Errorf("loop block has %d instrs, want 4", n)
+	}
+	if fg.Blocks[2].Instrs[len(fg.Blocks[2].Instrs)-1].Op != isa.HALT {
+		t.Error("epilogue should end in halt")
+	}
+}
+
+func TestBlockLookupAndEnd(t *testing.T) {
+	m := buildMod(t)
+	g, _ := Build(m)
+	fg := g.Funcs[0]
+	loop := fg.Blocks[1]
+	if got := fg.BlockAt(loop.Addr); got != loop {
+		t.Error("BlockAt failed")
+	}
+	if got := fg.BlockAt(loop.Addr + 1); got != nil {
+		t.Error("BlockAt mid-block should be nil")
+	}
+	mid := loop.Instrs[1].Addr
+	if got := fg.BlockContaining(mid); got != loop {
+		t.Error("BlockContaining failed")
+	}
+	if loop.End() != loop.Instrs[3].Addr+uint64(isa.EncodedSize(loop.Instrs[3])) {
+		t.Error("End mismatch")
+	}
+}
+
+func TestSplitBlock(t *testing.T) {
+	m := buildMod(t)
+	g, _ := Build(m)
+	fg := g.Funcs[0]
+	loop := fg.Blocks[1]
+	splitAt := loop.Instrs[1].Addr // before subi
+	before, after, err := fg.Split(splitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fg.Blocks) != 4 {
+		t.Fatalf("blocks after split = %d, want 4", len(fg.Blocks))
+	}
+	if before.Addr == after.Addr {
+		t.Error("split produced identical blocks")
+	}
+	if len(before.Instrs) != 1 || before.Instrs[0].Op != isa.ADDSD {
+		t.Errorf("before block wrong: %v", before.Instrs)
+	}
+	if after.Addr != splitAt || len(after.Instrs) != 3 {
+		t.Errorf("after block wrong")
+	}
+	// Splitting at a block start is a no-op.
+	_, same, err := fg.Split(after.Addr)
+	if err != nil || same != after {
+		t.Errorf("split at boundary: %v, %v", same, err)
+	}
+	// Splitting at a non-boundary errors.
+	if _, _, err := fg.Split(splitAt + 1); err == nil {
+		t.Error("split mid-instruction should fail")
+	}
+	if _, _, err := fg.Split(0x3); err == nil {
+		t.Error("split outside function should fail")
+	}
+}
+
+func TestRewriteIdentity(t *testing.T) {
+	m := buildMod(t)
+	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach1, err := vm.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach1.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mach2, err := vm.New(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mach1.Out[0].Bits != mach2.Out[0].Bits {
+		t.Errorf("identity rewrite changed output: %v vs %v", mach1.Out[0].F64(), mach2.Out[0].F64())
+	}
+}
+
+// TestRewriteExpansion replaces the ADDSD with a snippet that adds twice,
+// using a snippet-local branch to skip a third add. The loop runs 3 times,
+// so the result becomes 6 instead of 3, proving expansion + label fixup +
+// branch retargeting all work.
+func TestRewriteExpansion(t *testing.T) {
+	m := buildMod(t)
+	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+		if in.Op != isa.ADDSD {
+			return nil
+		}
+		return []isa.Instr{
+			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+			isa.I(isa.JMP, isa.Imm(Label(3))),        // skip the dead add
+			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(0)), // dead
+			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // label 3
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := vm.New(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mach.Out[0].F64(); got != 6.0 {
+		t.Errorf("expanded loop result = %v, want 6", got)
+	}
+}
+
+func TestRewriteMovesLoopTarget(t *testing.T) {
+	// Expanding an instruction before the loop head must shift the head;
+	// the back-edge must be retargeted to the new address.
+	m := buildMod(t)
+	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+		if in.Op == isa.MOVRI {
+			return []isa.Instr{isa.I(isa.NOP), in}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := vm.New(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := mach.Out[0].F64(); got != 3.0 {
+		t.Errorf("result = %v, want 3", got)
+	}
+}
+
+func TestRewriteBranchIntoExpansionHitsPrologue(t *testing.T) {
+	// The loop back-edge targets the expanded ADDSD; after rewriting it must
+	// land on the first instruction of the expansion (the snippet prologue).
+	m := buildMod(t)
+	marker := isa.I(isa.ORI, isa.Gpr(isa.RDX), isa.Imm(1))
+	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+		if in.Op != isa.ADDSD {
+			return nil
+		}
+		return []isa.Instr{marker, in}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach, err := vm.New(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mach.GPR[isa.RDX] != 1 {
+		t.Error("snippet prologue not executed via back edge")
+	}
+	if got := mach.Out[0].F64(); got != 3.0 {
+		t.Errorf("result = %v", got)
+	}
+}
+
+func TestRewriteErrors(t *testing.T) {
+	m := buildMod(t)
+	if _, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+		return []isa.Instr{}
+	}); err == nil {
+		t.Error("empty expansion accepted")
+	}
+	if _, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+		if in.Op == isa.ADDSD {
+			return []isa.Instr{isa.I(isa.JMP, isa.Imm(Label(5)))}
+		}
+		return nil
+	}); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+	bad := buildMod(t)
+	bad.Funcs[0].Instrs[8].A.Imm = 0x99 // dangling branch target
+	if _, err := Rewrite(bad, nil2); err == nil {
+		t.Error("dangling target accepted")
+	}
+}
+
+func nil2(in isa.Instr) []isa.Instr { return nil }
+
+func TestAddrMapMatchesRewrite(t *testing.T) {
+	m := buildMod(t)
+	exp := func(in isa.Instr) []isa.Instr {
+		if in.Op == isa.ADDSD {
+			return []isa.Instr{isa.I(isa.NOP), in}
+		}
+		return nil
+	}
+	am, err := AddrMap(m, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Rewrite(m, exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am[m.Entry] != out.Entry {
+		t.Error("entry mapping mismatch")
+	}
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if _, ok := am[in.Addr]; !ok {
+				t.Errorf("no mapping for %#x", in.Addr)
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package cfg
+
+import (
+	"fmt"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// LabelBase marks snippet-local branch targets. An expansion returned by
+// an Expander may contain branches whose immediate is LabelBase+k, meaning
+// "the k-th instruction of this expansion"; the rewriter resolves these to
+// real addresses during layout. Real code addresses never reach this range.
+const LabelBase = int64(1) << 62
+
+// Label returns the snippet-local branch target for instruction index k of
+// an expansion.
+func Label(k int) int64 { return LabelBase + int64(k) }
+
+// Expander decides, per original instruction, what the rewritten binary
+// contains in its place: nil keeps the instruction unchanged; otherwise the
+// returned sequence is laid down instead (the paper's "binary blob"
+// snippet, spliced in by block patching).
+type Expander func(in isa.Instr) []isa.Instr
+
+// Rewrite produces a new module in which every instruction of m has been
+// passed through expand, all code has been relocated, and every branch
+// target — original or snippet-local — has been fixed up. Original
+// instruction addresses map to the first instruction of their expansion,
+// so branches into replaced instructions land on the snippet prologue,
+// exactly as with the paper's edge-rewiring of split blocks.
+func Rewrite(m *prog.Module, expand Expander) (*prog.Module, error) {
+	type expansion struct {
+		oldAddr uint64
+		instrs  []isa.Instr
+		addrs   []uint64 // new address of each instruction
+		funcIdx int
+	}
+
+	// Pass 1: expand and lay out.
+	addrMap := make(map[uint64]uint64, 1024) // old -> new
+	funcs := make([]*prog.Func, len(m.Funcs))
+	var exps []*expansion
+	addr := prog.CodeBase
+	for fi, f := range m.Funcs {
+		funcs[fi] = &prog.Func{Name: f.Name, Addr: addr}
+		for _, in := range f.Instrs {
+			seq := expand(in)
+			if seq == nil {
+				seq = []isa.Instr{in}
+			}
+			if len(seq) == 0 {
+				return nil, fmt.Errorf("cfg: empty expansion for %s at %#x", in.Op, in.Addr)
+			}
+			e := &expansion{oldAddr: in.Addr, instrs: seq, funcIdx: fi}
+			addrMap[in.Addr] = addr
+			for i := range seq {
+				seq[i].Addr = addr
+				e.addrs = append(e.addrs, addr)
+				addr += uint64(isa.EncodedSize(seq[i]))
+			}
+			exps = append(exps, e)
+		}
+		funcs[fi].End = addr
+	}
+
+	// Pass 2: fix up branch targets and assemble functions.
+	for _, e := range exps {
+		for k := range e.instrs {
+			in := &e.instrs[k]
+			if !in.Op.IsBranch() {
+				continue
+			}
+			t := in.A.Imm
+			if t >= LabelBase {
+				idx := int(t - LabelBase)
+				if idx < 0 || idx >= len(e.addrs) {
+					return nil, fmt.Errorf("cfg: snippet label %d out of range at %#x", idx, e.oldAddr)
+				}
+				in.A.Imm = int64(e.addrs[idx])
+				continue
+			}
+			na, ok := addrMap[uint64(t)]
+			if !ok {
+				return nil, fmt.Errorf("cfg: %s at old %#x targets unknown address %#x", in.Op, e.oldAddr, uint64(t))
+			}
+			in.A.Imm = int64(na)
+		}
+		f := funcs[e.funcIdx]
+		f.Instrs = append(f.Instrs, e.instrs...)
+	}
+
+	entry, ok := addrMap[m.Entry]
+	if !ok {
+		return nil, fmt.Errorf("cfg: entry %#x not mapped", m.Entry)
+	}
+	out := &prog.Module{
+		Name:    m.Name,
+		Funcs:   funcs,
+		Entry:   entry,
+		Data:    append([]byte(nil), m.Data...),
+		MemSize: m.MemSize,
+	}
+	// Every instruction of an expansion inherits the source label of the
+	// instruction it replaced, so debug views still resolve through
+	// instrumented code.
+	if m.Debug != nil {
+		out.Debug = make(map[uint64]string, len(m.Debug))
+		for _, e := range exps {
+			lbl, ok := m.Debug[e.oldAddr]
+			if !ok {
+				continue
+			}
+			for _, a := range e.addrs {
+				out.Debug[a] = lbl
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("cfg: rewritten module invalid: %w", err)
+	}
+	return out, nil
+}
+
+// AddrMap is a convenience for tests and tools: it returns the old-to-new
+// address mapping Rewrite would produce for the given expander without
+// materializing the module twice.
+func AddrMap(m *prog.Module, expand Expander) (map[uint64]uint64, error) {
+	out := make(map[uint64]uint64)
+	addr := prog.CodeBase
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			seq := expand(in)
+			if seq == nil {
+				seq = []isa.Instr{in}
+			}
+			out[in.Addr] = addr
+			for i := range seq {
+				addr += uint64(isa.EncodedSize(seq[i]))
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,233 @@
+// Package config represents mixed-precision configurations: the mapping
+//
+//	p -> {single, double, ignore}
+//
+// over all double-precision candidate instructions Pd of a program, with
+// hierarchical overrides along the natural containment aggregations
+// (module contains functions contain basic blocks contain instructions,
+// paper §2.1). A flag on an aggregate node overrides the flags of all its
+// children; an unset aggregate defers to per-child flags; an instruction
+// with no flag anywhere along its path defaults to double.
+package config
+
+import (
+	"fmt"
+	"sort"
+
+	"fpmix/internal/cfg"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// Precision is a replacement decision.
+type Precision uint8
+
+// Precision values. Unset means "inherit" (default double).
+const (
+	Unset Precision = iota
+	Double
+	Single
+	Ignore
+)
+
+// String returns the configuration-file flag for p ("d", "s", "i", or ""
+// for Unset).
+func (p Precision) String() string {
+	switch p {
+	case Double:
+		return "d"
+	case Single:
+		return "s"
+	case Ignore:
+		return "i"
+	default:
+		return ""
+	}
+}
+
+// ParsePrecision converts a flag character to a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	switch s {
+	case "":
+		return Unset, nil
+	case "d":
+		return Double, nil
+	case "s":
+		return Single, nil
+	case "i":
+		return Ignore, nil
+	}
+	return Unset, fmt.Errorf("config: unknown precision flag %q", s)
+}
+
+// Kind classifies tree nodes.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindModule Kind = iota
+	KindFunc
+	KindBlock
+	KindInsn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindModule:
+		return "MODULE"
+	case KindFunc:
+		return "FUNC"
+	case KindBlock:
+		return "BBLK"
+	case KindInsn:
+		return "INSN"
+	default:
+		return "?"
+	}
+}
+
+// Node is one entry in the configuration tree.
+type Node struct {
+	Kind     Kind
+	ID       int    // 1-based sequence number within kind (FUNC01, ...)
+	Name     string // function name, or disassembly for instructions
+	Addr     uint64 // instruction address (KindInsn), block start (KindBlock)
+	Flag     Precision
+	Children []*Node
+}
+
+// Config is a full configuration: the module tree plus an index from
+// instruction address to node.
+type Config struct {
+	Root   *Node
+	byAddr map[uint64]*Node
+}
+
+// FromModule builds the default (all-Unset) configuration tree for m by
+// static analysis of its control-flow graph: one node per function, basic
+// block and double-precision candidate instruction.
+func FromModule(m *prog.Module) (*Config, error) {
+	g, err := cfg.Build(m)
+	if err != nil {
+		return nil, err
+	}
+	root := &Node{Kind: KindModule, ID: 1, Name: m.Name}
+	c := &Config{Root: root, byAddr: make(map[uint64]*Node)}
+	nf, nb, ni := 0, 0, 0
+	for _, fg := range g.Funcs {
+		nf++
+		fn := &Node{Kind: KindFunc, ID: nf, Name: fg.Func.Name, Addr: fg.Func.Addr}
+		for _, b := range fg.Blocks {
+			nb++
+			bn := &Node{Kind: KindBlock, ID: nb, Addr: b.Addr}
+			for _, in := range b.Instrs {
+				if !isa.IsCandidate(in.Op) {
+					continue
+				}
+				ni++
+				n := &Node{Kind: KindInsn, ID: ni, Name: isa.Disasm(in), Addr: in.Addr}
+				c.byAddr[in.Addr] = n
+				bn.Children = append(bn.Children, n)
+			}
+			if len(bn.Children) > 0 {
+				fn.Children = append(fn.Children, bn)
+			}
+		}
+		if len(fn.Children) > 0 {
+			root.Children = append(root.Children, fn)
+		}
+	}
+	return c, nil
+}
+
+// Clone returns a deep copy of the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{byAddr: make(map[uint64]*Node, len(c.byAddr))}
+	out.Root = cloneNode(c.Root, out.byAddr)
+	return out
+}
+
+func cloneNode(n *Node, idx map[uint64]*Node) *Node {
+	cp := *n
+	cp.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		cp.Children[i] = cloneNode(ch, idx)
+	}
+	if cp.Kind == KindInsn {
+		idx[cp.Addr] = &cp
+	}
+	return &cp
+}
+
+// Reset clears every flag in the tree.
+func (c *Config) Reset() {
+	c.Walk(func(n *Node) { n.Flag = Unset })
+}
+
+// Walk visits every node in depth-first order.
+func (c *Config) Walk(f func(*Node)) { walk(c.Root, f) }
+
+func walk(n *Node, f func(*Node)) {
+	f(n)
+	for _, ch := range n.Children {
+		walk(ch, f)
+	}
+}
+
+// NodeAt returns the instruction node at addr, or nil.
+func (c *Config) NodeAt(addr uint64) *Node { return c.byAddr[addr] }
+
+// Candidates returns the addresses of all candidate instructions in the
+// tree, sorted.
+func (c *Config) Candidates() []uint64 {
+	out := make([]uint64, 0, len(c.byAddr))
+	for a := range c.byAddr {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Effective computes the effective precision of every candidate
+// instruction after applying override semantics: the flag of the highest
+// flagged ancestor wins; instructions with no flag anywhere default to
+// Double.
+func (c *Config) Effective() map[uint64]Precision {
+	out := make(map[uint64]Precision, len(c.byAddr))
+	var rec func(n *Node, inherited Precision)
+	rec = func(n *Node, inherited Precision) {
+		eff := inherited
+		if eff == Unset && n.Flag != Unset {
+			eff = n.Flag
+		}
+		if n.Kind == KindInsn {
+			p := eff
+			if p == Unset {
+				p = Double
+			}
+			out[n.Addr] = p
+			return
+		}
+		for _, ch := range n.Children {
+			rec(ch, eff)
+		}
+	}
+	rec(c.Root, Unset)
+	return out
+}
+
+// SetAll flags every instruction-bearing subtree root at the given kind.
+// It is a convenience for whole-module configurations.
+func (c *Config) SetAll(p Precision) { c.Root.Flag = p }
+
+// CountSingle returns how many candidate instructions are effectively
+// single-precision under the configuration.
+func (c *Config) CountSingle() int {
+	n := 0
+	for _, p := range c.Effective() {
+		if p == Single {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpmix/internal/kernels"
+)
+
+// The experiment drivers are exercised at class W (the fast class) so the
+// full harness stays runnable in unit-test time.
+
+func TestFig8ShapesHold(t *testing.T) {
+	rows, err := Fig8(kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(kernels.MPIKernelNames()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Overhead) != len(Fig8Ranks) {
+			t.Fatalf("%s: series length %d", row.Bench, len(row.Overhead))
+		}
+		for i, ov := range row.Overhead {
+			if ov <= 1 || ov > 30 {
+				t.Errorf("%s ranks=%d: overhead %.2fX out of plausible band", row.Bench, Fig8Ranks[i], ov)
+			}
+		}
+		// Non-increasing within tolerance: the paper's headline trend.
+		if last, first := row.Overhead[len(row.Overhead)-1], row.Overhead[0]; last > first*1.10 {
+			t.Errorf("%s: overhead grew with ranks: %.2f -> %.2f", row.Bench, first, last)
+		}
+	}
+}
+
+func TestFig10RowSanity(t *testing.T) {
+	rows, err := Fig10([]string{"mg"}, []kernels.Class{kernels.ClassW}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Candidates == 0 || r.Tested == 0 {
+		t.Fatal("empty search result")
+	}
+	if r.StaticPct < 50 {
+		t.Errorf("mg.W: static %.1f%% unexpectedly low", r.StaticPct)
+	}
+	if !r.FinalPass {
+		t.Error("mg.W final should pass")
+	}
+}
+
+func TestFig11Monotone(t *testing.T) {
+	rows, err := Fig11(kernels.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig11Thresholds) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].StaticPct > rows[i-1].StaticPct+1e-9 {
+			t.Errorf("static %% not monotone: %.1f -> %.1f at threshold %g",
+				rows[i-1].StaticPct, rows[i].StaticPct, rows[i].Threshold)
+		}
+	}
+	// The loosest threshold must allow most of the solver to be replaced.
+	if rows[0].StaticPct < 50 {
+		t.Errorf("loosest threshold replaced only %.1f%%", rows[0].StaticPct)
+	}
+	for _, r := range rows {
+		if !math.IsNaN(r.FinalError) && r.FinalPass && r.FinalError > r.Threshold {
+			t.Errorf("threshold %g: passing final error %g above bound", r.Threshold, r.FinalError)
+		}
+	}
+}
+
+func TestAMGExperiment(t *testing.T) {
+	res, err := AMG(kernels.ClassW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSinglePass {
+		t.Error("whole kernel must verify in single precision")
+	}
+	if res.SearchStaticPct != 100 {
+		t.Errorf("search static = %.1f%%, want 100%%", res.SearchStaticPct)
+	}
+	if res.ManualSpeedup < 1.3 {
+		t.Errorf("manual speedup %.2fX too small", res.ManualSpeedup)
+	}
+	if res.AnalysisOverhead <= 1 {
+		t.Errorf("analysis overhead %.2fX implausible", res.AnalysisOverhead)
+	}
+}
+
+func TestBitExactRows(t *testing.T) {
+	rows, err := BitExact(kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no convertible kernels")
+	}
+	for _, r := range rows {
+		if !r.Match {
+			t.Errorf("%s.%s: instrumented all-single differs from manual conversion", r.Bench, r.Class)
+		}
+		if r.Outputs == 0 {
+			t.Errorf("%s.%s: no outputs compared", r.Bench, r.Class)
+		}
+	}
+}
+
+func TestFig10BenchesAreKnown(t *testing.T) {
+	known := strings.Join(kernels.Names(), ",")
+	for _, n := range Fig10Benches {
+		if !strings.Contains(known, n) {
+			t.Errorf("Fig10 bench %q not registered", n)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package hl
+
+import (
+	"strings"
+	"testing"
+
+	"fpmix/internal/prog"
+)
+
+// TestDebugInfo: every instruction of a compiled program carries a
+// "func: statement" source label, and labels survive image round trips.
+func TestDebugInfo(t *testing.T) {
+	p := New("dbg", ModeF64)
+	x := p.ScalarInit("x", 1.0)
+	i := p.Int("i")
+	f := p.Func("main")
+	f.For(i, IConst(0), IConst(3), func() {
+		f.Set(x, Add(Load(x), Const(1)))
+	})
+	f.Call("aux")
+	f.Out(Load(x))
+	f.Halt()
+	g := p.Func("aux")
+	g.Set(x, Mul(Load(x), Const(2)))
+	g.Ret()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Debug == nil {
+		t.Fatal("no debug info")
+	}
+	// Every instruction has a label.
+	for _, fn := range mod.Funcs {
+		for _, in := range fn.Instrs {
+			lbl, ok := mod.Debug[in.Addr]
+			if !ok || lbl == "" {
+				t.Fatalf("%s %#x: missing label", fn.Name, in.Addr)
+			}
+			if !strings.HasPrefix(lbl, fn.Name+": ") {
+				t.Errorf("%s %#x: label %q lacks function prefix", fn.Name, in.Addr, lbl)
+			}
+		}
+	}
+	// Expected statement labels appear.
+	joined := ""
+	for _, l := range mod.Debug {
+		joined += l + "\n"
+	}
+	for _, want := range []string{"main: for i", "main: set x", "main: call aux",
+		"main: out", "main: halt", "aux: set x", "aux: return", "main: prologue"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing label %q", want)
+		}
+	}
+	// Round trip through the image format.
+	img, err := prog.Save(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := prog.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Debug) != len(mod.Debug) {
+		t.Fatalf("debug entries: %d != %d", len(back.Debug), len(mod.Debug))
+	}
+	for a, l := range mod.Debug {
+		if back.Debug[a] != l {
+			t.Errorf("label at %#x changed: %q != %q", a, back.Debug[a], l)
+		}
+	}
+}

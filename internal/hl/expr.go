@@ -1,0 +1,284 @@
+package hl
+
+import (
+	"fmt"
+	"math"
+
+	"fpmix/internal/isa"
+)
+
+// Expr is a floating-point expression tree. Expressions compile onto the
+// xmm evaluation stack; the result of compiling at depth d lands in xmm[d].
+type Expr struct {
+	kind  exprKind
+	v     float64
+	fvar  FVar
+	arr   FArr
+	idx   *IExpr
+	a, b  *Expr
+	op    isa.Op // for arith/unary kinds: the double-precision opcode
+	iexpr *IExpr
+}
+
+type exprKind uint8
+
+const (
+	eConst exprKind = iota
+	eLoad
+	eIndex
+	eArith // binary: a op b
+	eUnary // sqrt/sin/cos/exp/log: op(a)
+	eNeg   // 0 - a
+	eAbs   // fabs via mask
+	eFromI // int -> float
+)
+
+// Const is a floating-point literal.
+func Const(v float64) Expr { return Expr{kind: eConst, v: v} }
+
+// Load reads a scalar variable.
+func Load(v FVar) Expr { return Expr{kind: eLoad, fvar: v} }
+
+// At reads arr[idx].
+func At(arr FArr, idx IExpr) Expr { return Expr{kind: eIndex, arr: arr, idx: &idx} }
+
+// Add returns a + b.
+func Add(a, b Expr) Expr { return bin(isa.ADDSD, a, b) }
+
+// Sub returns a - b.
+func Sub(a, b Expr) Expr { return bin(isa.SUBSD, a, b) }
+
+// Mul returns a * b.
+func Mul(a, b Expr) Expr { return bin(isa.MULSD, a, b) }
+
+// Div returns a / b.
+func Div(a, b Expr) Expr { return bin(isa.DIVSD, a, b) }
+
+// Min returns the x86-semantics minimum of a and b.
+func Min(a, b Expr) Expr { return bin(isa.MINSD, a, b) }
+
+// Max returns the x86-semantics maximum of a and b.
+func Max(a, b Expr) Expr { return bin(isa.MAXSD, a, b) }
+
+func bin(op isa.Op, a, b Expr) Expr {
+	return Expr{kind: eArith, op: op, a: &a, b: &b}
+}
+
+// Sqrt returns the square root of a.
+func Sqrt(a Expr) Expr { return un(isa.SQRTSD, a) }
+
+// Sin returns sin(a).
+func Sin(a Expr) Expr { return un(isa.SINSD, a) }
+
+// Cos returns cos(a).
+func Cos(a Expr) Expr { return un(isa.COSSD, a) }
+
+// Exp returns e**a.
+func Exp(a Expr) Expr { return un(isa.EXPSD, a) }
+
+// Log returns the natural logarithm of a.
+func Log(a Expr) Expr { return un(isa.LOGSD, a) }
+
+func un(op isa.Op, a Expr) Expr { return Expr{kind: eUnary, op: op, a: &a} }
+
+// Neg returns -a (compiled as 0 - a).
+func Neg(a Expr) Expr { return Expr{kind: eNeg, a: &a} }
+
+// Abs returns |a|, compiled as max(a, 0-a). A sign-mask ANDPD (what
+// optimizing compilers emit) would operate on the raw 64-bit lane and
+// miss the single-precision payload's sign bit once the value has been
+// replaced in place, so the arithmetic form — which the replacement
+// snippets handle like any other MAXSD — is used instead.
+func Abs(a Expr) Expr { return Expr{kind: eAbs, a: &a} }
+
+// FromInt converts an integer expression to floating point (CVTSI2SD).
+func FromInt(i IExpr) Expr { return Expr{kind: eFromI, iexpr: &i} }
+
+// IExpr is an integer expression tree evaluating on the r8..r12 stack.
+type IExpr struct {
+	kind ikind
+	v    int64
+	ivar IVar
+	arr  IArr
+	idx  *IExpr
+	a, b *IExpr
+	op   isa.Op
+	fe   *Expr
+}
+
+type ikind uint8
+
+const (
+	iConst ikind = iota
+	iLoad
+	iIndex
+	iArith
+	iShift
+	iToI // float -> int (truncating)
+)
+
+// IConst is an integer literal.
+func IConst(v int64) IExpr { return IExpr{kind: iConst, v: v} }
+
+// ILoad reads an integer variable.
+func ILoad(v IVar) IExpr { return IExpr{kind: iLoad, ivar: v} }
+
+// IAt reads arr[idx].
+func IAt(arr IArr, idx IExpr) IExpr { return IExpr{kind: iIndex, arr: arr, idx: &idx} }
+
+// IAdd returns a + b.
+func IAdd(a, b IExpr) IExpr { return ibin(isa.ADDR, a, b) }
+
+// ISub returns a - b.
+func ISub(a, b IExpr) IExpr { return ibin(isa.SUBR, a, b) }
+
+// IMul returns a * b.
+func IMul(a, b IExpr) IExpr { return ibin(isa.IMULR, a, b) }
+
+// IDiv returns a / b (truncating signed division; b must be nonzero).
+func IDiv(a, b IExpr) IExpr { return ibin(isa.IDIVR, a, b) }
+
+// IAnd returns a & b.
+func IAnd(a, b IExpr) IExpr { return ibin(isa.ANDR, a, b) }
+
+// IOr returns a | b.
+func IOr(a, b IExpr) IExpr { return ibin(isa.ORR, a, b) }
+
+// IXor returns a ^ b.
+func IXor(a, b IExpr) IExpr { return ibin(isa.XORR, a, b) }
+
+func ibin(op isa.Op, a, b IExpr) IExpr { return IExpr{kind: iArith, op: op, a: &a, b: &b} }
+
+// IShl returns a << k for a constant shift.
+func IShl(a IExpr, k int64) IExpr {
+	return IExpr{kind: iShift, op: isa.SHLI, a: &a, v: k}
+}
+
+// IShr returns a >> k (logical) for a constant shift.
+func IShr(a IExpr, k int64) IExpr {
+	return IExpr{kind: iShift, op: isa.SHRI, a: &a, v: k}
+}
+
+// ToInt truncates a floating-point expression to int64 (CVTTSD2SI).
+func ToInt(a Expr) IExpr { return IExpr{kind: iToI, fe: &a} }
+
+// ssEquiv maps a double opcode to its single twin for ModeF32 compilation.
+func ssEquiv(op isa.Op) isa.Op {
+	if s, ok := isa.SingleEquivalent(op); ok {
+		return s
+	}
+	panic(fmt.Sprintf("hl: no single equivalent for %s", op))
+}
+
+// compileF emits code evaluating e into xmm[d]. Integer subexpressions
+// (array indices, conversions) evaluate at integer-stack depth id, so an
+// enclosing integer evaluation's live registers are never clobbered.
+func (fb *FuncBuilder) compileF(e *Expr, d, id int) {
+	if d >= fpStackSize {
+		panic(fmt.Sprintf("hl: %s: floating-point expression too deep (max %d)", fb.name, fpStackSize))
+	}
+	p := fb.prog
+	switch e.kind {
+	case eConst:
+		var bits int64
+		if p.mode == ModeF32 {
+			bits = int64(math.Float32bits(float32(e.v)))
+		} else {
+			bits = int64(math.Float64bits(e.v))
+		}
+		fb.emit(isa.I(isa.MOVRI, isa.Gpr(scrC), isa.Imm(bits)))
+		fb.emit(isa.I(isa.MOVQ, isa.Xmm(uint8(d)), isa.Gpr(scrC)))
+	case eLoad:
+		fb.emit(isa.I(fb.movOp(), isa.Xmm(uint8(d)), isa.Mem(regBase, e.fvar.off)))
+	case eIndex:
+		r := fb.compileI(e.idx, id, d)
+		fb.emit(isa.I(fb.movOp(), isa.Xmm(uint8(d)),
+			isa.MemIdx(regBase, r, uint8(p.fpSlot()), e.arr.off)))
+	case eArith:
+		fb.compileF(e.a, d, id)
+		fb.compileF(e.b, d+1, id)
+		op := e.op
+		if p.mode == ModeF32 {
+			op = ssEquiv(op)
+		}
+		fb.emit(isa.I(op, isa.Xmm(uint8(d)), isa.Xmm(uint8(d+1))))
+	case eUnary:
+		fb.compileF(e.a, d, id)
+		op := e.op
+		if p.mode == ModeF32 {
+			op = ssEquiv(op)
+		}
+		fb.emit(isa.I(op, isa.Xmm(uint8(d)), isa.Xmm(uint8(d))))
+	case eNeg:
+		zero := Const(0)
+		sub := Sub(zero, *e.a)
+		fb.compileF(&sub, d, id)
+	case eAbs:
+		// max(a, 0 - a): exact in both precisions.
+		fb.compileF(e.a, d, id)
+		zero := Const(0)
+		fb.compileF(&zero, d+1, id)
+		op := isa.SUBSD
+		mx := isa.MAXSD
+		if p.mode == ModeF32 {
+			op, mx = isa.SUBSS, isa.MAXSS
+		}
+		fb.emit(isa.I(op, isa.Xmm(uint8(d+1)), isa.Xmm(uint8(d))))
+		fb.emit(isa.I(mx, isa.Xmm(uint8(d)), isa.Xmm(uint8(d+1))))
+	case eFromI:
+		r := fb.compileI(e.iexpr, id, d)
+		op := isa.CVTSI2SD
+		if p.mode == ModeF32 {
+			op = isa.CVTSI2SS
+		}
+		fb.emit(isa.I(op, isa.Xmm(uint8(d)), isa.Gpr(r)))
+	default:
+		panic("hl: unknown expression kind")
+	}
+}
+
+// compileI emits code evaluating e into the integer stack register at
+// depth d and returns that register. fd is the number of live xmm
+// evaluation registers; float subexpressions (ToInt) evaluate above it.
+func (fb *FuncBuilder) compileI(e *IExpr, d, fd int) uint8 {
+	if d >= intStackSz {
+		panic(fmt.Sprintf("hl: %s: integer expression too deep (max %d)", fb.name, intStackSz))
+	}
+	r := uint8(int(intStackLo) + d)
+	switch e.kind {
+	case iConst:
+		fb.emit(isa.I(isa.MOVRI, isa.Gpr(r), isa.Imm(e.v)))
+	case iLoad:
+		fb.emit(isa.I(isa.LOAD, isa.Gpr(r), isa.Mem(regBase, e.ivar.off)))
+	case iIndex:
+		ri := fb.compileI(e.idx, d, fd)
+		fb.emit(isa.I(isa.LOAD, isa.Gpr(r), isa.MemIdx(regBase, ri, 8, e.arr.off)))
+	case iArith:
+		fb.compileI(e.a, d, fd)
+		rb := fb.compileI(e.b, d+1, fd)
+		fb.emit(isa.I(e.op, isa.Gpr(r), isa.Gpr(rb)))
+	case iShift:
+		fb.compileI(e.a, d, fd)
+		fb.emit(isa.I(e.op, isa.Gpr(r), isa.Imm(e.v)))
+	case iToI:
+		// Evaluate the float just above the live xmm registers so in-flight
+		// FP evaluation is not clobbered.
+		fb.compileF(e.fe, fd, d)
+		op := isa.CVTTSD2SI
+		if fb.prog.mode == ModeF32 {
+			op = isa.CVTTSS2SI
+		}
+		fb.emit(isa.I(op, isa.Gpr(r), isa.Xmm(uint8(fd))))
+	default:
+		panic("hl: unknown integer expression kind")
+	}
+	return r
+}
+
+// movOp is the FP load/store opcode for the current mode.
+func (fb *FuncBuilder) movOp() isa.Op {
+	if fb.prog.mode == ModeF32 {
+		return isa.MOVSS
+	}
+	return isa.MOVSD
+}

@@ -1,0 +1,277 @@
+// Package hl is a small structured-programming builder that compiles to
+// fpmix ISA code. It plays the role the Fortran compiler plays for the
+// paper's NAS benchmarks: kernels are written against scalars, arrays,
+// loops and function calls, and hl lowers them to double-precision SSE-like
+// machine code (MOVSD/ADDSD/...) laid out as a prog.Module that the
+// binary-analysis stack then parses, instruments and rewrites.
+//
+// The builder has two code-generation modes. ModeF64 is the normal build:
+// 8-byte floating-point slots and double-precision opcodes. ModeF32 is the
+// "manually converted" build the paper compares against (§3.1): the same
+// source program lowered to 4-byte slots and single-precision opcodes.
+//
+// Code generation uses evaluation stacks: floating-point expressions
+// evaluate in xmm0..xmm12, integer expressions in r8..r12. rbx always
+// holds the data-segment base; r13-r15 are code-generation scratch.
+package hl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// Mode selects the floating-point width a program is compiled at.
+type Mode uint8
+
+// Compilation modes.
+const (
+	ModeF64 Mode = iota // normal double-precision build
+	ModeF32             // manual single-precision conversion build
+)
+
+// Register conventions for generated code.
+const (
+	regBase     = isa.RBX // data segment base
+	fpStackSize = 13      // xmm0..xmm12 evaluation stack
+	intStackLo  = isa.R8  // r8..r12 evaluation stack
+	intStackSz  = 5
+	scrA        = isa.R13
+	scrB        = isa.R14
+	scrC        = isa.R15
+)
+
+// FVar is a floating-point scalar variable (one slot in the data segment).
+type FVar struct {
+	name string
+	off  int32
+}
+
+// FArr is a floating-point array.
+type FArr struct {
+	name string
+	off  int32
+	n    int
+}
+
+// Len returns the element count.
+func (a FArr) Len() int { return a.n }
+
+// IVar is a 64-bit integer scalar variable.
+type IVar struct {
+	name string
+	off  int32
+}
+
+// IArr is a 64-bit integer array.
+type IArr struct {
+	name string
+	off  int32
+	n    int
+}
+
+// Len returns the element count.
+func (a IArr) Len() int { return a.n }
+
+// Prog accumulates globals and functions and builds the final module.
+type Prog struct {
+	name    string
+	mode    Mode
+	dataOff int32
+	inits   []func(data []byte)
+	funcs   []*FuncBuilder
+	stack   uint64
+}
+
+// New creates a program builder.
+func New(name string, mode Mode) *Prog {
+	return &Prog{name: name, mode: mode, stack: 1 << 16}
+}
+
+// Mode returns the compilation mode.
+func (p *Prog) Mode() Mode { return p.mode }
+
+// SetStackSize reserves n bytes of stack above the data segment.
+func (p *Prog) SetStackSize(n uint64) { p.stack = n }
+
+// fpSlot returns the byte width of one floating-point slot.
+func (p *Prog) fpSlot() int32 {
+	if p.mode == ModeF32 {
+		return 4
+	}
+	return 8
+}
+
+func (p *Prog) alloc(n, align int32) int32 {
+	if r := p.dataOff % align; r != 0 {
+		p.dataOff += align - r
+	}
+	off := p.dataOff
+	p.dataOff += n
+	return off
+}
+
+// Scalar declares a floating-point scalar initialized to zero.
+func (p *Prog) Scalar(name string) FVar {
+	return FVar{name: name, off: p.alloc(p.fpSlot(), p.fpSlot())}
+}
+
+// ScalarInit declares a floating-point scalar with an initial value.
+func (p *Prog) ScalarInit(name string, v float64) FVar {
+	s := p.Scalar(name)
+	off := s.off
+	mode := p.mode
+	p.inits = append(p.inits, func(data []byte) {
+		putF(data, off, v, mode)
+	})
+	return s
+}
+
+// Array declares a zero-initialized floating-point array of n elements.
+func (p *Prog) Array(name string, n int) FArr {
+	return FArr{name: name, off: p.alloc(int32(n)*p.fpSlot(), p.fpSlot()), n: n}
+}
+
+// ArrayInit declares a floating-point array initialized from vals.
+func (p *Prog) ArrayInit(name string, vals []float64) FArr {
+	a := p.Array(name, len(vals))
+	off, slot, mode := a.off, p.fpSlot(), p.mode
+	vv := append([]float64(nil), vals...)
+	p.inits = append(p.inits, func(data []byte) {
+		for i, v := range vv {
+			putF(data, off+int32(i)*slot, v, mode)
+		}
+	})
+	return a
+}
+
+// Int declares an integer scalar initialized to zero.
+func (p *Prog) Int(name string) IVar {
+	return IVar{name: name, off: p.alloc(8, 8)}
+}
+
+// IntInit declares an integer scalar with an initial value.
+func (p *Prog) IntInit(name string, v int64) IVar {
+	s := p.Int(name)
+	off := s.off
+	p.inits = append(p.inits, func(data []byte) {
+		binary.LittleEndian.PutUint64(data[off:], uint64(v))
+	})
+	return s
+}
+
+// IntArray declares a zero-initialized integer array of n elements.
+func (p *Prog) IntArray(name string, n int) IArr {
+	return IArr{name: name, off: p.alloc(int32(n)*8, 8), n: n}
+}
+
+// IntArrayInit declares an integer array initialized from vals.
+func (p *Prog) IntArrayInit(name string, vals []int64) IArr {
+	a := p.IntArray(name, len(vals))
+	off := a.off
+	vv := append([]int64(nil), vals...)
+	p.inits = append(p.inits, func(data []byte) {
+		for i, v := range vv {
+			binary.LittleEndian.PutUint64(data[off+int32(i)*8:], uint64(v))
+		}
+	})
+	return a
+}
+
+func putF(data []byte, off int32, v float64, mode Mode) {
+	if mode == ModeF32 {
+		binary.LittleEndian.PutUint32(data[off:], math.Float32bits(float32(v)))
+	} else {
+		binary.LittleEndian.PutUint64(data[off:], math.Float64bits(v))
+	}
+}
+
+// Func starts a new function body. The returned builder's statement
+// methods append code; finish with Ret (or Halt for the entry function).
+func (p *Prog) Func(name string) *FuncBuilder {
+	fb := &FuncBuilder{prog: p, name: name}
+	p.funcs = append(p.funcs, fb)
+	return fb
+}
+
+// Build lays out all functions, resolves labels and calls, and returns the
+// executable module. The entry function receives a prologue that loads the
+// data-segment base register.
+func (p *Prog) Build(entry string) (*prog.Module, error) {
+	var entryFb *FuncBuilder
+	for _, fb := range p.funcs {
+		if fb.name == entry {
+			entryFb = fb
+		}
+	}
+	if entryFb == nil {
+		return nil, fmt.Errorf("hl: entry function %q not defined", entry)
+	}
+	// Prologue: rbx = DataBase.
+	entryFb.instrs = append([]isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(regBase), isa.Imm(int64(prog.DataBase))),
+	}, entryFb.instrs...)
+	entryFb.srcs = append([]string{"prologue"}, entryFb.srcs...)
+	for i := range entryFb.fixups {
+		entryFb.fixups[i].instr++
+	}
+	for k, v := range entryFb.labels {
+		entryFb.labels[k] = v + 1
+	}
+
+	data := make([]byte, p.dataOff)
+	for _, init := range p.inits {
+		init(data)
+	}
+	var funcs []*prog.Func
+	for _, fb := range p.funcs {
+		if !fb.closed {
+			return nil, fmt.Errorf("hl: function %s not terminated with Ret or Halt", fb.name)
+		}
+		funcs = append(funcs, &prog.Func{Name: fb.name, Instrs: fb.instrs})
+	}
+	memSize := prog.DataBase + uint64(len(data)) + p.stack
+	memSize = (memSize + 15) &^ 15
+	mod, err := prog.Build(p.name, funcs, data, memSize, entry)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve label and call fixups now that addresses are assigned.
+	for _, fb := range p.funcs {
+		f := mod.FuncByName(fb.name)
+		for _, fx := range fb.fixups {
+			var target uint64
+			if fx.fn != "" {
+				callee := mod.FuncByName(fx.fn)
+				if callee == nil {
+					return nil, fmt.Errorf("hl: %s calls undefined function %q", fb.name, fx.fn)
+				}
+				target = callee.Addr
+			} else {
+				idx, ok := fb.labels[fx.label]
+				if !ok {
+					return nil, fmt.Errorf("hl: %s: unresolved label %d", fb.name, fx.label)
+				}
+				target = f.Instrs[idx].Addr
+			}
+			f.Instrs[fx.instr].A.Imm = int64(target)
+		}
+	}
+	// Attach debug info: instruction address -> "func: statement".
+	mod.Debug = make(map[uint64]string)
+	for _, fb := range p.funcs {
+		f := mod.FuncByName(fb.name)
+		for i, in := range f.Instrs {
+			if i < len(fb.srcs) && fb.srcs[i] != "" {
+				mod.Debug[in.Addr] = fb.name + ": " + fb.srcs[i]
+			}
+		}
+	}
+	if err := mod.Validate(); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}

@@ -1,0 +1,335 @@
+package hl
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/vm"
+)
+
+// runProg builds and executes a program, returning the machine.
+func runProg(t *testing.T, p *Prog, entry string) *vm.Machine {
+	t.Helper()
+	mod, err := p.Build(entry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestScalarArithmetic(t *testing.T) {
+	p := New("t", ModeF64)
+	x := p.ScalarInit("x", 3.0)
+	y := p.ScalarInit("y", 4.0)
+	r := p.Scalar("r")
+	f := p.Func("main")
+	f.Set(r, Sqrt(Add(Mul(Load(x), Load(x)), Mul(Load(y), Load(y)))))
+	f.Out(Load(r))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].F64(); got != 5.0 {
+		t.Errorf("hypot = %v, want 5", got)
+	}
+}
+
+func TestForLoopSum(t *testing.T) {
+	p := New("t", ModeF64)
+	a := p.ArrayInit("a", []float64{1, 2, 3, 4, 5})
+	sum := p.Scalar("sum")
+	i := p.Int("i")
+	f := p.Func("main")
+	f.For(i, IConst(0), IConst(5), func() {
+		f.Set(sum, Add(Load(sum), At(a, ILoad(i))))
+	})
+	f.Out(Load(sum))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].F64(); got != 15.0 {
+		t.Errorf("sum = %v, want 15", got)
+	}
+}
+
+func TestNestedLoopsAndStore(t *testing.T) {
+	// c[i] = sum_j a[i*3+j]  for a 3x3 "matrix".
+	p := New("t", ModeF64)
+	a := p.ArrayInit("a", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	c := p.Array("c", 3)
+	i, j := p.Int("i"), p.Int("j")
+	f := p.Func("main")
+	f.For(i, IConst(0), IConst(3), func() {
+		f.Store(c, ILoad(i), Const(0))
+		f.For(j, IConst(0), IConst(3), func() {
+			f.Store(c, ILoad(i), Add(At(c, ILoad(i)),
+				At(a, IAdd(IMul(ILoad(i), IConst(3)), ILoad(j)))))
+		})
+		f.Out(At(c, ILoad(i)))
+	})
+	f.Halt()
+	m := runProg(t, p, "main")
+	want := []float64{6, 15, 24}
+	for k, w := range want {
+		if got := m.Out[k].F64(); got != w {
+			t.Errorf("row %d = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestIfElseAndConds(t *testing.T) {
+	p := New("t", ModeF64)
+	x := p.ScalarInit("x", -2.5)
+	r := p.Scalar("r")
+	f := p.Func("main")
+	f.If(Lt(Load(x), Const(0)), func() {
+		f.Set(r, Neg(Load(x)))
+	}, func() {
+		f.Set(r, Load(x))
+	})
+	f.Out(Load(r))
+	f.Out(Abs(Load(x)))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].F64(); got != 2.5 {
+		t.Errorf("if-else abs = %v", got)
+	}
+	if got := m.Out[1].F64(); got != 2.5 {
+		t.Errorf("mask abs = %v", got)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	p := New("t", ModeF64)
+	x := p.ScalarInit("x", 1.0)
+	n := p.Int("n")
+	f := p.Func("main")
+	f.While(Lt(Load(x), Const(100)), func() {
+		f.Set(x, Mul(Load(x), Const(2)))
+		f.SetI(n, IAdd(ILoad(n), IConst(1)))
+	})
+	f.Out(Load(x))
+	f.OutInt(ILoad(n))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].F64(); got != 128.0 {
+		t.Errorf("x = %v, want 128", got)
+	}
+	if got := int64(m.Out[1].Bits); got != 7 {
+		t.Errorf("n = %d, want 7", got)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	p := New("t", ModeF64)
+	x := p.ScalarInit("x", 10.0)
+	f := p.Func("main")
+	f.Call("halve")
+	f.Call("halve")
+	f.Out(Load(x))
+	f.Halt()
+	g := p.Func("halve")
+	g.Set(x, Div(Load(x), Const(2)))
+	g.Ret()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].F64(); got != 2.5 {
+		t.Errorf("x = %v, want 2.5", got)
+	}
+}
+
+func TestIntOpsAndConversions(t *testing.T) {
+	p := New("t", ModeF64)
+	v := p.Int("v")
+	r := p.Scalar("r")
+	f := p.Func("main")
+	f.SetI(v, IShl(IConst(3), 2)) // 12
+	f.SetI(v, IAdd(ILoad(v), IConst(1)))
+	f.Set(r, FromInt(ILoad(v)))                // 13.0
+	f.SetI(v, ToInt(Mul(Load(r), Const(2.9)))) // trunc(37.7) = 37
+	f.OutInt(ILoad(v))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := int64(m.Out[0].Bits); got != 37 {
+		t.Errorf("v = %d, want 37", got)
+	}
+}
+
+func TestIntArrays(t *testing.T) {
+	p := New("t", ModeF64)
+	ia := p.IntArrayInit("ia", []int64{10, 20, 30})
+	s := p.Int("s")
+	i := p.Int("i")
+	f := p.Func("main")
+	f.For(i, IConst(0), IConst(3), func() {
+		f.SetI(s, IAdd(ILoad(s), IAt(ia, ILoad(i))))
+	})
+	f.StoreI(ia, IConst(0), ILoad(s))
+	f.OutInt(IAt(ia, IConst(0)))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := int64(m.Out[0].Bits); got != 60 {
+		t.Errorf("s = %d, want 60", got)
+	}
+}
+
+func TestTranscendentalExprs(t *testing.T) {
+	p := New("t", ModeF64)
+	f := p.Func("main")
+	f.Out(Sin(Const(1.0)))
+	f.Out(Cos(Const(1.0)))
+	f.Out(Exp(Const(1.0)))
+	f.Out(Log(Const(2.0)))
+	f.Out(Min(Const(3), Const(4)))
+	f.Out(Max(Const(3), Const(4)))
+	f.Halt()
+	m := runProg(t, p, "main")
+	want := []float64{math.Sin(1), math.Cos(1), math.E, math.Log(2), 3, 4}
+	for i, w := range want {
+		if got := m.Out[i].F64(); got != w {
+			t.Errorf("out %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestModeF32Build compiles the same source in both modes; the F32 build
+// must produce the float32-rounded result.
+func TestModeF32Build(t *testing.T) {
+	build := func(mode Mode) float64 {
+		p := New("t", mode)
+		a := p.ArrayInit("a", []float64{0.1, 0.2, 0.3})
+		s := p.Scalar("s")
+		i := p.Int("i")
+		f := p.Func("main")
+		f.For(i, IConst(0), IConst(3), func() {
+			f.Set(s, Add(Load(s), At(a, ILoad(i))))
+		})
+		f.Out(Load(s))
+		f.Halt()
+		m := runProg(t, p, "main")
+		if mode == ModeF32 {
+			return float64(m.Out[0].F32())
+		}
+		return m.Out[0].F64()
+	}
+	d := build(ModeF64)
+	s := build(ModeF32)
+	wantS := float64(float32(0.1) + float32(0.2) + float32(0.3))
+	if s != wantS {
+		t.Errorf("f32 sum = %v, want %v", s, wantS)
+	}
+	if d == s {
+		t.Error("f32 and f64 builds should differ on this data")
+	}
+}
+
+func TestModeF32UsesNoDoubleOps(t *testing.T) {
+	p := New("t", ModeF32)
+	x := p.ScalarInit("x", 2.0)
+	f := p.Func("main")
+	f.Set(x, Sqrt(Mul(Load(x), Load(x))))
+	f.If(Gt(Load(x), Const(1)), func() { f.Out(Load(x)) }, nil)
+	f.Halt()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(mod.Candidates()); n != 0 {
+		t.Errorf("F32 build contains %d double-precision candidates", n)
+	}
+}
+
+func TestFloatCondNaNSemantics(t *testing.T) {
+	// All ordering comparisons against NaN must be false.
+	p := New("t", ModeF64)
+	nan := p.ScalarInit("nan", math.NaN())
+	r := p.Int("r")
+	f := p.Func("main")
+	f.If(Lt(Load(nan), Const(1)), func() { f.SetI(r, IOr(ILoad(r), IConst(1))) }, nil)
+	f.If(Le(Load(nan), Const(1)), func() { f.SetI(r, IOr(ILoad(r), IConst(2))) }, nil)
+	f.If(Gt(Load(nan), Const(1)), func() { f.SetI(r, IOr(ILoad(r), IConst(4))) }, nil)
+	f.If(Ge(Load(nan), Const(1)), func() { f.SetI(r, IOr(ILoad(r), IConst(8))) }, nil)
+	f.OutInt(ILoad(r))
+	f.Halt()
+	m := runProg(t, p, "main")
+	if got := m.Out[0].Bits; got != 0 {
+		t.Errorf("NaN comparisons set bits %#x, want 0", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	p := New("t", ModeF64)
+	f := p.Func("main")
+	f.Halt()
+	if _, err := p.Build("nope"); err == nil {
+		t.Error("unknown entry accepted")
+	}
+
+	p2 := New("t", ModeF64)
+	f2 := p2.Func("main")
+	f2.Call("missing")
+	f2.Halt()
+	if _, err := p2.Build("main"); err == nil {
+		t.Error("undefined callee accepted")
+	}
+
+	p3 := New("t", ModeF64)
+	p3.Func("main") // never terminated
+	if _, err := p3.Build("main"); err == nil {
+		t.Error("unterminated function accepted")
+	}
+}
+
+func TestDeepExpressionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deep expression did not panic")
+		}
+	}()
+	p := New("t", ModeF64)
+	f := p.Func("main")
+	e := Const(1)
+	for i := 0; i < 20; i++ {
+		e = Add(e, Const(1)) // right-leaning would be fine; left-leaning depth grows
+	}
+	// Force depth growth: nest on the right.
+	deep := Const(1)
+	for i := 0; i < 20; i++ {
+		deep = Add(Const(1), deep)
+	}
+	f.Set(p.Scalar("x"), deep)
+	_ = e
+}
+
+func TestEmitAfterCloseInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("emit after Halt did not panic")
+		}
+	}()
+	p := New("t", ModeF64)
+	f := p.Func("main")
+	f.Halt()
+	f.Out(Const(1))
+}
+
+func TestCandidateCountMatchesFPOps(t *testing.T) {
+	p := New("t", ModeF64)
+	x := p.ScalarInit("x", 1.0)
+	f := p.Func("main")
+	f.Set(x, Add(Load(x), Const(1))) // 1 addsd
+	f.Set(x, Mul(Load(x), Load(x)))  // 1 mulsd
+	f.Set(x, Sqrt(Load(x)))          // 1 sqrtsd
+	f.Out(Load(x))
+	f.Halt()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(mod.Candidates()); n != 3 {
+		t.Errorf("candidates = %d, want 3", n)
+	}
+}

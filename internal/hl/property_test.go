@@ -1,0 +1,265 @@
+package hl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpmix/internal/vm"
+)
+
+// The compiler/VM pipeline must agree with direct host evaluation bit for
+// bit: both perform the same IEEE-754 double operations in the same
+// order. Random expression trees are generated together with a host-side
+// mirror evaluator.
+
+// genExpr returns a random expression over the variables and a mirror
+// function computing its exact value from the variable values.
+func genExpr(r *rand.Rand, vars []FVar, vals []float64, depth int) (Expr, func() float64) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(2) {
+		case 0:
+			v := math.Trunc(r.NormFloat64()*1000) / 16 // varied but tame
+			return Const(v), func() float64 { return v }
+		default:
+			i := r.Intn(len(vars))
+			return Load(vars[i]), func() float64 { return vals[i] }
+		}
+	}
+	a, fa := genExpr(r, vars, vals, depth-1)
+	b, fb := genExpr(r, vars, vals, depth-1)
+	switch r.Intn(9) {
+	case 0:
+		return Add(a, b), func() float64 { return fa() + fb() }
+	case 1:
+		return Sub(a, b), func() float64 { return fa() - fb() }
+	case 2:
+		return Mul(a, b), func() float64 { return fa() * fb() }
+	case 3:
+		return Div(a, b), func() float64 { return fa() / fb() }
+	case 4:
+		// x86 MINSD: returns b unless a < b.
+		return Min(a, b), func() float64 {
+			x, y := fa(), fb()
+			if x < y {
+				return x
+			}
+			return y
+		}
+	case 5:
+		return Max(a, b), func() float64 {
+			x, y := fa(), fb()
+			if x > y {
+				return x
+			}
+			return y
+		}
+	case 6:
+		return Sqrt(Abs(a)), func() float64 { return math.Sqrt(absX86(fa())) }
+	case 7:
+		return Neg(a), func() float64 { return 0 - fa() }
+	default:
+		return Sin(a), func() float64 { return math.Sin(fa()) }
+	}
+}
+
+// absX86 mirrors hl's Abs lowering: max(a, 0-a) with x86 MAXSD semantics.
+func absX86(a float64) float64 {
+	n := 0 - a
+	if a > n {
+		return a
+	}
+	return n
+}
+
+func TestRandomExpressionsMatchHost(t *testing.T) {
+	r := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < 60; trial++ {
+		p := New("prop", ModeF64)
+		nv := 1 + r.Intn(4)
+		vars := make([]FVar, nv)
+		vals := make([]float64, nv)
+		for i := range vars {
+			vals[i] = math.Trunc(r.NormFloat64()*4096) / 64
+			vars[i] = p.ScalarInit("v", vals[i])
+		}
+		nExprs := 1 + r.Intn(4)
+		mirrors := make([]func() float64, nExprs)
+		f := p.Func("main")
+		for k := 0; k < nExprs; k++ {
+			e, mirror := genExpr(r, vars, vals, 3)
+			mirrors[k] = mirror
+			f.Out(e)
+		}
+		f.Halt()
+		mod, err := p.Build("main")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m, err := vm.New(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(m.Out) != nExprs {
+			t.Fatalf("trial %d: %d outputs, want %d", trial, len(m.Out), nExprs)
+		}
+		for k, o := range m.Out {
+			want := mirrors[k]()
+			got := o.F64()
+			if math.Float64bits(got) != math.Float64bits(want) &&
+				!(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Errorf("trial %d expr %d: vm %v (%#x) != host %v (%#x)",
+					trial, k, got, math.Float64bits(got), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// genIExpr mirrors integer expressions.
+func genIExpr(r *rand.Rand, vars []IVar, vals []int64, depth int) (IExpr, func() int64) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(2) {
+		case 0:
+			v := int64(r.Intn(2000) - 1000)
+			return IConst(v), func() int64 { return v }
+		default:
+			i := r.Intn(len(vars))
+			return ILoad(vars[i]), func() int64 { return vals[i] }
+		}
+	}
+	a, fa := genIExpr(r, vars, vals, depth-1)
+	b, fb := genIExpr(r, vars, vals, depth-1)
+	switch r.Intn(7) {
+	case 0:
+		return IAdd(a, b), func() int64 { return fa() + fb() }
+	case 1:
+		return ISub(a, b), func() int64 { return fa() - fb() }
+	case 2:
+		return IMul(a, b), func() int64 { return fa() * fb() }
+	case 3:
+		return IAnd(a, b), func() int64 { return fa() & fb() }
+	case 4:
+		return IOr(a, b), func() int64 { return fa() | fb() }
+	case 5:
+		return IXor(a, b), func() int64 { return fa() ^ fb() }
+	default:
+		k := int64(r.Intn(5))
+		return IShl(a, k), func() int64 { return int64(uint64(fa()) << uint(k)) }
+	}
+}
+
+func TestRandomIntExpressionsMatchHost(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		p := New("iprop", ModeF64)
+		nv := 1 + r.Intn(3)
+		vars := make([]IVar, nv)
+		vals := make([]int64, nv)
+		for i := range vars {
+			vals[i] = int64(r.Intn(100000) - 50000)
+			vars[i] = p.IntInit("v", vals[i])
+		}
+		e, mirror := genIExpr(r, vars, vals, 3)
+		f := p.Func("main")
+		f.OutInt(e)
+		f.Halt()
+		mod, err := p.Build("main")
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		m, err := vm.New(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got, want := int64(m.Out[0].Bits), mirror(); got != want {
+			t.Errorf("trial %d: vm %d != host %d", trial, got, want)
+		}
+	}
+}
+
+// genExpr32 generates expressions with an exact float32 mirror.
+func genExpr32(r *rand.Rand, vars []FVar, vals []float32, depth int) (Expr, func() float32) {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(2) {
+		case 0:
+			v := float32(math.Trunc(r.NormFloat64()*1000) / 16)
+			return Const(float64(v)), func() float32 { return v }
+		default:
+			i := r.Intn(len(vars))
+			return Load(vars[i]), func() float32 { return vals[i] }
+		}
+	}
+	a, fa := genExpr32(r, vars, vals, depth-1)
+	b, fb := genExpr32(r, vars, vals, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return Add(a, b), func() float32 { return fa() + fb() }
+	case 1:
+		return Sub(a, b), func() float32 { return fa() - fb() }
+	case 2:
+		return Mul(a, b), func() float32 { return fa() * fb() }
+	case 3:
+		return Div(a, b), func() float32 { return fa() / fb() }
+	case 4:
+		return Min(a, b), func() float32 {
+			x, y := fa(), fb()
+			if x < y {
+				return x
+			}
+			return y
+		}
+	default:
+		return Sqrt(Abs(a)), func() float32 {
+			x := fa()
+			n := 0 - x
+			if !(x > n) {
+				x = n
+			}
+			return float32(math.Sqrt(float64(x)))
+		}
+	}
+}
+
+// TestRandomExpressionsF32MatchHost runs the property at ModeF32 against
+// an exact float32 mirror: the manually-converted build must match host
+// float32 arithmetic bit for bit.
+func TestRandomExpressionsF32MatchHost(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		p := New("prop32", ModeF32)
+		nv := 1 + r.Intn(3)
+		vars := make([]FVar, nv)
+		vals := make([]float32, nv)
+		for i := range vars {
+			vals[i] = float32(math.Trunc(r.NormFloat64()*4096) / 64)
+			vars[i] = p.ScalarInit("v", float64(vals[i]))
+		}
+		e, mirror := genExpr32(r, vars, vals, 3)
+		f := p.Func("main")
+		f.Out(e)
+		f.Halt()
+		mod, err := p.Build("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vm.New(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := m.Out[0].F32()
+		want := mirror()
+		if math.Float32bits(got) != math.Float32bits(want) &&
+			!(got != got && want != want) { // both NaN
+			t.Errorf("trial %d: vm %v != host %v", trial, got, want)
+		}
+	}
+}

@@ -1,0 +1,346 @@
+package hl
+
+import (
+	"fmt"
+
+	"fpmix/internal/isa"
+)
+
+// FuncBuilder accumulates the body of one function.
+type FuncBuilder struct {
+	prog   *Prog
+	name   string
+	instrs []isa.Instr
+	labels map[int]int // label id -> instruction index
+	fixups []fixup
+	nlabel int
+	closed bool
+
+	// Source tracking: every emitted instruction records the statement it
+	// was generated from, surfaced as debug info (prog.Module.Debug).
+	srcCur string
+	srcs   []string
+}
+
+type fixup struct {
+	instr int    // index of the branch instruction
+	label int    // label id (when fn == "")
+	fn    string // callee name for CALL fixups
+}
+
+func (fb *FuncBuilder) emit(in isa.Instr) {
+	if fb.closed {
+		panic(fmt.Sprintf("hl: %s: statement after Ret/Halt", fb.name))
+	}
+	fb.instrs = append(fb.instrs, in)
+	fb.srcs = append(fb.srcs, fb.srcCur)
+}
+
+// stmt marks the start of a source-level statement for debug info.
+func (fb *FuncBuilder) stmt(label string) { fb.srcCur = label }
+
+// newLabel allocates a label id.
+func (fb *FuncBuilder) newLabel() int {
+	fb.nlabel++
+	return fb.nlabel
+}
+
+// bind attaches a label to the next emitted instruction.
+func (fb *FuncBuilder) bind(label int) {
+	if fb.labels == nil {
+		fb.labels = make(map[int]int)
+	}
+	fb.labels[label] = len(fb.instrs)
+}
+
+// branch emits a branch to label, to be fixed up at build time.
+func (fb *FuncBuilder) branch(op isa.Op, label int) {
+	fb.fixups = append(fb.fixups, fixup{instr: len(fb.instrs), label: label})
+	fb.emit(isa.I(op, isa.Imm(0)))
+}
+
+// Set assigns a floating-point expression to a scalar variable.
+func (fb *FuncBuilder) Set(v FVar, e Expr) {
+	fb.stmt("set " + v.name)
+	fb.compileF(&e, 0, 0)
+	fb.emit(isa.I(fb.movOp(), isa.Mem(regBase, v.off), isa.Xmm(0)))
+}
+
+// Store assigns arr[idx] = e.
+func (fb *FuncBuilder) Store(arr FArr, idx IExpr, e Expr) {
+	fb.stmt("store " + arr.name)
+	fb.compileF(&e, 0, 0)
+	r := fb.compileI(&idx, 0, 1)
+	fb.emit(isa.I(fb.movOp(),
+		isa.MemIdx(regBase, r, uint8(fb.prog.fpSlot()), arr.off), isa.Xmm(0)))
+}
+
+// SetI assigns an integer expression to an integer variable.
+func (fb *FuncBuilder) SetI(v IVar, e IExpr) {
+	fb.stmt("set " + v.name)
+	r := fb.compileI(&e, 0, 0)
+	fb.emit(isa.I(isa.STORE, isa.Mem(regBase, v.off), isa.Gpr(r)))
+}
+
+// StoreI assigns arr[idx] = e for integer arrays.
+func (fb *FuncBuilder) StoreI(arr IArr, idx IExpr, e IExpr) {
+	fb.stmt("store " + arr.name)
+	re := fb.compileI(&e, 0, 0)
+	ri := fb.compileI(&idx, 1, 0)
+	fb.emit(isa.I(isa.STORE, isa.MemIdx(regBase, ri, 8, arr.off), isa.Gpr(re)))
+}
+
+// For emits a counted loop: for v = from; v < to; v++ { body }.
+func (fb *FuncBuilder) For(v IVar, from, to IExpr, body func()) {
+	loopLabel := "for " + v.name
+	fb.stmt(loopLabel)
+	fb.SetI(v, from)
+	fb.stmt(loopLabel)
+	head := fb.newLabel()
+	exit := fb.newLabel()
+	fb.bind(head)
+	// if !(v < to) goto exit
+	rv := fb.compileI(&IExpr{kind: iLoad, ivar: v}, 0, 0)
+	rt := fb.compileI(&to, 1, 0)
+	fb.emit(isa.I(isa.CMPR, isa.Gpr(rv), isa.Gpr(rt)))
+	fb.branch(isa.JGE, exit)
+	body()
+	// v++
+	fb.stmt(loopLabel)
+	rv2 := fb.compileI(&IExpr{kind: iLoad, ivar: v}, 0, 0)
+	fb.emit(isa.I(isa.ADDI, isa.Gpr(rv2), isa.Imm(1)))
+	fb.emit(isa.I(isa.STORE, isa.Mem(regBase, v.off), isa.Gpr(rv2)))
+	fb.branch(isa.JMP, head)
+	fb.bind(exit)
+}
+
+// While emits: for cond { body }.
+func (fb *FuncBuilder) While(c Cond, body func()) {
+	fb.stmt("while")
+	head := fb.newLabel()
+	exit := fb.newLabel()
+	fb.bind(head)
+	c.jumpIfFalse(fb, exit)
+	body()
+	fb.stmt("while")
+	fb.branch(isa.JMP, head)
+	fb.bind(exit)
+}
+
+// If emits a conditional with an optional else branch (pass nil).
+func (fb *FuncBuilder) If(c Cond, then, els func()) {
+	fb.stmt("if")
+	elseL := fb.newLabel()
+	endL := fb.newLabel()
+	c.jumpIfFalse(fb, elseL)
+	then()
+	if els != nil {
+		fb.stmt("if")
+		fb.branch(isa.JMP, endL)
+	}
+	fb.bind(elseL)
+	if els != nil {
+		els()
+		fb.bind(endL)
+	}
+}
+
+// Call emits a call to the named function (resolved at build time).
+func (fb *FuncBuilder) Call(fn string) {
+	fb.stmt("call " + fn)
+	fb.fixups = append(fb.fixups, fixup{instr: len(fb.instrs), fn: fn})
+	fb.emit(isa.I(isa.CALL, isa.Imm(0)))
+}
+
+// Ret terminates the function.
+func (fb *FuncBuilder) Ret() {
+	fb.stmt("return")
+	fb.emit(isa.I(isa.RET))
+	fb.closed = true
+}
+
+// Halt terminates the program (entry function only).
+func (fb *FuncBuilder) Halt() {
+	fb.stmt("halt")
+	fb.emit(isa.I(isa.HALT))
+	fb.closed = true
+}
+
+// Out emits a floating-point value to the program output stream.
+func (fb *FuncBuilder) Out(e Expr) {
+	fb.stmt("out")
+	fb.compileF(&e, 0, 0)
+	if fb.prog.mode == ModeF32 {
+		fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF32)))
+	} else {
+		fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)))
+	}
+}
+
+// OutInt emits an integer value to the program output stream.
+func (fb *FuncBuilder) OutInt(e IExpr) {
+	fb.stmt("out")
+	r := fb.compileI(&e, 0, 0)
+	fb.emit(isa.I(isa.MOVRR, isa.Gpr(isa.RAX), isa.Gpr(r)))
+	fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysOutI64)))
+}
+
+// Cond is a boolean condition usable in If and While.
+type Cond struct {
+	fa, fb2 *Expr  // floating-point comparison
+	ia, ib  *IExpr // integer comparison
+	op      cmpOp
+}
+
+type cmpOp uint8
+
+const (
+	cmpLT cmpOp = iota
+	cmpLE
+	cmpGT
+	cmpGE
+	cmpEQ
+	cmpNE
+)
+
+// Lt returns a < b for floating-point expressions.
+func Lt(a, b Expr) Cond { return Cond{fa: &a, fb2: &b, op: cmpLT} }
+
+// Le returns a <= b.
+func Le(a, b Expr) Cond { return Cond{fa: &a, fb2: &b, op: cmpLE} }
+
+// Gt returns a > b.
+func Gt(a, b Expr) Cond { return Cond{fa: &a, fb2: &b, op: cmpGT} }
+
+// Ge returns a >= b.
+func Ge(a, b Expr) Cond { return Cond{fa: &a, fb2: &b, op: cmpGE} }
+
+// ILt returns a < b for integer expressions.
+func ILt(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpLT} }
+
+// ILe returns a <= b.
+func ILe(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpLE} }
+
+// IGt returns a > b.
+func IGt(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpGT} }
+
+// IGe returns a >= b.
+func IGe(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpGE} }
+
+// IEq returns a == b.
+func IEq(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpEQ} }
+
+// INe returns a != b.
+func INe(a, b IExpr) Cond { return Cond{ia: &a, ib: &b, op: cmpNE} }
+
+// jumpIfFalse emits the comparison and a branch to label taken when the
+// condition is false.
+func (c Cond) jumpIfFalse(fb *FuncBuilder, label int) {
+	if c.fa != nil {
+		// Compile a<b as b>a and a<=b as b>=a so the unordered case (NaN,
+		// which sets ZF and CF like x86 UCOMI) makes every ordering
+		// comparison false — the operand swap real compilers emit.
+		a, b, op := c.fa, c.fb2, c.op
+		switch op {
+		case cmpLT:
+			a, b, op = b, a, cmpGT
+		case cmpLE:
+			a, b, op = b, a, cmpGE
+		}
+		fb.compileF(a, 0, 0)
+		fb.compileF(b, 1, 0)
+		cmp := isa.UCOMISD
+		if fb.prog.mode == ModeF32 {
+			cmp = isa.UCOMISS
+		}
+		fb.emit(isa.I(cmp, isa.Xmm(0), isa.Xmm(1)))
+		// Floating-point comparisons use the unsigned branch family, as
+		// real SSE code does.
+		var br isa.Op
+		switch op {
+		case cmpGT:
+			br = isa.JBE
+		case cmpGE:
+			br = isa.JB
+		case cmpEQ:
+			br = isa.JNE
+		default:
+			br = isa.JE
+		}
+		fb.branch(br, label)
+		return
+	}
+	ra := fb.compileI(c.ia, 0, 0)
+	rb := fb.compileI(c.ib, 1, 0)
+	fb.emit(isa.I(isa.CMPR, isa.Gpr(ra), isa.Gpr(rb)))
+	var br isa.Op
+	switch c.op {
+	case cmpLT:
+		br = isa.JGE
+	case cmpLE:
+		br = isa.JG
+	case cmpGT:
+		br = isa.JLE
+	case cmpGE:
+		br = isa.JL
+	case cmpEQ:
+		br = isa.JNE
+	default:
+		br = isa.JE
+	}
+	fb.branch(br, label)
+}
+
+// MPIRank stores this rank's id into v.
+func (fb *FuncBuilder) MPIRank(v IVar) {
+	fb.stmt("mpi_rank")
+	fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysMPIRank)))
+	fb.emit(isa.I(isa.STORE, isa.Mem(regBase, v.off), isa.Gpr(isa.RAX)))
+}
+
+// MPISize stores the communicator size into v.
+func (fb *FuncBuilder) MPISize(v IVar) {
+	fb.stmt("mpi_size")
+	fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysMPISize)))
+	fb.emit(isa.I(isa.STORE, isa.Mem(regBase, v.off), isa.Gpr(isa.RAX)))
+}
+
+// MPIBarrier emits a barrier across all ranks.
+func (fb *FuncBuilder) MPIBarrier() {
+	fb.stmt("mpi_barrier")
+	fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysMPIBarrier)))
+}
+
+// mpiVec loads RDI = &arr[0], RSI = count and issues the syscall.
+func (fb *FuncBuilder) mpiVec(num int64, arr FArr, count IExpr, rank IExpr, hasRank bool) {
+	fb.stmt("mpi " + arr.name)
+	fb.emit(isa.I(isa.LEA, isa.Gpr(isa.RDI), isa.Mem(regBase, arr.off)))
+	rc := fb.compileI(&count, 0, 0)
+	fb.emit(isa.I(isa.MOVRR, isa.Gpr(isa.RSI), isa.Gpr(rc)))
+	if hasRank {
+		rr := fb.compileI(&rank, 0, 0)
+		fb.emit(isa.I(isa.MOVRR, isa.Gpr(isa.RDX), isa.Gpr(rr)))
+	}
+	fb.emit(isa.I(isa.SYSCALL, isa.Imm(num)))
+}
+
+// MPIAllreduceSum sums the first count elements of arr across all ranks,
+// in place on every rank.
+func (fb *FuncBuilder) MPIAllreduceSum(arr FArr, count IExpr) {
+	fb.mpiVec(isa.SysMPIAllreduce, arr, count, IExpr{}, false)
+}
+
+// MPISend sends the first count elements of arr to rank dest.
+func (fb *FuncBuilder) MPISend(arr FArr, count, dest IExpr) {
+	fb.mpiVec(isa.SysMPISendF64, arr, count, dest, true)
+}
+
+// MPIRecv receives count elements into arr from rank src.
+func (fb *FuncBuilder) MPIRecv(arr FArr, count, src IExpr) {
+	fb.mpiVec(isa.SysMPIRecvF64, arr, count, src, true)
+}
+
+// MPIBcast broadcasts the first count elements of arr from rank root.
+func (fb *FuncBuilder) MPIBcast(arr FArr, count, root IExpr) {
+	fb.mpiVec(isa.SysMPIBcastF64, arr, count, root, true)
+}

@@ -1,0 +1,58 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disasm renders in in AT&T-style syntax (source before destination), the
+// style used in the paper's configuration files, e.g.
+// "addsd %xmm1, %xmm0".
+func Disasm(in Instr) string {
+	ops := in.operands()
+	switch len(ops) {
+	case 0:
+		return in.Op.String()
+	case 1:
+		return fmt.Sprintf("%s %s", in.Op, formatOperand(in.Op, ops[0]))
+	default:
+		// AT&T order: src, dst.
+		return fmt.Sprintf("%s %s, %s", in.Op,
+			formatOperand(in.Op, ops[1]), formatOperand(in.Op, ops[0]))
+	}
+}
+
+func formatOperand(op Op, o Operand) string {
+	switch o.Kind {
+	case KindGPR:
+		return "%" + GPRName(o.Reg)
+	case KindXMM:
+		return fmt.Sprintf("%%xmm%d", o.Reg)
+	case KindImm:
+		if op.IsBranch() {
+			return fmt.Sprintf("%#x", uint64(o.Imm))
+		}
+		return fmt.Sprintf("$%#x", uint64(o.Imm))
+	case KindMem:
+		m := o.Mem
+		var b strings.Builder
+		if m.Disp != 0 {
+			fmt.Fprintf(&b, "%#x", m.Disp)
+		}
+		b.WriteByte('(')
+		b.WriteString("%" + GPRName(m.Base))
+		if m.HasIndex {
+			fmt.Fprintf(&b, ",%%%s,%d", GPRName(m.Index), m.Scale)
+		}
+		b.WriteByte(')')
+		return b.String()
+	default:
+		return "?"
+	}
+}
+
+// DisasmAddr renders in with its address prefix, matching the
+// configuration-file style: 0x6f45ce "addsd %xmm1, %xmm0".
+func DisasmAddr(in Instr) string {
+	return fmt.Sprintf("%#x %q", in.Addr, Disasm(in))
+}

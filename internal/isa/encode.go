@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary encoding of an instruction:
+//
+//	[0:2]  opcode, little-endian uint16
+//	[2]    operand count (0..2)
+//	then each operand:
+//	  kind byte (OperandKind)
+//	  KindGPR / KindXMM: 1 register byte
+//	  KindImm:           8 bytes little-endian
+//	  KindMem:           base byte, flags byte (bit0 = has index),
+//	                     index byte, scale byte, 4 bytes disp (int32 LE)
+//
+// The encoding is variable length, like real machine code, so rewriting a
+// program changes instruction addresses and branch targets must be fixed
+// up — exactly the problem the paper's binary rewriter deals with.
+
+// Encoding errors.
+var (
+	ErrTruncated      = errors.New("isa: truncated instruction")
+	ErrBadOpcode      = errors.New("isa: invalid opcode")
+	ErrBadOperand     = errors.New("isa: invalid operand encoding")
+	ErrOperandCount   = errors.New("isa: operand count mismatch")
+	errBadOperandKind = errors.New("isa: unknown operand kind")
+)
+
+// EncodedSize returns the number of bytes in's encoding occupies.
+func EncodedSize(in Instr) int {
+	n := 3
+	for _, o := range in.operands() {
+		n += operandSize(o)
+	}
+	return n
+}
+
+func (in Instr) operands() []Operand {
+	switch in.Op.OperandCount() {
+	case 0:
+		return nil
+	case 1:
+		return []Operand{in.A}
+	default:
+		return []Operand{in.A, in.B}
+	}
+}
+
+func operandSize(o Operand) int {
+	switch o.Kind {
+	case KindGPR, KindXMM:
+		return 2
+	case KindImm:
+		return 9
+	case KindMem:
+		return 9
+	default:
+		return 1
+	}
+}
+
+// Encode appends the encoding of in to dst and returns the extended slice.
+// It returns an error if the instruction is malformed.
+func Encode(dst []byte, in Instr) ([]byte, error) {
+	if !in.Op.Valid() {
+		return dst, fmt.Errorf("%w: %d", ErrBadOpcode, in.Op)
+	}
+	ops := in.operands()
+	for i, o := range ops {
+		if o.Kind == KindNone {
+			return dst, fmt.Errorf("%w: %s operand %d missing", ErrOperandCount, in.Op, i)
+		}
+	}
+	var buf [2]byte
+	binary.LittleEndian.PutUint16(buf[:], uint16(in.Op))
+	dst = append(dst, buf[0], buf[1], byte(len(ops)))
+	for _, o := range ops {
+		var err error
+		dst, err = encodeOperand(dst, o)
+		if err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+func encodeOperand(dst []byte, o Operand) ([]byte, error) {
+	dst = append(dst, byte(o.Kind))
+	switch o.Kind {
+	case KindGPR, KindXMM:
+		if o.Reg >= NumGPR {
+			return dst, fmt.Errorf("%w: register %d", ErrBadOperand, o.Reg)
+		}
+		dst = append(dst, o.Reg)
+	case KindImm:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(o.Imm))
+		dst = append(dst, b[:]...)
+	case KindMem:
+		m := o.Mem
+		if m.Base >= NumGPR || (m.HasIndex && m.Index >= NumGPR) {
+			return dst, fmt.Errorf("%w: mem register out of range", ErrBadOperand)
+		}
+		switch m.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return dst, fmt.Errorf("%w: mem scale %d", ErrBadOperand, m.Scale)
+		}
+		var flags byte
+		if m.HasIndex {
+			flags |= 1
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], uint32(m.Disp))
+		dst = append(dst, m.Base, flags, m.Index, m.Scale)
+		dst = append(dst, b[:]...)
+	default:
+		return dst, errBadOperandKind
+	}
+	return dst, nil
+}
+
+// Decode decodes one instruction from buf, assigning it address addr.
+// It returns the instruction and the number of bytes consumed.
+func Decode(buf []byte, addr uint64) (Instr, int, error) {
+	if len(buf) < 3 {
+		return Instr{}, 0, ErrTruncated
+	}
+	op := Op(binary.LittleEndian.Uint16(buf))
+	if !op.Valid() {
+		return Instr{}, 0, fmt.Errorf("%w: %d at %#x", ErrBadOpcode, op, addr)
+	}
+	n := int(buf[2])
+	if n != op.OperandCount() {
+		return Instr{}, 0, fmt.Errorf("%w: %s has %d operands, encoded %d at %#x",
+			ErrOperandCount, op, op.OperandCount(), n, addr)
+	}
+	in := Instr{Addr: addr, Op: op}
+	pos := 3
+	for i := 0; i < n; i++ {
+		o, sz, err := decodeOperand(buf[pos:])
+		if err != nil {
+			return Instr{}, 0, fmt.Errorf("%s at %#x: %w", op, addr, err)
+		}
+		pos += sz
+		if i == 0 {
+			in.A = o
+		} else {
+			in.B = o
+		}
+	}
+	return in, pos, nil
+}
+
+func decodeOperand(buf []byte) (Operand, int, error) {
+	if len(buf) < 1 {
+		return Operand{}, 0, ErrTruncated
+	}
+	kind := OperandKind(buf[0])
+	switch kind {
+	case KindGPR, KindXMM:
+		if len(buf) < 2 {
+			return Operand{}, 0, ErrTruncated
+		}
+		r := buf[1]
+		if r >= NumGPR {
+			return Operand{}, 0, fmt.Errorf("%w: register %d", ErrBadOperand, r)
+		}
+		return Operand{Kind: kind, Reg: r}, 2, nil
+	case KindImm:
+		if len(buf) < 9 {
+			return Operand{}, 0, ErrTruncated
+		}
+		v := int64(binary.LittleEndian.Uint64(buf[1:9]))
+		return Operand{Kind: KindImm, Imm: v}, 9, nil
+	case KindMem:
+		if len(buf) < 9 {
+			return Operand{}, 0, ErrTruncated
+		}
+		m := MemRef{
+			Base:     buf[1],
+			HasIndex: buf[2]&1 != 0,
+			Index:    buf[3],
+			Scale:    buf[4],
+			Disp:     int32(binary.LittleEndian.Uint32(buf[5:9])),
+		}
+		if m.Base >= NumGPR || (m.HasIndex && m.Index >= NumGPR) {
+			return Operand{}, 0, fmt.Errorf("%w: mem register out of range", ErrBadOperand)
+		}
+		switch m.Scale {
+		case 1, 2, 4, 8:
+		default:
+			return Operand{}, 0, fmt.Errorf("%w: mem scale %d", ErrBadOperand, m.Scale)
+		}
+		return Operand{Kind: KindMem, Mem: m}, 9, nil
+	default:
+		return Operand{}, 0, fmt.Errorf("%w: kind %d", errBadOperandKind, kind)
+	}
+}
+
+// DecodeAll decodes a full code segment starting at base, returning the
+// instruction sequence. Decoding stops at the end of buf; any trailing
+// partial instruction is an error.
+func DecodeAll(buf []byte, base uint64) ([]Instr, error) {
+	var out []Instr
+	addr := base
+	for off := 0; off < len(buf); {
+		in, n, err := Decode(buf[off:], addr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		off += n
+		addr += uint64(n)
+	}
+	return out, nil
+}
+
+// EncodeAll encodes instrs contiguously, assigning addresses starting at
+// base and patching the Addr field of each instruction in place.
+func EncodeAll(instrs []Instr, base uint64) ([]byte, error) {
+	var buf []byte
+	addr := base
+	for i := range instrs {
+		instrs[i].Addr = addr
+		var err error
+		buf, err = Encode(buf, instrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%s): %w", i, instrs[i].Op, err)
+		}
+		addr = base + uint64(len(buf))
+	}
+	return buf, nil
+}

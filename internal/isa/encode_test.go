@@ -1,0 +1,239 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Instr{
+		I(NOP),
+		I(HALT),
+		I(RET),
+		I(SYSCALL, Imm(SysOutF64)),
+		I(MOVRI, Gpr(RAX), Imm(-1)),
+		I(MOVRR, Gpr(R15), Gpr(RSP)),
+		I(LOAD, Gpr(RBX), Mem(RBP, -16)),
+		I(STORE, MemIdx(RAX, RCX, 8, 1024), Gpr(RDX)),
+		I(LEA, Gpr(RDI), MemIdx(RSI, RDX, 4, -8)),
+		I(ADDI, Gpr(RSP), Imm(32)),
+		I(CMPI, Gpr(R8), Imm(0x7FF4DEAD)),
+		I(JMP, Imm(0x1234)),
+		I(JE, Imm(0xfffffff)),
+		I(CALL, Imm(0x4000)),
+		I(PUSH, Gpr(RAX)),
+		I(POPX, Xmm(14)),
+		I(MOVSD, Xmm(0), Mem(RAX, 0)),
+		I(MOVSD, Mem(RAX, 8), Xmm(1)),
+		I(MOVSS, Xmm(3), Xmm(4)),
+		I(MOVAPD, Xmm(2), Xmm(9)),
+		I(MOVQ, Gpr(R14), Xmm(7)),
+		I(MOVHQ, Xmm(7), Gpr(R14)),
+		I(ADDSD, Xmm(0), Xmm(1)),
+		I(MULSD, Xmm(2), Mem(R9, 64)),
+		I(SQRTSD, Xmm(5), Xmm(5)),
+		I(UCOMISD, Xmm(0), Xmm(1)),
+		I(CVTSD2SS, Xmm(0), Xmm(0)),
+		I(CVTSI2SD, Xmm(1), Gpr(RAX)),
+		I(CVTTSD2SI, Gpr(RAX), Xmm(1)),
+		I(ADDPD, Xmm(0), Xmm(1)),
+		I(ADDPS, Xmm(0), Xmm(1)),
+		I(SINSD, Xmm(1), Xmm(2)),
+	}
+	for _, want := range cases {
+		buf, err := Encode(nil, want)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", Disasm(want), err)
+		}
+		if len(buf) != EncodedSize(want) {
+			t.Errorf("%s: EncodedSize=%d, actual %d", Disasm(want), EncodedSize(want), len(buf))
+		}
+		got, n, err := Decode(buf, 0)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", Disasm(want), err)
+		}
+		if n != len(buf) {
+			t.Errorf("%s: decoded %d of %d bytes", Disasm(want), n, len(buf))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+// randomInstr generates a random well-formed instruction.
+func randomInstr(r *rand.Rand) Instr {
+	for {
+		op := Op(r.Intn(NumOps))
+		in := Instr{Op: op}
+		kinds := []OperandKind{KindGPR, KindXMM, KindImm, KindMem}
+		mk := func() Operand {
+			switch kinds[r.Intn(len(kinds))] {
+			case KindGPR:
+				return Gpr(uint8(r.Intn(NumGPR)))
+			case KindXMM:
+				return Xmm(uint8(r.Intn(NumXMM)))
+			case KindImm:
+				return Imm(r.Int63() - r.Int63())
+			default:
+				scales := []uint8{1, 2, 4, 8}
+				m := MemRef{
+					Base:  uint8(r.Intn(NumGPR)),
+					Scale: scales[r.Intn(4)],
+					Disp:  int32(r.Int31() - r.Int31()/2),
+				}
+				if r.Intn(2) == 0 {
+					m.HasIndex = true
+					m.Index = uint8(r.Intn(NumGPR))
+				}
+				return Operand{Kind: KindMem, Mem: m}
+			}
+		}
+		switch op.OperandCount() {
+		case 1:
+			in.A = mk()
+		case 2:
+			in.A, in.B = mk(), mk()
+		}
+		return in
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		want := randomInstr(r)
+		buf, err := Encode(nil, want)
+		if err != nil {
+			return false
+		}
+		got, n, err := Decode(buf, 0)
+		return err == nil && n == len(buf) && reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeAllStream(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	var want []Instr
+	var buf []byte
+	addr := uint64(0x1000)
+	for i := 0; i < 500; i++ {
+		in := randomInstr(r)
+		in.Addr = addr
+		b, err := Encode(nil, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, b...)
+		addr += uint64(len(b))
+		want = append(want, in)
+	}
+	got, err := DecodeAll(buf, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("DecodeAll mismatch")
+	}
+}
+
+func TestEncodeAllAssignsAddresses(t *testing.T) {
+	instrs := []Instr{
+		I(MOVRI, Gpr(RAX), Imm(7)),
+		I(ADDSD, Xmm(0), Xmm(1)),
+		I(RET),
+	}
+	buf, err := EncodeAll(instrs, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instrs[0].Addr != 0x2000 {
+		t.Errorf("first addr = %#x", instrs[0].Addr)
+	}
+	want := instrs[0].Addr + uint64(EncodedSize(instrs[0]))
+	if instrs[1].Addr != want {
+		t.Errorf("second addr = %#x, want %#x", instrs[1].Addr, want)
+	}
+	dec, err := DecodeAll(buf, 0x2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dec, instrs) {
+		t.Error("decode of EncodeAll output mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil, 0); err == nil {
+		t.Error("empty buffer: want error")
+	}
+	// Invalid opcode.
+	if _, _, err := Decode([]byte{0xff, 0xff, 0}, 0); err == nil {
+		t.Error("bad opcode: want error")
+	}
+	// Operand count mismatch.
+	buf, _ := Encode(nil, I(ADDSD, Xmm(0), Xmm(1)))
+	buf[2] = 1
+	if _, _, err := Decode(buf, 0); err == nil {
+		t.Error("operand count mismatch: want error")
+	}
+	// Truncated operand payload.
+	buf2, _ := Encode(nil, I(MOVRI, Gpr(RAX), Imm(1)))
+	if _, _, err := Decode(buf2[:len(buf2)-3], 0); err == nil {
+		t.Error("truncated: want error")
+	}
+	// Bad register.
+	buf3, _ := Encode(nil, I(MOVRR, Gpr(RAX), Gpr(RBX)))
+	buf3[len(buf3)-1] = 99
+	if _, _, err := Decode(buf3, 0); err == nil {
+		t.Error("bad register: want error")
+	}
+	// Bad scale.
+	buf4, _ := Encode(nil, I(LOAD, Gpr(RAX), Mem(RBX, 0)))
+	buf4[len(buf4)-5] = 3 // scale byte
+	if _, _, err := Decode(buf4, 0); err == nil {
+		t.Error("bad scale: want error")
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := Encode(nil, Instr{Op: Op(60000)}); err == nil {
+		t.Error("invalid opcode: want error")
+	}
+	if _, err := Encode(nil, I(ADDSD, Xmm(0))); err == nil {
+		t.Error("missing operand: want error")
+	}
+	bad := I(MOVRR, Gpr(RAX), Gpr(RBX))
+	bad.B.Reg = 200
+	if _, err := Encode(nil, bad); err == nil {
+		t.Error("bad register: want error")
+	}
+	badMem := I(LOAD, Gpr(RAX), Mem(RBX, 0))
+	badMem.B.Mem.Scale = 5
+	if _, err := Encode(nil, badMem); err == nil {
+		t.Error("bad scale: want error")
+	}
+}
+
+func TestDecodeAllRejectsTrailingGarbage(t *testing.T) {
+	buf, _ := Encode(nil, I(NOP))
+	buf = append(buf, 0x01)
+	if _, err := DecodeAll(buf, 0); err == nil {
+		t.Error("trailing garbage: want error")
+	}
+}
+
+func TestEncodedBytesDiffer(t *testing.T) {
+	a, _ := Encode(nil, I(ADDSD, Xmm(0), Xmm(1)))
+	b, _ := Encode(nil, I(ADDSS, Xmm(0), Xmm(1)))
+	if bytes.Equal(a, b) {
+		t.Error("distinct opcodes encoded identically")
+	}
+}

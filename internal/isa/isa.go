@@ -1,0 +1,428 @@
+// Package isa defines the synthetic SSE-like instruction set that fpmix
+// programs are compiled to and that the binary-modification framework
+// rewrites.
+//
+// The ISA is deliberately modeled on the subset of x86-64 + SSE2 that the
+// paper's instrumentation framework manipulates: 16 general-purpose 64-bit
+// registers, 16 XMM registers of 128 bits (two 64-bit lanes), scalar and
+// packed floating-point arithmetic in both double (SD/PD) and single
+// (SS/PS) precision, and the usual integer, branch, call/return and stack
+// operations needed to express replacement "snippets" (Figure 6 of the
+// paper). Instructions carry at most two operands in AT&T-style
+// source/destination order and encode to a variable-length byte format so
+// that program images can be serialized, re-parsed and rewritten like real
+// binaries.
+package isa
+
+import "fmt"
+
+// Op identifies an instruction opcode.
+type Op uint16
+
+// Opcode space. The groups are laid out contiguously so classification
+// predicates can use ranges where convenient, but all classification goes
+// through explicit tables to stay robust against renumbering.
+const (
+	// Control / miscellaneous.
+	NOP Op = iota
+	HALT
+	SYSCALL // SYSCALL imm: host services (output, MPI, ...)
+
+	// Integer register/immediate moves and memory.
+	MOVRI // MOVRI dst, imm64
+	MOVRR // MOVRR dst, src
+	LOAD  // LOAD dst, mem (64-bit)
+	STORE // STORE mem, src (64-bit)
+	LEA   // LEA dst, mem (effective address)
+
+	// Integer ALU (dst = dst OP src/imm).
+	ADDR
+	ADDI
+	SUBR
+	SUBI
+	IMULR
+	IMULI
+	ANDR
+	ANDI
+	ORR
+	ORI
+	XORR
+	XORI
+	SHLI
+	SHRI
+	IDIVR // dst = int64(dst) / int64(src); division by zero faults
+
+	// Comparison and test (set flags).
+	CMPR
+	CMPI
+	TESTR
+	TESTI
+
+	// Branches (absolute target in Imm operand).
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	JB
+	JAE
+	JA
+	JBE
+	CALL
+	RET
+
+	// Stack.
+	PUSH  // PUSH src (gpr)
+	POP   // POP dst (gpr)
+	PUSHX // PUSHX src (xmm, 16 bytes)
+	POPX  // POPX dst (xmm, 16 bytes)
+
+	// Data movement between XMM, GPR and memory.
+	MOVSD  // 64-bit move: xmm lane0 <-> xmm/mem
+	MOVSS  // 32-bit move: xmm lane0 low half <-> xmm/mem
+	MOVAPD // 128-bit move: xmm <-> xmm/mem
+	MOVQ   // 64-bit move: xmm lane0 <-> gpr
+	MOVHQ  // 64-bit move: xmm lane1 <-> gpr
+
+	// Scalar double-precision arithmetic (lane 0).
+	ADDSD
+	SUBSD
+	MULSD
+	DIVSD
+	SQRTSD
+	MINSD
+	MAXSD
+	UCOMISD // compare, set flags
+	ANDPD   // 128-bit bitwise (used for fabs masks)
+	ORPD
+	XORPD
+
+	// Scalar double transcendentals (dst = f(src), lane 0).
+	SINSD
+	COSSD
+	EXPSD
+	LOGSD
+
+	// Conversions.
+	CVTSD2SS // dst lane0 low32 = float32(src lane0 f64); upper bits of dst lane0 preserved
+	CVTSS2SD // dst lane0 f64 = float64(src lane0 low32 f32)
+	CVTSI2SD // dst lane0 f64 = float64(int64 gpr src)
+	CVTTSD2SI
+	CVTSI2SS // dst lane0 low32 = float32(int64 gpr src); upper bits preserved
+	CVTTSS2SI
+
+	// Scalar single-precision arithmetic (low 32 bits of lane 0; all other
+	// bits of dst preserved, as on x86).
+	ADDSS
+	SUBSS
+	MULSS
+	DIVSS
+	SQRTSS
+	MINSS
+	MAXSS
+	UCOMISS
+	SINSS
+	COSSS
+	EXPSS
+	LOGSS
+
+	// Packed double-precision arithmetic (both 64-bit lanes).
+	ADDPD
+	SUBPD
+	MULPD
+	DIVPD
+	SQRTPD
+
+	// Packed single-precision arithmetic (four 32-bit lanes).
+	ADDPS
+	SUBPS
+	MULPS
+	DIVPS
+	SQRTPS
+
+	opCount // number of opcodes; keep last
+)
+
+// NumOps is the number of defined opcodes.
+const NumOps = int(opCount)
+
+// General-purpose register numbers (x86-64 naming).
+const (
+	RAX uint8 = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+)
+
+// NumGPR and NumXMM are the register file sizes.
+const (
+	NumGPR = 16
+	NumXMM = 16
+)
+
+// ReplacedFlag is the bit pattern stored in the high 32 bits of a 64-bit
+// floating-point location to mark an in-place replaced (downcast) value.
+// 0x7FF4 encodes a NaN so unhandled replaced values never silently
+// propagate; 0xDEAD is easy to spot in a hex dump (paper §2.3).
+const ReplacedFlag uint32 = 0x7FF4DEAD
+
+// Syscall numbers for the SYSCALL instruction's immediate operand.
+const (
+	SysOutF64       int64 = iota + 1 // append xmm0 lane0 (float64 bits) to output
+	SysOutF32                        // append xmm0 lane0 low 32 bits (float32) to output
+	SysOutI64                        // append RAX to output
+	SysMPIRank                       // RAX = rank
+	SysMPISize                       // RAX = communicator size
+	SysMPIBarrier                    // barrier
+	SysMPISendF64                    // send RSI float64s at [RDI] to rank RDX
+	SysMPIRecvF64                    // recv RSI float64s into [RDI] from rank RDX
+	SysMPIAllreduce                  // sum-allreduce RSI float64s in place at [RDI]
+	SysMPIBcastF64                   // broadcast RSI float64s at [RDI] from rank RDX
+)
+
+var gprNames = [NumGPR]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+// GPRName returns the conventional name of general-purpose register r.
+func GPRName(r uint8) string {
+	if int(r) < len(gprNames) {
+		return gprNames[r]
+	}
+	return fmt.Sprintf("r?%d", r)
+}
+
+// OperandKind distinguishes the forms an operand can take.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindGPR              // general-purpose register
+	KindXMM              // 128-bit floating-point register
+	KindImm              // 64-bit immediate
+	KindMem              // memory reference
+)
+
+// MemRef is a memory operand: base + index*scale + disp.
+type MemRef struct {
+	Base     uint8 // GPR number
+	Index    uint8 // GPR number, valid if HasIndex
+	Scale    uint8 // 1, 2, 4 or 8
+	Disp     int32
+	HasIndex bool
+}
+
+// Operand is a single instruction operand.
+type Operand struct {
+	Kind OperandKind
+	Reg  uint8 // register number for KindGPR / KindXMM
+	Imm  int64 // immediate for KindImm
+	Mem  MemRef
+}
+
+// Gpr returns a general-purpose register operand.
+func Gpr(r uint8) Operand { return Operand{Kind: KindGPR, Reg: r} }
+
+// Xmm returns an XMM register operand.
+func Xmm(r uint8) Operand { return Operand{Kind: KindXMM, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// Mem returns a base+displacement memory operand.
+func Mem(base uint8, disp int32) Operand {
+	return Operand{Kind: KindMem, Mem: MemRef{Base: base, Disp: disp, Scale: 1}}
+}
+
+// MemIdx returns a base+index*scale+displacement memory operand.
+func MemIdx(base, index, scale uint8, disp int32) Operand {
+	return Operand{Kind: KindMem, Mem: MemRef{Base: base, Index: index, Scale: scale, Disp: disp, HasIndex: true}}
+}
+
+// Instr is a decoded instruction. A is the destination (and, for
+// two-operand ALU forms, also the first source); B is the source.
+type Instr struct {
+	Addr uint64 // address within the code segment (0 if not yet laid out)
+	Op   Op
+	A    Operand
+	B    Operand
+}
+
+// I constructs an instruction with up to two operands.
+func I(op Op, operands ...Operand) Instr {
+	in := Instr{Op: op}
+	switch len(operands) {
+	case 0:
+	case 1:
+		in.A = operands[0]
+	case 2:
+		in.A, in.B = operands[0], operands[1]
+	default:
+		panic("isa: too many operands")
+	}
+	return in
+}
+
+// opInfo captures per-opcode metadata.
+type opInfo struct {
+	name     string
+	operands int // expected operand count
+}
+
+var opTable = [opCount]opInfo{
+	NOP:       {"nop", 0},
+	HALT:      {"halt", 0},
+	SYSCALL:   {"syscall", 1},
+	MOVRI:     {"movri", 2},
+	MOVRR:     {"movrr", 2},
+	LOAD:      {"load", 2},
+	STORE:     {"store", 2},
+	LEA:       {"lea", 2},
+	ADDR:      {"add", 2},
+	ADDI:      {"addi", 2},
+	SUBR:      {"sub", 2},
+	SUBI:      {"subi", 2},
+	IMULR:     {"imul", 2},
+	IMULI:     {"imuli", 2},
+	ANDR:      {"and", 2},
+	ANDI:      {"andi", 2},
+	ORR:       {"or", 2},
+	ORI:       {"ori", 2},
+	XORR:      {"xor", 2},
+	XORI:      {"xori", 2},
+	SHLI:      {"shl", 2},
+	SHRI:      {"shr", 2},
+	IDIVR:     {"idiv", 2},
+	CMPR:      {"cmp", 2},
+	CMPI:      {"cmpi", 2},
+	TESTR:     {"test", 2},
+	TESTI:     {"testi", 2},
+	JMP:       {"jmp", 1},
+	JE:        {"je", 1},
+	JNE:       {"jne", 1},
+	JL:        {"jl", 1},
+	JLE:       {"jle", 1},
+	JG:        {"jg", 1},
+	JGE:       {"jge", 1},
+	JB:        {"jb", 1},
+	JAE:       {"jae", 1},
+	JA:        {"ja", 1},
+	JBE:       {"jbe", 1},
+	CALL:      {"call", 1},
+	RET:       {"ret", 0},
+	PUSH:      {"push", 1},
+	POP:       {"pop", 1},
+	PUSHX:     {"pushx", 1},
+	POPX:      {"popx", 1},
+	MOVSD:     {"movsd", 2},
+	MOVSS:     {"movss", 2},
+	MOVAPD:    {"movapd", 2},
+	MOVQ:      {"movq", 2},
+	MOVHQ:     {"movhq", 2},
+	ADDSD:     {"addsd", 2},
+	SUBSD:     {"subsd", 2},
+	MULSD:     {"mulsd", 2},
+	DIVSD:     {"divsd", 2},
+	SQRTSD:    {"sqrtsd", 2},
+	MINSD:     {"minsd", 2},
+	MAXSD:     {"maxsd", 2},
+	UCOMISD:   {"ucomisd", 2},
+	ANDPD:     {"andpd", 2},
+	ORPD:      {"orpd", 2},
+	XORPD:     {"xorpd", 2},
+	SINSD:     {"sinsd", 2},
+	COSSD:     {"cossd", 2},
+	EXPSD:     {"expsd", 2},
+	LOGSD:     {"logsd", 2},
+	CVTSD2SS:  {"cvtsd2ss", 2},
+	CVTSS2SD:  {"cvtss2sd", 2},
+	CVTSI2SD:  {"cvtsi2sd", 2},
+	CVTTSD2SI: {"cvttsd2si", 2},
+	CVTSI2SS:  {"cvtsi2ss", 2},
+	CVTTSS2SI: {"cvttss2si", 2},
+	ADDSS:     {"addss", 2},
+	SUBSS:     {"subss", 2},
+	MULSS:     {"mulss", 2},
+	DIVSS:     {"divss", 2},
+	SQRTSS:    {"sqrtss", 2},
+	MINSS:     {"minss", 2},
+	MAXSS:     {"maxss", 2},
+	UCOMISS:   {"ucomiss", 2},
+	SINSS:     {"sinss", 2},
+	COSSS:     {"cosss", 2},
+	EXPSS:     {"expss", 2},
+	LOGSS:     {"logss", 2},
+	ADDPD:     {"addpd", 2},
+	SUBPD:     {"subpd", 2},
+	MULPD:     {"mulpd", 2},
+	DIVPD:     {"divpd", 2},
+	SQRTPD:    {"sqrtpd", 2},
+	ADDPS:     {"addps", 2},
+	SUBPS:     {"subps", 2},
+	MULPS:     {"mulps", 2},
+	DIVPS:     {"divps", 2},
+	SQRTPS:    {"sqrtps", 2},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opCount }
+
+// String returns the mnemonic of op.
+func (op Op) String() string {
+	if op < opCount {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op?%d", uint16(op))
+}
+
+// OperandCount returns the number of operands op expects.
+func (op Op) OperandCount() int {
+	if op < opCount {
+		return opTable[op].operands
+	}
+	return 0
+}
+
+// IsBranch reports whether op transfers control via its Imm target
+// (conditional or unconditional jumps and calls; not RET).
+func (op Op) IsBranch() bool {
+	switch op {
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE, CALL:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether op is a conditional branch.
+func (op Op) IsCondBranch() bool {
+	switch op {
+	case JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE:
+		return true
+	}
+	return false
+}
+
+// EndsBlock reports whether op terminates a basic block.
+func (op Op) EndsBlock() bool {
+	switch op {
+	case JMP, JE, JNE, JL, JLE, JG, JGE, JB, JAE, JA, JBE, RET, HALT:
+		return true
+	}
+	return false
+}

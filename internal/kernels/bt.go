@@ -1,0 +1,277 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// BT: a block-tridiagonal line solver in the NAS BT style. A coupled
+// 3-component field on a 2-D grid is relaxed by alternating x-direction
+// block-tridiagonal solves (3x3 blocks, fully unrolled Thomas algorithm
+// with explicit 3x3 inverses — the source of BT's large static
+// instruction count in the paper) with pointwise y-direction coupling.
+// Verification bounds the residual-like change norm tightly.
+
+func btSize(class Class) (nx, ny, steps int) {
+	switch class {
+	case ClassA:
+		return 24, 12, 6
+	case ClassC:
+		return 32, 16, 6
+	default:
+		return 12, 8, 5
+	}
+}
+
+// mat3 names the nine entries of a 3x3 matrix stored row-major in an FArr.
+type mat3 struct {
+	arr hl.FArr
+}
+
+func (m mat3) at(f *hl.FuncBuilder, r, c int) hl.Expr {
+	return hl.At(m.arr, hl.IConst(int64(r*3+c)))
+}
+
+func (m mat3) set(f *hl.FuncBuilder, r, c int, e hl.Expr) {
+	f.Store(m.arr, hl.IConst(int64(r*3+c)), e)
+}
+
+func btSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	nx, ny, steps := btSize(class)
+	ncell := nx * ny
+
+	p := hl.New("bt."+string(class), mode)
+
+	// Field: three components per cell, component-major.
+	u := p.Array("u", 3*ncell)
+	f := p.Array("f", 3*ncell)
+	// Per-line Thomas work arrays: E (3x3 per cell), G (3 per cell).
+	ework := p.Array("ework", 9*nx)
+	gwork := p.Array("gwork", 3*nx)
+	// 3x3 scratch matrices.
+	mwork := mat3{p.Array("mwork", 9)}
+	minv := mat3{p.Array("minv", 9)}
+	det := p.Scalar("det")
+	chg := p.Scalar("chg")
+	tmp := p.Scalar("btmp")
+
+	i := p.Int("i")
+	j := p.Int("j")
+	it := p.Int("it")
+	cell := p.Int("cell")
+
+	// Constant coupling blocks: D (diagonal, dominant), and off-diagonal
+	// scale ob (B = C = ob * I plus weak cross-coupling).
+	dm := [3][3]float64{{4.1, 0.2, 0.1}, {0.15, 4.3, 0.2}, {0.1, 0.15, 4.2}}
+	const ob = -0.9
+	const cross = -0.05
+
+	// init: deterministic smooth forcing and initial field.
+	init := p.Func("init")
+	init.For(cell, hl.IConst(0), hl.IConst(int64(3*ncell)), func() {
+		init.Store(f, hl.ILoad(cell),
+			hl.Add(hl.Const(1), hl.Mul(hl.Const(0.3), hl.Sin(hl.Mul(hl.Const(0.17), hl.FromInt(hl.ILoad(cell)))))))
+		init.Store(u, hl.ILoad(cell), hl.Const(0))
+	})
+	init.Ret()
+
+	// inv3: invert the 3x3 matrix in mwork into minv (explicit adjugate),
+	// fully unrolled — dense straight-line FP code.
+	inv3 := p.Func("inv3")
+	cof := func(r, c int) hl.Expr {
+		// Cofactor of entry (r, c): determinant of the 2x2 minor.
+		r1, r2 := (r+1)%3, (r+2)%3
+		c1, c2 := (c+1)%3, (c+2)%3
+		if r1 > r2 {
+			r1, r2 = r2, r1
+		}
+		if c1 > c2 {
+			c1, c2 = c2, c1
+		}
+		sign := 1.0
+		if (r+c)%2 == 1 {
+			sign = -1.0
+		}
+		minor := hl.Sub(
+			hl.Mul(mwork.at(inv3, r1, c1), mwork.at(inv3, r2, c2)),
+			hl.Mul(mwork.at(inv3, r1, c2), mwork.at(inv3, r2, c1)))
+		return hl.Mul(hl.Const(sign), minor)
+	}
+	inv3.Set(det, hl.Add(
+		hl.Mul(mwork.at(inv3, 0, 0), cof(0, 0)),
+		hl.Add(hl.Mul(mwork.at(inv3, 0, 1), cof(0, 1)),
+			hl.Mul(mwork.at(inv3, 0, 2), cof(0, 2)))))
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			// inv[r][c] = cof(c, r) / det (adjugate transpose).
+			minv.set(inv3, r, c, hl.Div(cof(c, r), hl.Load(det)))
+		}
+	}
+	inv3.Ret()
+
+	// idx helpers: component k at cell (i, j) lives at k*ncell + j*nx + i.
+	uat := func(k int, ie, je hl.IExpr) hl.IExpr {
+		return hl.IAdd(hl.IConst(int64(k*ncell)), hl.IAdd(hl.IMul(je, hl.IConst(int64(nx))), ie))
+	}
+
+	// xsolve: for each y-line, solve the 3x3 block tridiagonal system
+	// B X_{i-1} + D X_i + B X_{i+1} = RHS_i with the Thomas algorithm,
+	// where RHS folds in the forcing and the y-neighbor coupling.
+	xs := p.Func("xsolve")
+	loadD := func() {
+		for r := 0; r < 3; r++ {
+			for c := 0; c < 3; c++ {
+				mwork.set(xs, r, c, hl.Const(dm[r][c]))
+			}
+		}
+	}
+	rhsExpr := func(k int) hl.Expr {
+		// f - y-coupling: cross * (u_k(j-1) + u_k(j+1)).
+		e := hl.At(f, uat(k, hl.ILoad(i), hl.ILoad(j)))
+		prev := hl.At(u, uat(k, hl.ILoad(i), hl.ISub(hl.ILoad(j), hl.IConst(1))))
+		next := hl.At(u, uat(k, hl.ILoad(i), hl.IAdd(hl.ILoad(j), hl.IConst(1))))
+		return hl.Sub(e, hl.Mul(hl.Const(cross), hl.Add(prev, next)))
+	}
+	xs.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		// Forward sweep.
+		xs.For(i, hl.IConst(0), hl.IConst(int64(nx)), func() {
+			// M = D - B * E_{i-1} (B = ob*I, so M = D - ob*E_{i-1}).
+			loadD()
+			xs.If(hl.IGt(hl.ILoad(i), hl.IConst(0)), func() {
+				for r := 0; r < 3; r++ {
+					for c := 0; c < 3; c++ {
+						eprev := hl.At(ework, hl.IAdd(
+							hl.IMul(hl.ISub(hl.ILoad(i), hl.IConst(1)), hl.IConst(9)),
+							hl.IConst(int64(r*3+c))))
+						xs.Set(tmp, hl.Sub(mwork.at(xs, r, c), hl.Mul(hl.Const(ob), eprev)))
+						mwork.set(xs, r, c, hl.Load(tmp))
+					}
+				}
+			}, nil)
+			xs.Call("inv3")
+			// E_i = Minv * B = ob * Minv ; G_i = Minv * (rhs - B G_{i-1}).
+			for r := 0; r < 3; r++ {
+				for c := 0; c < 3; c++ {
+					xs.Store(ework, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(9)), hl.IConst(int64(r*3+c))),
+						hl.Mul(hl.Const(ob), minv.at(xs, r, c)))
+				}
+			}
+			for r := 0; r < 3; r++ {
+				// rhsAdj_r = rhs_r - ob * G_{i-1, r}
+				adj := rhsExpr(r)
+				xs.Set(tmp, adj)
+				xs.If(hl.IGt(hl.ILoad(i), hl.IConst(0)), func() {
+					gprev := hl.At(gwork, hl.IAdd(
+						hl.IMul(hl.ISub(hl.ILoad(i), hl.IConst(1)), hl.IConst(3)), hl.IConst(int64(r))))
+					xs.Set(tmp, hl.Sub(hl.Load(tmp), hl.Mul(hl.Const(ob), gprev)))
+				}, nil)
+				// Stash adjusted rhs in gwork row r temporarily via f? Use
+				// a scratch vector: reuse minv row storage is unsafe; use
+				// gscratch below.
+				xs.Store(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(int64(r))), hl.Load(tmp))
+			}
+			// G_i = Minv * stash (in place, needs the full stash first).
+			g0 := hl.At(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(0)))
+			g1 := hl.At(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(1)))
+			g2 := hl.At(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(2)))
+			// Compute the three products into scratch scalars first.
+			gs := []hl.FVar{p.Scalar(""), p.Scalar(""), p.Scalar("")}
+			for r := 0; r < 3; r++ {
+				xs.Set(gs[r], hl.Add(hl.Mul(minv.at(xs, r, 0), g0),
+					hl.Add(hl.Mul(minv.at(xs, r, 1), g1), hl.Mul(minv.at(xs, r, 2), g2))))
+			}
+			for r := 0; r < 3; r++ {
+				xs.Store(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(int64(r))), hl.Load(gs[r]))
+			}
+		})
+		// Backward substitution: X_i = G_i - E_i X_{i+1}.
+		xs.SetI(i, hl.IConst(int64(nx-1)))
+		xs.While(hl.IGe(hl.ILoad(i), hl.IConst(0)), func() {
+			for r := 0; r < 3; r++ {
+				xs.Set(tmp, hl.At(gwork, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(3)), hl.IConst(int64(r)))))
+				xs.If(hl.ILt(hl.ILoad(i), hl.IConst(int64(nx-1))), func() {
+					for c := 0; c < 3; c++ {
+						e := hl.At(ework, hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(9)), hl.IConst(int64(r*3+c))))
+						xn := hl.At(u, uat(c, hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j)))
+						xs.Set(tmp, hl.Sub(hl.Load(tmp), hl.Mul(e, xn)))
+					}
+				}, nil)
+				xs.Store(u, uat(r, hl.ILoad(i), hl.ILoad(j)), hl.Load(tmp))
+			}
+			xs.SetI(i, hl.ISub(hl.ILoad(i), hl.IConst(1)))
+		})
+	})
+	xs.Ret()
+
+	// change: norm of A u - f restricted to the interior (a convergence
+	// measure across relaxation steps).
+	ch := p.Func("change")
+	ch.Set(chg, hl.Const(0))
+	ch.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		ch.For(i, hl.IConst(1), hl.IConst(int64(nx-1)), func() {
+			for k := 0; k < 3; k++ {
+				// row k of D X_i + ob*(X_{i-1}+X_{i+1}) + cross*(y nbrs) - f
+				acc := hl.Mul(hl.Const(dm[k][0]), hl.At(u, uat(0, hl.ILoad(i), hl.ILoad(j))))
+				acc = hl.Add(acc, hl.Mul(hl.Const(dm[k][1]), hl.At(u, uat(1, hl.ILoad(i), hl.ILoad(j)))))
+				acc = hl.Add(acc, hl.Mul(hl.Const(dm[k][2]), hl.At(u, uat(2, hl.ILoad(i), hl.ILoad(j)))))
+				acc = hl.Add(acc, hl.Mul(hl.Const(ob),
+					hl.Add(hl.At(u, uat(k, hl.ISub(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j))),
+						hl.At(u, uat(k, hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j))))))
+				acc = hl.Add(acc, hl.Mul(hl.Const(cross),
+					hl.Add(hl.At(u, uat(k, hl.ILoad(i), hl.ISub(hl.ILoad(j), hl.IConst(1)))),
+						hl.At(u, uat(k, hl.ILoad(i), hl.IAdd(hl.ILoad(j), hl.IConst(1)))))))
+				d := hl.Sub(acc, hl.At(f, uat(k, hl.ILoad(i), hl.ILoad(j))))
+				ch.Set(chg, hl.Add(hl.Load(chg), hl.Mul(d, d)))
+			}
+		})
+	})
+	ch.Set(chg, hl.Sqrt(hl.Load(chg)))
+	ch.Ret()
+
+	main := p.Func("main")
+	main.Call("init")
+	main.For(it, hl.IConst(0), hl.IConst(int64(steps)), func() {
+		main.Call("xsolve")
+	})
+	main.Call("change")
+	main.Out(hl.Load(chg))
+	main.Out(hl.At(u, uat(0, hl.IConst(int64(nx/2)), hl.IConst(int64(ny/2)))))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildBT(class Class) (*Bench, error) {
+	m, err := btSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(800_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	thr := ref[0] * 30
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		if math.IsNaN(got[0]) || got[0] < 0 || got[0] > thr {
+			return false
+		}
+		return relErr(ref[1], got[1]) < 1e-4
+	}
+	return &Bench{
+		Name:      "bt",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}

@@ -1,0 +1,223 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/mm"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// CG: conjugate gradient on a random sparse symmetric positive-definite
+// matrix (the NAS CG shape). The solver must converge the residual below
+// a tight threshold, which single-precision inner products and matrix-
+// vector products cannot reach — so the hot loop resists replacement
+// while the one-shot setup code (right-hand side generation, matrix
+// scaling) tolerates it, reproducing the paper's high-static /
+// low-dynamic CG profile (Figure 10).
+
+func cgSize(class Class) (n, nnzPerRow, iters int) {
+	switch class {
+	case ClassA:
+		return 160, 8, 30
+	case ClassC:
+		return 384, 10, 35
+	default:
+		return 64, 6, 25
+	}
+}
+
+// cgThreshold is the convergence bound the verification demands of the
+// relative residual.
+const cgThreshold = 1e-10
+
+func cgSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	n, nnzPerRow, iters := cgSize(class)
+	A := mm.RandomSPD(n, nnzPerRow, 0xC6+uint64(len(class)))
+
+	p := hl.New("cg."+string(class), mode)
+
+	rowptr64 := make([]int64, len(A.RowPtr))
+	for i, v := range A.RowPtr {
+		rowptr64[i] = int64(v)
+	}
+	col64 := make([]int64, len(A.Col))
+	for i, v := range A.Col {
+		col64[i] = int64(v)
+	}
+	rowptr := p.IntArrayInit("rowptr", rowptr64)
+	col := p.IntArrayInit("col", col64)
+	vals := p.ArrayInit("vals", A.Val)
+
+	x := p.Array("x", n)
+	b := p.Array("b", n)
+	r := p.Array("r", n)
+	pv := p.Array("p", n)
+	q := p.Array("q", n)
+
+	rho := p.Scalar("rho")
+	rho0 := p.Scalar("rho0")
+	alpha := p.Scalar("alpha")
+	beta := p.Scalar("beta")
+	dpq := p.Scalar("dpq")
+	resid := p.Scalar("resid")
+	bnorm := p.Scalar("bnorm")
+	xb := p.Scalar("xb")
+
+	i := p.Int("i")
+	k := p.Int("k")
+	it := p.Int("it")
+
+	// init_b: one-shot right-hand side generation. Errors here only
+	// perturb the problem being solved; the double-precision solver still
+	// converges on the perturbed problem, so this region is single-safe.
+	initB := p.Func("init_b")
+	initB.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		initB.Store(b, hl.ILoad(i),
+			hl.Add(hl.Const(1), hl.Mul(hl.Const(0.5), hl.Sin(hl.FromInt(hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+	})
+	initB.Ret()
+
+	// scale_a: one-shot symmetric-preserving global scaling of the matrix
+	// values — the makea-style setup region.
+	scaleA := p.Func("scale_a")
+	scaleA.For(k, hl.IConst(0), hl.IConst(int64(A.NNZ())), func() {
+		scaleA.Store(vals, hl.ILoad(k), hl.Mul(hl.At(vals, hl.ILoad(k)), hl.Const(0.9921875)))
+	})
+	scaleA.Ret()
+
+	// matvec: q = A p (CSR row loop).
+	mv := p.Func("matvec")
+	t := p.Scalar("mvt")
+	mv.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		mv.Set(t, hl.Const(0))
+		mv.For(k, hl.IAt(rowptr, hl.ILoad(i)), hl.IAt(rowptr, hl.IAdd(hl.ILoad(i), hl.IConst(1))), func() {
+			mv.Set(t, hl.Add(hl.Load(t),
+				hl.Mul(hl.At(vals, hl.ILoad(k)), hl.At(pv, hl.IAt(col, hl.ILoad(k))))))
+		})
+		mv.Store(q, hl.ILoad(i), hl.Load(t))
+	})
+	mv.Ret()
+
+	// conj_grad: the CG iteration.
+	cgf := p.Func("conj_grad")
+	// r = b; p = b; rho = r.r ; x = 0
+	cgf.Set(rho, hl.Const(0))
+	cgf.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		cgf.Store(x, hl.ILoad(i), hl.Const(0))
+		cgf.Store(r, hl.ILoad(i), hl.At(b, hl.ILoad(i)))
+		cgf.Store(pv, hl.ILoad(i), hl.At(b, hl.ILoad(i)))
+		cgf.Set(rho, hl.Add(hl.Load(rho), hl.Mul(hl.At(b, hl.ILoad(i)), hl.At(b, hl.ILoad(i)))))
+	})
+	cgf.For(it, hl.IConst(0), hl.IConst(int64(iters)), func() {
+		cgf.Call("matvec")
+		// dpq = p.q
+		cgf.Set(dpq, hl.Const(0))
+		cgf.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			cgf.Set(dpq, hl.Add(hl.Load(dpq), hl.Mul(hl.At(pv, hl.ILoad(i)), hl.At(q, hl.ILoad(i)))))
+		})
+		cgf.Set(alpha, hl.Div(hl.Load(rho), hl.Load(dpq)))
+		cgf.Set(rho0, hl.Load(rho))
+		cgf.Set(rho, hl.Const(0))
+		cgf.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			cgf.Store(x, hl.ILoad(i), hl.Add(hl.At(x, hl.ILoad(i)), hl.Mul(hl.Load(alpha), hl.At(pv, hl.ILoad(i)))))
+			cgf.Store(r, hl.ILoad(i), hl.Sub(hl.At(r, hl.ILoad(i)), hl.Mul(hl.Load(alpha), hl.At(q, hl.ILoad(i)))))
+			cgf.Set(rho, hl.Add(hl.Load(rho), hl.Mul(hl.At(r, hl.ILoad(i)), hl.At(r, hl.ILoad(i)))))
+		})
+		cgf.Set(beta, hl.Div(hl.Load(rho), hl.Load(rho0)))
+		cgf.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			cgf.Store(pv, hl.ILoad(i), hl.Add(hl.At(r, hl.ILoad(i)), hl.Mul(hl.Load(beta), hl.At(pv, hl.ILoad(i)))))
+		})
+	})
+	cgf.Ret()
+
+	// residual: resid = ||b - A x|| / ||b||, computed against the
+	// program's own (possibly perturbed) b.
+	res := p.Func("residual")
+	res.Set(resid, hl.Const(0))
+	res.Set(bnorm, hl.Const(0))
+	// reuse p as scratch: p = x for matvec, then q = A x.
+	res.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		res.Store(pv, hl.ILoad(i), hl.At(x, hl.ILoad(i)))
+	})
+	res.Call("matvec")
+	res.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		res.Set(t, hl.Sub(hl.At(b, hl.ILoad(i)), hl.At(q, hl.ILoad(i))))
+		res.Set(resid, hl.Add(hl.Load(resid), hl.Mul(hl.Load(t), hl.Load(t))))
+		res.Set(bnorm, hl.Add(hl.Load(bnorm), hl.Mul(hl.At(b, hl.ILoad(i)), hl.At(b, hl.ILoad(i)))))
+	})
+	res.Set(resid, hl.Div(hl.Sqrt(hl.Load(resid)), hl.Sqrt(hl.Load(bnorm))))
+	res.Ret()
+
+	// report: cold diagnostic x.b (verified loosely).
+	rep := p.Func("report")
+	rep.Set(xb, hl.Const(0))
+	rep.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		rep.Set(xb, hl.Add(hl.Load(xb), hl.Mul(hl.At(x, hl.ILoad(i)), hl.At(b, hl.ILoad(i)))))
+	})
+	rep.Ret()
+
+	main := p.Func("main")
+	main.Call("init_b")
+	main.Call("scale_a")
+	main.Call("conj_grad")
+	main.Call("residual")
+	main.Call("report")
+	main.Out(hl.Load(resid))
+	main.Out(hl.Load(xb))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildCG(class Class) (*Bench, error) {
+	m, err := cgSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(600_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if ref[0] > cgThreshold/4 {
+		// The double build must converge comfortably below the bound.
+		return nil, errNotConverged("cg", string(class), ref[0])
+	}
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		if math.IsNaN(got[0]) || got[0] < 0 || got[0] > cgThreshold {
+			return false
+		}
+		return relErr(ref[1], got[1]) < 1e-3
+	}
+	return &Bench{
+		Name:      "cg",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}
+
+type convergenceError struct {
+	bench, class string
+	resid        float64
+}
+
+func (e *convergenceError) Error() string {
+	return "kernels: " + e.bench + "." + e.class + " baseline did not converge"
+}
+
+func errNotConverged(bench, class string, resid float64) error {
+	return &convergenceError{bench, class, resid}
+}
+
+// CGSource exposes the CG builder for tests and examples.
+func CGSource(class Class, mode hl.Mode) (*prog.Module, error) { return cgSource(class, mode) }

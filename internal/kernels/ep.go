@@ -1,0 +1,188 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// EP: the embarrassingly-parallel kernel. Gaussian deviate pairs are
+// generated with the NAS randlc linear congruential generator — double
+// precision arithmetic simulating 46-bit integer math, which is exactly
+// the kind of "unusual construct" (paper §2.1) that can never survive a
+// downcast to single precision — and tallied into ten annuli.
+//
+// Program structure: main -> pair -> {randlc, gauss}, plus a cold
+// statistics routine. The RNG dominates dynamic execution counts, so EP
+// shows the paper's signature high-static / lower-dynamic replacement
+// profile.
+
+func epPairs(class Class) int {
+	switch class {
+	case ClassA:
+		return 2048
+	case ClassC:
+		return 8192
+	default:
+		return 512
+	}
+}
+
+// epSource builds the EP program at the given mode.
+func epSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	p := hl.New("ep."+string(class), mode)
+
+	// randlc state and constants.
+	r23 := p.ScalarInit("r23", math.Pow(2, -23))
+	t23 := p.ScalarInit("t23", math.Pow(2, 23))
+	r46 := p.ScalarInit("r46", math.Pow(2, -46))
+	t46 := p.ScalarInit("t46", math.Pow(2, 46))
+	seedX := p.ScalarInit("x", 271828183.0)
+	aConst := p.ScalarInit("a", 1220703125.0)
+	rnd := p.Scalar("rnd")
+
+	// pair state.
+	x1 := p.Scalar("x1")
+	x2 := p.Scalar("x2")
+	tv := p.Scalar("t")
+	w := p.Scalar("w")
+	gx := p.Scalar("gx")
+	gy := p.Scalar("gy")
+	sx := p.Scalar("sx")
+	sy := p.Scalar("sy")
+	counts := p.Array("counts", 10)
+	pop := p.Scalar("pop")
+	lidx := p.Int("l")
+	i := p.Int("i")
+	k := p.Int("k")
+
+	// randlc: x = (a * x) mod 2^46, rnd = x * 2^-46, all in FP arithmetic
+	// emulating 46-bit integer multiplication (NAS randlc).
+	t1 := p.Scalar("t1")
+	a1 := p.Scalar("a1")
+	a2 := p.Scalar("a2")
+	rx1 := p.Scalar("rx1")
+	rx2 := p.Scalar("rx2")
+	z := p.Scalar("z")
+	randlc := p.Func("randlc")
+	randlc.Set(t1, hl.Mul(hl.Load(r23), hl.Load(aConst)))
+	randlc.Set(a1, hl.FromInt(hl.ToInt(hl.Load(t1))))
+	randlc.Set(a2, hl.Sub(hl.Load(aConst), hl.Mul(hl.Load(t23), hl.Load(a1))))
+	randlc.Set(t1, hl.Mul(hl.Load(r23), hl.Load(seedX)))
+	randlc.Set(rx1, hl.FromInt(hl.ToInt(hl.Load(t1))))
+	randlc.Set(rx2, hl.Sub(hl.Load(seedX), hl.Mul(hl.Load(t23), hl.Load(rx1))))
+	randlc.Set(t1, hl.Add(hl.Mul(hl.Load(a1), hl.Load(rx2)), hl.Mul(hl.Load(a2), hl.Load(rx1))))
+	randlc.Set(z, hl.Sub(hl.Load(t1),
+		hl.Mul(hl.Load(t23), hl.FromInt(hl.ToInt(hl.Mul(hl.Load(r23), hl.Load(t1)))))))
+	randlc.Set(t1, hl.Add(hl.Mul(hl.Load(t23), hl.Load(z)), hl.Mul(hl.Load(a2), hl.Load(rx2))))
+	randlc.Set(seedX, hl.Sub(hl.Load(t1),
+		hl.Mul(hl.Load(t46), hl.FromInt(hl.ToInt(hl.Mul(hl.Load(r46), hl.Load(t1)))))))
+	randlc.Set(rnd, hl.Mul(hl.Load(r46), hl.Load(seedX)))
+	randlc.Ret()
+
+	// gauss: Box-Muller acceptance step and annulus tally.
+	gauss := p.Func("gauss")
+	gauss.Set(tv, hl.Add(hl.Mul(hl.Load(x1), hl.Load(x1)), hl.Mul(hl.Load(x2), hl.Load(x2))))
+	gauss.If(hl.Le(hl.Load(tv), hl.Const(1)), func() {
+		gauss.If(hl.Gt(hl.Load(tv), hl.Const(0)), func() {
+			gauss.Set(w, hl.Sqrt(hl.Div(hl.Mul(hl.Const(-2), hl.Log(hl.Load(tv))), hl.Load(tv))))
+			gauss.Set(gx, hl.Mul(hl.Load(x1), hl.Load(w)))
+			gauss.Set(gy, hl.Mul(hl.Load(x2), hl.Load(w)))
+			gauss.Set(sx, hl.Add(hl.Load(sx), hl.Load(gx)))
+			gauss.Set(sy, hl.Add(hl.Load(sy), hl.Load(gy)))
+			gauss.SetI(lidx, hl.ToInt(hl.Max(hl.Abs(hl.Load(gx)), hl.Abs(hl.Load(gy)))))
+			gauss.If(hl.ILt(hl.ILoad(lidx), hl.IConst(10)), func() {
+				gauss.Store(counts, hl.ILoad(lidx),
+					hl.Add(hl.At(counts, hl.ILoad(lidx)), hl.Const(1)))
+			}, nil)
+		}, nil)
+	}, nil)
+	gauss.Ret()
+
+	// pair: two uniform deviates in (-1, 1), then the acceptance step.
+	pair := p.Func("pair")
+	pair.Call("randlc")
+	pair.Set(x1, hl.Sub(hl.Mul(hl.Const(2), hl.Load(rnd)), hl.Const(1)))
+	pair.Call("randlc")
+	pair.Set(x2, hl.Sub(hl.Mul(hl.Const(2), hl.Load(rnd)), hl.Const(1)))
+	pair.Call("gauss")
+	pair.Ret()
+
+	// stats: cold accounting pass over the annulus table (executed once;
+	// the population count is verified only loosely, so this region is
+	// single-safe — the shape behind high static replacement rates).
+	stats := p.Func("stats")
+	stats.Set(pop, hl.Const(0))
+	stats.For(k, hl.IConst(0), hl.IConst(10), func() {
+		stats.Set(pop, hl.Add(hl.Load(pop), hl.At(counts, hl.ILoad(k))))
+	})
+	stats.Ret()
+
+	main := p.Func("main")
+	main.For(i, hl.IConst(0), hl.IConst(int64(epPairs(class))), func() {
+		main.Call("pair")
+	})
+	main.Call("stats")
+	main.Out(hl.Load(sx))
+	main.Out(hl.Load(sy))
+	main.Out(hl.Load(pop))
+	for kk := 0; kk < 10; kk++ {
+		main.Out(hl.At(counts, hl.IConst(int64(kk))))
+	}
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildEP(class Class) (*Bench, error) {
+	m, err := epSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(600_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	// Verification: Gaussian sums within a loose relative bound (single
+	// precision accumulation noise is acceptable, per-annulus counts must
+	// agree within one boundary flip).
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		for i := 0; i < 2; i++ {
+			if relErr(ref[i], got[i]) > 2e-5 {
+				return false
+			}
+		}
+		for i := 2; i < len(ref); i++ {
+			if math.Abs(got[i]-ref[i]) > 1.0 {
+				return false
+			}
+		}
+		return true
+	}
+	return &Bench{
+		Name:      "ep",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}
+
+func relErr(ref, got float64) float64 {
+	if math.IsNaN(got) {
+		return math.Inf(1)
+	}
+	return math.Abs(got-ref) / math.Max(1, math.Abs(ref))
+}
+
+// EPSource exposes the EP builder for tests and the Ignore-flag example.
+func EPSource(class Class, mode hl.Mode) (*prog.Module, error) { return epSource(class, mode) }

@@ -1,0 +1,240 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// FT: a complex 1-D FFT kernel in the NAS FT style — initialize a complex
+// field, then alternate phase-evolution steps with radix-2 forward
+// transforms, and report strided checksums. The checksum is verified
+// tightly, so the transform's butterflies (the overwhelming majority of
+// dynamic floating-point work) resist replacement; the cold accounting
+// code does not — the paper's extreme "high static, ~0% dynamic" FT
+// profile (Figure 10).
+
+func ftSize(class Class) (n, iters int) {
+	switch class {
+	case ClassA:
+		return 256, 3
+	case ClassC:
+		return 512, 4
+	default:
+		return 64, 2
+	}
+}
+
+func ftSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	n, iters := ftSize(class)
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+
+	p := hl.New("ft."+string(class), mode)
+	re := p.Array("re", n)
+	im := p.Array("im", n)
+	ckre := p.Scalar("ckre")
+	ckim := p.Scalar("ckim")
+	sumsq := p.Scalar("sumsq")
+
+	wre := p.Scalar("wre")
+	wim := p.Scalar("wim")
+	tr := p.Scalar("tr")
+	ti := p.Scalar("ti")
+	ang := p.Scalar("ang")
+
+	i := p.Int("i")
+	j := p.Int("j")
+	k := p.Int("k")
+	s := p.Int("s")
+	mS := p.Int("m")
+	mh := p.Int("mh")
+	tmp := p.Int("tmp")
+	rj := p.Int("rj")
+	b := p.Int("b")
+	i1 := p.Int("i1")
+	i2 := p.Int("i2")
+	iter := p.Int("iter")
+
+	// init: deterministic pseudo-random complex field.
+	init := p.Func("init")
+	init.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		init.Store(re, hl.ILoad(i),
+			hl.Add(hl.Const(0.5), hl.Mul(hl.Const(0.5), hl.Sin(hl.FromInt(hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+		init.Store(im, hl.ILoad(i),
+			hl.Mul(hl.Const(0.3), hl.Cos(hl.FromInt(hl.IMul(hl.ILoad(i), hl.IConst(3)))))) //nolint
+	})
+	init.Ret()
+
+	// evolve: multiply each element by a phase factor exp(i * 0.001 * k).
+	evolve := p.Func("evolve")
+	evolve.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		evolve.Set(ang, hl.Mul(hl.Const(0.001), hl.FromInt(hl.ILoad(i))))
+		evolve.Set(wre, hl.Cos(hl.Load(ang)))
+		evolve.Set(wim, hl.Sin(hl.Load(ang)))
+		evolve.Set(tr, hl.Sub(hl.Mul(hl.Load(wre), hl.At(re, hl.ILoad(i))),
+			hl.Mul(hl.Load(wim), hl.At(im, hl.ILoad(i)))))
+		evolve.Set(ti, hl.Add(hl.Mul(hl.Load(wre), hl.At(im, hl.ILoad(i))),
+			hl.Mul(hl.Load(wim), hl.At(re, hl.ILoad(i)))))
+		evolve.Store(re, hl.ILoad(i), hl.Load(tr))
+		evolve.Store(im, hl.ILoad(i), hl.Load(ti))
+	})
+	evolve.Ret()
+
+	// bitrev: permutation (pure integer work plus swaps).
+	bitrev := p.Func("bitrev")
+	bitrev.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		bitrev.SetI(rj, hl.IConst(0))
+		bitrev.SetI(tmp, hl.ILoad(i))
+		bitrev.For(b, hl.IConst(0), hl.IConst(int64(logn)), func() {
+			bitrev.SetI(rj, hl.IAdd(hl.IShl(hl.ILoad(rj), 1), hl.IAnd(hl.ILoad(tmp), hl.IConst(1))))
+			bitrev.SetI(tmp, hl.IShr(hl.ILoad(tmp), 1))
+		})
+		bitrev.If(hl.IGt(hl.ILoad(rj), hl.ILoad(i)), func() {
+			bitrev.Set(tr, hl.At(re, hl.ILoad(i)))
+			bitrev.Store(re, hl.ILoad(i), hl.At(re, hl.ILoad(rj)))
+			bitrev.Store(re, hl.ILoad(rj), hl.Load(tr))
+			bitrev.Set(ti, hl.At(im, hl.ILoad(i)))
+			bitrev.Store(im, hl.ILoad(i), hl.At(im, hl.ILoad(rj)))
+			bitrev.Store(im, hl.ILoad(rj), hl.Load(ti))
+		}, nil)
+	})
+	bitrev.Ret()
+
+	// fft: iterative radix-2 Cooley-Tukey with inline twiddles.
+	fft := p.Func("fft")
+	fft.Call("bitrev")
+	fft.SetI(mS, hl.IConst(2))
+	fft.SetI(mh, hl.IConst(1))
+	fft.For(s, hl.IConst(0), hl.IConst(int64(logn)), func() {
+		fft.SetI(k, hl.IConst(0))
+		fft.While(hl.ILt(hl.ILoad(k), hl.IConst(int64(n))), func() {
+			fft.For(j, hl.IConst(0), hl.ILoad(mh), func() {
+				fft.Set(ang, hl.Div(hl.Mul(hl.Const(-2*math.Pi), hl.FromInt(hl.ILoad(j))),
+					hl.FromInt(hl.ILoad(mS))))
+				fft.Set(wre, hl.Cos(hl.Load(ang)))
+				fft.Set(wim, hl.Sin(hl.Load(ang)))
+				fft.SetI(i1, hl.IAdd(hl.ILoad(k), hl.ILoad(j)))
+				fft.SetI(i2, hl.IAdd(hl.ILoad(i1), hl.ILoad(mh)))
+				fft.Set(tr, hl.Sub(hl.Mul(hl.Load(wre), hl.At(re, hl.ILoad(i2))),
+					hl.Mul(hl.Load(wim), hl.At(im, hl.ILoad(i2)))))
+				fft.Set(ti, hl.Add(hl.Mul(hl.Load(wre), hl.At(im, hl.ILoad(i2))),
+					hl.Mul(hl.Load(wim), hl.At(re, hl.ILoad(i2)))))
+				fft.Store(re, hl.ILoad(i2), hl.Sub(hl.At(re, hl.ILoad(i1)), hl.Load(tr)))
+				fft.Store(im, hl.ILoad(i2), hl.Sub(hl.At(im, hl.ILoad(i1)), hl.Load(ti)))
+				fft.Store(re, hl.ILoad(i1), hl.Add(hl.At(re, hl.ILoad(i1)), hl.Load(tr)))
+				fft.Store(im, hl.ILoad(i1), hl.Add(hl.At(im, hl.ILoad(i1)), hl.Load(ti)))
+			})
+			fft.SetI(k, hl.IAdd(hl.ILoad(k), hl.ILoad(mS)))
+		})
+		fft.SetI(mh, hl.ILoad(mS))
+		fft.SetI(mS, hl.IMul(hl.ILoad(mS), hl.IConst(2)))
+	})
+	fft.Ret()
+
+	// checksum: strided sums of the transformed field.
+	cks := p.Func("checksum")
+	cks.Set(ckre, hl.Const(0))
+	cks.Set(ckim, hl.Const(0))
+	cks.SetI(j, hl.IConst(0))
+	cks.While(hl.ILt(hl.ILoad(j), hl.IConst(int64(n))), func() {
+		cks.Set(ckre, hl.Add(hl.Load(ckre), hl.At(re, hl.ILoad(j))))
+		cks.Set(ckim, hl.Add(hl.Load(ckim), hl.At(im, hl.ILoad(j))))
+		cks.SetI(j, hl.IAdd(hl.ILoad(j), hl.IConst(3)))
+	})
+	cks.Ret()
+
+	// accounting: cold per-run statistics that feed reporting, not the
+	// verified checksum (mflops-style bookkeeping).
+	acct := p.Func("accounting")
+	acct.Set(sumsq, hl.Const(0))
+	acct.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		acct.Set(sumsq, hl.Add(hl.Load(sumsq),
+			hl.Add(hl.Mul(hl.At(re, hl.ILoad(i)), hl.At(re, hl.ILoad(i))),
+				hl.Mul(hl.At(im, hl.ILoad(i)), hl.At(im, hl.ILoad(i))))))
+	})
+	acct.Ret()
+
+	// timers: one-shot mflops-style accounting over the run parameters —
+	// executed once, never verified (NAS print_results bookkeeping).
+	mflops := p.Scalar("mflops")
+	tim := p.Func("timers")
+	tim.Set(mflops, hl.FromInt(hl.IConst(int64(n))))
+	tim.Set(mflops, hl.Mul(hl.Load(mflops), hl.Log(hl.FromInt(hl.IConst(int64(n))))))
+	tim.Set(mflops, hl.Mul(hl.Load(mflops), hl.Const(5.0*float64(iters))))
+	tim.Set(mflops, hl.Div(hl.Load(mflops), hl.Add(hl.Load(sumsq), hl.Const(1))))
+	tim.Ret()
+
+	// checkerr: an error-analysis path that only runs if the checksum
+	// degenerates (never, on healthy inputs) — statically present,
+	// dynamically dead, like the NAS codes' failure reporting.
+	errstat := p.Scalar("errstat")
+	ce := p.Func("checkerr")
+	ce.If(hl.Lt(hl.Abs(hl.Load(ckre)), hl.Const(1e-30)), func() {
+		ce.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			ce.Set(errstat, hl.Add(hl.Load(errstat),
+				hl.Sqrt(hl.Add(hl.Mul(hl.At(re, hl.ILoad(i)), hl.At(re, hl.ILoad(i))),
+					hl.Mul(hl.At(im, hl.ILoad(i)), hl.At(im, hl.ILoad(i)))))))
+		})
+		ce.Set(errstat, hl.Div(hl.Load(errstat), hl.FromInt(hl.IConst(int64(n)))))
+		ce.Set(errstat, hl.Add(hl.Mul(hl.Load(errstat), hl.Const(0.5)),
+			hl.Exp(hl.Mul(hl.Load(errstat), hl.Const(-1)))))
+		ce.Set(errstat, hl.Max(hl.Load(errstat), hl.Abs(hl.Sub(hl.Load(ckre), hl.Load(ckim)))))
+		ce.Set(errstat, hl.Min(hl.Load(errstat), hl.Const(1e6)))
+	}, nil)
+	ce.Ret()
+
+	main := p.Func("main")
+	main.Call("init")
+	main.For(iter, hl.IConst(0), hl.IConst(int64(iters)), func() {
+		main.Call("evolve")
+		main.Call("fft")
+	})
+	main.Call("checksum")
+	main.Call("accounting")
+	main.Call("timers")
+	main.Call("checkerr")
+	main.Out(hl.Load(ckre))
+	main.Out(hl.Load(ckim))
+	main.Out(hl.Load(sumsq))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildFT(class Class) (*Bench, error) {
+	m, err := ftSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(600_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		// Checksums verified tightly (NAS-style 1e-10); the accounting
+		// value only loosely.
+		if relErr(ref[0], got[0]) > 1e-10 || relErr(ref[1], got[1]) > 1e-10 {
+			return false
+		}
+		return relErr(ref[2], got[2]) < 1e-2
+	}
+	return &Bench{
+		Name:      "ft",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}

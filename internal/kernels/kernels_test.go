@@ -1,0 +1,380 @@
+package kernels
+
+import (
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/mpi"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) != 9 {
+		t.Fatalf("kernels = %v", names)
+	}
+	if _, err := Get("nope", ClassW); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+// TestAllKernelsSelfVerify builds every kernel at class W and checks the
+// reference run passes its own verification.
+func TestAllKernelsSelfVerify(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := Get(name, ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := vm.New(b.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.MaxSteps = b.MaxSteps
+			if err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !b.Verify(m.Out) {
+				t.Error("reference run fails own verification")
+			}
+			if len(b.Module.Candidates()) == 0 {
+				t.Error("no replacement candidates")
+			}
+		})
+	}
+}
+
+// TestAllKernelsSurviveAllDoubleInstrumentation: wrapping everything in
+// double snippets must not change any output bit (the Figure 8/9 base
+// case) on every kernel.
+func TestAllKernelsSurviveAllDoubleInstrumentation(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := Get(name, ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := config.FromModule(b.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.SetAll(config.Double)
+			inst, err := replace.Instrument(b.Module, c, replace.InstrumentOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := vm.New(b.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := orig.Run(); err != nil {
+				t.Fatal(err)
+			}
+			wrapped, err := vm.New(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wrapped.MaxSteps = 4_000_000_000
+			if err := wrapped.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(orig.Out) != len(wrapped.Out) {
+				t.Fatalf("output count changed: %d vs %d", len(orig.Out), len(wrapped.Out))
+			}
+			for i := range orig.Out {
+				if orig.Out[i].Bits != wrapped.Out[i].Bits {
+					t.Errorf("output %d changed: %#x vs %#x", i, orig.Out[i].Bits, wrapped.Out[i].Bits)
+				}
+			}
+			if wrapped.Cycles <= orig.Cycles {
+				t.Error("instrumentation cost no cycles")
+			}
+		})
+	}
+}
+
+// TestAMGFullySingle: the §3.2 result — the whole AMG kernel passes its
+// verification in single precision, and the manual conversion is faster.
+func TestAMGFullySingle(t *testing.T) {
+	b, err := Get("amg", ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := config.FromModule(b.Module)
+	c.SetAll(config.Single)
+	inst, err := replace.Instrument(b.Module, c, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = b.MaxSteps
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Verify(m.Out) {
+		t.Fatal("all-single AMG fails verification")
+	}
+	// Manual conversion speedup.
+	d, err := vm.New(b.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := vm.New(b.ModuleF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Verify(s.Out) {
+		t.Error("manual F32 AMG fails verification")
+	}
+	speedup := float64(d.Cycles) / float64(s.Cycles)
+	if speedup < 1.4 {
+		t.Errorf("manual conversion speedup = %.2fX, want >= 1.4X", speedup)
+	}
+}
+
+// TestEPRandlcSensitivity: the RNG must produce garbage under whole-
+// function single precision (the paper's motivating "unusual construct").
+func TestEPRandlcSensitivity(t *testing.T) {
+	b, err := Get("ep", ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := config.FromModule(b.Module)
+	for _, fn := range c.Root.Children {
+		if fn.Name == "randlc" {
+			fn.Flag = config.Single
+		}
+	}
+	inst, err := replace.Instrument(b.Module, c, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = b.MaxSteps
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Verify(m.Out) {
+		t.Error("single-precision randlc passed verification; it must not")
+	}
+}
+
+// TestEPIgnoreFlagExcludesRNG: flagging randlc Ignore leaves it untouched
+// by instrumentation.
+func TestEPIgnoreFlagExcludesRNG(t *testing.T) {
+	b, err := Get("ep", ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ignoreFuncs(b.Module, "randlc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ignored := 0
+	for _, p := range base.Effective() {
+		if p == config.Ignore {
+			ignored++
+		}
+	}
+	if ignored == 0 {
+		t.Fatal("no instructions ignored")
+	}
+	inst, err := replace.Instrument(b.Module, base, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = b.MaxSteps
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Verify(m.Out) {
+		t.Error("ignore-flagged EP fails verification")
+	}
+}
+
+// TestSuperLUManualConversion reproduces §3.3's single-precision
+// comparison: the F32 build reports a much larger error than the double
+// build, and runs faster.
+func TestSuperLUManualConversion(t *testing.T) {
+	b, err := Get("superlu", ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := vm.New(b.Module)
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := vm.New(b.ModuleF32)
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	errD := d.Out[0].F64()
+	errS := float64(s.Out[0].F32())
+	if errS < errD*1e3 {
+		t.Errorf("single error %.3g not clearly larger than double %.3g", errS, errD)
+	}
+	if errS > 1e-2 {
+		t.Errorf("single error %.3g implausibly large", errS)
+	}
+	if d.Cycles <= s.Cycles {
+		t.Error("single build should be faster")
+	}
+}
+
+// TestMPIVariantsRunAndScale: every MPI kernel runs at 1..8 ranks with
+// identical rank-0 output, and all-double instrumentation overhead does
+// not grow with rank count.
+func TestMPIVariantsRunAndScale(t *testing.T) {
+	for _, name := range MPIKernelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			mod, err := MPISource(name, ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _ := config.FromModule(mod)
+			c.SetAll(config.Double)
+			inst, err := replace.Instrument(mod, c, replace.InstrumentOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var prevOv float64
+			for _, ranks := range []int{1, 2, 4, 8} {
+				base, err := mpi.RunWorld(mod, ranks, 0)
+				if err != nil {
+					t.Fatalf("ranks=%d: %v", ranks, err)
+				}
+				wrapped, err := mpi.RunWorld(inst, ranks, 0)
+				if err != nil {
+					t.Fatalf("ranks=%d instrumented: %v", ranks, err)
+				}
+				if len(base[0].Out) == 0 {
+					t.Fatal("rank 0 produced no output")
+				}
+				for i := range base[0].Out {
+					if base[0].Out[i].Bits != wrapped[0].Out[i].Bits {
+						t.Errorf("ranks=%d: output %d changed under all-double instrumentation", ranks, i)
+					}
+				}
+				ov := float64(mpi.TotalCycles(wrapped)) / float64(mpi.TotalCycles(base))
+				if ov <= 1 {
+					t.Errorf("ranks=%d: overhead %.2fX <= 1", ranks, ov)
+				}
+				if prevOv != 0 && ov > prevOv*1.10 {
+					t.Errorf("overhead grew with ranks: %.2fX -> %.2fX", prevOv, ov)
+				}
+				prevOv = ov
+			}
+		})
+	}
+}
+
+// TestBitForBitEquivalence is the §3.1 check across convertible kernels:
+// instrumented all-single execution matches the manually converted
+// ModeF32 build bit for bit on every output.
+func TestBitForBitEquivalence(t *testing.T) {
+	for _, name := range []string{"amg", "superlu"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := Get(name, ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.ModuleF32 == nil {
+				t.Skip("kernel not convertible")
+			}
+			c, _ := config.FromModule(b.Module)
+			c.SetAll(config.Single)
+			inst, err := replace.Instrument(b.Module, c, replace.InstrumentOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			mi, _ := vm.New(inst)
+			mi.MaxSteps = 4_000_000_000
+			if err := mi.Run(); err != nil {
+				t.Fatal(err)
+			}
+			mm32, _ := vm.New(b.ModuleF32)
+			mm32.MaxSteps = 4_000_000_000
+			if err := mm32.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(mi.Out) != len(mm32.Out) {
+				t.Fatalf("output counts differ: %d vs %d", len(mi.Out), len(mm32.Out))
+			}
+			for i := range mi.Out {
+				g := mi.Out[i].Bits
+				w := mm32.Out[i].Bits
+				if mi.Out[i].Kind == vm.OutF64 && replace.IsReplaced(g) {
+					g = uint64(uint32(g))
+				}
+				if uint32(g) != uint32(w) {
+					t.Errorf("output %d: instrumented %#x != manual %#x", i, g, w)
+				}
+			}
+		})
+	}
+}
+
+func TestClassesScaleWork(t *testing.T) {
+	for _, name := range []string{"ep", "cg", "mg"} {
+		w, err := Get(name, ClassW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Get(name, ClassA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mw, _ := vm.New(w.Module)
+		_ = mw.Run()
+		ma, _ := vm.New(a.Module)
+		_ = ma.Run()
+		if ma.Steps <= mw.Steps {
+			t.Errorf("%s: class A (%d steps) not larger than W (%d)", name, ma.Steps, mw.Steps)
+		}
+	}
+}
+
+func TestSourceBuildersBothModes(t *testing.T) {
+	builders := map[string]func(Class, hl.Mode) (modIface, error){
+		"ep": func(c Class, m hl.Mode) (modIface, error) { return EPSource(c, m) },
+		"cg": func(c Class, m hl.Mode) (modIface, error) { return CGSource(c, m) },
+		"mg": func(c Class, m hl.Mode) (modIface, error) { return MGSource(c, m) },
+		"sp": func(c Class, m hl.Mode) (modIface, error) { return SPSource(c, m) },
+	}
+	for name, build := range builders {
+		if _, err := build(ClassW, hl.ModeF64); err != nil {
+			t.Errorf("%s f64: %v", name, err)
+		}
+		if _, err := build(ClassW, hl.ModeF32); err != nil {
+			t.Errorf("%s f32: %v", name, err)
+		}
+	}
+}
+
+type modIface interface{ Candidates() []uint64 }

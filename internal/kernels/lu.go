@@ -1,0 +1,229 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// LU: an SSOR relaxation solver in the NAS LU style — symmetric
+// successive over-relaxation sweeps (a lower sweep in ascending cell
+// order, an upper sweep in descending order) of a 5-point operator on a
+// 2-D grid, iterated a fixed number of times with the residual norm as
+// the verified quantity.
+
+func luSize(class Class) (nx, ny, cap int) {
+	switch class {
+	case ClassA:
+		return 32, 16, 220
+	case ClassC:
+		return 48, 24, 240
+	default:
+		return 16, 10, 200
+	}
+}
+
+// luTol is the in-program convergence tolerance: reachable by the
+// double-precision build, forever out of reach of single-precision
+// sweeps — which is what makes the solver core resist replacement.
+const luTol = 1e-12
+
+func luSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	nx, ny, steps := luSize(class)
+	ncell := nx * ny
+
+	p := hl.New("lu."+string(class), mode)
+	u := p.Array("u", ncell)
+	f := p.Array("f", ncell)
+	rsd := p.Scalar("rsd")
+	t := p.Scalar("lut")
+	iters := p.Int("iters")
+	i := p.Int("i")
+	j := p.Int("j")
+	it := p.Int("it")
+	k := p.Int("k")
+
+	const omega = 1.2
+	const diag = 4.3
+
+	idx := func(ie, je hl.IExpr) hl.IExpr {
+		return hl.IAdd(hl.IMul(je, hl.IConst(int64(nx))), ie)
+	}
+	nbrs := func(fb *hl.FuncBuilder) hl.Expr {
+		return hl.Add(
+			hl.Add(hl.At(u, idx(hl.ISub(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j))),
+				hl.At(u, idx(hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j)))),
+			hl.Add(hl.At(u, idx(hl.ILoad(i), hl.ISub(hl.ILoad(j), hl.IConst(1)))),
+				hl.At(u, idx(hl.ILoad(i), hl.IAdd(hl.ILoad(j), hl.IConst(1))))))
+	}
+
+	init := p.Func("init")
+	init.For(k, hl.IConst(0), hl.IConst(int64(ncell)), func() {
+		init.Store(f, hl.ILoad(k),
+			hl.Add(hl.Const(1), hl.Mul(hl.Const(0.25), hl.Sin(hl.Mul(hl.Const(0.23), hl.FromInt(hl.ILoad(k)))))))
+		init.Store(u, hl.ILoad(k), hl.Const(0))
+	})
+	init.Ret()
+
+	// setbv: boundary values from a smooth formula (NAS LU setbv).
+	setbv := p.Func("setbv")
+	setbv.For(i, hl.IConst(0), hl.IConst(int64(nx)), func() {
+		setbv.Store(u, idx(hl.ILoad(i), hl.IConst(0)),
+			hl.Mul(hl.Const(0.01), hl.Cos(hl.Mul(hl.Const(0.4), hl.FromInt(hl.ILoad(i))))))
+		setbv.Store(u, idx(hl.ILoad(i), hl.IConst(int64(ny-1))),
+			hl.Mul(hl.Const(0.01), hl.Sin(hl.Mul(hl.Const(0.3), hl.FromInt(hl.ILoad(i))))))
+	})
+	setbv.For(j, hl.IConst(0), hl.IConst(int64(ny)), func() {
+		setbv.Store(u, idx(hl.IConst(0), hl.ILoad(j)),
+			hl.Mul(hl.Const(0.01), hl.Exp(hl.Mul(hl.Const(-0.2), hl.FromInt(hl.ILoad(j))))))
+		setbv.Store(u, idx(hl.IConst(int64(nx-1)), hl.ILoad(j)),
+			hl.Mul(hl.Const(0.005), hl.FromInt(hl.ILoad(j))))
+	})
+	setbv.Ret()
+
+	// setiv: interior initial guess interpolated from the boundaries
+	// (NAS LU setiv).
+	xi := p.Scalar("xi")
+	eta := p.Scalar("eta")
+	setiv := p.Func("setiv")
+	setiv.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		setiv.For(i, hl.IConst(1), hl.IConst(int64(nx-1)), func() {
+			setiv.Set(xi, hl.Div(hl.FromInt(hl.ILoad(i)), hl.Const(float64(nx-1))))
+			setiv.Set(eta, hl.Div(hl.FromInt(hl.ILoad(j)), hl.Const(float64(ny-1))))
+			left := hl.At(u, idx(hl.IConst(0), hl.ILoad(j)))
+			right := hl.At(u, idx(hl.IConst(int64(nx-1)), hl.ILoad(j)))
+			bot := hl.At(u, idx(hl.ILoad(i), hl.IConst(0)))
+			top := hl.At(u, idx(hl.ILoad(i), hl.IConst(int64(ny-1))))
+			horiz := hl.Add(hl.Mul(hl.Sub(hl.Const(1), hl.Load(xi)), left), hl.Mul(hl.Load(xi), right))
+			vert := hl.Add(hl.Mul(hl.Sub(hl.Const(1), hl.Load(eta)), bot), hl.Mul(hl.Load(eta), top))
+			setiv.Store(u, idx(hl.ILoad(i), hl.ILoad(j)),
+				hl.Mul(hl.Const(0.5), hl.Add(horiz, vert)))
+		})
+	})
+	setiv.Ret()
+
+	// pintgr: a surface-integral diagnostic over the final field
+	// (NAS LU pintgr), reported loosely.
+	psum := p.Scalar("psum")
+	pintgr := p.Func("pintgr")
+	pintgr.Set(psum, hl.Const(0))
+	pintgr.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		pintgr.For(i, hl.IConst(1), hl.IConst(int64(nx-1)), func() {
+			corner := hl.Mul(hl.Const(0.25),
+				hl.Add(hl.Add(hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))),
+					hl.At(u, idx(hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.ILoad(j)))),
+					hl.Add(hl.At(u, idx(hl.ILoad(i), hl.IAdd(hl.ILoad(j), hl.IConst(1)))),
+						hl.At(u, idx(hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.IAdd(hl.ILoad(j), hl.IConst(1)))))))
+			pintgr.Set(psum, hl.Add(hl.Load(psum), hl.Mul(corner, corner)))
+		})
+	})
+	pintgr.Set(psum, hl.Sqrt(hl.Load(psum)))
+	pintgr.Ret()
+
+	// blts: lower sweep (ascending order), SSOR update.
+	blts := p.Func("blts")
+	blts.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		blts.For(i, hl.IConst(1), hl.IConst(int64(nx-1)), func() {
+			blts.Set(t, hl.Div(
+				hl.Sub(hl.Add(hl.At(f, idx(hl.ILoad(i), hl.ILoad(j))), nbrs(blts)),
+					hl.Mul(hl.Const(diag), hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))))),
+				hl.Const(diag)))
+			blts.Store(u, idx(hl.ILoad(i), hl.ILoad(j)),
+				hl.Add(hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))), hl.Mul(hl.Const(omega), hl.Load(t))))
+		})
+	})
+	blts.Ret()
+
+	// buts: upper sweep (descending order).
+	buts := p.Func("buts")
+	buts.SetI(j, hl.IConst(int64(ny-2)))
+	buts.While(hl.IGe(hl.ILoad(j), hl.IConst(1)), func() {
+		buts.SetI(i, hl.IConst(int64(nx-2)))
+		buts.While(hl.IGe(hl.ILoad(i), hl.IConst(1)), func() {
+			buts.Set(t, hl.Div(
+				hl.Sub(hl.Add(hl.At(f, idx(hl.ILoad(i), hl.ILoad(j))), nbrs(buts)),
+					hl.Mul(hl.Const(diag), hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))))),
+				hl.Const(diag)))
+			buts.Store(u, idx(hl.ILoad(i), hl.ILoad(j)),
+				hl.Add(hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))), hl.Mul(hl.Const(omega), hl.Load(t))))
+			buts.SetI(i, hl.ISub(hl.ILoad(i), hl.IConst(1)))
+		})
+		buts.SetI(j, hl.ISub(hl.ILoad(j), hl.IConst(1)))
+	})
+	buts.Ret()
+
+	// l2norm: residual f + neighbors - diag*u over the interior.
+	nrm := p.Func("l2norm")
+	nrm.Set(rsd, hl.Const(0))
+	nrm.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		nrm.For(i, hl.IConst(1), hl.IConst(int64(nx-1)), func() {
+			nrm.Set(t, hl.Sub(hl.Add(hl.At(f, idx(hl.ILoad(i), hl.ILoad(j))), nbrs(nrm)),
+				hl.Mul(hl.Const(diag), hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))))))
+			nrm.Set(rsd, hl.Add(hl.Load(rsd), hl.Mul(hl.Load(t), hl.Load(t))))
+		})
+	})
+	nrm.Set(rsd, hl.Sqrt(hl.Load(rsd)))
+	nrm.Ret()
+
+	// ssor: iterate sweeps until the residual converges below luTol or
+	// the iteration cap is reached (NAS LU's timestep loop shape).
+	main := p.Func("main")
+	main.Call("init")
+	main.Call("setbv")
+	main.Call("setiv")
+	main.Set(rsd, hl.Const(1))
+	main.For(it, hl.IConst(0), hl.IConst(int64(steps)), func() {
+		main.If(hl.Gt(hl.Load(rsd), hl.Const(luTol)), func() {
+			main.Call("blts")
+			main.Call("buts")
+			main.Call("l2norm")
+			main.SetI(iters, hl.IAdd(hl.ILoad(iters), hl.IConst(1)))
+		}, nil)
+	})
+	main.Call("pintgr")
+	main.Out(hl.Load(rsd))
+	main.Out(hl.At(u, idx(hl.IConst(int64(nx/2)), hl.IConst(int64(ny/2)))))
+	main.Out(hl.Load(psum))
+	main.OutInt(hl.ILoad(iters))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildLU(class Class) (*Bench, error) {
+	m, err := luSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(800_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if ref[0] > luTol {
+		return nil, errNotConverged("lu", string(class), ref[0])
+	}
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		// The solver must have converged below the in-program tolerance;
+		// the sampled solution value is only loosely checked.
+		if math.IsNaN(got[0]) || got[0] < 0 || got[0] > luTol {
+			return false
+		}
+		return relErr(ref[1], got[1]) < 1e-4 && relErr(ref[2], got[2]) < 1e-4
+	}
+	return &Bench{
+		Name:      "lu",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}

@@ -1,0 +1,239 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// MG: a geometric multigrid V-cycle solver for the 1-D Poisson operator
+// [-1, 2, -1] on 2^k+1-point grids, in the NAS MG style: per-level
+// smooth / residual / restrict / interpolate routines (one function per
+// level, like the specialized routines NAS MG generates per grid size)
+// driving the residual norm down over a fixed number of V-cycles.
+// Multigrid's self-correcting iteration tolerates single precision in
+// much of the hierarchy, giving MG the paper's broad-replacement profile.
+
+func mgSize(class Class) (n, cycles int) {
+	switch class {
+	case ClassA:
+		return 256, 7
+	case ClassC:
+		return 512, 7
+	default:
+		return 128, 6
+	}
+}
+
+// mgThreshold is the verified bound on the final relative residual norm.
+const mgThresholdVal = 1e-6
+
+// vcycleParams configures the shared V-cycle program generator.
+type vcycleParams struct {
+	name         string
+	n            int // fine grid interval count (2^k); grids have n+1 points
+	cycles       int
+	preSweeps    int // smoothing sweeps per level on the way down and up
+	coarseSweeps int
+	mixedRHS     bool // add a high-frequency component to the forcing
+}
+
+// vcycleSource generates a complete multilevel V-cycle program.
+func vcycleSource(par vcycleParams, mode hl.Mode) (*prog.Module, error) {
+	n := par.n
+	levels := 0
+	for sz := n; sz >= 8; sz >>= 1 {
+		levels++
+	}
+
+	p := hl.New(par.name, mode)
+	sizes := make([]int, levels) // interval counts; arrays hold sizes[l]+1 points
+	for l := range sizes {
+		sizes[l] = n >> l
+	}
+	u := make([]hl.FArr, levels)
+	rhs := make([]hl.FArr, levels)
+	res := make([]hl.FArr, levels)
+	for l := 0; l < levels; l++ {
+		u[l] = p.Array(fmt.Sprintf("u%d", l), sizes[l]+1)
+		rhs[l] = p.Array(fmt.Sprintf("rhs%d", l), sizes[l]+1)
+		res[l] = p.Array(fmt.Sprintf("res%d", l), sizes[l]+1)
+	}
+	rnorm := p.Scalar("rnorm")
+	bn := p.Scalar("bn")
+	i := p.Int("i")
+	c := p.Int("c")
+	s := p.Int("s")
+
+	// init: forcing on the fine grid.
+	init := p.Func("init")
+	init.For(i, hl.IConst(0), hl.IConst(int64(n+1)), func() {
+		e := hl.Sin(hl.Mul(hl.Const(2*math.Pi/float64(n)), hl.FromInt(hl.ILoad(i))))
+		if par.mixedRHS {
+			e = hl.Add(e, hl.Mul(hl.Const(0.5),
+				hl.Sin(hl.Mul(hl.Const(34*math.Pi/float64(n)), hl.FromInt(hl.ILoad(i))))))
+		}
+		init.Store(rhs[0], hl.ILoad(i), e)
+	})
+	init.Ret()
+
+	for l := 0; l < levels; l++ {
+		l := l
+		nl := sizes[l]
+
+		// smoothL: damped Jacobi sweeps (in-place, Gauss-Seidel flavor).
+		sweeps := par.preSweeps
+		if l == levels-1 {
+			sweeps = par.coarseSweeps
+		}
+		sm := p.Func(fmt.Sprintf("smooth%d", l))
+		sm.For(s, hl.IConst(0), hl.IConst(int64(sweeps)), func() {
+			sm.For(i, hl.IConst(1), hl.IConst(int64(nl)), func() {
+				upd := hl.Mul(hl.Const(1.0/3.0),
+					hl.Sub(hl.Add(hl.At(rhs[l], hl.ILoad(i)),
+						hl.Add(hl.At(u[l], hl.ISub(hl.ILoad(i), hl.IConst(1))),
+							hl.At(u[l], hl.IAdd(hl.ILoad(i), hl.IConst(1))))),
+						hl.Mul(hl.Const(2), hl.At(u[l], hl.ILoad(i)))))
+				sm.Store(u[l], hl.ILoad(i), hl.Add(hl.At(u[l], hl.ILoad(i)), upd))
+			})
+		})
+		sm.Ret()
+
+		// residL: res = rhs - A u over the interior.
+		rs := p.Func(fmt.Sprintf("resid%d", l))
+		rs.Store(res[l], hl.IConst(0), hl.Const(0))
+		rs.Store(res[l], hl.IConst(int64(nl)), hl.Const(0))
+		rs.For(i, hl.IConst(1), hl.IConst(int64(nl)), func() {
+			rs.Store(res[l], hl.ILoad(i),
+				hl.Sub(hl.At(rhs[l], hl.ILoad(i)),
+					hl.Sub(hl.Mul(hl.Const(2), hl.At(u[l], hl.ILoad(i))),
+						hl.Add(hl.At(u[l], hl.ISub(hl.ILoad(i), hl.IConst(1))),
+							hl.At(u[l], hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+		})
+		rs.Ret()
+
+		if l+1 < levels {
+			nc := sizes[l+1]
+			// restrictL: coarse rhs = 4 * full-weighting of the residual
+			// (the (2h)^2/h^2 factor of re-discretized difference
+			// operators); zero the coarse solution.
+			rp := p.Func(fmt.Sprintf("restrict%d", l))
+			rp.For(i, hl.IConst(0), hl.IConst(int64(nc+1)), func() {
+				rp.Store(u[l+1], hl.ILoad(i), hl.Const(0))
+				rp.Store(rhs[l+1], hl.ILoad(i), hl.Const(0))
+			})
+			rp.For(i, hl.IConst(1), hl.IConst(int64(nc)), func() {
+				twoI := hl.IMul(hl.ILoad(i), hl.IConst(2))
+				rp.Store(rhs[l+1], hl.ILoad(i),
+					hl.Add(hl.At(res[l], hl.ISub(twoI, hl.IConst(1))),
+						hl.Add(hl.Mul(hl.Const(2), hl.At(res[l], twoI)),
+							hl.At(res[l], hl.IAdd(twoI, hl.IConst(1))))))
+			})
+			rp.Ret()
+
+			// interpL: linear interpolation of the coarse correction.
+			ip := p.Func(fmt.Sprintf("interp%d", l))
+			ip.For(i, hl.IConst(1), hl.IConst(int64(nc)), func() {
+				twoI := hl.IMul(hl.ILoad(i), hl.IConst(2))
+				ip.Store(u[l], twoI, hl.Add(hl.At(u[l], twoI), hl.At(u[l+1], hl.ILoad(i))))
+			})
+			ip.For(i, hl.IConst(0), hl.IConst(int64(nc)), func() {
+				twoI1 := hl.IAdd(hl.IMul(hl.ILoad(i), hl.IConst(2)), hl.IConst(1))
+				ip.Store(u[l], twoI1,
+					hl.Add(hl.At(u[l], twoI1),
+						hl.Mul(hl.Const(0.5),
+							hl.Add(hl.At(u[l+1], hl.ILoad(i)),
+								hl.At(u[l+1], hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+			})
+			ip.Ret()
+		}
+	}
+
+	// vcycle: one full V-cycle.
+	vc := p.Func("vcycle")
+	for l := 0; l < levels-1; l++ {
+		vc.Call(fmt.Sprintf("smooth%d", l))
+		vc.Call(fmt.Sprintf("resid%d", l))
+		vc.Call(fmt.Sprintf("restrict%d", l))
+	}
+	vc.Call(fmt.Sprintf("smooth%d", levels-1))
+	for l := levels - 2; l >= 0; l-- {
+		vc.Call(fmt.Sprintf("interp%d", l))
+		vc.Call(fmt.Sprintf("smooth%d", l))
+	}
+	vc.Ret()
+
+	// norm: relative fine-grid residual norm.
+	nm := p.Func("norm")
+	nm.Call("resid0")
+	nm.Set(rnorm, hl.Const(0))
+	nm.Set(bn, hl.Const(0))
+	nm.For(i, hl.IConst(0), hl.IConst(int64(n+1)), func() {
+		nm.Set(rnorm, hl.Add(hl.Load(rnorm),
+			hl.Mul(hl.At(res[0], hl.ILoad(i)), hl.At(res[0], hl.ILoad(i)))))
+		nm.Set(bn, hl.Add(hl.Load(bn),
+			hl.Mul(hl.At(rhs[0], hl.ILoad(i)), hl.At(rhs[0], hl.ILoad(i)))))
+	})
+	nm.Set(rnorm, hl.Div(hl.Sqrt(hl.Load(rnorm)), hl.Sqrt(hl.Load(bn))))
+	nm.Ret()
+
+	main := p.Func("main")
+	main.Call("init")
+	main.For(c, hl.IConst(0), hl.IConst(int64(par.cycles)), func() {
+		main.Call("vcycle")
+	})
+	main.Call("norm")
+	main.Out(hl.Load(rnorm))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func mgSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	n, cycles := mgSize(class)
+	return vcycleSource(vcycleParams{
+		name:         "mg." + string(class),
+		n:            n,
+		cycles:       cycles,
+		preSweeps:    2,
+		coarseSweeps: 30,
+		mixedRHS:     true,
+	}, mode)
+}
+
+// MGSource exposes the MG builder for tests and examples.
+func MGSource(class Class, mode hl.Mode) (*prog.Module, error) { return mgSource(class, mode) }
+
+func buildMG(class Class) (*Bench, error) {
+	m, err := mgSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(600_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	if ref[0] > mgThresholdVal/4 {
+		return nil, errNotConverged("mg", string(class), ref[0])
+	}
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != 1 || math.IsNaN(got[0]) || got[0] < 0 {
+			return false
+		}
+		return got[0] <= mgThresholdVal
+	}
+	return &Bench{
+		Name:      "mg",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}

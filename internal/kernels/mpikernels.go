@@ -1,0 +1,464 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/mm"
+	"fpmix/internal/prog"
+)
+
+// MPI variants of EP, CG, FT and MG for the intra-node scaling experiment
+// (Figure 8): strong-scaled workloads where each rank owns 1/P of the
+// work and the ranks synchronize through collectives every iteration.
+// The same binary runs on every rank; decomposition is computed at run
+// time from the rank id and communicator size.
+//
+// These variants exist to measure instrumentation overhead as a function
+// of rank count, so they have no verification routines — the experiment
+// instruments every floating-point instruction with double-precision
+// snippets (semantics-preserving) and compares modeled cycle totals.
+
+// MPIKernelNames lists the kernels with MPI variants.
+func MPIKernelNames() []string { return []string{"ep", "cg", "ft", "mg"} }
+
+// MPISource builds the MPI variant of the named kernel at the class size.
+func MPISource(name string, class Class) (*prog.Module, error) {
+	switch name {
+	case "ep":
+		return epMPISource(class)
+	case "cg":
+		return cgMPISource(class)
+	case "ft":
+		return ftMPISource(class)
+	case "mg":
+		return mgMPISource(class)
+	}
+	return nil, fmt.Errorf("kernels: no MPI variant of %q", name)
+}
+
+// epMPISource: each rank generates pairs/P Gaussian pairs from a
+// rank-offset seed and the sums are combined with one allreduce.
+func epMPISource(class Class) (*prog.Module, error) {
+	pairs := epPairs(class) * 4 // MPI runs use a larger total workload
+	p := hl.New("ep.mpi."+string(class), hl.ModeF64)
+
+	r23 := p.ScalarInit("r23", math.Pow(2, -23))
+	t23 := p.ScalarInit("t23", math.Pow(2, 23))
+	r46 := p.ScalarInit("r46", math.Pow(2, -46))
+	t46 := p.ScalarInit("t46", math.Pow(2, 46))
+	seedX := p.Scalar("x")
+	aConst := p.ScalarInit("a", 1220703125.0)
+	rnd := p.Scalar("rnd")
+	t1 := p.Scalar("t1")
+	a1 := p.Scalar("a1")
+	a2 := p.Scalar("a2")
+	rx1 := p.Scalar("rx1")
+	rx2 := p.Scalar("rx2")
+	z := p.Scalar("z")
+	x1 := p.Scalar("x1")
+	x2 := p.Scalar("x2")
+	tv := p.Scalar("t")
+	w := p.Scalar("w")
+	acc := p.Array("acc", 2) // sx, sy
+	rank := p.Int("rank")
+	size := p.Int("size")
+	np := p.Int("np")
+	i := p.Int("i")
+
+	randlc := p.Func("randlc")
+	randlc.Set(t1, hl.Mul(hl.Load(r23), hl.Load(aConst)))
+	randlc.Set(a1, hl.FromInt(hl.ToInt(hl.Load(t1))))
+	randlc.Set(a2, hl.Sub(hl.Load(aConst), hl.Mul(hl.Load(t23), hl.Load(a1))))
+	randlc.Set(t1, hl.Mul(hl.Load(r23), hl.Load(seedX)))
+	randlc.Set(rx1, hl.FromInt(hl.ToInt(hl.Load(t1))))
+	randlc.Set(rx2, hl.Sub(hl.Load(seedX), hl.Mul(hl.Load(t23), hl.Load(rx1))))
+	randlc.Set(t1, hl.Add(hl.Mul(hl.Load(a1), hl.Load(rx2)), hl.Mul(hl.Load(a2), hl.Load(rx1))))
+	randlc.Set(z, hl.Sub(hl.Load(t1),
+		hl.Mul(hl.Load(t23), hl.FromInt(hl.ToInt(hl.Mul(hl.Load(r23), hl.Load(t1)))))))
+	randlc.Set(t1, hl.Add(hl.Mul(hl.Load(t23), hl.Load(z)), hl.Mul(hl.Load(a2), hl.Load(rx2))))
+	randlc.Set(seedX, hl.Sub(hl.Load(t1),
+		hl.Mul(hl.Load(t46), hl.FromInt(hl.ToInt(hl.Mul(hl.Load(r46), hl.Load(t1)))))))
+	randlc.Set(rnd, hl.Mul(hl.Load(r46), hl.Load(seedX)))
+	randlc.Ret()
+
+	pair := p.Func("pair")
+	pair.Call("randlc")
+	pair.Set(x1, hl.Sub(hl.Mul(hl.Const(2), hl.Load(rnd)), hl.Const(1)))
+	pair.Call("randlc")
+	pair.Set(x2, hl.Sub(hl.Mul(hl.Const(2), hl.Load(rnd)), hl.Const(1)))
+	pair.Set(tv, hl.Add(hl.Mul(hl.Load(x1), hl.Load(x1)), hl.Mul(hl.Load(x2), hl.Load(x2))))
+	pair.If(hl.Le(hl.Load(tv), hl.Const(1)), func() {
+		pair.If(hl.Gt(hl.Load(tv), hl.Const(0)), func() {
+			pair.Set(w, hl.Sqrt(hl.Div(hl.Mul(hl.Const(-2), hl.Log(hl.Load(tv))), hl.Load(tv))))
+			pair.Store(acc, hl.IConst(0),
+				hl.Add(hl.At(acc, hl.IConst(0)), hl.Mul(hl.Load(x1), hl.Load(w))))
+			pair.Store(acc, hl.IConst(1),
+				hl.Add(hl.At(acc, hl.IConst(1)), hl.Mul(hl.Load(x2), hl.Load(w))))
+		}, nil)
+	}, nil)
+	pair.Ret()
+
+	main := p.Func("main")
+	main.MPIRank(rank)
+	main.MPISize(size)
+	// Per-rank seed offset and pair share.
+	main.Set(seedX, hl.Add(hl.Const(271828183),
+		hl.Mul(hl.Const(104729), hl.FromInt(hl.ILoad(rank)))))
+	main.SetI(np, hl.IDiv(hl.IConst(int64(pairs)), hl.ILoad(size)))
+	main.For(i, hl.IConst(0), hl.ILoad(np), func() {
+		main.Call("pair")
+	})
+	main.MPIAllreduceSum(acc, hl.IConst(2))
+	main.If(hl.IEq(hl.ILoad(rank), hl.IConst(0)), func() {
+		main.Out(hl.At(acc, hl.IConst(0)))
+		main.Out(hl.At(acc, hl.IConst(1)))
+	}, nil)
+	main.Halt()
+
+	return p.Build("main")
+}
+
+// cgMPISource: replicated-matrix CG where each rank computes its block of
+// rows in the matrix-vector product and partial inner products, combined
+// with allreduces every iteration — the NAS CG communication pattern in
+// miniature.
+func cgMPISource(class Class) (*prog.Module, error) {
+	n, nnzPerRow, iters := cgSize(class)
+	A := mm.RandomSPD(n, nnzPerRow, 0xC6+uint64(len(class)))
+
+	p := hl.New("cg.mpi."+string(class), hl.ModeF64)
+	rowptr64 := make([]int64, len(A.RowPtr))
+	for i, v := range A.RowPtr {
+		rowptr64[i] = int64(v)
+	}
+	col64 := make([]int64, len(A.Col))
+	for i, v := range A.Col {
+		col64[i] = int64(v)
+	}
+	rowptr := p.IntArrayInit("rowptr", rowptr64)
+	col := p.IntArrayInit("col", col64)
+	vals := p.ArrayInit("vals", A.Val)
+
+	x := p.Array("x", n)
+	b := p.Array("b", n)
+	r := p.Array("r", n)
+	pv := p.Array("p", n)
+	q := p.Array("q", n)
+	sc := p.Array("scalars", 2) // reduction scratch
+
+	rho := p.Scalar("rho")
+	alpha := p.Scalar("alpha")
+	beta := p.Scalar("beta")
+	rho0 := p.Scalar("rho0")
+	t := p.Scalar("t")
+	lo := p.Int("lo")
+	hi := p.Int("hi")
+	rank := p.Int("rank")
+	size := p.Int("size")
+	i := p.Int("i")
+	k := p.Int("k")
+	it := p.Int("it")
+
+	// matvec: q[lo:hi) = A[lo:hi) p on this rank's rows, then allreduce
+	// the full q (rows outside the block contribute zero).
+	mv := p.Func("matvec")
+	mv.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		mv.Store(q, hl.ILoad(i), hl.Const(0))
+	})
+	mv.For(i, hl.ILoad(lo), hl.ILoad(hi), func() {
+		mv.Set(t, hl.Const(0))
+		mv.For(k, hl.IAt(rowptr, hl.ILoad(i)), hl.IAt(rowptr, hl.IAdd(hl.ILoad(i), hl.IConst(1))), func() {
+			mv.Set(t, hl.Add(hl.Load(t),
+				hl.Mul(hl.At(vals, hl.ILoad(k)), hl.At(pv, hl.IAt(col, hl.ILoad(k))))))
+		})
+		mv.Store(q, hl.ILoad(i), hl.Load(t))
+	})
+	mv.MPIAllreduceSum(q, hl.IConst(int64(n)))
+	mv.Ret()
+
+	main := p.Func("main")
+	main.MPIRank(rank)
+	main.MPISize(size)
+	main.SetI(lo, hl.IMul(hl.ILoad(rank), hl.IDiv(hl.IConst(int64(n)), hl.ILoad(size))))
+	main.SetI(hi, hl.IAdd(hl.ILoad(lo), hl.IDiv(hl.IConst(int64(n)), hl.ILoad(size))))
+	main.If(hl.IEq(hl.ILoad(rank), hl.ISub(hl.ILoad(size), hl.IConst(1))), func() {
+		main.SetI(hi, hl.IConst(int64(n)))
+	}, nil)
+	// b = formula; r = p = b; rho = b.b (computed redundantly by all).
+	main.Set(rho, hl.Const(0))
+	main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		main.Store(b, hl.ILoad(i),
+			hl.Add(hl.Const(1), hl.Mul(hl.Const(0.5), hl.Sin(hl.FromInt(hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+		main.Store(x, hl.ILoad(i), hl.Const(0))
+		main.Store(r, hl.ILoad(i), hl.At(b, hl.ILoad(i)))
+		main.Store(pv, hl.ILoad(i), hl.At(b, hl.ILoad(i)))
+		main.Set(rho, hl.Add(hl.Load(rho), hl.Mul(hl.At(b, hl.ILoad(i)), hl.At(b, hl.ILoad(i)))))
+	})
+	main.For(it, hl.IConst(0), hl.IConst(int64(iters)), func() {
+		main.Call("matvec")
+		// Partial p.q over this rank's rows, allreduced.
+		main.Set(t, hl.Const(0))
+		main.For(i, hl.ILoad(lo), hl.ILoad(hi), func() {
+			main.Set(t, hl.Add(hl.Load(t), hl.Mul(hl.At(pv, hl.ILoad(i)), hl.At(q, hl.ILoad(i)))))
+		})
+		main.Store(sc, hl.IConst(0), hl.Load(t))
+		main.Store(sc, hl.IConst(1), hl.Const(0))
+		main.MPIAllreduceSum(sc, hl.IConst(1))
+		main.Set(alpha, hl.Div(hl.Load(rho), hl.At(sc, hl.IConst(0))))
+		main.Set(rho0, hl.Load(rho))
+		// Partial updates and r.r over this rank's rows, allreduced.
+		main.Set(t, hl.Const(0))
+		main.For(i, hl.ILoad(lo), hl.ILoad(hi), func() {
+			main.Store(x, hl.ILoad(i), hl.Add(hl.At(x, hl.ILoad(i)), hl.Mul(hl.Load(alpha), hl.At(pv, hl.ILoad(i)))))
+			main.Store(r, hl.ILoad(i), hl.Sub(hl.At(r, hl.ILoad(i)), hl.Mul(hl.Load(alpha), hl.At(q, hl.ILoad(i)))))
+			main.Set(t, hl.Add(hl.Load(t), hl.Mul(hl.At(r, hl.ILoad(i)), hl.At(r, hl.ILoad(i)))))
+		})
+		main.Store(sc, hl.IConst(0), hl.Load(t))
+		main.MPIAllreduceSum(sc, hl.IConst(1))
+		main.Set(rho, hl.At(sc, hl.IConst(0)))
+		main.Set(beta, hl.Div(hl.Load(rho), hl.Load(rho0)))
+		// p = r + beta p on local rows, then share the full p.
+		main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			main.Store(pv, hl.ILoad(i), hl.Const(0))
+		})
+		main.For(i, hl.ILoad(lo), hl.ILoad(hi), func() {
+			main.Store(pv, hl.ILoad(i), hl.Add(hl.At(r, hl.ILoad(i)), hl.Mul(hl.Load(beta), hl.At(pv, hl.ILoad(i))))) //nolint
+		})
+		main.MPIAllreduceSum(pv, hl.IConst(int64(n)))
+	})
+	main.If(hl.IEq(hl.ILoad(rank), hl.IConst(0)), func() {
+		main.Out(hl.Load(rho))
+	}, nil)
+	main.Halt()
+
+	return p.Build("main")
+}
+
+// ftMPISource: each rank transforms its share of independent lines
+// (batched 1-D FFTs) with a barrier per iteration and an allreduced
+// checksum — the transpose-free skeleton of the NAS FT decomposition.
+func ftMPISource(class Class) (*prog.Module, error) {
+	n, iters := ftSize(class)
+	lines := 8
+	p := hl.New("ft.mpi."+string(class), hl.ModeF64)
+	re := p.Array("re", n*lines)
+	im := p.Array("im", n*lines)
+	ck := p.Array("ck", 2)
+	wre := p.Scalar("wre")
+	wim := p.Scalar("wim")
+	tr := p.Scalar("tr")
+	ti := p.Scalar("ti")
+	ang := p.Scalar("ang")
+	rank := p.Int("rank")
+	size := p.Int("size")
+	line := p.Int("line")
+	line2 := p.Int("line2")
+	base := p.Int("base")
+	i := p.Int("i")
+	j := p.Int("j")
+	k := p.Int("k")
+	s := p.Int("s")
+	mS := p.Int("m")
+	mh := p.Int("mh")
+	tmp := p.Int("tmp")
+	rj := p.Int("rj")
+	bb := p.Int("b")
+	i1 := p.Int("i1")
+	i2 := p.Int("i2")
+	it := p.Int("it")
+	logn := 0
+	for 1<<logn < n {
+		logn++
+	}
+
+	// fftline: in-place FFT of the line starting at base.
+	fl := p.Func("fftline")
+	fl.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		fl.SetI(rj, hl.IConst(0))
+		fl.SetI(tmp, hl.ILoad(i))
+		fl.For(bb, hl.IConst(0), hl.IConst(int64(logn)), func() {
+			fl.SetI(rj, hl.IAdd(hl.IShl(hl.ILoad(rj), 1), hl.IAnd(hl.ILoad(tmp), hl.IConst(1))))
+			fl.SetI(tmp, hl.IShr(hl.ILoad(tmp), 1))
+		})
+		fl.If(hl.IGt(hl.ILoad(rj), hl.ILoad(i)), func() {
+			ia := hl.IAdd(hl.ILoad(base), hl.ILoad(i))
+			ja := hl.IAdd(hl.ILoad(base), hl.ILoad(rj))
+			fl.Set(tr, hl.At(re, ia))
+			fl.Store(re, ia, hl.At(re, ja))
+			fl.Store(re, ja, hl.Load(tr))
+			fl.Set(ti, hl.At(im, ia))
+			fl.Store(im, ia, hl.At(im, ja))
+			fl.Store(im, ja, hl.Load(ti))
+		}, nil)
+	})
+	fl.SetI(mS, hl.IConst(2))
+	fl.SetI(mh, hl.IConst(1))
+	fl.For(s, hl.IConst(0), hl.IConst(int64(logn)), func() {
+		fl.SetI(k, hl.IConst(0))
+		fl.While(hl.ILt(hl.ILoad(k), hl.IConst(int64(n))), func() {
+			fl.For(j, hl.IConst(0), hl.ILoad(mh), func() {
+				fl.Set(ang, hl.Div(hl.Mul(hl.Const(-2*math.Pi), hl.FromInt(hl.ILoad(j))),
+					hl.FromInt(hl.ILoad(mS))))
+				fl.Set(wre, hl.Cos(hl.Load(ang)))
+				fl.Set(wim, hl.Sin(hl.Load(ang)))
+				fl.SetI(i1, hl.IAdd(hl.ILoad(base), hl.IAdd(hl.ILoad(k), hl.ILoad(j))))
+				fl.SetI(i2, hl.IAdd(hl.ILoad(i1), hl.ILoad(mh)))
+				fl.Set(tr, hl.Sub(hl.Mul(hl.Load(wre), hl.At(re, hl.ILoad(i2))),
+					hl.Mul(hl.Load(wim), hl.At(im, hl.ILoad(i2)))))
+				fl.Set(ti, hl.Add(hl.Mul(hl.Load(wre), hl.At(im, hl.ILoad(i2))),
+					hl.Mul(hl.Load(wim), hl.At(re, hl.ILoad(i2)))))
+				fl.Store(re, hl.ILoad(i2), hl.Sub(hl.At(re, hl.ILoad(i1)), hl.Load(tr)))
+				fl.Store(im, hl.ILoad(i2), hl.Sub(hl.At(im, hl.ILoad(i1)), hl.Load(ti)))
+				fl.Store(re, hl.ILoad(i1), hl.Add(hl.At(re, hl.ILoad(i1)), hl.Load(tr)))
+				fl.Store(im, hl.ILoad(i1), hl.Add(hl.At(im, hl.ILoad(i1)), hl.Load(ti)))
+			})
+			fl.SetI(k, hl.IAdd(hl.ILoad(k), hl.ILoad(mS)))
+		})
+		fl.SetI(mh, hl.ILoad(mS))
+		fl.SetI(mS, hl.IMul(hl.ILoad(mS), hl.IConst(2)))
+	})
+	fl.Ret()
+
+	main := p.Func("main")
+	main.MPIRank(rank)
+	main.MPISize(size)
+	// Init all lines (cheap, replicated).
+	main.For(i, hl.IConst(0), hl.IConst(int64(n*lines)), func() {
+		main.Store(re, hl.ILoad(i),
+			hl.Add(hl.Const(0.5), hl.Mul(hl.Const(0.5), hl.Sin(hl.FromInt(hl.IAdd(hl.ILoad(i), hl.IConst(1)))))))
+		main.Store(im, hl.ILoad(i),
+			hl.Mul(hl.Const(0.3), hl.Cos(hl.FromInt(hl.IMul(hl.ILoad(i), hl.IConst(3))))))
+	})
+	main.For(it, hl.IConst(0), hl.IConst(int64(iters)), func() {
+		// Each rank transforms lines rank, rank+size, rank+2*size, ...
+		main.SetI(line, hl.ILoad(rank))
+		main.While(hl.ILt(hl.ILoad(line), hl.IConst(int64(lines))), func() {
+			main.SetI(base, hl.IMul(hl.ILoad(line), hl.IConst(int64(n))))
+			main.Call("fftline")
+			main.SetI(line, hl.IAdd(hl.ILoad(line), hl.ILoad(size)))
+		})
+		// Exchange the full field (the FT transpose step): every rank
+		// zeroes the lines it does not own, and a sum-allreduce gathers
+		// the updated field everywhere.
+		main.If(hl.IGt(hl.ILoad(size), hl.IConst(1)), func() {
+			main.For(line2, hl.IConst(0), hl.IConst(int64(lines)), func() {
+				main.SetI(tmp, hl.ILoad(line2))
+				main.While(hl.IGe(hl.ILoad(tmp), hl.ILoad(size)), func() {
+					main.SetI(tmp, hl.ISub(hl.ILoad(tmp), hl.ILoad(size)))
+				})
+				main.If(hl.INe(hl.ILoad(tmp), hl.ILoad(rank)), func() {
+					main.SetI(base, hl.IMul(hl.ILoad(line2), hl.IConst(int64(n))))
+					main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+						main.Store(re, hl.IAdd(hl.ILoad(base), hl.ILoad(i)), hl.Const(0))
+						main.Store(im, hl.IAdd(hl.ILoad(base), hl.ILoad(i)), hl.Const(0))
+					})
+				}, nil)
+			})
+			main.MPIAllreduceSum(re, hl.IConst(int64(n*lines)))
+			main.MPIAllreduceSum(im, hl.IConst(int64(n*lines)))
+		}, nil)
+	})
+	// Checksum of this rank's lines, allreduced.
+	main.Store(ck, hl.IConst(0), hl.Const(0))
+	main.Store(ck, hl.IConst(1), hl.Const(0))
+	main.SetI(line, hl.ILoad(rank))
+	main.While(hl.ILt(hl.ILoad(line), hl.IConst(int64(lines))), func() {
+		main.SetI(base, hl.IMul(hl.ILoad(line), hl.IConst(int64(n))))
+		main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+			main.Store(ck, hl.IConst(0),
+				hl.Add(hl.At(ck, hl.IConst(0)), hl.At(re, hl.IAdd(hl.ILoad(base), hl.ILoad(i)))))
+			main.Store(ck, hl.IConst(1),
+				hl.Add(hl.At(ck, hl.IConst(1)), hl.At(im, hl.IAdd(hl.ILoad(base), hl.ILoad(i)))))
+		})
+		main.SetI(line, hl.IAdd(hl.ILoad(line), hl.ILoad(size)))
+	})
+	main.MPIAllreduceSum(ck, hl.IConst(2))
+	main.If(hl.IEq(hl.ILoad(rank), hl.IConst(0)), func() {
+		main.Out(hl.At(ck, hl.IConst(0)))
+		main.Out(hl.At(ck, hl.IConst(1)))
+	}, nil)
+	main.Halt()
+
+	return p.Build("main")
+}
+
+// mgMPISource: block-row Jacobi relaxation with halo exchange between
+// neighboring ranks and an allreduced residual norm per sweep — the NAS
+// MG boundary-communication pattern on one grid level.
+func mgMPISource(class Class) (*prog.Module, error) {
+	n, _ := mgSize(class)
+	n *= 4 // MPI overhead runs use a larger fine grid
+	sweeps := 30
+
+	p := hl.New("mg.mpi."+string(class), hl.ModeF64)
+	u := p.Array("u", n+1)
+	rhs := p.Array("rhs", n+1)
+	halo := p.Array("halo", 1)
+	nrm := p.Array("nrm", 1)
+	rank := p.Int("rank")
+	size := p.Int("size")
+	lo := p.Int("lo")
+	hi := p.Int("hi")
+	i := p.Int("i")
+	it := p.Int("it")
+	t := p.Scalar("t")
+
+	main := p.Func("main")
+	main.MPIRank(rank)
+	main.MPISize(size)
+	main.SetI(lo, hl.IAdd(hl.IMul(hl.ILoad(rank), hl.IDiv(hl.IConst(int64(n)), hl.ILoad(size))), hl.IConst(1)))
+	main.SetI(hi, hl.IAdd(hl.ISub(hl.ILoad(lo), hl.IConst(1)), hl.IDiv(hl.IConst(int64(n)), hl.ILoad(size))))
+	main.If(hl.IEq(hl.ILoad(rank), hl.ISub(hl.ILoad(size), hl.IConst(1))), func() {
+		main.SetI(hi, hl.IConst(int64(n-1)))
+	}, nil)
+	main.For(i, hl.IConst(0), hl.IConst(int64(n+1)), func() {
+		main.Store(rhs, hl.ILoad(i),
+			hl.Sin(hl.Mul(hl.Const(2*math.Pi/float64(n)), hl.FromInt(hl.ILoad(i)))))
+	})
+	main.For(it, hl.IConst(0), hl.IConst(int64(sweeps)), func() {
+		// Halo exchange: send last owned point right, first owned left.
+		main.If(hl.ILt(hl.IAdd(hl.ILoad(rank), hl.IConst(1)), hl.ILoad(size)), func() {
+			main.Store(halo, hl.IConst(0), hl.At(u, hl.ILoad(hi)))
+			main.MPISend(halo, hl.IConst(1), hl.IAdd(hl.ILoad(rank), hl.IConst(1)))
+		}, nil)
+		main.If(hl.IGt(hl.ILoad(rank), hl.IConst(0)), func() {
+			main.MPIRecv(halo, hl.IConst(1), hl.ISub(hl.ILoad(rank), hl.IConst(1)))
+			main.Store(u, hl.ISub(hl.ILoad(lo), hl.IConst(1)), hl.At(halo, hl.IConst(0)))
+			main.Store(halo, hl.IConst(0), hl.At(u, hl.ILoad(lo)))
+			main.MPISend(halo, hl.IConst(1), hl.ISub(hl.ILoad(rank), hl.IConst(1)))
+		}, nil)
+		main.If(hl.ILt(hl.IAdd(hl.ILoad(rank), hl.IConst(1)), hl.ILoad(size)), func() {
+			main.MPIRecv(halo, hl.IConst(1), hl.IAdd(hl.ILoad(rank), hl.IConst(1)))
+			main.Store(u, hl.IAdd(hl.ILoad(hi), hl.IConst(1)), hl.At(halo, hl.IConst(0)))
+		}, nil)
+		// Jacobi sweep over the owned block.
+		main.For(i, hl.ILoad(lo), hl.IAdd(hl.ILoad(hi), hl.IConst(1)), func() {
+			main.Store(u, hl.ILoad(i),
+				hl.Add(hl.At(u, hl.ILoad(i)),
+					hl.Mul(hl.Const(1.0/3.0),
+						hl.Sub(hl.Add(hl.At(rhs, hl.ILoad(i)),
+							hl.Add(hl.At(u, hl.ISub(hl.ILoad(i), hl.IConst(1))),
+								hl.At(u, hl.IAdd(hl.ILoad(i), hl.IConst(1))))),
+							hl.Mul(hl.Const(2), hl.At(u, hl.ILoad(i)))))))
+		})
+		// Residual norm contribution, allreduced.
+		main.Set(t, hl.Const(0))
+		main.For(i, hl.ILoad(lo), hl.IAdd(hl.ILoad(hi), hl.IConst(1)), func() {
+			r := hl.Sub(hl.At(rhs, hl.ILoad(i)),
+				hl.Sub(hl.Mul(hl.Const(2), hl.At(u, hl.ILoad(i))),
+					hl.Add(hl.At(u, hl.ISub(hl.ILoad(i), hl.IConst(1))),
+						hl.At(u, hl.IAdd(hl.ILoad(i), hl.IConst(1))))))
+			main.Set(t, hl.Add(hl.Load(t), hl.Mul(r, r)))
+		})
+		main.Store(nrm, hl.IConst(0), hl.Load(t))
+		main.MPIAllreduceSum(nrm, hl.IConst(1))
+	})
+	main.If(hl.IEq(hl.ILoad(rank), hl.IConst(0)), func() {
+		main.Out(hl.Sqrt(hl.At(nrm, hl.IConst(0))))
+	}, nil)
+	main.Halt()
+
+	return p.Build("main")
+}

@@ -1,0 +1,270 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// SP: a scalar pentadiagonal line solver in the NAS SP style. The coupled
+// equation  pent_x(u) - 0.4 (u_N + u_S) = f  is relaxed by alternating
+// direction sweeps: a pentadiagonal Gaussian elimination along each x-line
+// (y-coupling lagged in the right-hand side) and a tridiagonal solve along
+// each y-line (x-operator lagged), both sharing the same fixpoint. NAS-
+// style one-shot routines (exact_rhs, initialize, error_norms, rhs_norms)
+// provide the cold setup and diagnostics regions.
+
+func spSize(class Class) (nx, ny, steps int) {
+	switch class {
+	case ClassA:
+		return 28, 14, 18
+	case ClassC:
+		return 40, 20, 20
+	default:
+		return 14, 10, 16
+	}
+}
+
+func spSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	nx, ny, steps := spSize(class)
+	ncell := nx * ny
+	nmax := nx
+	if ny > nmax {
+		nmax = ny
+	}
+
+	p := hl.New("sp."+string(class), mode)
+	u := p.Array("u", ncell)
+	f := p.Array("f", ncell)
+	da := p.Array("da", nmax) // second sub-diagonal
+	db := p.Array("db", nmax) // first sub-diagonal
+	dc := p.Array("dc", nmax) // main diagonal
+	dd := p.Array("dd", nmax) // first super-diagonal
+	de := p.Array("de", nmax) // second super-diagonal
+	rr := p.Array("rr", nmax)
+	fac := p.Scalar("fac")
+	chg := p.Scalar("chg")
+	t := p.Scalar("spt")
+	enorm := p.Scalar("enorm")
+	fnorm := p.Scalar("fnorm")
+
+	i := p.Int("i")
+	j := p.Int("j")
+	k := p.Int("k")
+	it := p.Int("it")
+	lineLen := p.Int("linelen")
+
+	idx := func(ie, je hl.IExpr) hl.IExpr {
+		return hl.IAdd(hl.IMul(je, hl.IConst(int64(nx))), ie)
+	}
+
+	// Pentadiagonal stencil coefficients (diagonally dominant) and the
+	// y-direction coupling strength.
+	const a2, a1, a0 = -0.1, -0.8, 3.2
+	const cy = 0.4
+
+	// exact_rhs: one-shot forcing-term generation (NAS exact_rhs).
+	erhs := p.Func("exact_rhs")
+	erhs.For(k, hl.IConst(0), hl.IConst(int64(ncell)), func() {
+		erhs.Store(f, hl.ILoad(k),
+			hl.Add(hl.Const(0.5), hl.Mul(hl.Const(0.4), hl.Cos(hl.Mul(hl.Const(0.31), hl.FromInt(hl.ILoad(k)))))))
+	})
+	erhs.Ret()
+
+	// initialize: one-shot initial guess (NAS initialize).
+	initz := p.Func("initialize")
+	initz.For(k, hl.IConst(0), hl.IConst(int64(ncell)), func() {
+		initz.Store(u, hl.ILoad(k),
+			hl.Mul(hl.Const(0.1), hl.Sin(hl.Mul(hl.Const(0.11), hl.FromInt(hl.ILoad(k))))))
+	})
+	initz.Ret()
+
+	// pentx: pent_x(u) at (i, j), with out-of-range terms dropped exactly
+	// as the line solver drops them.
+	pentx := func(ie hl.IExpr) hl.Expr {
+		e := hl.Mul(hl.Const(a0), hl.At(u, idx(ie, hl.ILoad(j))))
+		e = hl.Add(e, hl.Mul(hl.Const(a1), hl.At(u, idx(hl.ISub(ie, hl.IConst(1)), hl.ILoad(j)))))
+		e = hl.Add(e, hl.Mul(hl.Const(a1), hl.At(u, idx(hl.IAdd(ie, hl.IConst(1)), hl.ILoad(j)))))
+		e = hl.Add(e, hl.Mul(hl.Const(a2), hl.At(u, idx(hl.ISub(ie, hl.IConst(2)), hl.ILoad(j)))))
+		e = hl.Add(e, hl.Mul(hl.Const(a2), hl.At(u, idx(hl.IAdd(ie, hl.IConst(2)), hl.ILoad(j)))))
+		return e
+	}
+
+	// pent_solve: in-place Gaussian elimination of the system in
+	// da..de/rr with length lineLen, solution left in rr.
+	ps := p.Func("pent_solve")
+	ps.For(k, hl.IConst(0), hl.ILoad(lineLen), func() {
+		ps.If(hl.ILt(hl.IAdd(hl.ILoad(k), hl.IConst(1)), hl.ILoad(lineLen)), func() {
+			k1 := hl.IAdd(hl.ILoad(k), hl.IConst(1))
+			ps.Set(fac, hl.Div(hl.At(db, k1), hl.At(dc, hl.ILoad(k))))
+			ps.Store(dc, k1, hl.Sub(hl.At(dc, k1), hl.Mul(hl.Load(fac), hl.At(dd, hl.ILoad(k)))))
+			ps.Store(dd, k1, hl.Sub(hl.At(dd, k1), hl.Mul(hl.Load(fac), hl.At(de, hl.ILoad(k)))))
+			ps.Store(rr, k1, hl.Sub(hl.At(rr, k1), hl.Mul(hl.Load(fac), hl.At(rr, hl.ILoad(k)))))
+		}, nil)
+		ps.If(hl.ILt(hl.IAdd(hl.ILoad(k), hl.IConst(2)), hl.ILoad(lineLen)), func() {
+			k2 := hl.IAdd(hl.ILoad(k), hl.IConst(2))
+			ps.Set(fac, hl.Div(hl.At(da, k2), hl.At(dc, hl.ILoad(k))))
+			ps.Store(db, k2, hl.Sub(hl.At(db, k2), hl.Mul(hl.Load(fac), hl.At(dd, hl.ILoad(k)))))
+			ps.Store(dc, k2, hl.Sub(hl.At(dc, k2), hl.Mul(hl.Load(fac), hl.At(de, hl.ILoad(k)))))
+			ps.Store(rr, k2, hl.Sub(hl.At(rr, k2), hl.Mul(hl.Load(fac), hl.At(rr, hl.ILoad(k)))))
+		}, nil)
+	})
+	ps.SetI(k, hl.ISub(hl.ILoad(lineLen), hl.IConst(1)))
+	ps.While(hl.IGe(hl.ILoad(k), hl.IConst(0)), func() {
+		ps.Set(t, hl.At(rr, hl.ILoad(k)))
+		ps.If(hl.ILt(hl.IAdd(hl.ILoad(k), hl.IConst(1)), hl.ILoad(lineLen)), func() {
+			ps.Set(t, hl.Sub(hl.Load(t),
+				hl.Mul(hl.At(dd, hl.ILoad(k)), hl.At(rr, hl.IAdd(hl.ILoad(k), hl.IConst(1))))))
+		}, nil)
+		ps.If(hl.ILt(hl.IAdd(hl.ILoad(k), hl.IConst(2)), hl.ILoad(lineLen)), func() {
+			ps.Set(t, hl.Sub(hl.Load(t),
+				hl.Mul(hl.At(de, hl.ILoad(k)), hl.At(rr, hl.IAdd(hl.ILoad(k), hl.IConst(2))))))
+		}, nil)
+		ps.Store(rr, hl.ILoad(k), hl.Div(hl.Load(t), hl.At(dc, hl.ILoad(k))))
+		ps.SetI(k, hl.ISub(hl.ILoad(k), hl.IConst(1)))
+	})
+	ps.Ret()
+
+	// xsweep: pentadiagonal solve along each row, y-coupling lagged.
+	xsw := p.Func("xsweep")
+	xsw.SetI(lineLen, hl.IConst(int64(nx)))
+	xsw.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		xsw.For(k, hl.IConst(0), hl.IConst(int64(nx)), func() {
+			xsw.Store(da, hl.ILoad(k), hl.Const(a2))
+			xsw.Store(db, hl.ILoad(k), hl.Const(a1))
+			xsw.Store(dc, hl.ILoad(k), hl.Const(a0))
+			xsw.Store(dd, hl.ILoad(k), hl.Const(a1))
+			xsw.Store(de, hl.ILoad(k), hl.Const(a2))
+			xsw.Store(rr, hl.ILoad(k),
+				hl.Add(hl.At(f, idx(hl.ILoad(k), hl.ILoad(j))),
+					hl.Mul(hl.Const(cy),
+						hl.Add(hl.At(u, idx(hl.ILoad(k), hl.ISub(hl.ILoad(j), hl.IConst(1)))),
+							hl.At(u, idx(hl.ILoad(k), hl.IAdd(hl.ILoad(j), hl.IConst(1))))))))
+		})
+		xsw.Call("pent_solve")
+		xsw.For(k, hl.IConst(0), hl.IConst(int64(nx)), func() {
+			xsw.Store(u, idx(hl.ILoad(k), hl.ILoad(j)), hl.At(rr, hl.ILoad(k)))
+		})
+	})
+	xsw.Ret()
+
+	// ysweep: tridiagonal solve along each column with the x-operator
+	// lagged, sharing the xsweep fixpoint: the y-line system is
+	// -cy u_N + a0 u - cy u_S = f - (pent_x u - a0 u).
+	ysw := p.Func("ysweep")
+	ysw.SetI(lineLen, hl.IConst(int64(ny)))
+	ysw.For(i, hl.IConst(2), hl.IConst(int64(nx-2)), func() {
+		ysw.For(k, hl.IConst(0), hl.IConst(int64(ny)), func() {
+			ysw.Store(da, hl.ILoad(k), hl.Const(0))
+			ysw.Store(db, hl.ILoad(k), hl.Const(-cy))
+			ysw.Store(dc, hl.ILoad(k), hl.Const(a0))
+			ysw.Store(dd, hl.ILoad(k), hl.Const(-cy))
+			ysw.Store(de, hl.ILoad(k), hl.Const(0))
+		})
+		ysw.For(k, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+			// rhs = f - (pent_x u - a0 u), evaluated at (i, k).
+			ysw.SetI(j, hl.ILoad(k))
+			ysw.Set(t, hl.Sub(pentx(hl.ILoad(i)), hl.Mul(hl.Const(a0), hl.At(u, idx(hl.ILoad(i), hl.ILoad(j))))))
+			ysw.Store(rr, hl.ILoad(k), hl.Sub(hl.At(f, idx(hl.ILoad(i), hl.ILoad(j))), hl.Load(t)))
+		})
+		// Boundary rows are identity rows: u stays at its current value.
+		ysw.Store(dd, hl.IConst(0), hl.Const(0))
+		ysw.Store(db, hl.IConst(int64(ny-1)), hl.Const(0))
+		ysw.Store(rr, hl.IConst(0), hl.Mul(hl.Const(a0), hl.At(u, idx(hl.ILoad(i), hl.IConst(0)))))
+		ysw.Store(rr, hl.IConst(int64(ny-1)),
+			hl.Mul(hl.Const(a0), hl.At(u, idx(hl.ILoad(i), hl.IConst(int64(ny-1))))))
+		ysw.Call("pent_solve")
+		ysw.For(k, hl.IConst(0), hl.IConst(int64(ny)), func() {
+			ysw.Store(u, idx(hl.ILoad(i), hl.ILoad(k)), hl.At(rr, hl.ILoad(k)))
+		})
+	})
+	ysw.Ret()
+
+	// change: residual of the coupled operator over the full-stencil
+	// interior — the verified convergence quantity.
+	ch := p.Func("change")
+	ch.Set(chg, hl.Const(0))
+	ch.For(j, hl.IConst(1), hl.IConst(int64(ny-1)), func() {
+		ch.For(i, hl.IConst(2), hl.IConst(int64(nx-2)), func() {
+			r := hl.Sub(hl.At(f, idx(hl.ILoad(i), hl.ILoad(j))),
+				hl.Sub(pentx(hl.ILoad(i)),
+					hl.Mul(hl.Const(cy),
+						hl.Add(hl.At(u, idx(hl.ILoad(i), hl.ISub(hl.ILoad(j), hl.IConst(1)))),
+							hl.At(u, idx(hl.ILoad(i), hl.IAdd(hl.ILoad(j), hl.IConst(1))))))))
+			ch.Set(t, r)
+			ch.Set(chg, hl.Add(hl.Load(chg), hl.Mul(hl.Load(t), hl.Load(t))))
+		})
+	})
+	ch.Set(chg, hl.Sqrt(hl.Load(chg)))
+	ch.Ret()
+
+	// error_norms / rhs_norms: one-shot diagnostics (loosely verified).
+	en := p.Func("error_norms")
+	en.Set(enorm, hl.Const(0))
+	en.For(k, hl.IConst(0), hl.IConst(int64(ncell)), func() {
+		en.Set(enorm, hl.Add(hl.Load(enorm), hl.Mul(hl.At(u, hl.ILoad(k)), hl.At(u, hl.ILoad(k)))))
+	})
+	en.Set(enorm, hl.Sqrt(hl.Load(enorm)))
+	en.Ret()
+
+	fn := p.Func("rhs_norms")
+	fn.Set(fnorm, hl.Const(0))
+	fn.For(k, hl.IConst(0), hl.IConst(int64(ncell)), func() {
+		fn.Set(fnorm, hl.Add(hl.Load(fnorm), hl.Abs(hl.At(f, hl.ILoad(k)))))
+	})
+	fn.Ret()
+
+	main := p.Func("main")
+	main.Call("exact_rhs")
+	main.Call("initialize")
+	main.For(it, hl.IConst(0), hl.IConst(int64(steps)), func() {
+		main.Call("xsweep")
+		main.Call("ysweep")
+	})
+	main.Call("change")
+	main.Call("error_norms")
+	main.Call("rhs_norms")
+	main.Out(hl.Load(chg))
+	main.Out(hl.Load(enorm))
+	main.Out(hl.Load(fnorm))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+func buildSP(class Class) (*Bench, error) {
+	m, err := spSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(800_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	thr := ref[0] * 30
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		if math.IsNaN(got[0]) || got[0] < 0 || got[0] > thr {
+			return false
+		}
+		return relErr(ref[1], got[1]) < 1e-4 && relErr(ref[2], got[2]) < 1e-4
+	}
+	return &Bench{
+		Name:      "sp",
+		Class:     class,
+		Module:    m,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}
+
+// SPSource exposes the SP builder for tests and examples.
+func SPSource(class Class, mode hl.Mode) (*prog.Module, error) { return spSource(class, mode) }

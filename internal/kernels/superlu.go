@@ -1,0 +1,207 @@
+package kernels
+
+import (
+	"math"
+
+	"fpmix/internal/hl"
+	"fpmix/internal/mm"
+	"fpmix/internal/prog"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// SuperLU: a direct sparse-style solver in the spirit of the paper's
+// SuperLU linear-solver experiment (§3.3): LU factorization with partial
+// pivoting on a memplus-like memory-circuit matrix, forward and backward
+// triangular solves, and a program-reported backward-error metric. The
+// threshold sweep of Figure 11 drives the automatic search with this
+// reported error compared against successively tighter bounds.
+
+func superluSize(class Class) int {
+	switch class {
+	case ClassA:
+		return 64
+	case ClassC:
+		return 96
+	default:
+		return 40
+	}
+}
+
+// SuperLUDefaultThreshold is the error bound of the standard benchmark
+// verification (roughly the single-precision solve's reported error, as
+// in the paper's first sweep row).
+const SuperLUDefaultThreshold = 1e-12
+
+func superluSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	n := superluSize(class)
+	A := mm.Memplus(n, 0x5175+uint64(len(class))).Dense()
+
+	p := hl.New("superlu."+string(class), mode)
+	a := p.ArrayInit("a", A)   // factored in place
+	a0 := p.ArrayInit("a0", A) // pristine copy for the error check
+	b := p.Array("b", n)       // permuted with the rows
+	xt := p.Array("xt", n)     // known true solution
+	x := p.Array("x", n)
+	y := p.Array("y", n)
+	errv := p.Scalar("err")
+	xnorm := p.Scalar("xnorm")
+	pmax := p.Scalar("pmax")
+	t := p.Scalar("slt")
+
+	i := p.Int("i")
+	j := p.Int("j")
+	k := p.Int("k")
+	prow := p.Int("prow")
+
+	at := func(arr hl.FArr, ie, je hl.IExpr) hl.Expr {
+		return hl.At(arr, hl.IAdd(hl.IMul(ie, hl.IConst(int64(n))), je))
+	}
+	stor := func(fb *hl.FuncBuilder, arr hl.FArr, ie, je hl.IExpr, e hl.Expr) {
+		fb.Store(arr, hl.IAdd(hl.IMul(ie, hl.IConst(int64(n))), je), e)
+	}
+
+	// init: a known true solution with exactly representable entries
+	// (multiples of 1/8, identical in single and double precision), and
+	// the matching right-hand side b = A0 * xt.
+	init := p.Func("init")
+	init.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		// xt[i] = 1 + 0.125 * (i mod 7)
+		init.SetI(j, hl.ISub(hl.ILoad(i), hl.IMul(hl.IDiv(hl.ILoad(i), hl.IConst(7)), hl.IConst(7))))
+		init.Store(xt, hl.ILoad(i), hl.Add(hl.Const(1), hl.Mul(hl.Const(0.125), hl.FromInt(hl.ILoad(j)))))
+	})
+	init.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		init.Set(t, hl.Const(0))
+		init.For(j, hl.IConst(0), hl.IConst(int64(n)), func() {
+			init.Set(t, hl.Add(hl.Load(t), hl.Mul(at(a0, hl.ILoad(i), hl.ILoad(j)), hl.At(xt, hl.ILoad(j)))))
+		})
+		init.Store(b, hl.ILoad(i), hl.Load(t))
+	})
+	init.Ret()
+
+	// factor: LU with partial pivoting, multipliers stored in place,
+	// right-hand side permuted along with the rows.
+	fac := p.Func("factor")
+	fac.For(k, hl.IConst(0), hl.IConst(int64(n)), func() {
+		// Pivot search down column k.
+		fac.Set(pmax, hl.Abs(at(a, hl.ILoad(k), hl.ILoad(k))))
+		fac.SetI(prow, hl.ILoad(k))
+		fac.For(i, hl.IAdd(hl.ILoad(k), hl.IConst(1)), hl.IConst(int64(n)), func() {
+			fac.If(hl.Gt(hl.Abs(at(a, hl.ILoad(i), hl.ILoad(k))), hl.Load(pmax)), func() {
+				fac.Set(pmax, hl.Abs(at(a, hl.ILoad(i), hl.ILoad(k))))
+				fac.SetI(prow, hl.ILoad(i))
+			}, nil)
+		})
+		// Swap rows k and prow (full rows, LAPACK style) and the rhs.
+		fac.If(hl.INe(hl.ILoad(prow), hl.ILoad(k)), func() {
+			fac.For(j, hl.IConst(0), hl.IConst(int64(n)), func() {
+				fac.Set(t, at(a, hl.ILoad(k), hl.ILoad(j)))
+				stor(fac, a, hl.ILoad(k), hl.ILoad(j), at(a, hl.ILoad(prow), hl.ILoad(j)))
+				stor(fac, a, hl.ILoad(prow), hl.ILoad(j), hl.Load(t))
+			})
+			fac.Set(t, hl.At(b, hl.ILoad(k)))
+			fac.Store(b, hl.ILoad(k), hl.At(b, hl.ILoad(prow)))
+			fac.Store(b, hl.ILoad(prow), hl.Load(t))
+		}, nil)
+		// Eliminate below the pivot.
+		fac.For(i, hl.IAdd(hl.ILoad(k), hl.IConst(1)), hl.IConst(int64(n)), func() {
+			fac.Set(t, hl.Div(at(a, hl.ILoad(i), hl.ILoad(k)), at(a, hl.ILoad(k), hl.ILoad(k))))
+			stor(fac, a, hl.ILoad(i), hl.ILoad(k), hl.Load(t))
+			fac.For(j, hl.IAdd(hl.ILoad(k), hl.IConst(1)), hl.IConst(int64(n)), func() {
+				stor(fac, a, hl.ILoad(i), hl.ILoad(j),
+					hl.Sub(at(a, hl.ILoad(i), hl.ILoad(j)),
+						hl.Mul(hl.Load(t), at(a, hl.ILoad(k), hl.ILoad(j)))))
+			})
+		})
+	})
+	fac.Ret()
+
+	// lsolve: y = L^{-1} (P b), unit lower triangular.
+	ls := p.Func("lsolve")
+	ls.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		ls.Set(t, hl.At(b, hl.ILoad(i)))
+		ls.For(j, hl.IConst(0), hl.ILoad(i), func() {
+			ls.Set(t, hl.Sub(hl.Load(t), hl.Mul(at(a, hl.ILoad(i), hl.ILoad(j)), hl.At(y, hl.ILoad(j)))))
+		})
+		ls.Store(y, hl.ILoad(i), hl.Load(t))
+	})
+	ls.Ret()
+
+	// usolve: x = U^{-1} y.
+	us := p.Func("usolve")
+	us.SetI(i, hl.IConst(int64(n-1)))
+	us.While(hl.IGe(hl.ILoad(i), hl.IConst(0)), func() {
+		us.Set(t, hl.At(y, hl.ILoad(i)))
+		us.For(j, hl.IAdd(hl.ILoad(i), hl.IConst(1)), hl.IConst(int64(n)), func() {
+			us.Set(t, hl.Sub(hl.Load(t), hl.Mul(at(a, hl.ILoad(i), hl.ILoad(j)), hl.At(x, hl.ILoad(j)))))
+		})
+		us.Store(x, hl.ILoad(i), hl.Div(hl.Load(t), at(a, hl.ILoad(i), hl.ILoad(i))))
+		us.SetI(i, hl.ISub(hl.ILoad(i), hl.IConst(1)))
+	})
+	us.Ret()
+
+	// residual: reported error metric err = max_i |x - xt|_i / max|xt| —
+	// the forward-error the SuperLU driver reports (FERR).
+	rs := p.Func("residual")
+	rs.Set(errv, hl.Const(0))
+	rs.Set(xnorm, hl.Const(0))
+	rs.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		rs.Set(errv, hl.Max(hl.Load(errv), hl.Abs(hl.Sub(hl.At(x, hl.ILoad(i)), hl.At(xt, hl.ILoad(i))))))
+		rs.Set(xnorm, hl.Max(hl.Load(xnorm), hl.Abs(hl.At(xt, hl.ILoad(i)))))
+	})
+	rs.Set(errv, hl.Div(hl.Load(errv), hl.Load(xnorm)))
+	rs.Ret()
+
+	main := p.Func("main")
+	main.Call("init")
+	main.Call("factor")
+	main.Call("lsolve")
+	main.Call("usolve")
+	main.Call("residual")
+	main.Out(hl.Load(errv))
+	main.Out(hl.Load(xnorm))
+	main.Halt()
+
+	return p.Build("main")
+}
+
+// SuperLUSource exposes the solver builder at a chosen mode (the paper
+// compares against the manually recompiled single-precision solver).
+func SuperLUSource(class Class, mode hl.Mode) (*prog.Module, error) {
+	return superluSource(class, mode)
+}
+
+func buildSuperLU(class Class) (*Bench, error) {
+	m, err := superluSource(class, hl.ModeF64)
+	if err != nil {
+		return nil, err
+	}
+	m32, err := superluSource(class, hl.ModeF32)
+	if err != nil {
+		return nil, err
+	}
+	maxSteps := uint64(800_000_000)
+	ref, _, err := reference(m, maxSteps)
+	if err != nil {
+		return nil, err
+	}
+	v := func(out []vm.OutVal) bool {
+		got := verify.Decode(out)
+		if len(got) != len(ref) {
+			return false
+		}
+		if math.IsNaN(got[0]) || got[0] < 0 || got[0] > SuperLUDefaultThreshold {
+			return false
+		}
+		return relErr(ref[1], got[1]) < 1e-2
+	}
+	return &Bench{
+		Name:      "superlu",
+		Class:     class,
+		Module:    m,
+		ModuleF32: m32,
+		Verify:    v,
+		MaxSteps:  maxSteps,
+		Reference: ref,
+	}, nil
+}

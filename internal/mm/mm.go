@@ -1,0 +1,221 @@
+// Package mm provides the matrix substrate for the linear-algebra
+// workloads: CSR sparse matrices, dense helpers, and deterministic
+// generators for the matrix classes the paper's evaluation uses — a
+// random sparse symmetric positive-definite class for the CG benchmark
+// and a "memplus-like" unsymmetric memory-circuit class standing in for
+// the Matrix Market data set used in the SuperLU experiments (§3.3).
+package mm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LCG is a small deterministic linear congruential generator used by the
+// matrix generators (so every build reproduces identical matrices).
+type LCG struct{ state uint64 }
+
+// NewLCG seeds a generator.
+func NewLCG(seed uint64) *LCG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &LCG{state: seed}
+}
+
+// Next returns the next raw 64-bit value.
+func (g *LCG) Next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *LCG) Float64() float64 {
+	return float64(g.Next()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n).
+func (g *LCG) Intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.Next() % uint64(n))
+}
+
+// CSR is a sparse matrix in compressed sparse row form.
+type CSR struct {
+	N      int
+	RowPtr []int // length N+1
+	Col    []int
+	Val    []float64
+}
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Validate checks structural invariants.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.N+1 {
+		return fmt.Errorf("mm: rowptr length %d != n+1", len(m.RowPtr))
+	}
+	if m.RowPtr[0] != 0 || m.RowPtr[m.N] != len(m.Val) || len(m.Col) != len(m.Val) {
+		return fmt.Errorf("mm: inconsistent CSR arrays")
+	}
+	for i := 0; i < m.N; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			return fmt.Errorf("mm: row %d has negative extent", i)
+		}
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if m.Col[k] < 0 || m.Col[k] >= m.N {
+				return fmt.Errorf("mm: row %d col %d out of range", i, m.Col[k])
+			}
+			if k > m.RowPtr[i] && m.Col[k] <= m.Col[k-1] {
+				return fmt.Errorf("mm: row %d columns not strictly increasing", i)
+			}
+		}
+	}
+	return nil
+}
+
+// MatVec computes y = A x in float64 (host-side reference).
+func (m *CSR) MatVec(x, y []float64) {
+	for i := 0; i < m.N; i++ {
+		s := 0.0
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			s += m.Val[k] * x[m.Col[k]]
+		}
+		y[i] = s
+	}
+}
+
+// Dense expands the matrix to a row-major dense form.
+func (m *CSR) Dense() []float64 {
+	d := make([]float64, m.N*m.N)
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			d[i*m.N+m.Col[k]] = m.Val[k]
+		}
+	}
+	return d
+}
+
+// RandomSPD generates a random sparse symmetric positive-definite matrix
+// with about nnzPerRow off-diagonal entries per row, in the style of the
+// NAS CG synthetic matrix: random small off-diagonals with a dominant
+// positive diagonal.
+func RandomSPD(n, nnzPerRow int, seed uint64) *CSR {
+	g := NewLCG(seed)
+	// Collect symmetric off-diagonal entries.
+	type ent struct {
+		j int
+		v float64
+	}
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = make(map[int]float64)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2; k++ {
+			j := g.Intn(n)
+			if j == i {
+				continue
+			}
+			v := 0.5 - g.Float64() // in (-0.5, 0.5]
+			rows[i][j] = v
+			rows[j][i] = v
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		// Iterate columns in sorted order: map order is randomized, and
+		// the diagonal's floating-point accumulation must be reproducible.
+		cols := make([]ent, 0, len(rows[i])+1)
+		for j := range rows[i] {
+			cols = append(cols, ent{j, rows[i][j]})
+		}
+		sort.Slice(cols, func(a, b int) bool { return cols[a].j < cols[b].j })
+		// Diagonal dominance ensures SPD.
+		sum := 0.0
+		for _, e := range cols {
+			sum += math.Abs(e.v)
+		}
+		cols = append(cols, ent{i, sum + 1.0 + g.Float64()})
+		sort.Slice(cols, func(a, b int) bool { return cols[a].j < cols[b].j })
+		for _, e := range cols {
+			m.Col = append(m.Col, e.j)
+			m.Val = append(m.Val, e.v)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Memplus generates an unsymmetric "memory circuit" style matrix: a strong
+// diagonal, sub/super-diagonal coupling (the bit lines) and sparse random
+// long-range entries (the word lines), echoing the structure of the
+// Matrix Market memplus set used in the paper's SuperLU experiments.
+// Entries span several orders of magnitude, so the factorization is
+// sensitive enough to precision for the threshold sweep to be meaningful.
+func Memplus(n int, seed uint64) *CSR {
+	g := NewLCG(seed)
+	rows := make([]map[int]float64, n)
+	for i := range rows {
+		rows[i] = make(map[int]float64)
+		// A weak, widely varying diagonal keeps the matrix nonsingular but
+		// meaningfully conditioned, so single-precision solves lose three
+		// to four digits — like the original memplus circuit matrix.
+		rows[i][i] = 0.05 + 0.6*math.Pow(10, -2*g.Float64())
+		if i > 0 {
+			rows[i][i-1] = -0.3 * g.Float64()
+		}
+		if i+1 < n {
+			rows[i][i+1] = -0.3 * g.Float64()
+		}
+		// Long-range couplings with widely varying magnitude.
+		for k := 0; k < 4; k++ {
+			j := g.Intn(n)
+			if j == i {
+				continue
+			}
+			mag := math.Pow(10, -3*g.Float64()) // 1e-3 .. 1
+			if g.Next()&1 == 0 {
+				mag = -mag
+			}
+			rows[i][j] = mag * 0.4
+		}
+	}
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		cols := make([]int, 0, len(rows[i]))
+		for j := range rows[i] {
+			cols = append(cols, j)
+		}
+		sort.Ints(cols)
+		for _, j := range cols {
+			m.Col = append(m.Col, j)
+			m.Val = append(m.Val, rows[i][j])
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}
+
+// Poisson1D builds the standard [-1, 2, -1] tridiagonal operator.
+func Poisson1D(n int) *CSR {
+	m := &CSR{N: n, RowPtr: make([]int, n+1)}
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			m.Col = append(m.Col, i-1)
+			m.Val = append(m.Val, -1)
+		}
+		m.Col = append(m.Col, i)
+		m.Val = append(m.Val, 2)
+		if i+1 < n {
+			m.Col = append(m.Col, i+1)
+			m.Val = append(m.Val, -1)
+		}
+		m.RowPtr[i+1] = len(m.Val)
+	}
+	return m
+}

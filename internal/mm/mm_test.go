@@ -1,0 +1,181 @@
+package mm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCGDeterministic(t *testing.T) {
+	a, b := NewLCG(7), NewLCG(7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewLCG(1).Next() == NewLCG(2).Next() {
+		t.Error("different seeds should differ")
+	}
+	g := NewLCG(0)
+	if g.state == 0 {
+		t.Error("zero seed not remapped")
+	}
+}
+
+func TestLCGRanges(t *testing.T) {
+	g := NewLCG(3)
+	for i := 0; i < 1000; i++ {
+		if f := g.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+		if n := g.Intn(17); n < 0 || n >= 17 {
+			t.Fatalf("Intn = %d", n)
+		}
+	}
+	if g.Intn(0) != 0 {
+		t.Error("Intn(0) should be 0")
+	}
+}
+
+func TestRandomSPDStructure(t *testing.T) {
+	m := RandomSPD(50, 6, 42)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Dense()
+	// Symmetric.
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if d[i*m.N+j] != d[j*m.N+i] {
+				t.Fatalf("not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Strictly diagonally dominant (implies SPD for symmetric).
+	for i := 0; i < m.N; i++ {
+		off := 0.0
+		for j := 0; j < m.N; j++ {
+			if j != i {
+				off += math.Abs(d[i*m.N+j])
+			}
+		}
+		if d[i*m.N+i] <= off {
+			t.Fatalf("row %d not diagonally dominant", i)
+		}
+	}
+}
+
+func TestRandomSPDDeterministic(t *testing.T) {
+	a := RandomSPD(30, 4, 9)
+	b := RandomSPD(30, 4, 9)
+	if a.NNZ() != b.NNZ() {
+		t.Fatal("same seed, different nnz")
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.Col[i] != b.Col[i] {
+			t.Fatal("same seed, different matrix")
+		}
+	}
+}
+
+func TestMemplusStructure(t *testing.T) {
+	m := Memplus(80, 5)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := m.Dense()
+	// Unsymmetric (with overwhelming probability).
+	sym := true
+	for i := 0; i < m.N && sym; i++ {
+		for j := 0; j < i; j++ {
+			if d[i*m.N+j] != d[j*m.N+i] {
+				sym = false
+				break
+			}
+		}
+	}
+	if sym {
+		t.Error("memplus-like matrix should be unsymmetric")
+	}
+	// Nonzero diagonal everywhere.
+	for i := 0; i < m.N; i++ {
+		if d[i*m.N+i] == 0 {
+			t.Errorf("zero diagonal at %d", i)
+		}
+	}
+	// Entry magnitudes span orders of magnitude.
+	min, max := math.Inf(1), 0.0
+	for _, v := range m.Val {
+		a := math.Abs(v)
+		if a == 0 {
+			continue
+		}
+		min = math.Min(min, a)
+		max = math.Max(max, a)
+	}
+	if max/min < 100 {
+		t.Errorf("dynamic range too small: %v", max/min)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := Poisson1D(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	m.MatVec(x, y)
+	want := []float64{0, 0, 0, 5} // [2-2, -1+4-3, -2+6-4, -3+8]
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := Poisson1D(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *m
+	bad.RowPtr = bad.RowPtr[:3]
+	if bad.Validate() == nil {
+		t.Error("short rowptr accepted")
+	}
+	bad2 := Poisson1D(4)
+	bad2.Col[0] = 99
+	if bad2.Validate() == nil {
+		t.Error("column out of range accepted")
+	}
+	bad3 := Poisson1D(4)
+	bad3.Col[1], bad3.Col[0] = bad3.Col[0], bad3.Col[1]
+	if bad3.Validate() == nil {
+		t.Error("non-increasing columns accepted")
+	}
+}
+
+func TestDenseMatchesMatVecQuick(t *testing.T) {
+	m := RandomSPD(20, 4, 11)
+	d := m.Dense()
+	f := func(seed uint64) bool {
+		g := NewLCG(seed)
+		x := make([]float64, m.N)
+		for i := range x {
+			x[i] = g.Float64()*2 - 1
+		}
+		y := make([]float64, m.N)
+		m.MatVec(x, y)
+		for i := 0; i < m.N; i++ {
+			s := 0.0
+			for j := 0; j < m.N; j++ {
+				s += d[i*m.N+j] * x[j]
+			}
+			if math.Abs(s-y[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

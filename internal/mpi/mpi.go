@@ -1,0 +1,351 @@
+// Package mpi provides the message-passing substrate for the NAS-style
+// MPI kernels: a goroutine-based communicator with the collective and
+// point-to-point operations the benchmarks use, exposed to programs as VM
+// syscalls (vm.Host).
+//
+// Communication carries raw 64-bit payloads, so in-place replaced values
+// (flag + single payload) travel through sends and broadcasts untouched,
+// exactly as memcpy-style MPI data movement would. Reductions behave like
+// an instrumented MPI library: each element is upcast from its replaced
+// form if flagged, summed in double precision, and the result stored as a
+// plain double.
+//
+// Each operation charges a modeled communication cost to the calling
+// machine. Communication is not instrumented (the analysis rewrites user
+// code, not the MPI runtime), which is why measured instrumentation
+// overhead falls as rank counts grow and communication claims a larger
+// share of the runtime — the Figure 8 effect.
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// World is a communicator of Size ranks.
+type World struct {
+	size int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	gen     int
+	aborted bool
+	abort   chan struct{}
+
+	// reduce scratch: per-rank contributions for the current collective.
+	contrib [][]float64
+	result  []float64
+
+	// bcast scratch.
+	bcastBuf []uint64
+
+	// point-to-point mailboxes: p2p[src][dst].
+	p2p [][]chan []uint64
+}
+
+// NewWorld creates a communicator for size ranks.
+func NewWorld(size int) *World {
+	if size < 1 {
+		size = 1
+	}
+	w := &World{size: size, abort: make(chan struct{})}
+	w.cond = sync.NewCond(&w.mu)
+	w.contrib = make([][]float64, size)
+	w.p2p = make([][]chan []uint64, size)
+	for i := range w.p2p {
+		w.p2p[i] = make([]chan []uint64, size)
+		for j := range w.p2p[i] {
+			w.p2p[i][j] = make(chan []uint64, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Rank returns the vm.Host for rank id.
+func (w *World) Rank(id int) *Rank {
+	if id < 0 || id >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range", id))
+	}
+	return &Rank{w: w, id: id}
+}
+
+// Rank is one process's endpoint; it implements vm.Host.
+type Rank struct {
+	w  *World
+	id int
+}
+
+// Abort wakes every blocked rank; subsequent collective operations fail.
+// It is called when any rank dies so the rest do not deadlock.
+func (w *World) Abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !w.aborted {
+		w.aborted = true
+		close(w.abort)
+		w.cond.Broadcast()
+	}
+}
+
+var errAborted = fmt.Errorf("mpi: world aborted (another rank died)")
+
+// barrier blocks until every rank has arrived or the world aborts.
+func (w *World) barrier() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.aborted {
+		return errAborted
+	}
+	gen := w.gen
+	w.arrived++
+	if w.arrived == w.size {
+		w.arrived = 0
+		w.gen++
+		w.cond.Broadcast()
+		return nil
+	}
+	for gen == w.gen && !w.aborted {
+		w.cond.Wait()
+	}
+	if w.aborted {
+		return errAborted
+	}
+	return nil
+}
+
+// allreduce sums vec element-wise across ranks, deterministically in rank
+// order, and returns the shared result.
+func (w *World) allreduce(rank int, vec []float64) ([]float64, error) {
+	w.mu.Lock()
+	w.contrib[rank] = vec
+	w.mu.Unlock()
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
+	// One rank computes; everyone waits for it via a second barrier.
+	if rank == 0 {
+		sum := make([]float64, len(vec))
+		for r := 0; r < w.size; r++ {
+			c := w.contrib[r]
+			for i := range sum {
+				if i < len(c) {
+					sum[i] += c[i]
+				}
+			}
+		}
+		w.mu.Lock()
+		w.result = sum
+		w.mu.Unlock()
+	}
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	res := w.result
+	w.mu.Unlock()
+	return res, nil
+}
+
+// bcast shares root's buffer with every rank.
+func (w *World) bcast(rank, root int, buf []uint64) ([]uint64, error) {
+	if rank == root {
+		w.mu.Lock()
+		w.bcastBuf = buf
+		w.mu.Unlock()
+	}
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	res := w.bcastBuf
+	w.mu.Unlock()
+	if err := w.barrier(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Communication cost model (cycles): a latency term growing with the
+// rank count plus a per-byte term. Values are synthetic but preserve the
+// latency/bandwidth structure of a real interconnect.
+func commCost(size, elems int) uint64 {
+	if size <= 1 {
+		return 10
+	}
+	lg := uint64(bits.Len(uint(size - 1)))
+	return 800*lg + uint64(elems)*16
+}
+
+func p2pCost(elems int) uint64 { return 400 + uint64(elems)*8 }
+
+// Syscall implements vm.Host.
+func (r *Rank) Syscall(m *vm.Machine, num int64) error {
+	switch num {
+	case isa.SysMPIRank:
+		m.GPR[isa.RAX] = uint64(r.id)
+	case isa.SysMPISize:
+		m.GPR[isa.RAX] = uint64(r.w.size)
+	case isa.SysMPIBarrier:
+		m.Cycles += commCost(r.w.size, 0)
+		return r.w.barrier()
+	case isa.SysMPIAllreduce:
+		addr, n := m.GPR[isa.RDI], int(m.GPR[isa.RSI])
+		vec, err := readVec(m, addr, n)
+		if err != nil {
+			return err
+		}
+		dec := make([]float64, n)
+		for i, bits64 := range vec {
+			dec[i] = replace.Value(bits64)
+		}
+		m.Cycles += commCost(r.w.size, n)
+		sum, err := r.w.allreduce(r.id, dec)
+		if err != nil {
+			return err
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = math.Float64bits(sum[i])
+		}
+		return writeVec(m, addr, out)
+	case isa.SysMPISendF64:
+		addr, n, dst := m.GPR[isa.RDI], int(m.GPR[isa.RSI]), int(m.GPR[isa.RDX])
+		if dst < 0 || dst >= r.w.size {
+			return fmt.Errorf("mpi: send to invalid rank %d", dst)
+		}
+		vec, err := readVec(m, addr, n)
+		if err != nil {
+			return err
+		}
+		m.Cycles += p2pCost(n)
+		select {
+		case r.w.p2p[r.id][dst] <- vec:
+		case <-r.w.abort:
+			return errAborted
+		}
+	case isa.SysMPIRecvF64:
+		addr, n, src := m.GPR[isa.RDI], int(m.GPR[isa.RSI]), int(m.GPR[isa.RDX])
+		if src < 0 || src >= r.w.size {
+			return fmt.Errorf("mpi: recv from invalid rank %d", src)
+		}
+		var vec []uint64
+		select {
+		case vec = <-r.w.p2p[src][r.id]:
+		case <-r.w.abort:
+			return errAborted
+		}
+		if len(vec) > n {
+			vec = vec[:n]
+		}
+		m.Cycles += p2pCost(n)
+		return writeVec(m, addr, vec)
+	case isa.SysMPIBcastF64:
+		addr, n, root := m.GPR[isa.RDI], int(m.GPR[isa.RSI]), int(m.GPR[isa.RDX])
+		if root < 0 || root >= r.w.size {
+			return fmt.Errorf("mpi: bcast from invalid rank %d", root)
+		}
+		var buf []uint64
+		if r.id == root {
+			var err error
+			buf, err = readVec(m, addr, n)
+			if err != nil {
+				return err
+			}
+		}
+		m.Cycles += commCost(r.w.size, n)
+		buf, err := r.w.bcast(r.id, root, buf)
+		if err != nil {
+			return err
+		}
+		return writeVec(m, addr, buf)
+	default:
+		return fmt.Errorf("mpi: unknown syscall %d", num)
+	}
+	return nil
+}
+
+func readVec(m *vm.Machine, addr uint64, n int) ([]uint64, error) {
+	end := addr + uint64(n)*8
+	if end > uint64(len(m.Mem)) || end < addr {
+		return nil, fmt.Errorf("mpi: buffer [%#x,%#x) out of bounds", addr, end)
+	}
+	out := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		out[i] = binary.LittleEndian.Uint64(m.Mem[addr+uint64(i)*8:])
+	}
+	return out, nil
+}
+
+func writeVec(m *vm.Machine, addr uint64, vec []uint64) error {
+	end := addr + uint64(len(vec))*8
+	if end > uint64(len(m.Mem)) || end < addr {
+		return fmt.Errorf("mpi: buffer [%#x,%#x) out of bounds", addr, end)
+	}
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(m.Mem[addr+uint64(i)*8:], v)
+	}
+	return nil
+}
+
+// RunResult is the outcome of one rank's execution.
+type RunResult struct {
+	Rank    int
+	Machine *vm.Machine
+	Err     error
+}
+
+// RunWorld executes the module on size ranks concurrently and returns the
+// per-rank machines. It fails if any rank faults.
+func RunWorld(mod *prog.Module, size int, maxSteps uint64) ([]*vm.Machine, error) {
+	w := NewWorld(size)
+	machines := make([]*vm.Machine, size)
+	results := make(chan RunResult, size)
+	for i := 0; i < size; i++ {
+		m, err := vm.New(mod)
+		if err != nil {
+			return nil, err
+		}
+		m.MaxSteps = maxSteps
+		m.Host = w.Rank(i)
+		machines[i] = m
+		go func(rank int, m *vm.Machine) {
+			results <- RunResult{Rank: rank, Machine: m, Err: m.Run()}
+		}(i, m)
+	}
+	var firstErr error
+	for i := 0; i < size; i++ {
+		r := <-results
+		if r.Err != nil {
+			w.Abort()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mpi: rank %d: %w", r.Rank, r.Err)
+			}
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return machines, nil
+}
+
+// TotalCycles sums the modeled cycles across ranks — the "user CPU time"
+// measure the paper's overhead ratios are computed from.
+func TotalCycles(machines []*vm.Machine) uint64 {
+	var total uint64
+	for _, m := range machines {
+		total += m.Cycles
+	}
+	return total
+}

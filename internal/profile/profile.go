@@ -1,0 +1,60 @@
+// Package profile manipulates execution profiles: per-instruction-address
+// execution counts collected by the VM. The search's prioritization
+// optimization (paper §2.2) and the dynamic replacement percentages of
+// Figure 10 are both computed from these.
+package profile
+
+import "sort"
+
+// P maps instruction addresses to execution counts.
+type P map[uint64]uint64
+
+// Merge accumulates other into p.
+func (p P) Merge(other map[uint64]uint64) {
+	for a, n := range other {
+		p[a] += n
+	}
+}
+
+// Total returns the sum of all counts.
+func (p P) Total() uint64 {
+	var t uint64
+	for _, n := range p {
+		t += n
+	}
+	return t
+}
+
+// Weight returns the total count over the given addresses.
+func (p P) Weight(addrs []uint64) uint64 {
+	var t uint64
+	for _, a := range addrs {
+		t += p[a]
+	}
+	return t
+}
+
+// Entry is one (address, count) pair.
+type Entry struct {
+	Addr  uint64
+	Count uint64
+}
+
+// TopN returns the n hottest addresses, descending by count (ties broken
+// by address for determinism).
+func (p P) TopN(n int) []Entry {
+	es := make([]Entry, 0, len(p))
+	for a, c := range p {
+		es = append(es, Entry{a, c})
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].Count != es[j].Count {
+			return es[i].Count > es[j].Count
+		}
+		return es[i].Addr < es[j].Addr
+	})
+	if n < len(es) {
+		es = es[:n]
+	}
+	return es
+}

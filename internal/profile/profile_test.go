@@ -1,0 +1,32 @@
+package profile
+
+import "testing"
+
+func TestMergeTotalWeight(t *testing.T) {
+	p := P{0x10: 5, 0x20: 3}
+	p.Merge(map[uint64]uint64{0x20: 2, 0x30: 7})
+	if p[0x20] != 5 || p[0x30] != 7 {
+		t.Errorf("merge: %v", p)
+	}
+	if p.Total() != 17 {
+		t.Errorf("total = %d", p.Total())
+	}
+	if w := p.Weight([]uint64{0x10, 0x30, 0x99}); w != 12 {
+		t.Errorf("weight = %d", w)
+	}
+}
+
+func TestTopN(t *testing.T) {
+	p := P{1: 10, 2: 30, 3: 20, 4: 30}
+	top := p.TopN(3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	// Ties broken by address: 2 before 4.
+	if top[0].Addr != 2 || top[1].Addr != 4 || top[2].Addr != 3 {
+		t.Errorf("order: %+v", top)
+	}
+	if got := p.TopN(100); len(got) != 4 {
+		t.Errorf("TopN over-cap = %d", len(got))
+	}
+}

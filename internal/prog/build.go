@@ -1,0 +1,32 @@
+package prog
+
+import (
+	"fmt"
+
+	"fpmix/internal/isa"
+)
+
+// Build lays out funcs contiguously starting at CodeBase, assigning
+// instruction and function addresses, and returns the assembled module.
+// Branch-target immediates are laid down as-is; callers that use symbolic
+// labels (such as the hl compiler) must patch them after layout — operand
+// sizes do not depend on immediate values, so patching never moves code.
+func Build(name string, funcs []*Func, data []byte, memSize uint64, entry string) (*Module, error) {
+	m := &Module{Name: name, Data: data, MemSize: memSize}
+	addr := CodeBase
+	for _, f := range funcs {
+		f.Addr = addr
+		for i := range f.Instrs {
+			f.Instrs[i].Addr = addr
+			addr += uint64(isa.EncodedSize(f.Instrs[i]))
+		}
+		f.End = addr
+		m.Funcs = append(m.Funcs, f)
+	}
+	ef := m.FuncByName(entry)
+	if ef == nil {
+		return nil, fmt.Errorf("prog: entry function %q not found", entry)
+	}
+	m.Entry = ef.Addr
+	return m, nil
+}

@@ -1,0 +1,244 @@
+package prog
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"fpmix/internal/isa"
+)
+
+// Image layout (all integers little-endian):
+//
+//	magic     "FPMX" (4 bytes)
+//	version   uint16
+//	nameLen   uint16, name bytes
+//	entry     uint64
+//	memSize   uint64
+//	codeBase  uint64
+//	codeLen   uint32, code bytes
+//	dataLen   uint32, data bytes
+//	nsyms     uint32, then per symbol:
+//	    nameLen uint16, name bytes, addr uint64, end uint64
+//	ndebug    uint32, then per entry (format version 2):
+//	    addr uint64, labelLen uint16, label bytes
+//
+// The code bytes are raw encoded instructions; Load re-decodes them and
+// rebuilds per-function instruction lists from the symbol table, failing if
+// any byte range does not parse — the moral equivalent of instruction
+// parsing in a real binary-analysis stack.
+
+var imageMagic = [4]byte{'F', 'P', 'M', 'X'}
+
+// ImageVersion is the serialization format version.
+const ImageVersion = 2
+
+// ErrBadImage reports a malformed serialized image.
+var ErrBadImage = errors.New("prog: bad image")
+
+// Save serializes m to its byte-image form.
+func Save(m *Module) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var code []byte
+	next := CodeBase
+	for _, f := range m.Funcs {
+		// Pad inter-function gaps with NOPs so the code segment is a single
+		// contiguous decodable range.
+		for next < f.Addr {
+			var err error
+			code, err = isa.Encode(code, isa.I(isa.NOP))
+			if err != nil {
+				return nil, err
+			}
+			next = CodeBase + uint64(len(code))
+			if next > f.Addr {
+				return nil, fmt.Errorf("%w: function %s not alignable at %#x", ErrBadImage, f.Name, f.Addr)
+			}
+		}
+		for _, in := range f.Instrs {
+			var err error
+			code, err = isa.Encode(code, in)
+			if err != nil {
+				return nil, fmt.Errorf("prog: encoding %s at %#x: %w", in.Op, in.Addr, err)
+			}
+		}
+		next = CodeBase + uint64(len(code))
+	}
+
+	var buf bytes.Buffer
+	buf.Write(imageMagic[:])
+	writeU16(&buf, ImageVersion)
+	writeU16(&buf, uint16(len(m.Name)))
+	buf.WriteString(m.Name)
+	writeU64(&buf, m.Entry)
+	writeU64(&buf, m.MemSize)
+	writeU64(&buf, CodeBase)
+	writeU32(&buf, uint32(len(code)))
+	buf.Write(code)
+	writeU32(&buf, uint32(len(m.Data)))
+	buf.Write(m.Data)
+	writeU32(&buf, uint32(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		writeU16(&buf, uint16(len(f.Name)))
+		buf.WriteString(f.Name)
+		writeU64(&buf, f.Addr)
+		writeU64(&buf, f.End)
+	}
+	// Debug entries, sorted by address for determinism.
+	addrs := make([]uint64, 0, len(m.Debug))
+	for a := range m.Debug {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	writeU32(&buf, uint32(len(addrs)))
+	for _, a := range addrs {
+		writeU64(&buf, a)
+		writeU16(&buf, uint16(len(m.Debug[a])))
+		buf.WriteString(m.Debug[a])
+	}
+	return buf.Bytes(), nil
+}
+
+// Load parses a serialized image back into a Module, re-decoding all code
+// bytes.
+func Load(img []byte) (*Module, error) {
+	r := &reader{buf: img}
+	var magic [4]byte
+	r.bytes(magic[:])
+	if magic != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if v := r.u16(); v != ImageVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadImage, v)
+	}
+	m := &Module{}
+	m.Name = r.str(int(r.u16()))
+	m.Entry = r.u64()
+	m.MemSize = r.u64()
+	codeBase := r.u64()
+	if codeBase != CodeBase {
+		return nil, fmt.Errorf("%w: code base %#x", ErrBadImage, codeBase)
+	}
+	code := make([]byte, r.u32())
+	r.bytes(code)
+	m.Data = make([]byte, r.u32())
+	r.bytes(m.Data)
+	nsyms := int(r.u32())
+	type sym struct {
+		name      string
+		addr, end uint64
+	}
+	syms := make([]sym, 0, nsyms)
+	for i := 0; i < nsyms; i++ {
+		s := sym{name: r.str(int(r.u16()))}
+		s.addr = r.u64()
+		s.end = r.u64()
+		syms = append(syms, s)
+	}
+	if nd := int(r.u32()); nd > 0 && r.err == nil {
+		m.Debug = make(map[uint64]string, nd)
+		for i := 0; i < nd; i++ {
+			a := r.u64()
+			m.Debug[a] = r.str(int(r.u16()))
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadImage, r.err)
+	}
+
+	instrs, err := isa.DecodeAll(code, CodeBase)
+	if err != nil {
+		return nil, fmt.Errorf("prog: decoding code: %w", err)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].addr < syms[j].addr })
+	idx := 0
+	for _, s := range syms {
+		f := &Func{Name: s.name, Addr: s.addr, End: s.end}
+		for idx < len(instrs) && instrs[idx].Addr < s.addr {
+			idx++ // skip padding
+		}
+		for idx < len(instrs) && instrs[idx].Addr < s.end {
+			f.Instrs = append(f.Instrs, instrs[idx])
+			idx++
+		}
+		if len(f.Instrs) == 0 {
+			return nil, fmt.Errorf("%w: function %s [%#x,%#x) has no instructions", ErrBadImage, s.name, s.addr, s.end)
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func writeU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+
+func writeU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+
+func writeU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) bytes(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.pos+len(dst) > len(r.buf) {
+		r.err = errors.New("truncated")
+		return
+	}
+	copy(dst, r.buf[r.pos:])
+	r.pos += len(dst)
+}
+
+func (r *reader) str(n int) string {
+	if r.err != nil || n < 0 {
+		return ""
+	}
+	if r.pos+n > len(r.buf) {
+		r.err = errors.New("truncated")
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *reader) u16() uint16 {
+	var t [2]byte
+	r.bytes(t[:])
+	return binary.LittleEndian.Uint16(t[:])
+}
+
+func (r *reader) u32() uint32 {
+	var t [4]byte
+	r.bytes(t[:])
+	return binary.LittleEndian.Uint32(t[:])
+}
+
+func (r *reader) u64() uint64 {
+	var t [8]byte
+	r.bytes(t[:])
+	return binary.LittleEndian.Uint64(t[:])
+}

@@ -1,0 +1,213 @@
+package prog
+
+import (
+	"reflect"
+	"testing"
+
+	"fpmix/internal/isa"
+)
+
+// testModule builds a tiny two-function module:
+//
+//	main:  movri rax, 1; call helper; halt
+//	helper: addsd xmm0, xmm1; mulsd xmm0, xmm0; ret
+func testModule(t *testing.T) *Module {
+	t.Helper()
+	main := &Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(1)),
+		isa.I(isa.CALL, isa.Imm(0)), // patched below
+		isa.I(isa.HALT),
+	}}
+	helper := &Func{Name: "helper", Instrs: []isa.Instr{
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Xmm(0)),
+		isa.I(isa.RET),
+	}}
+	m, err := Build("test", []*Func{main, helper}, []byte{1, 2, 3}, 1<<21, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patch the call target now that layout is known.
+	main.Instrs[1].A.Imm = int64(helper.Addr)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBuildLayout(t *testing.T) {
+	m := testModule(t)
+	if m.Funcs[0].Addr != CodeBase {
+		t.Errorf("main at %#x, want %#x", m.Funcs[0].Addr, CodeBase)
+	}
+	if m.Funcs[1].Addr != m.Funcs[0].End {
+		t.Errorf("helper at %#x, want %#x", m.Funcs[1].Addr, m.Funcs[0].End)
+	}
+	if m.Entry != CodeBase {
+		t.Errorf("entry %#x", m.Entry)
+	}
+}
+
+func TestBuildUnknownEntry(t *testing.T) {
+	_, err := Build("x", []*Func{{Name: "f", Instrs: []isa.Instr{isa.I(isa.RET)}}}, nil, 4096, "nope")
+	if err == nil {
+		t.Fatal("want error for unknown entry")
+	}
+}
+
+func TestFuncLookup(t *testing.T) {
+	m := testModule(t)
+	h := m.FuncByName("helper")
+	if h == nil {
+		t.Fatal("helper not found")
+	}
+	if got := m.FuncAt(h.Addr); got != h {
+		t.Error("FuncAt(helper.Addr) != helper")
+	}
+	if got := m.FuncAt(h.End - 1); got != h {
+		t.Error("FuncAt inside helper failed")
+	}
+	if got := m.FuncAt(h.End); got != nil {
+		t.Errorf("FuncAt past end = %v", got.Name)
+	}
+	if got := m.FuncAt(0); got != nil {
+		t.Error("FuncAt(0) should be nil")
+	}
+	if m.FuncByName("nope") != nil {
+		t.Error("FuncByName(nope) should be nil")
+	}
+}
+
+func TestInstrAt(t *testing.T) {
+	m := testModule(t)
+	h := m.FuncByName("helper")
+	in, ok := m.InstrAt(h.Addr)
+	if !ok || in.Op != isa.ADDSD {
+		t.Fatalf("InstrAt(helper.Addr) = %v, %v", in.Op, ok)
+	}
+	if _, ok := m.InstrAt(h.Addr + 1); ok {
+		t.Error("InstrAt mid-instruction should fail")
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	m := testModule(t)
+	c := m.Candidates()
+	if len(c) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(c))
+	}
+	in, _ := m.InstrAt(c[0])
+	if in.Op != isa.ADDSD {
+		t.Errorf("first candidate %v", in.Op)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := testModule(t)
+	img, err := Save(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Entry != m.Entry || got.MemSize != m.MemSize {
+		t.Error("header mismatch")
+	}
+	if !reflect.DeepEqual(got.Data, m.Data) {
+		t.Error("data mismatch")
+	}
+	if len(got.Funcs) != len(m.Funcs) {
+		t.Fatalf("func count %d != %d", len(got.Funcs), len(m.Funcs))
+	}
+	for i := range m.Funcs {
+		if !reflect.DeepEqual(got.Funcs[i], m.Funcs[i]) {
+			t.Errorf("func %d mismatch:\n got %+v\nwant %+v", i, got.Funcs[i], m.Funcs[i])
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	m := testModule(t)
+	img, err := Save(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), img...)
+	bad[0] = 'X'
+	if _, err := Load(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncation at every prefix length must error, not panic.
+	for n := 0; n < len(img)-1; n += 7 {
+		if _, err := Load(img[:n]); err == nil {
+			t.Errorf("truncated image (%d bytes) accepted", n)
+		}
+	}
+	// Corrupt a code byte (opcode of first instruction) to an invalid value.
+	bad2 := append([]byte(nil), img...)
+	// Find the code section: after magic(4)+ver(2)+nameLen(2)+name+entry(8)+mem(8)+base(8)+len(4).
+	off := 4 + 2 + 2 + len(m.Name) + 8 + 8 + 8 + 4
+	bad2[off] = 0xff
+	bad2[off+1] = 0xff
+	if _, err := Load(bad2); err == nil {
+		t.Error("corrupt code accepted")
+	}
+}
+
+func TestValidateCatchesBadStructure(t *testing.T) {
+	m := testModule(t)
+	m.Entry = 3
+	if err := m.Validate(); err == nil {
+		t.Error("bad entry accepted")
+	}
+	m = testModule(t)
+	m.Funcs[1].Addr = m.Funcs[0].Addr
+	if err := m.Validate(); err == nil {
+		t.Error("overlapping functions accepted")
+	}
+	m = testModule(t)
+	m.Funcs[1].End += 4
+	if err := m.Validate(); err == nil {
+		t.Error("bad End accepted")
+	}
+	m = testModule(t)
+	m.MemSize = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero MemSize accepted")
+	}
+	m = testModule(t)
+	m.Data = make([]byte, 1)
+	m.MemSize = DataBase // data extends past MemSize
+	if err := m.Validate(); err == nil {
+		t.Error("data past MemSize accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := testModule(t)
+	c := m.Clone()
+	if !reflect.DeepEqual(m, c) {
+		t.Fatal("clone differs")
+	}
+	c.Funcs[0].Instrs[0].A.Imm = 99
+	c.Data[0] = 42
+	if m.Funcs[0].Instrs[0].A.Imm == 99 || m.Data[0] == 42 {
+		t.Error("clone shares storage with original")
+	}
+}
+
+func TestInstructionsOrder(t *testing.T) {
+	m := testModule(t)
+	all := m.Instructions()
+	if len(all) != 6 {
+		t.Fatalf("len = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Addr <= all[i-1].Addr {
+			t.Fatal("instructions not in address order")
+		}
+	}
+}

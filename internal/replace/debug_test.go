@@ -1,0 +1,45 @@
+package replace
+
+import (
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+)
+
+// TestDebugSurvivesInstrumentation: snippet instructions inherit the
+// source label of the instruction they replaced (the paper's GUI resolves
+// instrumented code back to source locations).
+func TestDebugSurvivesInstrumentation(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Debug == nil {
+		t.Fatal("compiler attached no debug info")
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Single)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Debug == nil {
+		t.Fatal("instrumentation dropped debug info")
+	}
+	// Instrumentation expands candidates into many instructions, all
+	// carrying labels, so the table must grow.
+	if len(inst.Debug) <= len(m.Debug) {
+		t.Errorf("debug entries: %d -> %d, expected growth", len(m.Debug), len(inst.Debug))
+	}
+	for _, f := range inst.Funcs {
+		for _, in := range f.Instrs {
+			if _, ok := inst.Debug[in.Addr]; !ok {
+				t.Fatalf("instruction %#x (%s) lost its label", in.Addr, in.Op)
+			}
+		}
+	}
+}

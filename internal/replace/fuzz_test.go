@@ -1,0 +1,220 @@
+package replace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// The generalized §3.1 property: for ANY program, executing the
+// double-precision binary under all-single instrumentation produces
+// bit-for-bit the same values as compiling the same source at ModeF32.
+// This fuzzes the entire snippet pipeline — flag checks, in-place
+// downcasts, output stamping, comparisons and control flow — against the
+// independent "manual conversion" semantics.
+
+// buildRandomProgram compiles a random straight-line+branchy program at
+// the given mode. The same seed always yields the same source structure.
+func buildRandomProgram(seed int64, mode hl.Mode) (*prog.Module, error) {
+	r := rand.New(rand.NewSource(seed))
+	p := hl.New("fuzz", mode)
+
+	nv := 2 + r.Intn(4)
+	vars := make([]hl.FVar, nv)
+	for i := range vars {
+		vars[i] = p.ScalarInit("v", math.Trunc(r.NormFloat64()*512)/32)
+	}
+	arr := p.Array("arr", 8)
+	idx := p.Int("i")
+
+	var gen func(depth int) hl.Expr
+	gen = func(depth int) hl.Expr {
+		if depth <= 0 || r.Intn(4) == 0 {
+			switch r.Intn(3) {
+			case 0:
+				return hl.Const(math.Trunc(r.NormFloat64()*256) / 16)
+			case 1:
+				return hl.Load(vars[r.Intn(nv)])
+			default:
+				return hl.At(arr, hl.IConst(int64(r.Intn(8))))
+			}
+		}
+		a, b := gen(depth-1), gen(depth-1)
+		switch r.Intn(7) {
+		case 0:
+			return hl.Add(a, b)
+		case 1:
+			return hl.Sub(a, b)
+		case 2:
+			return hl.Mul(a, b)
+		case 3:
+			return hl.Div(a, hl.Add(hl.Abs(b), hl.Const(0.5)))
+		case 4:
+			return hl.Min(a, b)
+		case 5:
+			return hl.Max(a, b)
+		default:
+			return hl.Sqrt(hl.Abs(a))
+		}
+	}
+
+	f := p.Func("main")
+	// Fill the array from expressions.
+	for k := 0; k < 8; k++ {
+		f.Store(arr, hl.IConst(int64(k)), gen(2))
+	}
+	// A loop mutating state.
+	f.For(idx, hl.IConst(0), hl.IConst(int64(2+r.Intn(6))), func() {
+		v := vars[r.Intn(nv)]
+		f.Set(v, hl.Add(hl.Load(v), hl.At(arr, hl.IAnd(hl.ILoad(idx), hl.IConst(7)))))
+	})
+	// Branches on FP comparisons.
+	for k := 0; k < 2; k++ {
+		v := vars[r.Intn(nv)]
+		f.If(hl.Gt(hl.Load(v), gen(1)), func() {
+			f.Set(v, hl.Mul(hl.Load(v), hl.Const(0.5)))
+		}, func() {
+			f.Set(v, gen(2))
+		})
+	}
+	for i := range vars {
+		f.Out(hl.Load(vars[i]))
+	}
+	for k := 0; k < 8; k++ {
+		f.Out(hl.At(arr, hl.IConst(int64(k))))
+	}
+	f.Halt()
+	return p.Build("main")
+}
+
+func TestFuzzAllSingleMatchesManualConversion(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		m64, err := buildRandomProgram(seed, hl.ModeF64)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		m32, err := buildRandomProgram(seed, hl.ModeF32)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := config.FromModule(m64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAll(config.Single)
+		inst, err := Instrument(m64, c, InstrumentOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		mi := mustRun(t, inst, seed)
+		mf := mustRun(t, m32, seed)
+		if len(mi.Out) != len(mf.Out) {
+			t.Fatalf("seed %d: output counts differ", seed)
+		}
+		for i := range mi.Out {
+			// A value that never passed through a floating-point operation
+			// (a stored constant) legitimately remains an unreplaced double
+			// in the instrumented run; decode both sides to values. All
+			// generated constants are float32-exact, so value equality is
+			// still an exact (bit-level) criterion.
+			gv := Value(mi.Out[i].Bits)
+			wv := float64(math.Float32frombits(uint32(mf.Out[i].Bits)))
+			if math.Float64bits(gv) != math.Float64bits(wv) &&
+				!(math.IsNaN(gv) && math.IsNaN(wv)) {
+				t.Errorf("seed %d out %d: instrumented %v != manual %v", seed, i, gv, wv)
+			}
+		}
+	}
+}
+
+// TestFuzzAllDoubleTransparent: wrapping random programs entirely in
+// double snippets must reproduce the original outputs bit for bit.
+func TestFuzzAllDoubleTransparent(t *testing.T) {
+	for seed := int64(100); seed <= 140; seed++ {
+		m, err := buildRandomProgram(seed, hl.ModeF64)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		c, err := config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAll(config.Double)
+		inst, err := Instrument(m, c, InstrumentOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		a := mustRun(t, m, seed)
+		b := mustRun(t, inst, seed)
+		for i := range a.Out {
+			if a.Out[i].Bits != b.Out[i].Bits {
+				t.Errorf("seed %d out %d: %#x != %#x", seed, i, a.Out[i].Bits, b.Out[i].Bits)
+			}
+		}
+	}
+}
+
+// TestFuzzRandomMixedConfigs: arbitrary per-instruction configurations
+// must never crash, and outputs must stay close to the reference (every
+// value passed through at most float32 rounding at each step).
+func TestFuzzRandomMixedConfigs(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for seed := int64(200); seed <= 230; seed++ {
+		m, err := buildRandomProgram(seed, hl.ModeF64)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ref := mustRun(t, m, seed)
+		c, err := config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, addr := range c.Candidates() {
+			if r.Intn(2) == 0 {
+				c.NodeAt(addr).Flag = config.Single
+			}
+		}
+		inst, err := Instrument(m, c, InstrumentOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		got := mustRun(t, inst, seed)
+		if len(got.Out) != len(ref.Out) {
+			t.Fatalf("seed %d: output counts differ", seed)
+		}
+		for i := range got.Out {
+			gv := Value(got.Out[i].Bits)
+			rv := ref.Out[i].F64()
+			if math.IsNaN(rv) {
+				continue
+			}
+			if math.IsNaN(gv) {
+				t.Errorf("seed %d out %d: NaN from mixed config", seed, i)
+				continue
+			}
+			// Loose plausibility bound: mixed precision may drift, but
+			// not explode (values here are O(1)-O(100)).
+			if math.Abs(gv-rv) > 1e-2*(1+math.Abs(rv)) {
+				t.Errorf("seed %d out %d: %v vs %v drifted implausibly", seed, i, gv, rv)
+			}
+		}
+	}
+}
+
+func mustRun(t *testing.T, m *prog.Module, seed int64) *vm.Machine {
+	t.Helper()
+	mach, err := vm.New(m)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	mach.MaxSteps = 50_000_000
+	if err := mach.Run(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return mach
+}

@@ -1,0 +1,113 @@
+package replace
+
+import (
+	"fmt"
+
+	"fpmix/internal/cfg"
+	"fpmix/internal/config"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// InstrumentOptions configure whole-image instrumentation.
+type InstrumentOptions struct {
+	Snippet Options
+	// SkipDoubleSnippets omits the double-precision wrapper snippets for
+	// instructions kept in double precision. This is the paper's §2.5
+	// "static data flow analysis" future optimization in its most
+	// aggressive (whole-program, unchecked) form: it is only sound when no
+	// replaced value can flow into an unwrapped instruction, so it is an
+	// ablation knob, not a default.
+	SkipDoubleSnippets bool
+}
+
+// Instrument rewrites m according to cfgn: every double-precision
+// candidate instruction is expanded into a single- or double-precision
+// snippet per its effective precision (Ignore leaves the instruction
+// untouched). The result is a new, runnable module; m is not modified.
+func Instrument(m *prog.Module, cfgn *config.Config, opts InstrumentOptions) (*prog.Module, error) {
+	eff := cfgn.Effective()
+	return InstrumentMap(m, eff, opts)
+}
+
+// InstrumentMap is Instrument with a precomputed effective-precision map
+// (address -> precision). Addresses absent from the map default to Double.
+func InstrumentMap(m *prog.Module, eff map[uint64]config.Precision, opts InstrumentOptions) (*prog.Module, error) {
+	var expandErr error
+	out, err := cfg.Rewrite(m, func(in isa.Instr) []isa.Instr {
+		if expandErr != nil || !isa.IsCandidate(in.Op) {
+			return nil
+		}
+		p, ok := eff[in.Addr]
+		if !ok {
+			p = config.Double
+		}
+		switch p {
+		case config.Ignore:
+			return nil
+		case config.Single:
+			seq, err := SingleSnippet(in, opts.Snippet)
+			if err != nil {
+				expandErr = err
+				return nil
+			}
+			return seq
+		default:
+			if opts.SkipDoubleSnippets {
+				return nil
+			}
+			seq, err := DoubleSnippet(in, opts.Snippet)
+			if err != nil {
+				expandErr = err
+				return nil
+			}
+			return seq
+		}
+	})
+	if expandErr != nil {
+		return nil, expandErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("replace: %w", err)
+	}
+	return out, nil
+}
+
+// Stats summarizes a configuration against a module and an execution
+// profile: the static and dynamic replacement percentages reported in the
+// paper's Figure 10.
+type Stats struct {
+	Candidates    int     // |Pd|
+	StaticSingle  int     // candidates configured single
+	StaticPct     float64 // StaticSingle / Candidates * 100
+	DynamicSingle uint64  // executed candidate instances configured single
+	DynamicTotal  uint64  // executed candidate instances
+	DynamicPct    float64
+}
+
+// ComputeStats derives replacement statistics for eff given a profile of
+// per-address execution counts from an uninstrumented run.
+func ComputeStats(m *prog.Module, eff map[uint64]config.Precision, profile map[uint64]uint64) Stats {
+	var st Stats
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if !isa.IsCandidate(in.Op) {
+				continue
+			}
+			st.Candidates++
+			n := profile[in.Addr]
+			st.DynamicTotal += n
+			if eff[in.Addr] == config.Single {
+				st.StaticSingle++
+				st.DynamicSingle += n
+			}
+		}
+	}
+	if st.Candidates > 0 {
+		st.StaticPct = 100 * float64(st.StaticSingle) / float64(st.Candidates)
+	}
+	if st.DynamicTotal > 0 {
+		st.DynamicPct = 100 * float64(st.DynamicSingle) / float64(st.DynamicTotal)
+	}
+	return st
+}

@@ -1,0 +1,238 @@
+package replace
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// Packed (two-lane) replacement is exercised with hand-assembled code:
+// the hl compiler emits scalar SSE only, but the paper's technique
+// explicitly covers packed 128-bit XMM values (Figure 5: "this technique
+// works for single values as well as packed floating-point values").
+
+// packedProgram computes, entirely with packed instructions:
+//
+//	xmm0 = [a0, a1]; xmm1 = [b0, b1]
+//	xmm0 = (xmm0 + xmm1) * xmm1   (lane-wise)
+//	xmm2 = sqrt(xmm0)
+//
+// and outputs all four result lanes.
+func packedProgram(t *testing.T, a0, a1, b0, b1 float64) *prog.Module {
+	t.Helper()
+	ld := func(x uint8, lo, hi float64) []isa.Instr {
+		return []isa.Instr{
+			isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(lo)))),
+			isa.I(isa.MOVQ, isa.Xmm(x), isa.Gpr(isa.RAX)),
+			isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(hi)))),
+			isa.I(isa.MOVHQ, isa.Xmm(x), isa.Gpr(isa.RAX)),
+		}
+	}
+	outLane := func(x uint8, lane int) []isa.Instr {
+		seq := []isa.Instr{}
+		if lane == 0 {
+			seq = append(seq, isa.I(isa.MOVQ, isa.Gpr(isa.RAX), isa.Xmm(x)))
+		} else {
+			seq = append(seq, isa.I(isa.MOVHQ, isa.Gpr(isa.RAX), isa.Xmm(x)))
+		}
+		seq = append(seq,
+			isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.RAX)),
+			isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		)
+		return seq
+	}
+	var instrs []isa.Instr
+	instrs = append(instrs, ld(2, a0, a1)...)
+	instrs = append(instrs, ld(1, b0, b1)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDPD, isa.Xmm(2), isa.Xmm(1)),
+		isa.I(isa.MULPD, isa.Xmm(2), isa.Xmm(1)),
+		isa.I(isa.MOVAPD, isa.Xmm(3), isa.Xmm(2)),
+		isa.I(isa.SQRTPD, isa.Xmm(3), isa.Xmm(3)),
+	)
+	instrs = append(instrs, outLane(2, 0)...)
+	// outLane clobbers xmm0 lane0; results live in xmm2/xmm3 so reads stay
+	// valid.
+	instrs = append(instrs, outLane(2, 1)...)
+	instrs = append(instrs, outLane(3, 0)...)
+	instrs = append(instrs, outLane(3, 1)...)
+	instrs = append(instrs, isa.I(isa.HALT))
+	f := &prog.Func{Name: "main", Instrs: instrs}
+	m, err := prog.Build("packed", []*prog.Func{f}, nil, prog.DataBase+1<<16, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runPacked(t *testing.T, m *prog.Module) []uint64 {
+	t.Helper()
+	mach, err := vm.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.TrapUnreplaced = true
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, len(mach.Out))
+	for i, o := range mach.Out {
+		out[i] = o.Bits
+	}
+	return out
+}
+
+func TestPackedDoubleSnippetTransparent(t *testing.T) {
+	m := packedProgram(t, 1.5, -2.25, 3.0, 0.5)
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.Candidates()); n != 3 {
+		t.Fatalf("packed candidates = %d, want 3", n)
+	}
+	c.SetAll(config.Double)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runPacked(t, m)
+	got := runPacked(t, inst)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Errorf("lane output %d: %#x != %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPackedSingleSnippetMatchesFloat32(t *testing.T) {
+	a0, a1, b0, b1 := 1.5, -2.25, 3.0, 0.5
+	m := packedProgram(t, a0, a1, b0, b1)
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Single)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPacked(t, inst)
+
+	// Host float32 mirror, lane-wise.
+	f32 := func(x float64) float32 { return float32(x) }
+	r0 := (f32(a0) + f32(b0)) * f32(b0)
+	r1 := (f32(a1) + f32(b1)) * f32(b1)
+	s0 := float32(math.Sqrt(float64(r0)))
+	s1 := float32(math.Sqrt(float64(r1)))
+	want := []float32{r0, r1, s0, s1}
+	for i, w := range want {
+		bits := got[i]
+		if !IsReplaced(bits) {
+			t.Errorf("output %d not replaced: %#x", i, bits)
+			continue
+		}
+		g := Payload(bits)
+		if math.Float32bits(g) != math.Float32bits(w) && !(g != g && w != w) {
+			t.Errorf("output %d: %v != %v", i, g, w)
+		}
+	}
+}
+
+// TestPackedMixedLanes: a packed double op consuming one replaced and one
+// plain lane must upcast only the flagged lane.
+func TestPackedMixedLanes(t *testing.T) {
+	m := packedProgram(t, 2.0, 8.0, 4.0, 16.0)
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ADDPD single, MULPD and SQRTPD double: the multiply receives
+	// replaced inputs from the add and must upcast both lanes.
+	cands := c.Candidates()
+	c.NodeAt(cands[0]).Flag = config.Single
+	c.NodeAt(cands[1]).Flag = config.Double
+	c.NodeAt(cands[2]).Flag = config.Double
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPacked(t, inst)
+	// Exact in float32 for these power-of-two-ish values, so results equal
+	// the double computation exactly after upcast.
+	want := []float64{(2 + 4) * 4, (8 + 16) * 16, math.Sqrt(24), math.Sqrt(384)}
+	for i, w := range want {
+		if Value(got[i]) != w {
+			t.Errorf("output %d: %v != %v", i, Value(got[i]), w)
+		}
+	}
+}
+
+// TestPackedMemoryOperand: packed instructions with 16-byte memory
+// source operands go through the promotion path.
+func TestPackedMemoryOperand(t *testing.T) {
+	base := int64(prog.DataBase)
+	var instrs []isa.Instr
+	// Store [3.0, 5.0] at DataBase.
+	instrs = append(instrs,
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(base)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(3.0)))),
+		isa.I(isa.STORE, isa.Mem(isa.RBX, 0), isa.Gpr(isa.RAX)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(5.0)))),
+		isa.I(isa.STORE, isa.Mem(isa.RBX, 8), isa.Gpr(isa.RAX)),
+		// xmm2 = [1.0, 2.0]
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(1.0)))),
+		isa.I(isa.MOVQ, isa.Xmm(2), isa.Gpr(isa.RAX)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(int64(math.Float64bits(2.0)))),
+		isa.I(isa.MOVHQ, isa.Xmm(2), isa.Gpr(isa.RAX)),
+		// xmm2 += mem128
+		isa.I(isa.ADDPD, isa.Xmm(2), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.MOVQ, isa.Gpr(isa.RAX), isa.Xmm(2)),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.RAX)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.MOVHQ, isa.Gpr(isa.RAX), isa.Xmm(2)),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.RAX)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	)
+	f := &prog.Func{Name: "main", Instrs: instrs}
+	m, err := prog.Build("pmem", []*prog.Func{f}, nil, prog.DataBase+1<<16, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prec := range []config.Precision{config.Single, config.Double} {
+		c, err := config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAll(prec)
+		inst, err := Instrument(m, c, InstrumentOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runPacked(t, inst)
+		if Value(got[0]) != 4.0 || Value(got[1]) != 7.0 {
+			t.Errorf("%v: lanes = %v, %v; want 4, 7", prec, Value(got[0]), Value(got[1]))
+		}
+		// The memory operand itself must be untouched (promotion, not
+		// write-back).
+		mach, _ := vm.New(inst)
+		_ = mach.Run()
+		lo := math.Float64frombits(leU64(mach.Mem[prog.DataBase:]))
+		if lo != 3.0 {
+			t.Errorf("%v: memory operand modified: %v", prec, lo)
+		}
+	}
+}
+
+func leU64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}

@@ -1,0 +1,62 @@
+// Package replace implements the paper's core technique (§2.3): in-place
+// replacement of double-precision instructions and operands with their
+// single-precision equivalents inside an existing binary.
+//
+// A replaced value stores its 32-bit single-precision payload in the low
+// half of the original 64-bit location; the high 32 bits hold the sentinel
+// 0x7FF4DEAD (a non-signalling NaN pattern, so missed values never
+// propagate silently, with a human-readable 0xDEAD tail for hex dumps —
+// Figure 5). Every floating-point instruction of an instrumented program
+// is expanded into a machine-code snippet (Figure 6) that checks its
+// inputs for the flag, converts as needed, performs the operation at the
+// configured precision, and re-stamps flags on outputs.
+package replace
+
+import (
+	"math"
+
+	"fpmix/internal/isa"
+)
+
+// Flag is the sentinel stored in the high 32 bits of a replaced value.
+const Flag = isa.ReplacedFlag
+
+// flagHi is the flag positioned in the high word of a 64-bit value.
+const flagHi = uint64(Flag) << 32
+
+// IsReplaced reports whether bits carries the replacement flag.
+func IsReplaced(bits uint64) bool { return uint32(bits>>32) == Flag }
+
+// Encode packs a float32 into a replaced 64-bit slot.
+func Encode(f float32) uint64 {
+	return flagHi | uint64(math.Float32bits(f))
+}
+
+// Payload extracts the single-precision payload of a replaced value.
+func Payload(bits uint64) float32 {
+	return math.Float32frombits(uint32(bits))
+}
+
+// Downcast converts double-precision bits to their replaced form, exactly
+// as the generated snippet's cvtsd2ss + or sequence does.
+func Downcast(doubleBits uint64) uint64 {
+	return Encode(float32(math.Float64frombits(doubleBits)))
+}
+
+// Upcast converts a replaced value back to plain double-precision bits
+// (cvtss2sd). Non-replaced values are returned unchanged.
+func Upcast(bits uint64) uint64 {
+	if !IsReplaced(bits) {
+		return bits
+	}
+	return math.Float64bits(float64(Payload(bits)))
+}
+
+// Value interprets a possibly-replaced 64-bit slot as a float64 — the view
+// an instrumented program's (snippet-wrapped) output conversion produces.
+func Value(bits uint64) float64 {
+	if IsReplaced(bits) {
+		return float64(Payload(bits))
+	}
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,360 @@
+package replace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+func TestEncodingHelpers(t *testing.T) {
+	v := Encode(1.5)
+	if !IsReplaced(v) {
+		t.Fatal("Encode did not set flag")
+	}
+	if Payload(v) != 1.5 {
+		t.Errorf("payload = %v", Payload(v))
+	}
+	if uint32(v>>32) != 0x7FF4DEAD {
+		t.Errorf("high word = %#x", uint32(v>>32))
+	}
+	// A replaced value reads as a NaN when interpreted as a double.
+	if !math.IsNaN(math.Float64frombits(v)) {
+		t.Error("replaced value is not a NaN pattern")
+	}
+	d := math.Float64bits(2.75)
+	if IsReplaced(d) {
+		t.Error("plain double flagged")
+	}
+	if got := Downcast(d); Payload(got) != 2.75 || !IsReplaced(got) {
+		t.Errorf("Downcast = %#x", got)
+	}
+	if got := Upcast(Encode(2.75)); math.Float64frombits(got) != 2.75 {
+		t.Errorf("Upcast = %v", math.Float64frombits(got))
+	}
+	if got := Upcast(d); got != d {
+		t.Error("Upcast modified a plain double")
+	}
+	if Value(Encode(0.5)) != 0.5 || Value(d) != 2.75 {
+		t.Error("Value mis-decodes")
+	}
+}
+
+func TestDowncastUpcastQuick(t *testing.T) {
+	f := func(x float64) bool {
+		r := Downcast(math.Float64bits(x))
+		if !IsReplaced(r) {
+			return false
+		}
+		up := math.Float64frombits(Upcast(r))
+		want := float64(float32(x))
+		if math.IsNaN(want) {
+			return math.IsNaN(up)
+		}
+		return up == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildKernel compiles a small program that exercises add/mul/div/sqrt,
+// comparisons, array traffic and a function call.
+func buildKernel(mode hl.Mode) (*prog.Module, error) {
+	p := hl.New("kern", mode)
+	a := p.ArrayInit("a", []float64{1.25, 2.5, 3.75, 5.0})
+	sum := p.Scalar("sum")
+	nrm := p.Scalar("nrm")
+	i := p.Int("i")
+	main := p.Func("main")
+	main.For(i, hl.IConst(0), hl.IConst(4), func() {
+		main.Set(sum, hl.Add(hl.Load(sum), hl.At(a, hl.ILoad(i))))
+		main.Set(nrm, hl.Add(hl.Load(nrm),
+			hl.Mul(hl.At(a, hl.ILoad(i)), hl.At(a, hl.ILoad(i)))))
+	})
+	main.Call("norm")
+	main.Out(hl.Load(sum))
+	main.Out(hl.Load(nrm))
+	main.Halt()
+	nf := p.Func("norm")
+	nf.Set(nrm, hl.Sqrt(hl.Load(nrm)))
+	nf.If(hl.Gt(hl.Load(nrm), hl.Const(1)), func() {
+		nf.Set(nrm, hl.Div(hl.Load(nrm), hl.Const(2)))
+	}, nil)
+	nf.Ret()
+	return p.Build("main")
+}
+
+func runModule(t *testing.T, m *prog.Module) *vm.Machine {
+	t.Helper()
+	mach, err := vm.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.TrapUnreplaced = true
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return mach
+}
+
+// TestAllDoubleInstrumentationIsTransparent checks the Figure 8/9 "base
+// case": wrapping every instruction in double-precision snippets must not
+// change results at all, only cost cycles.
+func TestAllDoubleInstrumentationIsTransparent(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Double)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := runModule(t, m)
+	wrapped := runModule(t, inst)
+	for i := range orig.Out {
+		if orig.Out[i].Bits != wrapped.Out[i].Bits {
+			t.Errorf("output %d differs: %v vs %v", i, orig.Out[i].F64(), wrapped.Out[i].F64())
+		}
+	}
+	if wrapped.Cycles <= orig.Cycles {
+		t.Error("instrumentation should cost cycles")
+	}
+}
+
+// TestAllSingleMatchesManualConversion is the paper's §3.1 verification:
+// the instrumented all-single binary must produce bit-for-bit the same
+// values as the manually converted (ModeF32-compiled) program.
+func TestAllSingleMatchesManualConversion(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Single)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runModule(t, inst)
+
+	manual, err := buildKernel(hl.ModeF32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runModule(t, manual)
+
+	if len(got.Out) != len(want.Out) {
+		t.Fatalf("output counts differ: %d vs %d", len(got.Out), len(want.Out))
+	}
+	for i := range got.Out {
+		g := got.Out[i].Bits
+		if !IsReplaced(g) {
+			t.Errorf("output %d not replaced: %#x", i, g)
+			continue
+		}
+		if uint32(g) != uint32(want.Out[i].Bits) {
+			t.Errorf("output %d: instrumented %v != manual %v",
+				i, Payload(g), math.Float32frombits(uint32(want.Out[i].Bits)))
+		}
+	}
+}
+
+// TestMixedConfiguration replaces only the norm function and checks that
+// double parts still see correct (upcast) values.
+func TestMixedConfiguration(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var normFn *config.Node
+	for _, fn := range c.Root.Children {
+		if fn.Name == "norm" {
+			normFn = fn
+		}
+	}
+	if normFn == nil {
+		t.Fatal("norm not in config tree")
+	}
+	normFn.Flag = config.Single
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runModule(t, inst)
+	ref := runModule(t, mustBuild(t))
+
+	// sum is computed entirely in double and must match exactly.
+	if got.Out[0].Bits != ref.Out[0].Bits {
+		t.Errorf("double part diverged: %v vs %v", Value(got.Out[0].Bits), ref.Out[0].F64())
+	}
+	// nrm passed through single-precision sqrt/div: close but not equal.
+	gn := Value(got.Out[1].Bits)
+	rn := ref.Out[1].F64()
+	if math.Abs(gn-rn) > 1e-5*math.Abs(rn) {
+		t.Errorf("single part too far off: %v vs %v", gn, rn)
+	}
+	if gn == rn {
+		t.Error("single part suspiciously exact (replacement not applied?)")
+	}
+}
+
+func mustBuild(t *testing.T) *prog.Module {
+	t.Helper()
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestIgnoreLeavesInstructionAlone checks that ignored instructions are
+// not wrapped — and that feeding them replaced values produces NaN (the
+// paper's crash-don't-corrupt property), caught by trap mode.
+func TestIgnoreConfiguration(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Ignore)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-ignore instrumentation is the identity (modulo relocation).
+	orig := runModule(t, m)
+	got := runModule(t, inst)
+	for i := range orig.Out {
+		if orig.Out[i].Bits != got.Out[i].Bits {
+			t.Error("ignore configuration changed results")
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := config.FromModule(m)
+	mach := runModule(t, m)
+	prof := mach.Profile()
+
+	// All double: zero replacement.
+	st := ComputeStats(m, c.Effective(), prof)
+	if st.StaticSingle != 0 || st.DynamicSingle != 0 {
+		t.Error("empty config has replacements")
+	}
+	if st.Candidates != len(m.Candidates()) {
+		t.Errorf("candidates = %d", st.Candidates)
+	}
+
+	// All single: 100%.
+	c.SetAll(config.Single)
+	st = ComputeStats(m, c.Effective(), prof)
+	if st.StaticPct != 100 || st.DynamicPct != 100 {
+		t.Errorf("all-single stats: %.1f%% / %.1f%%", st.StaticPct, st.DynamicPct)
+	}
+	if st.DynamicTotal == 0 {
+		t.Error("no dynamic executions recorded")
+	}
+}
+
+// TestSnippetPreservesOtherState: registers and memory not involved in the
+// replaced instruction must be untouched by the snippet.
+func TestSnippetPreservesScratchState(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := config.FromModule(m)
+	c.SetAll(config.Single)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach := runModule(t, inst)
+	// The stack pointer must be fully restored after every snippet.
+	if mach.GPR[4] != inst.MemSize&^15 { // RSP
+		t.Errorf("stack pointer leaked: %#x != %#x", mach.GPR[4], inst.MemSize&^15)
+	}
+}
+
+func TestUncheckedDowncastAblation(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := config.FromModule(m)
+	c.SetAll(config.Single)
+	fast, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Instrument(m, c, InstrumentOptions{Snippet: Options{UncheckedDowncast: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf := runModule(t, fast)
+	ms := runModule(t, slow)
+	// Same results...
+	for i := range mf.Out {
+		if mf.Out[i].Bits != ms.Out[i].Bits {
+			t.Errorf("ablation changed output %d", i)
+		}
+	}
+	// ...but the checked fast path must be cheaper.
+	if mf.Cycles >= ms.Cycles {
+		t.Errorf("flag-check fast path not faster: %d vs %d cycles", mf.Cycles, ms.Cycles)
+	}
+}
+
+func TestSnippetErrors(t *testing.T) {
+	mov := isa.I(isa.MOVSD, isa.Xmm(0), isa.Xmm(1))
+	if _, err := SingleSnippet(mov, Options{}); err == nil {
+		t.Error("non-candidate accepted by SingleSnippet")
+	}
+	if _, err := DoubleSnippet(mov, Options{}); err == nil {
+		t.Error("non-candidate accepted by DoubleSnippet")
+	}
+	// RSP-relative FP memory operands cannot be promoted safely.
+	rspOp := isa.I(isa.ADDSD, isa.Xmm(0), isa.Mem(isa.RSP, 8))
+	if _, err := SingleSnippet(rspOp, Options{}); err == nil {
+		t.Error("RSP-relative operand accepted")
+	}
+	if _, err := DoubleSnippet(rspOp, Options{}); err == nil {
+		t.Error("RSP-relative operand accepted by double snippet")
+	}
+	// Memory promotion disabled.
+	memOp := isa.I(isa.ADDSD, isa.Xmm(0), isa.Mem(isa.RBX, 8))
+	if _, err := SingleSnippet(memOp, Options{NoMemPromotion: true}); err == nil {
+		t.Error("memory operand accepted with promotion disabled")
+	}
+	// Producers need no double snippet.
+	prod := isa.I(isa.CVTSI2SD, isa.Xmm(0), isa.Gpr(isa.RAX))
+	seq, err := DoubleSnippet(prod, Options{})
+	if err != nil || seq != nil {
+		t.Errorf("producer double snippet = %v, %v; want nil, nil", seq, err)
+	}
+}

@@ -1,0 +1,338 @@
+package replace
+
+import (
+	"fmt"
+
+	"fpmix/internal/cfg"
+	"fpmix/internal/isa"
+)
+
+// The snippet mini-compiler. For each replaced floating-point instruction
+// it emits the template of Figure 6:
+//
+//	push scratch registers
+//	<for each input operand>
+//	    extract high word, compare against the flag
+//	    skip if already in the target representation
+//	    otherwise downcast (single mode) or upcast (double mode) in place
+//	<run the operation at the configured precision, registers only>
+//	<fix flags in any outputs the operation does not stamp itself>
+//	pop scratch registers
+//
+// Register budget: r14/r15 are integer scratch; xmm15 is the conversion
+// scratch for packed lanes; xmm14 holds promoted memory operands. All are
+// saved and restored around the snippet, so snippets compose with any
+// surrounding register state.
+
+const (
+	sr1   = isa.R15 // value scratch
+	sr2   = isa.R14 // mask/compare scratch
+	sx    = 15      // xmm conversion scratch
+	sxMem = 14      // xmm memory-operand scratch
+)
+
+// Options tune snippet generation; the zero value is the paper's
+// configuration.
+type Options struct {
+	// UncheckedDowncast drops the flag-test fast path on single-precision
+	// inputs: every input is normalized to double (upcast if flagged) and
+	// then unconditionally downcast. Semantically equivalent but slower —
+	// the ablation quantifying the value of the flag check.
+	UncheckedDowncast bool
+	// NoMemPromotion refuses memory operands instead of promoting them to
+	// a scratch register (debugging aid).
+	NoMemPromotion bool
+	// LivenessElision omits the save/restore of the snippet's scratch
+	// registers (r14, r15, xmm14, xmm15). This is the paper's §2.5
+	// "streamline the machine code" optimization, justified here by the
+	// fpmix compiler ABI: hl-generated code never holds live values in
+	// those registers across a floating-point instruction (the same
+	// argument Dyninst makes with binary register-liveness analysis).
+	// Unsound for binaries produced outside that ABI.
+	LivenessElision bool
+}
+
+// snip accumulates a snippet with local branch targets.
+type snip struct {
+	instrs []isa.Instr
+}
+
+func (s *snip) emit(in isa.Instr) { s.instrs = append(s.instrs, in) }
+
+// testFlag emits the flag test on the 64-bit value in sr1 and a branch
+// (JE when the flag is present if onFlag, JNE otherwise); bind later.
+func (s *snip) testFlag(onFlag bool) int {
+	s.emit(isa.I(isa.MOVRR, isa.Gpr(sr2), isa.Gpr(sr1)))
+	s.emit(isa.I(isa.SHRI, isa.Gpr(sr2), isa.Imm(32)))
+	s.emit(isa.I(isa.CMPI, isa.Gpr(sr2), isa.Imm(int64(Flag))))
+	idx := len(s.instrs)
+	if onFlag {
+		s.emit(isa.I(isa.JE, isa.Imm(0)))
+	} else {
+		s.emit(isa.I(isa.JNE, isa.Imm(0)))
+	}
+	return idx
+}
+
+// bind points the branch at patch index to the next emitted instruction.
+func (s *snip) bind(idx int) {
+	s.instrs[idx].A.Imm = cfg.Label(len(s.instrs))
+}
+
+// stampFlag overwrites the high word of the 64-bit value in sr1 with the
+// replacement flag (mask low, or flag).
+func (s *snip) stampFlag() {
+	s.emit(isa.I(isa.MOVRI, isa.Gpr(sr2), isa.Imm(0xFFFFFFFF)))
+	s.emit(isa.I(isa.ANDR, isa.Gpr(sr1), isa.Gpr(sr2)))
+	s.emit(isa.I(isa.MOVRI, isa.Gpr(sr2), isa.Imm(int64(flagHi))))
+	s.emit(isa.I(isa.ORR, isa.Gpr(sr1), isa.Gpr(sr2)))
+}
+
+// laneToScratch / scratchToLane move between an xmm lane (0 or 1) and sr1.
+func (s *snip) laneToScratch(reg uint8, lane int) {
+	op := isa.MOVQ
+	if lane == 1 {
+		op = isa.MOVHQ
+	}
+	s.emit(isa.I(op, isa.Gpr(sr1), isa.Xmm(reg)))
+}
+
+func (s *snip) scratchToLane(reg uint8, lane int) {
+	op := isa.MOVQ
+	if lane == 1 {
+		op = isa.MOVHQ
+	}
+	s.emit(isa.I(op, isa.Xmm(reg), isa.Gpr(sr1)))
+}
+
+// cvtLane applies op (CVTSD2SS or CVTSS2SD) to one lane of reg. Lane 0
+// converts in place; lane 1 routes through the conversion scratch.
+func (s *snip) cvtLane(op isa.Op, reg uint8, lane int) {
+	if lane == 0 {
+		s.emit(isa.I(op, isa.Xmm(reg), isa.Xmm(reg)))
+		return
+	}
+	s.laneToScratch(reg, 1)
+	s.emit(isa.I(isa.MOVQ, isa.Xmm(sx), isa.Gpr(sr1)))
+	s.emit(isa.I(op, isa.Xmm(sx), isa.Xmm(sx)))
+	s.emit(isa.I(isa.MOVQ, isa.Gpr(sr1), isa.Xmm(sx)))
+	s.scratchToLane(reg, 1)
+}
+
+// downcastLane converts one 64-bit lane of reg to replaced form unless it
+// already carries the flag.
+func (s *snip) downcastLane(reg uint8, lane int, opts Options) {
+	if opts.UncheckedDowncast {
+		// Slow path: normalize to double first, then always downcast.
+		s.upcastLane(reg, lane)
+	}
+	s.laneToScratch(reg, lane)
+	skip := -1
+	if !opts.UncheckedDowncast {
+		skip = s.testFlag(true)
+	}
+	s.cvtLane(isa.CVTSD2SS, reg, lane)
+	s.laneToScratch(reg, lane)
+	s.stampFlag()
+	s.scratchToLane(reg, lane)
+	if skip >= 0 {
+		s.bind(skip)
+	}
+}
+
+// upcastLane converts one replaced lane of reg back to a plain double when
+// it carries the flag.
+func (s *snip) upcastLane(reg uint8, lane int) {
+	s.laneToScratch(reg, lane)
+	skip := s.testFlag(false)
+	s.cvtLane(isa.CVTSS2SD, reg, lane)
+	s.bind(skip)
+}
+
+// stampLane re-stamps the flag on one lane of reg (packed single outputs,
+// Figure 6's "fix flags in any packed outputs").
+func (s *snip) stampLane(reg uint8, lane int) {
+	s.laneToScratch(reg, lane)
+	s.stampFlag()
+	s.scratchToLane(reg, lane)
+}
+
+// checkMemOperand rejects memory operands the snippet cannot promote
+// safely: RSP-relative addresses shift under the snippet's own pushes, and
+// scratch-register bases would read clobbered values.
+func checkMemOperand(in isa.Instr) error {
+	if in.B.Kind != isa.KindMem {
+		return nil
+	}
+	m := in.B.Mem
+	bad := func(r uint8) bool { return r == isa.RSP }
+	if bad(m.Base) || (m.HasIndex && bad(m.Index)) {
+		return fmt.Errorf("replace: %s at %#x: RSP-relative FP operand cannot be promoted", in.Op, in.Addr)
+	}
+	return nil
+}
+
+// SingleSnippet builds the replacement snippet executing in at single
+// precision. The returned sequence uses cfg.Label for internal branches.
+func SingleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
+	sOp, ok := isa.SingleEquivalent(in.Op)
+	if !ok {
+		return nil, fmt.Errorf("replace: %s is not a candidate", in.Op)
+	}
+	if err := checkMemOperand(in); err != nil {
+		return nil, err
+	}
+	packed := isa.IsPacked(in.Op)
+	s := &snip{}
+	if !opts.LivenessElision {
+		s.emit(isa.I(isa.PUSH, isa.Gpr(sr1)))
+		s.emit(isa.I(isa.PUSH, isa.Gpr(sr2)))
+		if packed {
+			s.emit(isa.I(isa.PUSHX, isa.Xmm(sx)))
+		}
+	}
+
+	op := in // working copy, rewritten to the single opcode
+	op.Op = sOp
+	op.Addr = 0
+
+	// Promote a memory source operand into the scratch register so the
+	// conversion runs on registers only and never writes back to (possibly
+	// unwritable or shared) memory — paper §2.3.
+	usedMem := false
+	if in.B.Kind == isa.KindMem && !isa.IsProducer(in.Op) {
+		if opts.NoMemPromotion {
+			return nil, fmt.Errorf("replace: memory operand on %s with promotion disabled", in.Op)
+		}
+		usedMem = true
+		if !opts.LivenessElision {
+			s.emit(isa.I(isa.PUSHX, isa.Xmm(sxMem)))
+		}
+		if packed {
+			s.emit(isa.I(isa.MOVAPD, isa.Xmm(sxMem), in.B))
+		} else {
+			s.emit(isa.I(isa.MOVSD, isa.Xmm(sxMem), in.B))
+		}
+		op.B = isa.Xmm(sxMem)
+	}
+
+	// Check-and-downcast every floating-point input.
+	if isa.ConsumesFP(in.Op) {
+		if op.B.Kind == isa.KindXMM {
+			s.downcastLane(op.B.Reg, 0, opts)
+			if packed {
+				s.downcastLane(op.B.Reg, 1, opts)
+			}
+		}
+		if isa.DstIsSource(in.Op) && op.A.Kind == isa.KindXMM && !(op.B.Kind == isa.KindXMM && op.B.Reg == op.A.Reg) {
+			s.downcastLane(op.A.Reg, 0, opts)
+			if packed {
+				s.downcastLane(op.A.Reg, 1, opts)
+			}
+		}
+	}
+
+	// The operation itself, at single precision.
+	s.emit(op)
+
+	// Fix flags on outputs the operation does not stamp itself:
+	//   - packed ops corrupt the flag words (they are data lanes to ADDPS);
+	//   - non-dst-is-src scalar ops (sqrt, transcendentals, cvtsi2ss) write
+	//     a fresh low word under an arbitrary high word.
+	if isa.WritesDst(in.Op) && op.A.Kind == isa.KindXMM {
+		if packed {
+			s.stampLane(op.A.Reg, 0)
+			s.stampLane(op.A.Reg, 1)
+		} else if !isa.DstIsSource(in.Op) {
+			s.stampLane(op.A.Reg, 0)
+		}
+	}
+
+	if !opts.LivenessElision {
+		if usedMem {
+			s.emit(isa.I(isa.POPX, isa.Xmm(sxMem)))
+		}
+		if packed {
+			s.emit(isa.I(isa.POPX, isa.Xmm(sx)))
+		}
+		s.emit(isa.I(isa.POP, isa.Gpr(sr2)))
+		s.emit(isa.I(isa.POP, isa.Gpr(sr1)))
+	}
+	return s.instrs, nil
+}
+
+// DoubleSnippet builds the snippet executing in at double precision while
+// upcasting any replaced inputs. This must wrap every FP instruction in an
+// instrumented binary — even the ones kept in double precision — because
+// an earlier single-precision operation may have replaced the incoming
+// operands (paper §2.3). It returns (nil, nil) for instructions that need
+// no wrapping (producers with no FP inputs).
+func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
+	if !isa.IsCandidate(in.Op) {
+		return nil, fmt.Errorf("replace: %s is not a candidate", in.Op)
+	}
+	if isa.IsProducer(in.Op) {
+		// Integer-to-double has no FP inputs to check; the original
+		// instruction is already correct.
+		return nil, nil
+	}
+	if err := checkMemOperand(in); err != nil {
+		return nil, err
+	}
+	packed := isa.IsPacked(in.Op)
+	s := &snip{}
+	if !opts.LivenessElision {
+		s.emit(isa.I(isa.PUSH, isa.Gpr(sr1)))
+		s.emit(isa.I(isa.PUSH, isa.Gpr(sr2)))
+		if packed {
+			s.emit(isa.I(isa.PUSHX, isa.Xmm(sx)))
+		}
+	}
+
+	op := in
+	op.Addr = 0
+
+	usedMem := false
+	if in.B.Kind == isa.KindMem {
+		if opts.NoMemPromotion {
+			return nil, fmt.Errorf("replace: memory operand on %s with promotion disabled", in.Op)
+		}
+		usedMem = true
+		if !opts.LivenessElision {
+			s.emit(isa.I(isa.PUSHX, isa.Xmm(sxMem)))
+		}
+		if packed {
+			s.emit(isa.I(isa.MOVAPD, isa.Xmm(sxMem), in.B))
+		} else {
+			s.emit(isa.I(isa.MOVSD, isa.Xmm(sxMem), in.B))
+		}
+		op.B = isa.Xmm(sxMem)
+	}
+
+	if op.B.Kind == isa.KindXMM {
+		s.upcastLane(op.B.Reg, 0)
+		if packed {
+			s.upcastLane(op.B.Reg, 1)
+		}
+	}
+	if isa.DstIsSource(in.Op) && op.A.Kind == isa.KindXMM && !(op.B.Kind == isa.KindXMM && op.B.Reg == op.A.Reg) {
+		s.upcastLane(op.A.Reg, 0)
+		if packed {
+			s.upcastLane(op.A.Reg, 1)
+		}
+	}
+
+	s.emit(op)
+
+	if !opts.LivenessElision {
+		if usedMem {
+			s.emit(isa.I(isa.POPX, isa.Xmm(sxMem)))
+		}
+		if packed {
+			s.emit(isa.I(isa.POPX, isa.Xmm(sx)))
+		}
+		s.emit(isa.I(isa.POP, isa.Gpr(sr2)))
+		s.emit(isa.I(isa.POP, isa.Gpr(sr1)))
+	}
+	return s.instrs, nil
+}

@@ -1,0 +1,134 @@
+package replace
+
+import (
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// TestLivenessElisionPreservesResults: the §2.5 streamlining optimization
+// must not change a single output bit on ABI-conforming (hl-compiled)
+// programs, while strictly reducing cycles.
+func TestLivenessElisionPreservesResults(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prec := range []config.Precision{config.Single, config.Double} {
+		c, err := config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAll(prec)
+		full, err := Instrument(m, c, InstrumentOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lean, err := Instrument(m, c, InstrumentOptions{
+			Snippet: Options{LivenessElision: true},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf := runModule(t, full)
+		ml := runModule(t, lean)
+		for i := range mf.Out {
+			if mf.Out[i].Bits != ml.Out[i].Bits {
+				t.Errorf("%v: output %d differs under elision", prec, i)
+			}
+		}
+		if ml.Cycles >= mf.Cycles {
+			t.Errorf("%v: elision did not reduce cycles: %d vs %d", prec, ml.Cycles, mf.Cycles)
+		}
+		if ml.Steps >= mf.Steps {
+			t.Errorf("%v: elision did not shrink snippets", prec)
+		}
+	}
+}
+
+// TestInstrumentedImageRoundTrip: an instrumented module survives
+// serialization and re-parsing, and the reloaded binary runs identically
+// — the full binary-rewriter path of the paper (§2.4).
+func TestInstrumentedImageRoundTrip(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Single)
+	inst, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := prog.Save(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := prog.Load(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runModule(t, inst)
+	b := runModule(t, reloaded)
+	if len(a.Out) != len(b.Out) {
+		t.Fatal("output count changed across image round trip")
+	}
+	for i := range a.Out {
+		if a.Out[i].Bits != b.Out[i].Bits {
+			t.Errorf("output %d changed across image round trip", i)
+		}
+	}
+	if a.Cycles != b.Cycles {
+		t.Error("cycles changed across image round trip")
+	}
+}
+
+// TestDoubleInstrumentTwice: instrumenting an already-instrumented image
+// must still run correctly (snippet code contains no candidates in double
+// mode... but single-mode snippets do contain single-precision opcodes,
+// which are not candidates). The composition is the identity over
+// semantics for all-double wrapping.
+func TestDoubleInstrumentTwice(t *testing.T) {
+	m, err := buildKernel(hl.ModeF64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetAll(config.Double)
+	once, err := Instrument(m, c, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := config.FromModule(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.SetAll(config.Double)
+	twice, err := Instrument(once, c2, InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := runModule(t, m)
+	got, err := vm.New(twice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.MaxSteps = 4_000_000_000
+	if err := got.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Out {
+		if ref.Out[i].Bits != got.Out[i].Bits {
+			t.Errorf("output %d changed under double instrumentation", i)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"fpmix/internal/experiments"
+)
+
+func TestFig8Format(t *testing.T) {
+	var sb strings.Builder
+	Fig8(&sb, []experiments.Fig8Row{
+		{Bench: "ep", Ranks: experiments.Fig8Ranks, Overhead: []float64{3.5, 3.4, 3.3, 3.2}},
+	})
+	out := sb.String()
+	for _, want := range []string{"Figure 8", "ep", "3.5X", "3.2X"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig10Format(t *testing.T) {
+	var sb strings.Builder
+	Fig10(&sb, []experiments.Fig10Row{
+		{Bench: "bt", Class: "W", Candidates: 221, Tested: 119,
+			StaticPct: 95.5, DynamicPct: 93.4, FinalPass: false},
+		{Bench: "cg", Class: "W", Candidates: 31, Tested: 23,
+			StaticPct: 80.6, DynamicPct: 27.4, FinalPass: true},
+	})
+	out := sb.String()
+	for _, want := range []string{"bt.W", "fail", "cg.W", "pass", "95.5%", "27.4%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig11Format(t *testing.T) {
+	var sb strings.Builder
+	Fig11(&sb, []experiments.Fig11Row{
+		{Threshold: 1e-3, StaticPct: 94.4, DynamicPct: 58.3, FinalError: 8.9e-7, FinalPass: true},
+	})
+	out := sb.String()
+	for _, want := range []string{"1.0e-03", "94.4%", "pass"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestAMGAndBitExactFormat(t *testing.T) {
+	var sb strings.Builder
+	AMG(&sb, &experiments.AMGResult{
+		AllSinglePass: true, AnalysisOverhead: 3.6, ManualSpeedup: 1.55,
+		SearchStaticPct: 100, SearchFinalPass: true,
+	})
+	if !strings.Contains(sb.String(), "1.55X") || !strings.Contains(sb.String(), "100.0%") {
+		t.Errorf("AMG format:\n%s", sb.String())
+	}
+	sb.Reset()
+	BitExact(&sb, []experiments.BitExactRow{
+		{Bench: "amg", Class: "W", Outputs: 1, Match: true},
+		{Bench: "superlu", Class: "W", Outputs: 2, Match: false},
+	})
+	if !strings.Contains(sb.String(), "identical") || !strings.Contains(sb.String(), "MISMATCH") {
+		t.Errorf("BitExact format:\n%s", sb.String())
+	}
+	sb.Reset()
+	Rule(&sb)
+	if len(strings.TrimSpace(sb.String())) == 0 {
+		t.Error("empty rule")
+	}
+}

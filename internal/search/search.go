@@ -1,0 +1,362 @@
+// Package search implements the paper's automatic breadth-first
+// configuration search (§2.2): starting from whole-module replacement it
+// descends through functions, basic blocks and individual instructions to
+// find the coarsest granularity at which each part of the program can run
+// in single precision while passing a user-supplied verification routine.
+//
+// Two optimizations from the paper are implemented: binary splitting of
+// large failed aggregates into two intermediate partitions, and
+// prioritization of candidate configurations by profiled execution count.
+// Evaluations are independent full program runs, so the search evaluates
+// configurations on a parallel worker pool.
+package search
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"fpmix/internal/config"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// Target describes the program under search.
+type Target struct {
+	Module *prog.Module
+	// Verify is the application-defined verification routine: it receives
+	// the program output of an instrumented run and decides acceptance.
+	Verify func(out []vm.OutVal) bool
+	// MaxSteps bounds each evaluation run (0 = vm default). Runs that trap
+	// or exhaust the budget fail verification.
+	MaxSteps uint64
+	// Base optionally carries pre-set Ignore flags (e.g. RNG routines);
+	// ignored instructions are excluded from the search.
+	Base *config.Config
+	// InstOpts are passed to the instrumenter.
+	InstOpts replace.InstrumentOptions
+}
+
+// Options tune the search.
+type Options struct {
+	// Workers is the number of parallel evaluation workers (min 1).
+	Workers int
+	// Granularity is the finest level the search descends to
+	// (config.KindInsn by default; KindBlock or KindFunc converge faster
+	// with coarser results, §2.2).
+	Granularity config.Kind
+	// BinarySplit enables splitting large failed aggregates into two
+	// intermediate partitions instead of expanding every child at once.
+	BinarySplit bool
+	// SplitThreshold is the child count above which binary splitting
+	// applies (default 8).
+	SplitThreshold int
+	// Prioritize orders the work queue by profiled execution weight.
+	Prioritize bool
+}
+
+// Piece is one tested configuration: a subtree (or binary-split range) of
+// the program replaced with single precision.
+type Piece struct {
+	Label  string
+	Kind   config.Kind
+	Addrs  []uint64
+	Weight uint64 // profiled executions of the piece's instructions
+	subs   []*Piece
+}
+
+// Result summarizes a completed search.
+type Result struct {
+	// Final is the union configuration of all individually passing pieces.
+	Final *config.Config
+	// FinalPass reports whether the union configuration itself passed
+	// verification (it may not: precision decisions are not independent).
+	FinalPass bool
+	// Candidates is |Pd|, the number of replaceable instructions.
+	Candidates int
+	// Tested is the number of configurations evaluated (including the
+	// final union run).
+	Tested int
+	// Passing lists the coarsest-granularity pieces that passed.
+	Passing []*Piece
+	// Stats carries the static/dynamic replacement percentages of Final.
+	Stats replace.Stats
+	// Profile is the uninstrumented execution profile used for weighting.
+	Profile map[uint64]uint64
+}
+
+// Run executes the breadth-first search.
+func Run(t Target, opts Options) (*Result, error) {
+	if t.Module == nil || t.Verify == nil {
+		return nil, fmt.Errorf("search: target needs Module and Verify")
+	}
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+	if opts.SplitThreshold <= 1 {
+		opts.SplitThreshold = 8
+	}
+	if opts.Granularity == config.KindModule {
+		opts.Granularity = config.KindInsn
+	}
+
+	base := t.Base
+	if base == nil {
+		var err error
+		base, err = config.FromModule(t.Module)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ignored := make(map[uint64]bool)
+	for addr, p := range base.Effective() {
+		if p == config.Ignore {
+			ignored[addr] = true
+		}
+	}
+
+	// Profiling run (uninstrumented) for prioritization weights and
+	// dynamic statistics.
+	profile, err := profileRun(t)
+	if err != nil {
+		return nil, fmt.Errorf("search: profiling run failed: %w", err)
+	}
+
+	root := buildPiece(base.Root, ignored, profile, opts.Granularity)
+	if root == nil {
+		return nil, fmt.Errorf("search: no replaceable instructions")
+	}
+
+	res := &Result{Profile: profile}
+	res.Candidates = len(root.Addrs)
+
+	// The work queue, optionally a priority queue by weight.
+	q := &pieceQueue{prioritize: opts.Prioritize}
+	heap.Init(q)
+	heap.Push(q, root)
+
+	type evalRes struct {
+		p    *Piece
+		pass bool
+		err  error
+	}
+	results := make(chan evalRes)
+	inflight := 0
+
+	launch := func(p *Piece) {
+		inflight++
+		go func() {
+			pass, err := evaluate(t, p.Addrs, ignored)
+			results <- evalRes{p: p, pass: pass, err: err}
+		}()
+	}
+
+	for q.Len() > 0 || inflight > 0 {
+		for q.Len() > 0 && inflight < opts.Workers {
+			launch(heap.Pop(q).(*Piece))
+		}
+		r := <-results
+		inflight--
+		if r.err != nil {
+			// Drain outstanding workers before returning.
+			for inflight > 0 {
+				<-results
+				inflight--
+			}
+			return nil, r.err
+		}
+		res.Tested++
+		if r.pass {
+			res.Passing = append(res.Passing, r.p)
+			continue
+		}
+		for _, next := range expand(r.p, opts) {
+			heap.Push(q, next)
+		}
+	}
+
+	// Compose the final configuration: union of every passing piece.
+	final := base.Clone()
+	for addr := range ignored {
+		if n := final.NodeAt(addr); n != nil {
+			n.Flag = config.Ignore
+		}
+	}
+	for _, p := range res.Passing {
+		for _, addr := range p.Addrs {
+			if n := final.NodeAt(addr); n != nil {
+				n.Flag = config.Single
+			}
+		}
+	}
+	res.Final = final
+
+	eff := final.Effective()
+	pass, err := evaluateMap(t, eff)
+	if err != nil {
+		return nil, err
+	}
+	res.Tested++
+	res.FinalPass = pass
+	res.Stats = replace.ComputeStats(t.Module, eff, profile)
+
+	sort.Slice(res.Passing, func(i, j int) bool {
+		return res.Passing[i].Addrs[0] < res.Passing[j].Addrs[0]
+	})
+	return res, nil
+}
+
+// profileRun executes the original program and returns per-address counts.
+func profileRun(t Target) (map[uint64]uint64, error) {
+	m, err := vm.New(t.Module)
+	if err != nil {
+		return nil, err
+	}
+	m.MaxSteps = t.MaxSteps
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	if !t.Verify(m.Out) {
+		return nil, fmt.Errorf("search: baseline run fails its own verification")
+	}
+	return m.Profile(), nil
+}
+
+// evaluate instruments the module with the piece's addresses set to single
+// precision and runs the verification routine.
+func evaluate(t Target, addrs []uint64, ignored map[uint64]bool) (bool, error) {
+	eff := make(map[uint64]config.Precision, len(addrs)+len(ignored))
+	for _, a := range addrs {
+		eff[a] = config.Single
+	}
+	for a := range ignored {
+		eff[a] = config.Ignore
+	}
+	return evaluateMap(t, eff)
+}
+
+func evaluateMap(t Target, eff map[uint64]config.Precision) (bool, error) {
+	inst, err := replace.InstrumentMap(t.Module, eff, t.InstOpts)
+	if err != nil {
+		return false, err
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		return false, err
+	}
+	m.MaxSteps = t.MaxSteps
+	if err := m.Run(); err != nil {
+		// Traps (NaN-driven divergence, runaway loops) are verification
+		// failures, not search errors.
+		return false, nil
+	}
+	return t.Verify(m.Out), nil
+}
+
+// buildPiece converts a configuration subtree into the piece hierarchy,
+// excluding ignored instructions and stopping at the requested
+// granularity.
+func buildPiece(n *config.Node, ignored map[uint64]bool, profile map[uint64]uint64, gran config.Kind) *Piece {
+	switch n.Kind {
+	case config.KindInsn:
+		if ignored[n.Addr] {
+			return nil
+		}
+		return &Piece{
+			Label:  fmt.Sprintf("insn %#x %s", n.Addr, n.Name),
+			Kind:   config.KindInsn,
+			Addrs:  []uint64{n.Addr},
+			Weight: profile[n.Addr],
+		}
+	default:
+		p := &Piece{Kind: n.Kind}
+		switch n.Kind {
+		case config.KindModule:
+			p.Label = "module " + n.Name
+		case config.KindFunc:
+			p.Label = "func " + n.Name
+		case config.KindBlock:
+			p.Label = fmt.Sprintf("block %#x", n.Addr)
+		}
+		for _, ch := range n.Children {
+			cp := buildPiece(ch, ignored, profile, gran)
+			if cp == nil {
+				continue
+			}
+			p.Addrs = append(p.Addrs, cp.Addrs...)
+			p.Weight += cp.Weight
+			if n.Kind != gran {
+				p.subs = append(p.subs, cp)
+			}
+		}
+		if len(p.Addrs) == 0 {
+			return nil
+		}
+		if n.Kind == gran {
+			p.subs = nil
+		}
+		return p
+	}
+}
+
+// expand produces the next round of pieces after p failed: either a binary
+// split of its children or the children themselves (paper §2.2).
+func expand(p *Piece, opts Options) []*Piece {
+	if len(p.subs) == 0 {
+		return nil // unreplaceable at the finest granularity
+	}
+	if opts.BinarySplit && len(p.subs) > opts.SplitThreshold {
+		mid := len(p.subs) / 2
+		lo := mergePieces(p.Label+"/lo", p.Kind, p.subs[:mid])
+		hi := mergePieces(p.Label+"/hi", p.Kind, p.subs[mid:])
+		return []*Piece{lo, hi}
+	}
+	return p.subs
+}
+
+func mergePieces(label string, kind config.Kind, subs []*Piece) *Piece {
+	p := &Piece{Label: label, Kind: kind, subs: subs}
+	for _, s := range subs {
+		p.Addrs = append(p.Addrs, s.Addrs...)
+		p.Weight += s.Weight
+	}
+	return p
+}
+
+// pieceQueue is a heap ordered by descending weight when prioritize is
+// set, FIFO otherwise (implemented as ascending sequence numbers).
+type pieceQueue struct {
+	items      []*Piece
+	seqs       []int
+	nextSeq    int
+	prioritize bool
+}
+
+func (q *pieceQueue) Len() int { return len(q.items) }
+
+func (q *pieceQueue) Less(i, j int) bool {
+	if q.prioritize && q.items[i].Weight != q.items[j].Weight {
+		return q.items[i].Weight > q.items[j].Weight
+	}
+	return q.seqs[i] < q.seqs[j]
+}
+
+func (q *pieceQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.seqs[i], q.seqs[j] = q.seqs[j], q.seqs[i]
+}
+
+func (q *pieceQueue) Push(x any) {
+	q.items = append(q.items, x.(*Piece))
+	q.seqs = append(q.seqs, q.nextSeq)
+	q.nextSeq++
+}
+
+func (q *pieceQueue) Pop() any {
+	n := len(q.items)
+	it := q.items[n-1]
+	q.items = q.items[:n-1]
+	q.seqs = q.seqs[:n-1]
+	return it
+}

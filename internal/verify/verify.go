@@ -1,0 +1,103 @@
+// Package verify provides the verification routines the search and
+// benchmark harnesses plug into the analysis: the paper's system accepts a
+// user-provided pass/fail routine per application (§2), typically "outputs
+// within a tolerance of the trusted double-precision run" or a
+// program-reported error metric under a threshold.
+package verify
+
+import (
+	"math"
+
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// Decode converts program outputs to float64s, upcasting any in-place
+// replaced values — the view an instrumented print routine produces.
+func Decode(out []vm.OutVal) []float64 {
+	vals := make([]float64, len(out))
+	for i, o := range out {
+		switch o.Kind {
+		case vm.OutF32:
+			vals[i] = float64(o.F32())
+		case vm.OutI64:
+			vals[i] = float64(int64(o.Bits))
+		default:
+			vals[i] = replace.Value(o.Bits)
+		}
+	}
+	return vals
+}
+
+// MaxRelErr returns the maximum elementwise relative error of got against
+// ref (with |ref| floored at 1 to avoid blowup near zero). NaNs compare as
+// infinite error.
+func MaxRelErr(ref, got []float64) float64 {
+	if len(ref) != len(got) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range ref {
+		if math.IsNaN(got[i]) {
+			return math.Inf(1)
+		}
+		scale := math.Max(1, math.Abs(ref[i]))
+		if e := math.Abs(got[i]-ref[i]) / scale; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// L2Diff returns the Euclidean norm of (got - ref).
+func L2Diff(ref, got []float64) float64 {
+	if len(ref) != len(got) {
+		return math.Inf(1)
+	}
+	s := 0.0
+	for i := range ref {
+		d := got[i] - ref[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Tolerance builds a verification routine accepting outputs whose maximum
+// relative error against ref stays within tol.
+func Tolerance(ref []float64, tol float64) func([]vm.OutVal) bool {
+	r := append([]float64(nil), ref...)
+	return func(out []vm.OutVal) bool {
+		return MaxRelErr(r, Decode(out)) <= tol
+	}
+}
+
+// BitExact builds a verification routine requiring outputs identical to
+// ref at the bit level (after upcasting replaced values).
+func BitExact(ref []float64) func([]vm.OutVal) bool {
+	r := append([]float64(nil), ref...)
+	return func(out []vm.OutVal) bool {
+		got := Decode(out)
+		if len(got) != len(r) {
+			return false
+		}
+		for i := range r {
+			if math.Float64bits(got[i]) != math.Float64bits(r[i]) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ErrorBelow builds a verification routine for programs that report their
+// own error metric: output index idx must be below threshold (the SuperLU
+// driver style, §3.3).
+func ErrorBelow(idx int, threshold float64) func([]vm.OutVal) bool {
+	return func(out []vm.OutVal) bool {
+		if idx >= len(out) {
+			return false
+		}
+		e := Decode(out)[idx]
+		return !math.IsNaN(e) && e >= 0 && e < threshold
+	}
+}

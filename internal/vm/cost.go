@@ -1,0 +1,108 @@
+package vm
+
+import "fpmix/internal/isa"
+
+// The cycle cost model. Absolute values are synthetic; what matters for
+// the reproduction is the *relative* structure the paper's optimization
+// exploits:
+//
+//   - double-precision arithmetic costs roughly twice single precision
+//     (FP latency, SIMD width);
+//   - 8-byte memory traffic costs roughly twice 4-byte traffic
+//     (bandwidth pressure);
+//   - the integer instructions that replacement snippets are mostly made
+//     of are cheap, which is why snippet overhead lands in the single-digit
+//     to low-double-digit X range instead of the 100-1000X of
+//     shadow-arithmetic analyses.
+const (
+	costInt     = 1
+	costLoad    = 3
+	costStore   = 3
+	costBranch  = 1
+	costCallRet = 2
+	costSyscall = 20
+
+	// Snippet save/restore costs. Compiled fpmix programs never use the
+	// stack-save instructions directly (function linkage is CALL/RET), so
+	// PUSH/POP/PUSHX/POPX execute almost exclusively inside replacement
+	// snippets. Their cost is calibrated high to amortize the real-world
+	// penalties of entering instrumented code that a per-instruction cycle
+	// model cannot express — trampoline jumps, icache pollution, pipeline
+	// flushes — which dominate the measured overheads in the paper.
+	costPushPop  = 20
+	costPushPopX = 26
+
+	// FP memory-operand costs model streaming-array bandwidth, the
+	// resource halved by single precision. They are deliberately higher
+	// than the integer LOAD/STORE cost: integer accesses in compiled
+	// fpmix programs are loop counters and index tables that live in
+	// cache, while FP accesses stream over large arrays.
+	costMemF64 = 14 // extra cycles for an 8-byte FP memory operand
+	costMemF32 = 7  // extra cycles for a 4-byte FP memory operand
+	costMem128 = 22 // extra cycles for a 16-byte FP memory operand
+)
+
+var fpCost = map[isa.Op]uint64{
+	isa.MOVSD: 1, isa.MOVSS: 1, isa.MOVAPD: 1, isa.MOVQ: 2, isa.MOVHQ: 2,
+	isa.ANDPD: 2, isa.ORPD: 2, isa.XORPD: 2,
+
+	isa.ADDSD: 8, isa.SUBSD: 8, isa.MINSD: 8, isa.MAXSD: 8, isa.UCOMISD: 8,
+	isa.MULSD: 10, isa.DIVSD: 36, isa.SQRTSD: 44,
+	isa.SINSD: 80, isa.COSSD: 80, isa.EXPSD: 80, isa.LOGSD: 80,
+
+	isa.ADDSS: 4, isa.SUBSS: 4, isa.MINSS: 4, isa.MAXSS: 4, isa.UCOMISS: 4,
+	isa.MULSS: 5, isa.DIVSS: 18, isa.SQRTSS: 22,
+	isa.SINSS: 40, isa.COSSS: 40, isa.EXPSS: 40, isa.LOGSS: 40,
+
+	isa.CVTSD2SS: 4, isa.CVTSS2SD: 4, isa.CVTSI2SD: 4, isa.CVTTSD2SI: 4,
+	isa.CVTSI2SS: 4, isa.CVTTSS2SI: 4,
+
+	isa.ADDPD: 12, isa.SUBPD: 12, isa.MULPD: 15, isa.DIVPD: 50, isa.SQRTPD: 60,
+	isa.ADDPS: 6, isa.SUBPS: 6, isa.MULPS: 8, isa.DIVPS: 26, isa.SQRTPS: 30,
+}
+
+// cost returns the modeled cycle cost of executing in.
+func cost(in *isa.Instr) uint64 {
+	if c, ok := fpCost[in.Op]; ok {
+		if in.A.Kind == isa.KindMem || in.B.Kind == isa.KindMem {
+			c += fpMemCost(in.Op)
+		}
+		return c
+	}
+	switch in.Op {
+	case isa.LOAD, isa.LEA:
+		return costLoad
+	case isa.STORE:
+		return costStore
+	case isa.PUSH, isa.POP:
+		return costPushPop
+	case isa.PUSHX, isa.POPX:
+		return costPushPopX
+	case isa.CALL, isa.RET:
+		return costCallRet
+	case isa.SYSCALL:
+		return costSyscall
+	case isa.JMP, isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
+		isa.JB, isa.JAE, isa.JA, isa.JBE:
+		return costBranch
+	default:
+		return costInt
+	}
+}
+
+// fpMemCost returns the additional cost of a memory operand on an FP
+// instruction, scaled by access width.
+func fpMemCost(op isa.Op) uint64 {
+	switch op {
+	case isa.MOVSS, isa.ADDSS, isa.SUBSS, isa.MULSS, isa.DIVSS, isa.SQRTSS,
+		isa.MINSS, isa.MAXSS, isa.UCOMISS, isa.CVTSS2SD, isa.CVTTSS2SI,
+		isa.SINSS, isa.COSSS, isa.EXPSS, isa.LOGSS:
+		return costMemF32
+	case isa.MOVAPD, isa.ANDPD, isa.ORPD, isa.XORPD,
+		isa.ADDPD, isa.SUBPD, isa.MULPD, isa.DIVPD, isa.SQRTPD,
+		isa.ADDPS, isa.SUBPS, isa.MULPS, isa.DIVPS, isa.SQRTPS:
+		return costMem128
+	default:
+		return costMemF64
+	}
+}

@@ -1,0 +1,215 @@
+// Package vm executes fpmix program images.
+//
+// The machine models the parts of a real CPU that matter to the
+// mixed-precision analysis: a 16-entry general-purpose register file,
+// sixteen 128-bit XMM registers with two 64-bit lanes, byte-addressed
+// memory, x86-style flags, and exact IEEE float32/float64 arithmetic for
+// single- and double-precision opcodes. Every executed instruction is
+// counted (the dynamic profile the search's prioritization uses) and
+// charged to a cycle cost model in which double-precision arithmetic and
+// 8-byte memory traffic cost roughly twice their single-precision
+// counterparts — the asymmetry mixed precision exploits.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// FaultKind classifies execution faults.
+type FaultKind uint8
+
+// Fault kinds.
+const (
+	FaultNone            FaultKind = iota
+	FaultMemOOB                    // memory access out of bounds
+	FaultBadPC                     // jump or fall-through to a non-instruction address
+	FaultMaxSteps                  // step budget exhausted
+	FaultBadSyscall                // unknown or unsupported syscall
+	FaultUnreplacedInput           // double-precision op consumed a flagged value (debug mode)
+	FaultHost                      // host (MPI) error
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMemOOB:
+		return "memory out of bounds"
+	case FaultBadPC:
+		return "bad program counter"
+	case FaultMaxSteps:
+		return "step budget exhausted"
+	case FaultBadSyscall:
+		return "bad syscall"
+	case FaultUnreplacedInput:
+		return "unreplaced flagged input"
+	case FaultHost:
+		return "host error"
+	default:
+		return "no fault"
+	}
+}
+
+// Fault is the typed error returned when execution traps.
+type Fault struct {
+	Kind   FaultKind
+	PC     uint64
+	Op     isa.Op
+	Detail string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("vm: %s at %#x (%s): %s", f.Kind, f.PC, f.Op, f.Detail)
+}
+
+// OutKind tags an output value's type.
+type OutKind uint8
+
+// Output value kinds.
+const (
+	OutF64 OutKind = iota + 1
+	OutF32
+	OutI64
+)
+
+// OutVal is one value the program emitted through an output syscall.
+type OutVal struct {
+	Kind OutKind
+	Bits uint64
+}
+
+// F64 interprets the value as a float64 (for OutF64 values these are the
+// raw bits, which may carry a replacement flag).
+func (v OutVal) F64() float64 { return math.Float64frombits(v.Bits) }
+
+// F32 interprets the low 32 bits as a float32.
+func (v OutVal) F32() float32 { return math.Float32frombits(uint32(v.Bits)) }
+
+// Host provides system services to a running machine. The output syscalls
+// are handled by the machine itself; everything else is delegated here.
+type Host interface {
+	// Syscall handles syscall number num. It may read and modify machine
+	// state (registers, memory).
+	Syscall(m *Machine, num int64) error
+}
+
+// Machine is a single executing instance of a program image.
+type Machine struct {
+	GPR [isa.NumGPR]uint64
+	XMM [isa.NumXMM][2]uint64
+	Mem []byte
+
+	// Flags, in x86 terms: eq ~ ZF, ltS ~ SF!=OF, ltU ~ CF.
+	eq  bool
+	ltS bool
+	ltU bool
+
+	// Out accumulates values emitted via output syscalls.
+	Out []OutVal
+
+	// Cycles is the modeled execution cost so far.
+	Cycles uint64
+
+	// Steps is the number of instructions executed so far.
+	Steps uint64
+
+	// MaxSteps bounds execution; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+
+	// Host handles MPI and other non-output syscalls; nil means such
+	// syscalls fault.
+	Host Host
+
+	// TrapUnreplaced enables the debug mode in which a double-precision
+	// candidate instruction consuming an operand whose high word carries
+	// the replacement flag faults instead of silently propagating NaN.
+	// Snippet-generated code always upcasts before the double op, so
+	// instrumented programs never trap; only values the analysis missed do
+	// (paper §2.3: "anything that our analysis misses causes a crash").
+	TrapUnreplaced bool
+
+	prog    *prog.Module
+	instrs  []isa.Instr
+	addrIdx map[uint64]int32
+	counts  []uint64
+	pcIdx   int32
+	halted  bool
+}
+
+// DefaultMaxSteps bounds runaway programs.
+const DefaultMaxSteps = 500_000_000
+
+// New creates a machine for the module with zeroed registers, the data
+// segment copied into memory, the stack pointer at the top of memory and
+// the program counter at the entry point.
+func New(p *prog.Module) (*Machine, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{prog: p}
+	m.instrs = p.Instructions()
+	m.addrIdx = make(map[uint64]int32, len(m.instrs))
+	for i := range m.instrs {
+		m.addrIdx[m.instrs[i].Addr] = int32(i)
+	}
+	m.counts = make([]uint64, len(m.instrs))
+	m.Mem = make([]byte, p.MemSize)
+	copy(m.Mem[prog.DataBase:], p.Data)
+	m.GPR[isa.RSP] = p.MemSize &^ 15
+	idx, ok := m.addrIdx[p.Entry]
+	if !ok {
+		return nil, &Fault{Kind: FaultBadPC, PC: p.Entry, Detail: "entry not an instruction"}
+	}
+	m.pcIdx = idx
+	return m, nil
+}
+
+// PC returns the address of the next instruction to execute.
+func (m *Machine) PC() uint64 {
+	if int(m.pcIdx) < len(m.instrs) {
+		return m.instrs[m.pcIdx].Addr
+	}
+	return 0
+}
+
+// Halted reports whether the program has executed HALT.
+func (m *Machine) Halted() bool { return m.halted }
+
+// Counts returns the per-instruction execution counts, indexed in program
+// instruction order (as returned by prog.Module.Instructions).
+func (m *Machine) Counts() []uint64 { return m.counts }
+
+// Profile returns execution counts keyed by instruction address.
+func (m *Machine) Profile() map[uint64]uint64 {
+	p := make(map[uint64]uint64, len(m.instrs))
+	for i := range m.instrs {
+		if m.counts[i] > 0 {
+			p[m.instrs[i].Addr] = m.counts[i]
+		}
+	}
+	return p
+}
+
+// Run executes until HALT, a fault, or the step budget is exhausted.
+func (m *Machine) Run() error {
+	max := m.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	for !m.halted {
+		if m.Steps >= max {
+			return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fault constructs a fault at the current instruction.
+func (m *Machine) fault(kind FaultKind, in *isa.Instr, detail string) error {
+	return &Fault{Kind: kind, PC: in.Addr, Op: in.Op, Detail: detail}
+}

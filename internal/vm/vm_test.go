@@ -1,0 +1,544 @@
+package vm
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// run assembles instrs into a one-function module and executes it.
+func run(t *testing.T, instrs []isa.Instr) *Machine {
+	t.Helper()
+	m := mach(t, instrs)
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func mach(t *testing.T, instrs []isa.Instr) *Machine {
+	t.Helper()
+	f := &prog.Func{Name: "main", Instrs: instrs}
+	mod, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+1<<16, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func f64bits(v float64) int64 { return int64(math.Float64bits(v)) }
+
+// loadF64 loads an immediate float64 into an xmm register via a gpr.
+func loadF64(x uint8, v float64) []isa.Instr {
+	return []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(f64bits(v))),
+		isa.I(isa.MOVQ, isa.Xmm(x), isa.Gpr(isa.R15)),
+	}
+}
+
+func TestIntegerALU(t *testing.T) {
+	m := run(t, []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(10)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(3)),
+		isa.I(isa.ADDR, isa.Gpr(isa.RAX), isa.Gpr(isa.RBX)), // 13
+		isa.I(isa.IMULI, isa.Gpr(isa.RAX), isa.Imm(4)),      // 52
+		isa.I(isa.SUBI, isa.Gpr(isa.RAX), isa.Imm(2)),       // 50
+		isa.I(isa.SHLI, isa.Gpr(isa.RAX), isa.Imm(1)),       // 100
+		isa.I(isa.SHRI, isa.Gpr(isa.RAX), isa.Imm(2)),       // 25
+		isa.I(isa.XORI, isa.Gpr(isa.RAX), isa.Imm(1)),       // 24
+		isa.I(isa.ORI, isa.Gpr(isa.RAX), isa.Imm(7)),        // 31
+		isa.I(isa.ANDI, isa.Gpr(isa.RAX), isa.Imm(28)),      // 28
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutI64)),
+		isa.I(isa.HALT),
+	})
+	if got := m.Out[0].Bits; got != 28 {
+		t.Errorf("rax = %d, want 28", got)
+	}
+}
+
+func TestMemoryAndLEA(t *testing.T) {
+	base := int64(prog.DataBase)
+	m := run(t, []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(base)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(2)), // index
+		isa.I(isa.MOVRI, isa.Gpr(isa.RDX), isa.Imm(0xBEEF)),
+		isa.I(isa.STORE, isa.MemIdx(isa.RBX, isa.RCX, 8, 16), isa.Gpr(isa.RDX)),
+		isa.I(isa.LOAD, isa.Gpr(isa.RAX), isa.Mem(isa.RBX, 32)),
+		isa.I(isa.LEA, isa.Gpr(isa.RSI), isa.MemIdx(isa.RBX, isa.RCX, 8, 16)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutI64)),
+		isa.I(isa.HALT),
+	})
+	if m.Out[0].Bits != 0xBEEF {
+		t.Errorf("load = %#x, want 0xBEEF", m.Out[0].Bits)
+	}
+	if m.GPR[isa.RSI] != uint64(base)+32 {
+		t.Errorf("lea = %#x", m.GPR[isa.RSI])
+	}
+}
+
+func TestBranchesSignedUnsigned(t *testing.T) {
+	// Compare -1 (signed) with 1: JL taken; JB (unsigned) not taken since
+	// 0xFFFF... > 1.
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(-1)),
+		isa.I(isa.CMPI, isa.Gpr(isa.RAX), isa.Imm(1)),
+		isa.I(isa.JL, isa.Imm(0)), // patched to L1
+		isa.I(isa.HALT),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(7)), // L1
+		isa.I(isa.CMPI, isa.Gpr(isa.RAX), isa.Imm(1)),
+		isa.I(isa.JB, isa.Imm(0)), // patched to L2: must NOT be taken
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(9)),
+		isa.I(isa.HALT),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(1)), // L2
+		isa.I(isa.HALT),
+	}}
+	mod, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+4096, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Instrs[2].A.Imm = int64(f.Instrs[4].Addr)
+	f.Instrs[6].A.Imm = int64(f.Instrs[9].Addr)
+	m, err := New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.GPR[isa.RBX] != 7 || m.GPR[isa.RCX] != 9 {
+		t.Errorf("rbx=%d rcx=%d, want 7, 9", m.GPR[isa.RBX], m.GPR[isa.RCX])
+	}
+}
+
+func TestCallRetAndStack(t *testing.T) {
+	main := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(5)),
+		isa.I(isa.PUSH, isa.Gpr(isa.RAX)),
+		isa.I(isa.CALL, isa.Imm(0)), // patched
+		isa.I(isa.POP, isa.Gpr(isa.RBX)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutI64)),
+		isa.I(isa.HALT),
+	}}
+	fn := &prog.Func{Name: "double", Instrs: []isa.Instr{
+		isa.I(isa.ADDR, isa.Gpr(isa.RAX), isa.Gpr(isa.RAX)),
+		isa.I(isa.RET),
+	}}
+	mod, err := prog.Build("t", []*prog.Func{main, fn}, nil, prog.DataBase+4096, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	main.Instrs[2].A.Imm = int64(fn.Addr)
+	m, err := New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Out[0].Bits != 10 {
+		t.Errorf("rax after call = %d, want 10", m.Out[0].Bits)
+	}
+	if m.GPR[isa.RBX] != 5 {
+		t.Errorf("popped %d, want 5", m.GPR[isa.RBX])
+	}
+	if m.GPR[isa.RSP] != mod.MemSize&^15 {
+		t.Errorf("rsp not restored: %#x", m.GPR[isa.RSP])
+	}
+}
+
+func TestScalarDoubleArith(t *testing.T) {
+	instrs := append(loadF64(0, 1.5), loadF64(1, 2.25)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // 3.75
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Xmm(1)), // 8.4375
+		isa.I(isa.SUBSD, isa.Xmm(0), isa.Xmm(1)), // 6.1875
+		isa.I(isa.DIVSD, isa.Xmm(0), isa.Xmm(1)), // 2.75
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.SQRTSD, isa.Xmm(0), isa.Xmm(0)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	)
+	m := run(t, instrs)
+	if got := m.Out[0].F64(); got != 2.75 {
+		t.Errorf("arith chain = %v, want 2.75", got)
+	}
+	if got := m.Out[1].F64(); got != math.Sqrt(2.75) {
+		t.Errorf("sqrt = %v", got)
+	}
+}
+
+func TestScalarSingleMergeSemantics(t *testing.T) {
+	// ADDSS must only write the low 32 bits of lane 0, preserving the rest
+	// — the replacement flag scheme depends on this.
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(int64(uint64(0x7FF4DEAD)<<32|uint64(math.Float32bits(1.5))))),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R14), isa.Imm(int64(uint64(0xABCD0123)<<32|uint64(math.Float32bits(2.5))))),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R14)),
+		isa.I(isa.ADDSS, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	lane0 := m.XMM[0][0]
+	if got := math.Float32frombits(uint32(lane0)); got != 4.0 {
+		t.Errorf("addss = %v, want 4.0", got)
+	}
+	if hi := uint32(lane0 >> 32); hi != 0x7FF4DEAD {
+		t.Errorf("high word = %#x, want flag preserved", hi)
+	}
+}
+
+func TestMovsdLoadZeroesUpperLane(t *testing.T) {
+	base := int64(prog.DataBase)
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(base)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(123)),
+		isa.I(isa.MOVHQ, isa.Xmm(2), isa.Gpr(isa.R15)), // dirty lane 1
+		isa.I(isa.MOVSD, isa.Xmm(2), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	if m.XMM[2][1] != 0 {
+		t.Errorf("movsd load left lane1 = %#x", m.XMM[2][1])
+	}
+}
+
+func TestMovqMergePreservesLane1(t *testing.T) {
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(0x1111)),
+		isa.I(isa.MOVHQ, isa.Xmm(3), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R14), isa.Imm(0x2222)),
+		isa.I(isa.MOVQ, isa.Xmm(3), isa.Gpr(isa.R14)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	if m.XMM[3][1] != 0x1111 {
+		t.Errorf("movq xmm<-gpr clobbered lane1: %#x", m.XMM[3][1])
+	}
+	if m.XMM[3][0] != 0x2222 {
+		t.Errorf("lane0 = %#x", m.XMM[3][0])
+	}
+}
+
+func TestUcomisdFlags(t *testing.T) {
+	cases := []struct {
+		a, b           float64
+		eq, b_, ae, a_ bool
+	}{
+		{1, 2, false, true, false, false},
+		{2, 1, false, false, true, true},
+		{1, 1, true, false, true, false},
+		{math.NaN(), 1, true, true, false, false}, // unordered: ZF=CF=1
+	}
+	for _, c := range cases {
+		instrs := append(loadF64(0, c.a), loadF64(1, c.b)...)
+		instrs = append(instrs, isa.I(isa.UCOMISD, isa.Xmm(0), isa.Xmm(1)), isa.I(isa.HALT))
+		m := run(t, instrs)
+		if m.eq != c.eq || m.ltU != c.b_ {
+			t.Errorf("ucomisd(%v,%v): eq=%v ltU=%v", c.a, c.b, m.eq, m.ltU)
+		}
+		if got := m.branchTaken(isa.JAE); got != c.ae {
+			t.Errorf("ucomisd(%v,%v): jae=%v want %v", c.a, c.b, got, c.ae)
+		}
+		if got := m.branchTaken(isa.JA); got != c.a_ {
+			t.Errorf("ucomisd(%v,%v): ja=%v want %v", c.a, c.b, got, c.a_)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RAX), isa.Imm(7)),
+		isa.I(isa.CVTSI2SD, isa.Xmm(0), isa.Gpr(isa.RAX)), // 7.0
+		isa.I(isa.CVTSD2SS, isa.Xmm(1), isa.Xmm(0)),       // 7.0f in low32
+		isa.I(isa.CVTSS2SD, isa.Xmm(2), isa.Xmm(1)),       // 7.0
+		isa.I(isa.CVTTSD2SI, isa.Gpr(isa.RBX), isa.Xmm(2)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	if got := math.Float64frombits(m.XMM[2][0]); got != 7.0 {
+		t.Errorf("round trip = %v", got)
+	}
+	if m.GPR[isa.RBX] != 7 {
+		t.Errorf("cvttsd2si = %d", m.GPR[isa.RBX])
+	}
+}
+
+func TestCvtsd2ssPreservesHighBits(t *testing.T) {
+	dirty := uint64(0xDEADBEEF) << 32
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(int64(dirty))),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+	}
+	instrs = append(instrs, loadF64(0, 3.5)...)
+	instrs = append(instrs,
+		isa.I(isa.CVTSD2SS, isa.Xmm(1), isa.Xmm(0)),
+		isa.I(isa.HALT),
+	)
+	m := run(t, instrs)
+	if hi := uint32(m.XMM[1][0] >> 32); hi != 0xDEADBEEF {
+		t.Errorf("cvtsd2ss clobbered high bits: %#x", hi)
+	}
+	if got := math.Float32frombits(uint32(m.XMM[1][0])); got != 3.5 {
+		t.Errorf("low = %v", got)
+	}
+}
+
+func TestPackedDouble(t *testing.T) {
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(f64bits(1.0))),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(f64bits(2.0))),
+		isa.I(isa.MOVHQ, isa.Xmm(0), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(f64bits(10.0))),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(f64bits(20.0))),
+		isa.I(isa.MOVHQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.ADDPD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	if lo := math.Float64frombits(m.XMM[0][0]); lo != 11.0 {
+		t.Errorf("lane0 = %v", lo)
+	}
+	if hi := math.Float64frombits(m.XMM[0][1]); hi != 22.0 {
+		t.Errorf("lane1 = %v", hi)
+	}
+}
+
+func TestPackedSingleLanes(t *testing.T) {
+	mk := func(lo, hi float32) int64 {
+		return int64(uint64(math.Float32bits(hi))<<32 | uint64(math.Float32bits(lo)))
+	}
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(mk(1, 2))),
+		isa.I(isa.MOVQ, isa.Xmm(0), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(mk(3, 4))),
+		isa.I(isa.MOVHQ, isa.Xmm(0), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(mk(10, 20))),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(mk(30, 40))),
+		isa.I(isa.MOVHQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.MULPS, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	}
+	m := run(t, instrs)
+	want := []float32{10, 40, 90, 160}
+	got := []float32{
+		math.Float32frombits(uint32(m.XMM[0][0])),
+		math.Float32frombits(uint32(m.XMM[0][0] >> 32)),
+		math.Float32frombits(uint32(m.XMM[0][1])),
+		math.Float32frombits(uint32(m.XMM[0][1] >> 32)),
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lane %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPushPopXmm(t *testing.T) {
+	instrs := append(loadF64(5, 42.5),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(99)),
+		isa.I(isa.MOVHQ, isa.Xmm(5), isa.Gpr(isa.R15)),
+		isa.I(isa.PUSHX, isa.Xmm(5)),
+		isa.I(isa.XORR, isa.Gpr(isa.R15), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVQ, isa.Xmm(5), isa.Gpr(isa.R15)),
+		isa.I(isa.MOVHQ, isa.Xmm(5), isa.Gpr(isa.R15)),
+		isa.I(isa.POPX, isa.Xmm(5)),
+		isa.I(isa.HALT),
+	)
+	m := run(t, instrs)
+	if got := math.Float64frombits(m.XMM[5][0]); got != 42.5 {
+		t.Errorf("lane0 = %v", got)
+	}
+	if m.XMM[5][1] != 99 {
+		t.Errorf("lane1 = %d", m.XMM[5][1])
+	}
+}
+
+func TestTranscendentals(t *testing.T) {
+	instrs := append(loadF64(1, 0.5),
+		isa.I(isa.SINSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.COSSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.EXPSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.LOGSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	)
+	m := run(t, instrs)
+	want := []float64{math.Sin(0.5), math.Cos(0.5), math.Exp(0.5), math.Log(0.5)}
+	for i, w := range want {
+		if got := m.Out[i].F64(); got != w {
+			t.Errorf("transcendental %d = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestFaultMemOOB(t *testing.T) {
+	m := mach(t, []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(1<<40)),
+		isa.I(isa.LOAD, isa.Gpr(isa.RAX), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.HALT),
+	})
+	err := m.Run()
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultMemOOB {
+		t.Fatalf("err = %v, want MemOOB fault", err)
+	}
+}
+
+func TestFaultBadJumpTarget(t *testing.T) {
+	m := mach(t, []isa.Instr{
+		isa.I(isa.JMP, isa.Imm(0x999999)),
+		isa.I(isa.HALT),
+	})
+	err := m.Run()
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultBadPC {
+		t.Fatalf("err = %v, want BadPC fault", err)
+	}
+}
+
+func TestFaultMaxSteps(t *testing.T) {
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.JMP, isa.Imm(int64(prog.CodeBase))),
+		isa.I(isa.HALT),
+	}}
+	mod, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+4096, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 100
+	errRun := m.Run()
+	var flt *Fault
+	if !errors.As(errRun, &flt) || flt.Kind != FaultMaxSteps {
+		t.Fatalf("err = %v, want MaxSteps fault", errRun)
+	}
+}
+
+func TestFaultBadSyscall(t *testing.T) {
+	m := mach(t, []isa.Instr{
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysMPIBarrier)),
+		isa.I(isa.HALT),
+	})
+	err := m.Run()
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultBadSyscall {
+		t.Fatalf("err = %v, want BadSyscall fault (no host)", err)
+	}
+}
+
+func TestTrapUnreplacedInput(t *testing.T) {
+	flagged := int64(uint64(isa.ReplacedFlag)<<32 | uint64(math.Float32bits(1.5)))
+	instrs := []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(flagged)),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	}
+	m := mach(t, instrs)
+	m.TrapUnreplaced = true
+	err := m.Run()
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultUnreplacedInput {
+		t.Fatalf("err = %v, want UnreplacedInput fault", err)
+	}
+	// Without trap mode the NaN propagates silently.
+	m2 := mach(t, instrs)
+	if err := m2.Run(); err != nil {
+		t.Fatalf("untrapped run failed: %v", err)
+	}
+	if !math.IsNaN(math.Float64frombits(m2.XMM[0][0])) {
+		t.Error("flagged input should propagate as NaN")
+	}
+}
+
+func TestCountsAndProfile(t *testing.T) {
+	instrs := append(loadF64(0, 1.0), loadF64(1, 1.0)...)
+	instrs = append(instrs,
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(10)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // loop head
+		isa.I(isa.SUBI, isa.Gpr(isa.RCX), isa.Imm(1)),
+		isa.I(isa.CMPI, isa.Gpr(isa.RCX), isa.Imm(0)),
+		isa.I(isa.JG, isa.Imm(0)), // patched to loop head
+		isa.I(isa.HALT),
+	)
+	f := &prog.Func{Name: "main", Instrs: instrs}
+	mod, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+4096, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := f.Instrs[5].Addr
+	f.Instrs[8].A.Imm = int64(head)
+	m, err := New(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := math.Float64frombits(m.XMM[0][0]); got != 11.0 {
+		t.Errorf("sum = %v, want 11", got)
+	}
+	p := m.Profile()
+	if p[head] != 10 {
+		t.Errorf("loop body count = %d, want 10", p[head])
+	}
+	if m.Cycles == 0 || m.Steps == 0 {
+		t.Error("cycles/steps not accumulated")
+	}
+}
+
+func TestSingleCheaperThanDouble(t *testing.T) {
+	mkLoop := func(op isa.Op) *Machine {
+		instrs := append(loadF64(0, 1.0), loadF64(1, 1.0)...)
+		instrs = append(instrs,
+			isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(1000)),
+			isa.I(op, isa.Xmm(0), isa.Xmm(1)),
+			isa.I(isa.SUBI, isa.Gpr(isa.RCX), isa.Imm(1)),
+			isa.I(isa.CMPI, isa.Gpr(isa.RCX), isa.Imm(0)),
+			isa.I(isa.JG, isa.Imm(0)),
+			isa.I(isa.HALT),
+		)
+		f := &prog.Func{Name: "main", Instrs: instrs}
+		mod, _ := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+4096, "main")
+		f.Instrs[8].A.Imm = int64(f.Instrs[5].Addr)
+		m, _ := New(mod)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	d := mkLoop(isa.MULSD).Cycles
+	s := mkLoop(isa.MULSS).Cycles
+	if s >= d {
+		t.Errorf("single (%d cycles) not cheaper than double (%d)", s, d)
+	}
+}
+
+func TestFaultErrorString(t *testing.T) {
+	f := &Fault{Kind: FaultMemOOB, PC: 0x1000, Op: isa.LOAD, Detail: "x"}
+	if f.Error() == "" {
+		t.Error("empty error string")
+	}
+	for k := FaultNone; k <= FaultHost; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no string", k)
+		}
+	}
+}
