@@ -165,6 +165,73 @@ func BenchmarkAMG(b *testing.B) {
 	b.ReportMetric(res.AnalysisOverhead, "overheadX")
 }
 
+// ---- Evaluation engine ---------------------------------------------------
+
+// BenchmarkSearchEvaluate measures end-to-end search throughput with the
+// cached evaluation engine (snippet precompilation, linked programs,
+// machine reuse, memoization) against the from-scratch fallback. The two
+// sub-benchmarks run the identical search; the ns/op ratio is the
+// engine's speedup.
+func BenchmarkSearchEvaluate(b *testing.B) {
+	bench, err := kernels.Get("mg", kernels.ClassW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		mode search.EngineMode
+	}{{"engine", search.EngineOn}, {"fallback", search.EngineOff}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			var res *search.Result
+			for i := 0; i < b.N; i++ {
+				res, err = search.Run(searchTarget(bench), search.Options{
+					Workers: 8, BinarySplit: true, Prioritize: true,
+					Engine: mode.mode,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Tested), "testedCfgs")
+			b.ReportMetric(float64(res.MemoHits), "memoHits")
+		})
+	}
+}
+
+// BenchmarkInstrumentCached isolates the per-configuration assembly cost:
+// splicing precompiled snippets versus regenerating and laying out every
+// snippet from scratch.
+func BenchmarkInstrumentCached(b *testing.B) {
+	bench, err := kernels.Get("mg", kernels.ClassW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eff := make(map[uint64]config.Precision)
+	for _, a := range bench.Module.Candidates() {
+		eff[a] = config.Single
+	}
+	b.Run("cached", func(b *testing.B) {
+		cs, err := replace.Precompile(bench.Module, replace.InstrumentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cs.Instrument(eff); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := replace.InstrumentMap(bench.Module, eff, replace.InstrumentOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- Ablations (DESIGN.md §5) -------------------------------------------
 
 // BenchmarkAblationSearchSplit compares configurations tested with and

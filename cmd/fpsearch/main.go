@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"fpmix/internal/config"
 	"fpmix/internal/kernels"
@@ -25,6 +26,8 @@ func main() {
 	gran := flag.String("granularity", "insn", "finest search level: func, block or insn")
 	noSplit := flag.Bool("nosplit", false, "disable the binary-splitting optimization")
 	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
+	noEngine := flag.Bool("noengine", false, "evaluate through the from-scratch fallback instead of the cached engine")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search here")
 	compose := flag.Bool("compose", false, "run the second search phase when the union fails (§3.1)")
 	verbose := flag.Bool("v", false, "list every passing piece")
 	flag.Parse()
@@ -32,6 +35,17 @@ func main() {
 	if *bench == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	b, err := kernels.Get(*bench, kernels.Class(*class))
 	if err != nil {
@@ -53,11 +67,16 @@ func main() {
 		MaxSteps: b.MaxSteps,
 		Base:     b.Base,
 	}
+	mode := search.EngineOn
+	if *noEngine {
+		mode = search.EngineOff
+	}
 	res, err := search.Run(target, search.Options{
 		Workers:     *workers,
 		Granularity: g,
 		BinarySplit: !*noSplit,
 		Prioritize:  !*noPrio,
+		Engine:      mode,
 	})
 	if err != nil {
 		fatal(err)
@@ -68,7 +87,7 @@ func main() {
 	}
 	fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
 	fmt.Printf("candidates:           %d\n", res.Candidates)
-	fmt.Printf("configurations tested: %d\n", res.Tested)
+	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
 	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
 	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
 	fmt.Printf("final verification:   %s\n", verdict)

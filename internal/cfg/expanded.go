@@ -1,0 +1,144 @@
+package cfg
+
+import (
+	"fmt"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// Expansion is a pre-expanded replacement sequence with its layout
+// metadata computed once: per-instruction byte offsets and the indices of
+// branch instructions needing fixup. Caching expansions lets a search
+// re-assemble instrumented modules by splicing, instead of re-running
+// snippet generation and encoding-size computation on every evaluation.
+//
+// The Instrs slice is treated as immutable by RewriteExpanded (sequences
+// are copied before relocation), so one Expansion may be spliced into any
+// number of rewritten modules concurrently.
+type Expansion struct {
+	Instrs   []isa.Instr
+	offs     []uint32 // byte offset of each instruction within the expansion
+	size     uint64   // total encoded size in bytes
+	branches []int32  // indices of instructions with an Imm branch target
+}
+
+// NewExpansion precomputes the layout metadata for seq. The caller must
+// not mutate seq afterwards.
+func NewExpansion(seq []isa.Instr) *Expansion {
+	e := &Expansion{Instrs: seq, offs: make([]uint32, len(seq))}
+	for i := range seq {
+		e.offs[i] = uint32(e.size)
+		e.size += uint64(isa.EncodedSize(seq[i]))
+		if seq[i].Op.IsBranch() {
+			e.branches = append(e.branches, int32(i))
+		}
+	}
+	return e
+}
+
+// Size returns the total encoded size of the expansion in bytes.
+func (e *Expansion) Size() uint64 { return e.size }
+
+// ExpansionExpander returns the cached expansion replacing in, or nil to
+// keep the instruction unchanged.
+type ExpansionExpander func(in isa.Instr) *Expansion
+
+// RewriteExpanded is the fast path of Rewrite for pre-expanded sequences:
+// it produces a module byte-identical to what Rewrite would build from the
+// same per-instruction sequences, but lays out and fixes up branches using
+// the metadata precomputed in each Expansion. Cached expansions are copied
+// before relocation, so the same Expansion table can serve every
+// configuration of a search.
+func RewriteExpanded(m *prog.Module, expand ExpansionExpander) (*prog.Module, error) {
+	type site struct {
+		oldAddr uint64
+		exp     *Expansion
+		newAddr uint64
+		funcIdx int
+	}
+
+	// Pass 1: lay out using cached sizes.
+	addrMap := make(map[uint64]uint64, 1024) // old -> new
+	funcs := make([]*prog.Func, len(m.Funcs))
+	var sites []site
+	counts := make([]int, len(m.Funcs)) // instructions per rewritten function
+	addr := prog.CodeBase
+	for fi, f := range m.Funcs {
+		funcs[fi] = &prog.Func{Name: f.Name, Addr: addr}
+		for i := range f.Instrs {
+			in := f.Instrs[i]
+			exp := expand(in)
+			if exp == nil {
+				exp = NewExpansion([]isa.Instr{in})
+			}
+			if len(exp.Instrs) == 0 {
+				return nil, fmt.Errorf("cfg: empty expansion for %s at %#x", in.Op, in.Addr)
+			}
+			addrMap[in.Addr] = addr
+			sites = append(sites, site{oldAddr: in.Addr, exp: exp, newAddr: addr, funcIdx: fi})
+			counts[fi] += len(exp.Instrs)
+			addr += exp.size
+		}
+		funcs[fi].End = addr
+	}
+
+	// Pass 2: copy sequences, assign addresses and fix up branch targets.
+	for fi := range funcs {
+		funcs[fi].Instrs = make([]isa.Instr, 0, counts[fi])
+	}
+	for _, s := range sites {
+		f := funcs[s.funcIdx]
+		base := len(f.Instrs)
+		f.Instrs = append(f.Instrs, s.exp.Instrs...)
+		out := f.Instrs[base:]
+		for k := range out {
+			out[k].Addr = s.newAddr + uint64(s.exp.offs[k])
+		}
+		for _, bi := range s.exp.branches {
+			in := &out[bi]
+			t := in.A.Imm
+			if t >= LabelBase {
+				idx := int(t - LabelBase)
+				if idx < 0 || idx >= len(out) {
+					return nil, fmt.Errorf("cfg: snippet label %d out of range at %#x", idx, s.oldAddr)
+				}
+				in.A.Imm = int64(s.newAddr + uint64(s.exp.offs[idx]))
+				continue
+			}
+			na, ok := addrMap[uint64(t)]
+			if !ok {
+				return nil, fmt.Errorf("cfg: %s at old %#x targets unknown address %#x", in.Op, s.oldAddr, uint64(t))
+			}
+			in.A.Imm = int64(na)
+		}
+	}
+
+	entry, ok := addrMap[m.Entry]
+	if !ok {
+		return nil, fmt.Errorf("cfg: entry %#x not mapped", m.Entry)
+	}
+	out := &prog.Module{
+		Name:    m.Name,
+		Funcs:   funcs,
+		Entry:   entry,
+		Data:    append([]byte(nil), m.Data...),
+		MemSize: m.MemSize,
+	}
+	if m.Debug != nil {
+		out.Debug = make(map[uint64]string, len(m.Debug))
+		for _, s := range sites {
+			lbl, ok := m.Debug[s.oldAddr]
+			if !ok {
+				continue
+			}
+			for k := range s.exp.Instrs {
+				out.Debug[s.newAddr+uint64(s.exp.offs[k])] = lbl
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("cfg: rewritten module invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package cfg
+
+import (
+	"bytes"
+	"testing"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// expandWithLabels is a Rewrite expander that wraps every ADDSD in a
+// three-instruction snippet containing a snippet-local branch, exercising
+// label resolution on both paths.
+func expandWithLabels(in isa.Instr) []isa.Instr {
+	if in.Op != isa.ADDSD {
+		return nil
+	}
+	return []isa.Instr{
+		isa.I(isa.CMPI, isa.Gpr(isa.R15), isa.Imm(0)),
+		isa.I(isa.JE, isa.Imm(Label(2))),
+		in,
+	}
+}
+
+// TestRewriteExpandedMatchesRewrite asserts the fast path lays out a
+// byte-identical module to the general rewriter for the same sequences.
+func TestRewriteExpandedMatchesRewrite(t *testing.T) {
+	m := buildMod(t)
+	m.Debug = map[uint64]string{m.Funcs[0].Instrs[5].Addr: "loop.f:1"}
+
+	slow, err := Rewrite(m, expandWithLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Build the expansion cache once; reuse it across two assemblies to
+	// verify the cached sequences are not mutated by relocation.
+	cache := make(map[uint64]*Expansion)
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if seq := expandWithLabels(in); seq != nil {
+				cache[in.Addr] = NewExpansion(seq)
+			}
+		}
+	}
+	expander := func(in isa.Instr) *Expansion { return cache[in.Addr] }
+
+	for round := 0; round < 2; round++ {
+		fast, err := RewriteExpanded(m, expander)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := prog.Save(slow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := prog.Save(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sb, fb) {
+			t.Fatalf("round %d: RewriteExpanded image differs from Rewrite", round)
+		}
+		if len(fast.Debug) != len(slow.Debug) {
+			t.Fatalf("debug maps differ: %d vs %d", len(fast.Debug), len(slow.Debug))
+		}
+		for a, l := range slow.Debug {
+			if fast.Debug[a] != l {
+				t.Fatalf("debug label at %#x: %q vs %q", a, fast.Debug[a], l)
+			}
+		}
+	}
+}
+
+func TestRewriteExpandedIdentity(t *testing.T) {
+	m := buildMod(t)
+	slow, err := Rewrite(m, func(isa.Instr) []isa.Instr { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := RewriteExpanded(m, func(isa.Instr) *Expansion { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, _ := prog.Save(slow)
+	fb, _ := prog.Save(fast)
+	if !bytes.Equal(sb, fb) {
+		t.Fatal("identity rewrite differs between paths")
+	}
+}
+
+func TestRewriteExpandedErrors(t *testing.T) {
+	m := buildMod(t)
+	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+		if in.Op == isa.ADDSD {
+			return NewExpansion([]isa.Instr{})
+		}
+		return nil
+	}); err == nil {
+		t.Error("empty expansion not rejected")
+	}
+	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+		if in.Op == isa.ADDSD {
+			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(Label(7)))})
+		}
+		return nil
+	}); err == nil {
+		t.Error("out-of-range snippet label not rejected")
+	}
+	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+		if in.Op == isa.ADDSD {
+			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(0x9999))})
+		}
+		return nil
+	}); err == nil {
+		t.Error("unknown branch target not rejected")
+	}
+}

@@ -1,0 +1,117 @@
+package replace
+
+import (
+	"fmt"
+
+	"fpmix/internal/cfg"
+	"fpmix/internal/config"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// CompiledSnippets caches, per candidate instruction of a module, the
+// fully generated single- and double-precision replacement sequences with
+// their layout metadata. A precision search evaluates hundreds of
+// configurations of the same module; snippet generation depends only on
+// the instruction and the snippet options, never on the configuration, so
+// compiling the sequences once and splicing cached copies per evaluation
+// removes the per-evaluation expansion cost entirely.
+//
+// A CompiledSnippets table is immutable after Precompile and safe for
+// concurrent use by any number of assembly goroutines.
+type CompiledSnippets struct {
+	module *prog.Module
+	opts   InstrumentOptions
+	// single and double are keyed by candidate instruction address. A nil
+	// entry (address present, value nil) means the instruction needs no
+	// wrapper at that precision (double producers, skipped wrappers).
+	single map[uint64]*cfg.Expansion
+	double map[uint64]*cfg.Expansion
+	// Snippet generation can fail for individual instructions (e.g.
+	// RSP-relative memory operands). InstrumentMap only generates the
+	// sequence a configuration asks for, so to stay equivalent the error
+	// is recorded here and surfaced only when an assembly actually
+	// requests that precision for that address.
+	singleErr map[uint64]error
+	doubleErr map[uint64]error
+}
+
+// Precompile generates and caches the replacement sequences for every
+// candidate instruction of m under the given options.
+func Precompile(m *prog.Module, opts InstrumentOptions) (*CompiledSnippets, error) {
+	cs := &CompiledSnippets{
+		module:    m,
+		opts:      opts,
+		single:    make(map[uint64]*cfg.Expansion),
+		double:    make(map[uint64]*cfg.Expansion),
+		singleErr: make(map[uint64]error),
+		doubleErr: make(map[uint64]error),
+	}
+	for _, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if !isa.IsCandidate(in.Op) {
+				continue
+			}
+			if sseq, err := SingleSnippet(in, opts.Snippet); err != nil {
+				cs.singleErr[in.Addr] = err
+			} else {
+				cs.single[in.Addr] = cfg.NewExpansion(sseq)
+			}
+			if opts.SkipDoubleSnippets {
+				continue
+			}
+			dseq, err := DoubleSnippet(in, opts.Snippet)
+			switch {
+			case err != nil:
+				cs.doubleErr[in.Addr] = err
+			case dseq != nil:
+				cs.double[in.Addr] = cfg.NewExpansion(dseq)
+			}
+		}
+	}
+	return cs, nil
+}
+
+// Module returns the module the table was compiled from.
+func (cs *CompiledSnippets) Module() *prog.Module { return cs.module }
+
+// Instrument assembles the instrumented module for an effective-precision
+// map by splicing cached sequences. It produces output byte-identical to
+// InstrumentMap(module, eff, opts) but without re-running snippet
+// generation. Addresses absent from eff default to Double; Ignore leaves
+// the instruction untouched.
+func (cs *CompiledSnippets) Instrument(eff map[uint64]config.Precision) (*prog.Module, error) {
+	var expandErr error
+	out, err := cfg.RewriteExpanded(cs.module, func(in isa.Instr) *cfg.Expansion {
+		if expandErr != nil || !isa.IsCandidate(in.Op) {
+			return nil
+		}
+		p, ok := eff[in.Addr]
+		if !ok {
+			p = config.Double
+		}
+		switch p {
+		case config.Ignore:
+			return nil
+		case config.Single:
+			if err := cs.singleErr[in.Addr]; err != nil {
+				expandErr = err
+				return nil
+			}
+			return cs.single[in.Addr]
+		default:
+			if err := cs.doubleErr[in.Addr]; err != nil {
+				expandErr = err
+				return nil
+			}
+			return cs.double[in.Addr]
+		}
+	})
+	if expandErr != nil {
+		return nil, expandErr
+	}
+	if err != nil {
+		return nil, fmt.Errorf("replace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package replace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+)
+
+// effMaps builds representative effective-precision maps over the
+// module's candidates: all single, all double, empty (default double),
+// and a rotation mixing single/double/ignore.
+func effMaps(m *prog.Module) map[string]map[uint64]config.Precision {
+	cands := m.Candidates()
+	allS := make(map[uint64]config.Precision, len(cands))
+	allD := make(map[uint64]config.Precision, len(cands))
+	mixed := make(map[uint64]config.Precision, len(cands))
+	rot := []config.Precision{config.Single, config.Double, config.Ignore}
+	for i, a := range cands {
+		allS[a] = config.Single
+		allD[a] = config.Double
+		mixed[a] = rot[i%len(rot)]
+	}
+	return map[string]map[uint64]config.Precision{
+		"single": allS,
+		"double": allD,
+		"empty":  {},
+		"mixed":  mixed,
+	}
+}
+
+// TestPrecompileMatchesInstrumentMap asserts cached-snippet assembly is
+// byte-identical to from-scratch instrumentation on every kernel, across
+// precision mixes and snippet option variants.
+func TestPrecompileMatchesInstrumentMap(t *testing.T) {
+	optVariants := map[string]replace.InstrumentOptions{
+		"default":   {},
+		"elision":   {Snippet: replace.Options{LivenessElision: true}},
+		"unchecked": {Snippet: replace.Options{UncheckedDowncast: true}},
+		"skipdbl":   {SkipDoubleSnippets: true},
+	}
+	for _, name := range kernels.Names() {
+		bench, err := kernels.Get(name, kernels.ClassW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for oname, opts := range optVariants {
+			cs, err := replace.Precompile(bench.Module, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: precompile: %v", name, oname, err)
+			}
+			for ename, eff := range effMaps(bench.Module) {
+				want, werr := replace.InstrumentMap(bench.Module, eff, opts)
+				got, gerr := cs.Instrument(eff)
+				if (werr == nil) != (gerr == nil) {
+					t.Fatalf("%s/%s/%s: error divergence: scratch=%v cached=%v",
+						name, oname, ename, werr, gerr)
+				}
+				if werr != nil {
+					continue
+				}
+				wb, err := prog.Save(want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gb, err := prog.Save(got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(wb, gb) {
+					t.Errorf("%s/%s/%s: cached assembly differs from InstrumentMap", name, oname, ename)
+				}
+			}
+		}
+	}
+}
+
+// TestPrecompileReuse asserts one table serves many assemblies without
+// cross-contamination: re-assembling the same configuration after other
+// configurations were assembled yields identical bytes.
+func TestPrecompileReuse(t *testing.T) {
+	bench, err := kernels.Get("cg", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := replace.Precompile(bench.Module, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := effMaps(bench.Module)
+	first, err := cs.Instrument(maps["mixed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := prog.Save(first)
+	for _, other := range []string{"single", "double", "empty"} {
+		if _, err := cs.Instrument(maps[other]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	again, err := cs.Instrument(maps["mixed"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, _ := prog.Save(again)
+	if !bytes.Equal(fb, ab) {
+		t.Error("re-assembly after interleaved configurations diverged")
+	}
+}

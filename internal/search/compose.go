@@ -49,6 +49,11 @@ func Compose(t Target, res *Result) (*ComposeResult, error) {
 		return pieces[i].Addrs[0] < pieces[j].Addrs[0]
 	})
 
+	ev, err := newEvaluator(t, EngineOn)
+	if err != nil {
+		return nil, err
+	}
+
 	cr := &ComposeResult{}
 	cfg := base.Clone()
 	for _, p := range pieces {
@@ -60,7 +65,7 @@ func Compose(t Target, res *Result) (*ComposeResult, error) {
 		}
 		cr.Dropped = append(cr.Dropped, p)
 		eff := cfg.Effective()
-		pass, err := evaluateMap(t, eff)
+		pass, err := ev.evaluate(eff)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,136 @@
+package search
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"fpmix/internal/config"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// EngineMode selects the evaluation backend of a search.
+type EngineMode uint8
+
+// Engine modes. The zero value enables the cached engine, so searches are
+// incremental by default.
+const (
+	// EngineOn evaluates configurations with the cached evaluation
+	// engine: snippets are compiled once per candidate instruction and
+	// spliced per configuration, assembled modules are linked (branch
+	// targets and cycle costs pre-resolved), machines are pooled and
+	// reset instead of reallocated, and duplicate address sets are
+	// memoized.
+	EngineOn EngineMode = iota
+	// EngineOff evaluates every configuration from scratch through the
+	// seed pipeline (replace.InstrumentMap + vm.New). It exists as the
+	// differential-testing fallback and as the baseline the engine is
+	// benchmarked against.
+	EngineOff
+)
+
+// evaluator runs one configuration, given the full effective-precision
+// map, and reports whether it passes the target's verification routine.
+// Implementations must be safe for concurrent use by the worker pool.
+type evaluator interface {
+	evaluate(eff map[uint64]config.Precision) (bool, error)
+}
+
+// newEvaluator builds the backend selected by mode.
+func newEvaluator(t Target, mode EngineMode) (evaluator, error) {
+	if mode == EngineOff {
+		return legacyEvaluator{t: t}, nil
+	}
+	return newEngine(t)
+}
+
+// legacyEvaluator is the unmodified seed path: full snippet regeneration,
+// layout and a fresh machine per evaluation.
+type legacyEvaluator struct{ t Target }
+
+func (e legacyEvaluator) evaluate(eff map[uint64]config.Precision) (bool, error) {
+	inst, err := replace.InstrumentMap(e.t.Module, eff, e.t.InstOpts)
+	if err != nil {
+		return false, err
+	}
+	m, err := vm.New(inst)
+	if err != nil {
+		return false, err
+	}
+	m.MaxSteps = e.t.MaxSteps
+	if err := m.Run(); err != nil {
+		// Traps (NaN-driven divergence, runaway loops) are verification
+		// failures, not search errors.
+		return false, nil
+	}
+	return e.t.Verify(m.Out), nil
+}
+
+// engine is the cached evaluation backend. It holds the per-instruction
+// compiled snippet table (built once at search start) and a pool of
+// reusable machines, one per active worker.
+type engine struct {
+	t     Target
+	snips *replace.CompiledSnippets
+	pool  sync.Pool
+}
+
+func newEngine(t Target) (*engine, error) {
+	snips, err := replace.Precompile(t.Module, t.InstOpts)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{t: t, snips: snips}
+	e.pool.New = func() any { return &vm.Machine{} }
+	return e, nil
+}
+
+func (e *engine) evaluate(eff map[uint64]config.Precision) (bool, error) {
+	inst, err := e.snips.Instrument(eff)
+	if err != nil {
+		return false, err
+	}
+	lp, err := vm.Link(inst)
+	if err != nil {
+		return false, err
+	}
+	m := e.pool.Get().(*vm.Machine)
+	defer e.pool.Put(m)
+	m.ResetTo(lp)
+	m.MaxSteps = e.t.MaxSteps
+	if err := m.Run(); err != nil {
+		return false, nil // traps are verification failures
+	}
+	return e.t.Verify(m.Out), nil
+}
+
+// effFor expands a piece's address set into the full effective-precision
+// map an evaluator consumes.
+func effFor(addrs []uint64, ignored map[uint64]bool) map[uint64]config.Precision {
+	eff := make(map[uint64]config.Precision, len(addrs)+len(ignored))
+	for _, a := range addrs {
+		eff[a] = config.Single
+	}
+	for a := range ignored {
+		eff[a] = config.Ignore
+	}
+	return eff
+}
+
+// addrKey builds the memoization key for an address set: the byte image
+// of the sorted addresses. Piece address sets come out of the
+// configuration tree in ascending order, so the sort is normally a no-op
+// verification pass.
+func addrKey(addrs []uint64) string {
+	sorted := addrs
+	if !sort.SliceIsSorted(addrs, func(i, j int) bool { return addrs[i] < addrs[j] }) {
+		sorted = append([]uint64(nil), addrs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	}
+	b := make([]byte, 8*len(sorted))
+	for i, a := range sorted {
+		binary.LittleEndian.PutUint64(b[i*8:], a)
+	}
+	return string(b)
+}

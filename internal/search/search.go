@@ -22,6 +22,11 @@ import (
 	"fpmix/internal/vm"
 )
 
+// Evaluations run either through the cached evaluation engine (snippet
+// precompilation, linked programs, machine reuse, configuration
+// memoization — engine.go) or through the from-scratch seed pipeline kept
+// as a differential-testing fallback; Options.Engine selects, default on.
+
 // Target describes the program under search.
 type Target struct {
 	Module *prog.Module
@@ -54,6 +59,13 @@ type Options struct {
 	SplitThreshold int
 	// Prioritize orders the work queue by profiled execution weight.
 	Prioritize bool
+	// Engine selects the evaluation backend (default EngineOn: the
+	// cached evaluation engine; EngineOff: the from-scratch fallback).
+	Engine EngineMode
+
+	// testEval, when set by in-package tests, overrides the evaluation
+	// backend entirely.
+	testEval evaluator
 }
 
 // Piece is one tested configuration: a subtree (or binary-split range) of
@@ -78,6 +90,11 @@ type Result struct {
 	// Tested is the number of configurations evaluated (including the
 	// final union run).
 	Tested int
+	// MemoHits is the number of queued configurations whose address set
+	// had already been evaluated and whose verdict was replayed from the
+	// engine's memo table instead of re-running (binary-split re-splits
+	// and single-child aggregate chains produce such duplicates).
+	MemoHits int
 	// Passing lists the coarsest-granularity pieces that passed.
 	Passing []*Piece
 	// Stats carries the static/dynamic replacement percentages of Final.
@@ -87,6 +104,11 @@ type Result struct {
 }
 
 // Run executes the breadth-first search.
+//
+// On an evaluation error Run returns the error together with a partial
+// Result carrying the pieces that had already passed (and the counters
+// accumulated so far), so completed work is not discarded; Final is only
+// set when the search runs to completion.
 func Run(t Target, opts Options) (*Result, error) {
 	if t.Module == nil || t.Verify == nil {
 		return nil, fmt.Errorf("search: target needs Module and Verify")
@@ -128,6 +150,14 @@ func Run(t Target, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("search: no replaceable instructions")
 	}
 
+	ev := opts.testEval
+	if ev == nil {
+		ev, err = newEvaluator(t, opts.Engine)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	res := &Result{Profile: profile}
 	res.Candidates = len(root.Addrs)
 
@@ -138,42 +168,76 @@ func Run(t Target, opts Options) (*Result, error) {
 
 	type evalRes struct {
 		p    *Piece
+		key  string
 		pass bool
 		err  error
 	}
 	results := make(chan evalRes)
 	inflight := 0
 
-	launch := func(p *Piece) {
+	launch := func(p *Piece, key string) {
 		inflight++
 		go func() {
-			pass, err := evaluate(t, p.Addrs, ignored)
-			results <- evalRes{p: p, pass: pass, err: err}
+			pass, err := ev.evaluate(effFor(p.Addrs, ignored))
+			results <- evalRes{p: p, key: key, pass: pass, err: err}
 		}()
+	}
+
+	// Verdict memoization (engine only): binary-split re-splits and
+	// aggregate chains with a single child re-enqueue address sets that
+	// were already decided; replay their verdicts instead of re-running.
+	var memo map[string]bool
+	if opts.Engine == EngineOn {
+		memo = make(map[string]bool)
+	}
+
+	// apply routes a piece's verdict: passing pieces are collected,
+	// failing ones expand into the next round of candidates.
+	apply := func(p *Piece, pass bool) {
+		if pass {
+			res.Passing = append(res.Passing, p)
+			return
+		}
+		for _, next := range expand(p, opts) {
+			heap.Push(q, next)
+		}
 	}
 
 	for q.Len() > 0 || inflight > 0 {
 		for q.Len() > 0 && inflight < opts.Workers {
-			launch(heap.Pop(q).(*Piece))
+			p := heap.Pop(q).(*Piece)
+			var key string
+			if memo != nil {
+				key = addrKey(p.Addrs)
+				if pass, ok := memo[key]; ok {
+					res.MemoHits++
+					apply(p, pass)
+					continue
+				}
+			}
+			launch(p, key)
+		}
+		if inflight == 0 {
+			continue // memo replay may have emptied or refilled the queue
 		}
 		r := <-results
 		inflight--
 		if r.err != nil {
-			// Drain outstanding workers before returning.
+			// Drain outstanding workers, then surface the error alongside
+			// the partial result: pieces that already passed stay
+			// available to the caller instead of being discarded.
 			for inflight > 0 {
 				<-results
 				inflight--
 			}
-			return nil, r.err
+			sortPassing(res.Passing)
+			return res, r.err
 		}
 		res.Tested++
-		if r.pass {
-			res.Passing = append(res.Passing, r.p)
-			continue
+		if memo != nil {
+			memo[r.key] = r.pass
 		}
-		for _, next := range expand(r.p, opts) {
-			heap.Push(q, next)
-		}
+		apply(r.p, r.pass)
 	}
 
 	// Compose the final configuration: union of every passing piece.
@@ -193,18 +257,26 @@ func Run(t Target, opts Options) (*Result, error) {
 	res.Final = final
 
 	eff := final.Effective()
-	pass, err := evaluateMap(t, eff)
+	pass, err := ev.evaluate(eff)
 	if err != nil {
-		return nil, err
+		res.Final = nil
+		sortPassing(res.Passing)
+		return res, err
 	}
 	res.Tested++
 	res.FinalPass = pass
 	res.Stats = replace.ComputeStats(t.Module, eff, profile)
 
-	sort.Slice(res.Passing, func(i, j int) bool {
-		return res.Passing[i].Addrs[0] < res.Passing[j].Addrs[0]
-	})
+	sortPassing(res.Passing)
 	return res, nil
+}
+
+// sortPassing orders passing pieces by their first address for
+// deterministic, address-ordered results.
+func sortPassing(pieces []*Piece) {
+	sort.Slice(pieces, func(i, j int) bool {
+		return pieces[i].Addrs[0] < pieces[j].Addrs[0]
+	})
 }
 
 // profileRun executes the original program and returns per-address counts.
@@ -221,37 +293,6 @@ func profileRun(t Target) (map[uint64]uint64, error) {
 		return nil, fmt.Errorf("search: baseline run fails its own verification")
 	}
 	return m.Profile(), nil
-}
-
-// evaluate instruments the module with the piece's addresses set to single
-// precision and runs the verification routine.
-func evaluate(t Target, addrs []uint64, ignored map[uint64]bool) (bool, error) {
-	eff := make(map[uint64]config.Precision, len(addrs)+len(ignored))
-	for _, a := range addrs {
-		eff[a] = config.Single
-	}
-	for a := range ignored {
-		eff[a] = config.Ignore
-	}
-	return evaluateMap(t, eff)
-}
-
-func evaluateMap(t Target, eff map[uint64]config.Precision) (bool, error) {
-	inst, err := replace.InstrumentMap(t.Module, eff, t.InstOpts)
-	if err != nil {
-		return false, err
-	}
-	m, err := vm.New(inst)
-	if err != nil {
-		return false, err
-	}
-	m.MaxSteps = t.MaxSteps
-	if err := m.Run(); err != nil {
-		// Traps (NaN-driven divergence, runaway loops) are verification
-		// failures, not search errors.
-		return false, nil
-	}
-	return t.Verify(m.Out), nil
 }
 
 // buildPiece converts a configuration subtree into the piece hierarchy,
@@ -356,6 +397,7 @@ func (q *pieceQueue) Push(x any) {
 func (q *pieceQueue) Pop() any {
 	n := len(q.items)
 	it := q.items[n-1]
+	q.items[n-1] = nil // release the slot so the backing array can't pin it
 	q.items = q.items[:n-1]
 	q.seqs = q.seqs[:n-1]
 	return it

@@ -19,7 +19,11 @@ func (m *Machine) Step() error {
 	in := &m.instrs[m.pcIdx]
 	m.counts[m.pcIdx]++
 	m.Steps++
-	m.Cycles += cost(in)
+	if m.costs != nil {
+		m.Cycles += m.costs[m.pcIdx]
+	} else {
+		m.Cycles += cost(in)
+	}
 
 	next := m.pcIdx + 1
 
@@ -96,7 +100,7 @@ func (m *Machine) Step() error {
 	case isa.JMP, isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG, isa.JGE,
 		isa.JB, isa.JAE, isa.JA, isa.JBE:
 		if m.branchTaken(in.Op) {
-			idx, err := m.target(in, in.A.Imm)
+			idx, err := m.staticTarget(in)
 			if err != nil {
 				return err
 			}
@@ -108,7 +112,7 @@ func (m *Machine) Step() error {
 		if err := m.push64(in, ret); err != nil {
 			return err
 		}
-		idx, err := m.target(in, in.A.Imm)
+		idx, err := m.staticTarget(in)
 		if err != nil {
 			return err
 		}
@@ -169,9 +173,27 @@ func (m *Machine) Step() error {
 	return nil
 }
 
+// staticTarget resolves the branch/call target of the current instruction,
+// using the program's pre-resolved index table when linked.
+func (m *Machine) staticTarget(in *isa.Instr) (int32, error) {
+	if m.targets != nil {
+		if t := m.targets[m.pcIdx]; t >= 0 {
+			return t, nil
+		}
+	}
+	return m.target(in, in.A.Imm)
+}
+
 // target resolves a branch target address to an instruction index.
 func (m *Machine) target(in *isa.Instr, addr int64) (int32, error) {
-	idx, ok := m.addrIdx[uint64(addr)]
+	if m.addrIdx != nil {
+		idx, ok := m.addrIdx[uint64(addr)]
+		if !ok {
+			return 0, m.fault(FaultBadPC, in, fmt.Sprintf("target %#x", uint64(addr)))
+		}
+		return idx, nil
+	}
+	idx, ok := m.lp.idxOf(uint64(addr))
 	if !ok {
 		return 0, m.fault(FaultBadPC, in, fmt.Sprintf("target %#x", uint64(addr)))
 	}

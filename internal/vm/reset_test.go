@@ -1,0 +1,149 @@
+package vm_test
+
+import (
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// runFresh executes the module on a brand-new unlinked machine.
+func runFresh(t *testing.T, bench *kernels.Bench) *vm.Machine {
+	t.Helper()
+	m, err := vm.New(bench.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = bench.MaxSteps
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// assertSameRun compares the observable outcome of two completed runs.
+func assertSameRun(t *testing.T, label string, want, got *vm.Machine) {
+	t.Helper()
+	if want.Steps != got.Steps {
+		t.Errorf("%s: steps %d vs %d", label, want.Steps, got.Steps)
+	}
+	if want.Cycles != got.Cycles {
+		t.Errorf("%s: cycles %d vs %d", label, want.Cycles, got.Cycles)
+	}
+	if len(want.Out) != len(got.Out) {
+		t.Fatalf("%s: out lengths %d vs %d", label, len(want.Out), len(got.Out))
+	}
+	for i := range want.Out {
+		if want.Out[i] != got.Out[i] {
+			t.Errorf("%s: out[%d] = %v vs %v", label, i, want.Out[i], got.Out[i])
+		}
+	}
+	wp, gp := want.Profile(), got.Profile()
+	if len(wp) != len(gp) {
+		t.Fatalf("%s: profile sizes %d vs %d", label, len(wp), len(gp))
+	}
+	for a, n := range wp {
+		if gp[a] != n {
+			t.Errorf("%s: profile[%#x] = %d vs %d", label, a, gp[a], n)
+		}
+	}
+}
+
+// TestResetIndistinguishableFromNew runs two kernels on one recycled
+// machine — including a dirty crossover from a bigger program to a
+// smaller one — and requires outcomes identical to fresh vm.New machines.
+func TestResetIndistinguishableFromNew(t *testing.T) {
+	mg, err := kernels.Get("mg", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := kernels.Get("ft", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	recycled := &vm.Machine{}
+	for _, bench := range []*kernels.Bench{mg, ft, mg} {
+		want := runFresh(t, bench)
+		if err := recycled.Reset(bench.Module); err != nil {
+			t.Fatal(err)
+		}
+		recycled.MaxSteps = bench.MaxSteps
+		if err := recycled.Run(); err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, bench.Name, want, recycled)
+	}
+}
+
+// TestResetInstrumentedRuns exercises Reset across instrumented modules
+// (the search engine's usage pattern): alternating configurations of the
+// same kernel on one pooled machine.
+func TestResetInstrumentedRuns(t *testing.T) {
+	bench, err := kernels.Get("ft", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := bench.Module.Candidates()
+	half := make(map[uint64]config.Precision)
+	for i, a := range cands {
+		if i%2 == 0 {
+			half[a] = config.Single
+		}
+	}
+	full := make(map[uint64]config.Precision)
+	for _, a := range cands {
+		full[a] = config.Single
+	}
+	recycled := &vm.Machine{}
+	for _, eff := range []map[uint64]config.Precision{half, full, half} {
+		inst, err := replace.InstrumentMap(bench.Module, eff, replace.InstrumentOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := vm.New(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.MaxSteps = bench.MaxSteps
+		if err := fresh.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := recycled.Reset(inst); err != nil {
+			t.Fatal(err)
+		}
+		recycled.MaxSteps = bench.MaxSteps
+		if err := recycled.Run(); err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, "instrumented", fresh, recycled)
+	}
+}
+
+// TestLinkedMachineMatchesNew asserts a Program-backed machine executes
+// identically to an unlinked one, and that rewinding the same program
+// (the Reset fast path) stays identical.
+func TestLinkedMachineMatchesNew(t *testing.T) {
+	bench, err := kernels.Get("cg", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runFresh(t, bench)
+	lp, err := vm.Link(bench.Module)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.NewMachine()
+	for round := 0; round < 2; round++ {
+		m.MaxSteps = bench.MaxSteps
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		assertSameRun(t, "linked", want, m)
+		if err := m.Reset(bench.Module); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

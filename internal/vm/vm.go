@@ -136,6 +136,13 @@ type Machine struct {
 	counts  []uint64
 	pcIdx   int32
 	halted  bool
+
+	// Linked-program state (nil/absent on vm.New machines): the Program
+	// the machine executes plus its pre-resolved branch-target and cycle
+	// cost tables (see Link).
+	lp      *Program
+	targets []int32
+	costs   []uint64
 }
 
 // DefaultMaxSteps bounds runaway programs.
