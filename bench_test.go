@@ -472,28 +472,35 @@ func run(m *prog.Module) (*vm.Machine, error) {
 }
 
 // BenchmarkAblationLivenessElision measures the §2.5 snippet streamlining
-// (scratch save/restore elision under the fpmix ABI): overhead of
-// all-double instrumentation with full saves vs elided saves.
+// (scratch save/restore elision under the fpmix ABI) in three tiers:
+// fully checked saves everywhere, the default analysis-gated build
+// (per-site elisions proven safe by the dataflow analyses), and the
+// unchecked whole-program ablation.
 func BenchmarkAblationLivenessElision(b *testing.B) {
 	bench, err := kernels.Get("mg", kernels.ClassW)
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, elide := range []bool{false, true} {
-		elide := elide
-		name := "fullsave"
-		if elide {
-			name = "elided"
-		}
-		b.Run(name, func(b *testing.B) {
+	tiers := []struct {
+		name string
+		opts replace.InstrumentOptions
+	}{
+		{"fullsave", replace.InstrumentOptions{NoAnalysis: true}},
+		{"gated", replace.InstrumentOptions{}},
+		{"elided", replace.InstrumentOptions{
+			NoAnalysis: true,
+			Snippet:    replace.Options{LivenessElision: true},
+		}},
+	}
+	for _, tier := range tiers {
+		tier := tier
+		b.Run(tier.name, func(b *testing.B) {
 			c, err := config.FromModule(bench.Module)
 			if err != nil {
 				b.Fatal(err)
 			}
 			c.SetAll(config.Double)
-			inst, err := replace.Instrument(bench.Module, c, replace.InstrumentOptions{
-				Snippet: replace.Options{LivenessElision: elide},
-			})
+			inst, err := replace.Instrument(bench.Module, c, tier.opts)
 			if err != nil {
 				b.Fatal(err)
 			}

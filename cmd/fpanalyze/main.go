@@ -1,0 +1,267 @@
+// Command fpanalyze runs the static dataflow analyses (liveness,
+// replaced-flag reachability, exact-integer sink classification) on a
+// program and prints per-function reports of what the instrumenter may
+// streamline: scratch save/restore elisions, flag-check elisions, and
+// candidates pruned from the precision search.
+//
+//	fpanalyze -bench mg -class W
+//	fpanalyze -in ep.fpx -func randlc
+//	fpanalyze -bench mg -class W -selfcheck
+//
+// With -selfcheck it additionally instruments the program twice — once
+// fully checked, once analysis-gated — runs both under the VM for the
+// all-single and all-double configurations, and reports any output
+// divergence as an unsound elision (the count is always printed; CI
+// asserts it is zero).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/config"
+	"fpmix/internal/dataflow"
+	"fpmix/internal/isa"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+func main() {
+	in := flag.String("in", "", "program image to analyze")
+	bench := flag.String("bench", "", "benchmark to build instead of reading an image")
+	class := flag.String("class", "W", "input class")
+	fnName := flag.String("func", "", "restrict the report to one function")
+	verbose := flag.Bool("v", false, "list every candidate site")
+	selfcheck := flag.Bool("selfcheck", false, "differentially verify the elisions (runs the program four times)")
+	flag.Parse()
+
+	var (
+		m        *prog.Module
+		maxSteps uint64
+	)
+	switch {
+	case *in != "":
+		img, err := os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = prog.Load(img)
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		b, err := kernels.Get(*bench, kernels.Class(*class))
+		if err != nil {
+			fatal(err)
+		}
+		m = b.Module
+		maxSteps = b.MaxSteps
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		fatal(err)
+	}
+
+	if r.HasStableBase {
+		fmt.Printf("module %s: stable base %%%s, %d memory slots\n",
+			m.Name, isa.GPRName(r.StableBase), r.Slots)
+	} else {
+		fmt.Printf("module %s: no stable base (memory summarized)\n", m.Name)
+	}
+
+	var tc, tsd, tci, tun, tdead int
+	for _, f := range m.Funcs {
+		if *fnName != "" && f.Name != *fnName {
+			continue
+		}
+		var sites []dataflow.Site
+		for _, ins := range f.Instrs {
+			if !isa.IsCandidate(ins.Op) {
+				continue
+			}
+			sites = append(sites, r.Site(ins.Addr))
+		}
+		if len(sites) == 0 {
+			continue
+		}
+		var sd, ci, un, dead int
+		for _, s := range sites {
+			if s.ScratchDead {
+				sd++
+			}
+			if s.CleanInputs {
+				ci++
+			}
+			if s.Unsafe {
+				un++
+			}
+			if s.Dead {
+				dead++
+			}
+		}
+		tc += len(sites)
+		tsd += sd
+		tci += ci
+		tun += un
+		tdead += dead
+		fmt.Printf("\nfunc %s: %d candidates\n", f.Name, len(sites))
+		fmt.Printf("  scratch-dead: %-5d clean-inputs: %-5d unsafe: %-5d dead: %d\n",
+			sd, ci, un, dead)
+		if *verbose {
+			for _, ins := range f.Instrs {
+				if !isa.IsCandidate(ins.Op) {
+					continue
+				}
+				fmt.Printf("    %#08x  %-34s %s\n", ins.Addr, isa.Disasm(ins), siteMarks(r.Site(ins.Addr)))
+			}
+		}
+	}
+
+	if *fnName == "" {
+		fmt.Printf("\nround-trip pairs: %d\n", len(r.Pairs))
+		for _, p := range r.Pairs {
+			kind := "acyclic"
+			if p.Cyclic {
+				kind = "cyclic"
+			}
+			fmt.Printf("  trunc %#x -> widen %#x  (%s)\n", p.Trunc, p.Widen, kind)
+		}
+		if ua := r.UnsafeAddrs(); len(ua) > 0 {
+			fmt.Printf("unsafe sinks (pruned from search): %d\n", len(ua))
+			for _, a := range ua {
+				fmt.Printf("  %#x  %s\n", a, disasmAt(m, a))
+			}
+		} else {
+			fmt.Println("unsafe sinks (pruned from search): none")
+		}
+		fmt.Printf("\ntotals: %d candidates, %d scratch-dead, %d clean-inputs, %d unsafe, %d dead\n",
+			tc, tsd, tci, tun, tdead)
+	}
+
+	findings := 0
+	if *selfcheck {
+		findings, err = runSelfcheck(m, maxSteps)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("unsound elisions: %d\n", findings)
+	if findings > 0 {
+		os.Exit(1)
+	}
+}
+
+// siteMarks renders a compact per-site summary for the verbose listing.
+func siteMarks(s dataflow.Site) string {
+	out := ""
+	add := func(m string) {
+		if out != "" {
+			out += " "
+		}
+		out += m
+	}
+	if s.ScratchDead {
+		add("scratch-dead")
+	}
+	if s.CleanInputs {
+		add("clean")
+	}
+	if s.Unsafe {
+		add("UNSAFE")
+	}
+	if s.Dead {
+		add("dead")
+	}
+	if out == "" {
+		out = "-"
+	}
+	return out
+}
+
+func disasmAt(m *prog.Module, addr uint64) string {
+	for _, f := range m.Funcs {
+		if addr < f.Addr || addr >= f.End {
+			continue
+		}
+		for _, ins := range f.Instrs {
+			if ins.Addr == addr {
+				return fmt.Sprintf("%-30s (%s)", isa.Disasm(ins), f.Name)
+			}
+		}
+	}
+	return "?"
+}
+
+// runSelfcheck instruments the module fully checked and analysis-gated
+// for the all-single and all-double configurations, runs all four
+// programs, and counts output words that differ between the two builds
+// of the same configuration — each one an elision the analysis wrongly
+// proved safe.
+func runSelfcheck(m *prog.Module, maxSteps uint64) (int, error) {
+	findings := 0
+	for _, prec := range []config.Precision{config.Single, config.Double} {
+		c, err := config.FromModule(m)
+		if err != nil {
+			return 0, err
+		}
+		c.SetAll(prec)
+		full, err := replace.Instrument(m, c, replace.InstrumentOptions{NoAnalysis: true})
+		if err != nil {
+			return 0, err
+		}
+		gated, err := replace.Instrument(m, c, replace.InstrumentOptions{})
+		if err != nil {
+			return 0, err
+		}
+		fo, err := run(full, maxSteps)
+		if err != nil {
+			return 0, err
+		}
+		go_, err := run(gated, maxSteps)
+		if err != nil {
+			return 0, err
+		}
+		if len(fo) != len(go_) {
+			findings++
+			fmt.Printf("selfcheck %v: output length differs (%d vs %d)\n", prec, len(fo), len(go_))
+			continue
+		}
+		diff := 0
+		for i := range fo {
+			if fo[i].Bits != go_[i].Bits {
+				diff++
+			}
+		}
+		if diff > 0 {
+			findings += diff
+			fmt.Printf("selfcheck %v: %d output words differ between checked and gated builds\n", prec, diff)
+		}
+	}
+	return findings, nil
+}
+
+func run(m *prog.Module, maxSteps uint64) ([]vm.OutVal, error) {
+	mach, err := vm.New(m)
+	if err != nil {
+		return nil, err
+	}
+	if maxSteps != 0 {
+		mach.MaxSteps = maxSteps
+	}
+	if err := mach.Run(); err != nil {
+		return nil, err
+	}
+	return mach.Out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpanalyze:", err)
+	os.Exit(1)
+}

@@ -1,10 +1,14 @@
 // Command fpdump disassembles a program image: per-function instruction
 // listings in the AT&T-style syntax of the configuration files, with
 // double-precision replacement candidates marked — the raw view under
-// the configuration tree.
+// the configuration tree. Candidates carry the dataflow analysis'
+// clean/flagged/pruned marks, and -conf overlays a configuration file's
+// effective precisions so search results can be inspected against the
+// analysis.
 //
 //	fpdump -in cg.fpx
 //	fpdump -bench cg -class W -func matvec
+//	fpdump -bench mg -class W -conf mg-final.cfg
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 	"os"
 
 	"fpmix/internal/cfg"
+	"fpmix/internal/config"
+	"fpmix/internal/dataflow"
 	"fpmix/internal/isa"
 	"fpmix/internal/kernels"
 	"fpmix/internal/prog"
@@ -23,6 +29,7 @@ func main() {
 	bench := flag.String("bench", "", "benchmark to build instead of reading an image")
 	class := flag.String("class", "W", "input class")
 	fnName := flag.String("func", "", "restrict the listing to one function")
+	confPath := flag.String("conf", "", "overlay a configuration file's effective precisions")
 	flag.Parse()
 
 	var m *prog.Module
@@ -47,11 +54,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var eff map[uint64]config.Precision
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := config.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		eff = c.Effective()
+	}
+
+	// Analysis marks are best-effort: an unanalyzable image (no entry
+	// mapping, say) falls back to the plain listing.
+	var ana *dataflow.Result
+	if r, err := dataflow.Analyze(m); err == nil {
+		ana = r
+	}
+
 	g, err := cfg.Build(m)
 	if err != nil {
 		fatal(err)
 	}
-	total, cands := 0, 0
+	total, cands, clean, pruned := 0, 0, 0, 0
 	for _, fg := range g.Funcs {
 		if *fnName != "" && fg.Func.Name != *fnName {
 			continue
@@ -61,21 +89,47 @@ func main() {
 		for _, b := range fg.Blocks {
 			fmt.Printf("  block %#x:\n", b.Addr)
 			for _, ins := range b.Instrs {
-				mark := " "
+				mark, prec := " ", " "
+				note := ""
 				if isa.IsCandidate(ins.Op) {
 					mark = "*"
 					cands++
+					if eff != nil {
+						if p, ok := eff[ins.Addr]; ok {
+							prec = p.String()
+						}
+					}
+					if ana != nil {
+						s := ana.Site(ins.Addr)
+						switch {
+						case s.Unsafe:
+							note = "    ; pruned (exact-integer sink)"
+							pruned++
+						case s.CleanInputs:
+							note = "    ; clean"
+							clean++
+						default:
+							note = "    ; flagged"
+						}
+						if s.Dead {
+							note += " dead"
+						}
+					}
 				}
 				total++
 				src := ""
 				if lbl, ok := m.Debug[ins.Addr]; ok {
 					src = "    ; " + lbl
 				}
-				fmt.Printf("  %s %#08x  %-34s%s\n", mark, ins.Addr, isa.Disasm(ins), src)
+				fmt.Printf("  %s%s %#08x  %-34s%s%s\n", prec, mark, ins.Addr, isa.Disasm(ins), note, src)
 			}
 		}
 	}
-	fmt.Printf("\n%d instructions, %d double-precision candidates (*)\n", total, cands)
+	fmt.Printf("\n%d instructions, %d double-precision candidates (*): %d clean, %d pruned\n",
+		total, cands, clean, pruned)
+	if eff != nil {
+		fmt.Println("precision column: s=single d=double i=ignore (from -conf)")
+	}
 }
 
 func fatal(err error) {

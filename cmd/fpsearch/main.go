@@ -27,6 +27,7 @@ func main() {
 	noSplit := flag.Bool("nosplit", false, "disable the binary-splitting optimization")
 	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
 	noEngine := flag.Bool("noengine", false, "evaluate through the from-scratch fallback instead of the cached engine")
+	noPrune := flag.Bool("noprune", false, "disable static candidate pruning (dataflow unsafe sinks, zero-weight pieces)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search here")
 	compose := flag.Bool("compose", false, "run the second search phase when the union fails (§3.1)")
 	verbose := flag.Bool("v", false, "list every passing piece")
@@ -77,6 +78,7 @@ func main() {
 		BinarySplit: !*noSplit,
 		Prioritize:  !*noPrio,
 		Engine:      mode,
+		NoPrune:     *noPrune,
 	})
 	if err != nil {
 		fatal(err)
@@ -88,6 +90,7 @@ func main() {
 	fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
 	fmt.Printf("candidates:           %d\n", res.Candidates)
 	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
+	fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
 	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
 	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
 	fmt.Printf("final verification:   %s\n", verdict)

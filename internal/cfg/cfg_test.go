@@ -129,7 +129,7 @@ func TestSplitBlock(t *testing.T) {
 
 func TestRewriteIdentity(t *testing.T) {
 	m := buildMod(t)
-	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr { return nil })
+	out, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) { return nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,16 +158,16 @@ func TestRewriteIdentity(t *testing.T) {
 // branch retargeting all work.
 func TestRewriteExpansion(t *testing.T) {
 	m := buildMod(t)
-	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+	out, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
 		if in.Op != isa.ADDSD {
-			return nil
+			return nil, nil
 		}
 		return []isa.Instr{
 			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
 			isa.I(isa.JMP, isa.Imm(Label(3))),        // skip the dead add
 			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(0)), // dead
 			isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // label 3
-		}
+		}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -188,11 +188,11 @@ func TestRewriteMovesLoopTarget(t *testing.T) {
 	// Expanding an instruction before the loop head must shift the head;
 	// the back-edge must be retargeted to the new address.
 	m := buildMod(t)
-	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+	out, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
 		if in.Op == isa.MOVRI {
-			return []isa.Instr{isa.I(isa.NOP), in}
+			return []isa.Instr{isa.I(isa.NOP), in}, nil
 		}
-		return nil
+		return nil, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -214,11 +214,11 @@ func TestRewriteBranchIntoExpansionHitsPrologue(t *testing.T) {
 	// land on the first instruction of the expansion (the snippet prologue).
 	m := buildMod(t)
 	marker := isa.I(isa.ORI, isa.Gpr(isa.RDX), isa.Imm(1))
-	out, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+	out, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
 		if in.Op != isa.ADDSD {
-			return nil
+			return nil, nil
 		}
-		return []isa.Instr{marker, in}
+		return []isa.Instr{marker, in}, nil
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -240,16 +240,16 @@ func TestRewriteBranchIntoExpansionHitsPrologue(t *testing.T) {
 
 func TestRewriteErrors(t *testing.T) {
 	m := buildMod(t)
-	if _, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
-		return []isa.Instr{}
+	if _, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
+		return []isa.Instr{}, nil
 	}); err == nil {
 		t.Error("empty expansion accepted")
 	}
-	if _, err := Rewrite(m, func(in isa.Instr) []isa.Instr {
+	if _, err := Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
 		if in.Op == isa.ADDSD {
-			return []isa.Instr{isa.I(isa.JMP, isa.Imm(Label(5)))}
+			return []isa.Instr{isa.I(isa.JMP, isa.Imm(Label(5)))}, nil
 		}
-		return nil
+		return nil, nil
 	}); err == nil {
 		t.Error("out-of-range label accepted")
 	}
@@ -260,15 +260,15 @@ func TestRewriteErrors(t *testing.T) {
 	}
 }
 
-func nil2(in isa.Instr) []isa.Instr { return nil }
+func nil2(in isa.Instr) ([]isa.Instr, error) { return nil, nil }
 
 func TestAddrMapMatchesRewrite(t *testing.T) {
 	m := buildMod(t)
-	exp := func(in isa.Instr) []isa.Instr {
+	exp := func(in isa.Instr) ([]isa.Instr, error) {
 		if in.Op == isa.ADDSD {
-			return []isa.Instr{isa.I(isa.NOP), in}
+			return []isa.Instr{isa.I(isa.NOP), in}, nil
 		}
-		return nil
+		return nil, nil
 	}
 	am, err := AddrMap(m, exp)
 	if err != nil {

@@ -41,8 +41,9 @@ func NewExpansion(seq []isa.Instr) *Expansion {
 func (e *Expansion) Size() uint64 { return e.size }
 
 // ExpansionExpander returns the cached expansion replacing in, or nil to
-// keep the instruction unchanged.
-type ExpansionExpander func(in isa.Instr) *Expansion
+// keep the instruction unchanged. A non-nil error aborts the rewrite
+// immediately, before any further instruction is visited.
+type ExpansionExpander func(in isa.Instr) (*Expansion, error)
 
 // RewriteExpanded is the fast path of Rewrite for pre-expanded sequences:
 // it produces a module byte-identical to what Rewrite would build from the
@@ -68,7 +69,10 @@ func RewriteExpanded(m *prog.Module, expand ExpansionExpander) (*prog.Module, er
 		funcs[fi] = &prog.Func{Name: f.Name, Addr: addr}
 		for i := range f.Instrs {
 			in := f.Instrs[i]
-			exp := expand(in)
+			exp, eerr := expand(in)
+			if eerr != nil {
+				return nil, fmt.Errorf("cfg: expanding %s at %#x: %w", in.Op, in.Addr, eerr)
+			}
 			if exp == nil {
 				exp = NewExpansion([]isa.Instr{in})
 			}

@@ -11,15 +11,15 @@ import (
 // expandWithLabels is a Rewrite expander that wraps every ADDSD in a
 // three-instruction snippet containing a snippet-local branch, exercising
 // label resolution on both paths.
-func expandWithLabels(in isa.Instr) []isa.Instr {
+func expandWithLabels(in isa.Instr) ([]isa.Instr, error) {
 	if in.Op != isa.ADDSD {
-		return nil
+		return nil, nil
 	}
 	return []isa.Instr{
 		isa.I(isa.CMPI, isa.Gpr(isa.R15), isa.Imm(0)),
 		isa.I(isa.JE, isa.Imm(Label(2))),
 		in,
-	}
+	}, nil
 }
 
 // TestRewriteExpandedMatchesRewrite asserts the fast path lays out a
@@ -38,12 +38,12 @@ func TestRewriteExpandedMatchesRewrite(t *testing.T) {
 	cache := make(map[uint64]*Expansion)
 	for _, f := range m.Funcs {
 		for _, in := range f.Instrs {
-			if seq := expandWithLabels(in); seq != nil {
+			if seq, _ := expandWithLabels(in); seq != nil {
 				cache[in.Addr] = NewExpansion(seq)
 			}
 		}
 	}
-	expander := func(in isa.Instr) *Expansion { return cache[in.Addr] }
+	expander := func(in isa.Instr) (*Expansion, error) { return cache[in.Addr], nil }
 
 	for round := 0; round < 2; round++ {
 		fast, err := RewriteExpanded(m, expander)
@@ -74,11 +74,11 @@ func TestRewriteExpandedMatchesRewrite(t *testing.T) {
 
 func TestRewriteExpandedIdentity(t *testing.T) {
 	m := buildMod(t)
-	slow, err := Rewrite(m, func(isa.Instr) []isa.Instr { return nil })
+	slow, err := Rewrite(m, func(isa.Instr) ([]isa.Instr, error) { return nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := RewriteExpanded(m, func(isa.Instr) *Expansion { return nil })
+	fast, err := RewriteExpanded(m, func(isa.Instr) (*Expansion, error) { return nil, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,27 +91,27 @@ func TestRewriteExpandedIdentity(t *testing.T) {
 
 func TestRewriteExpandedErrors(t *testing.T) {
 	m := buildMod(t)
-	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+	if _, err := RewriteExpanded(m, func(in isa.Instr) (*Expansion, error) {
 		if in.Op == isa.ADDSD {
-			return NewExpansion([]isa.Instr{})
+			return NewExpansion([]isa.Instr{}), nil
 		}
-		return nil
+		return nil, nil
 	}); err == nil {
 		t.Error("empty expansion not rejected")
 	}
-	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+	if _, err := RewriteExpanded(m, func(in isa.Instr) (*Expansion, error) {
 		if in.Op == isa.ADDSD {
-			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(Label(7)))})
+			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(Label(7)))}), nil
 		}
-		return nil
+		return nil, nil
 	}); err == nil {
 		t.Error("out-of-range snippet label not rejected")
 	}
-	if _, err := RewriteExpanded(m, func(in isa.Instr) *Expansion {
+	if _, err := RewriteExpanded(m, func(in isa.Instr) (*Expansion, error) {
 		if in.Op == isa.ADDSD {
-			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(0x9999))})
+			return NewExpansion([]isa.Instr{isa.I(isa.JMP, isa.Imm(0x9999))}), nil
 		}
-		return nil
+		return nil, nil
 	}); err == nil {
 		t.Error("unknown branch target not rejected")
 	}

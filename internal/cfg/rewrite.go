@@ -20,8 +20,10 @@ func Label(k int) int64 { return LabelBase + int64(k) }
 // Expander decides, per original instruction, what the rewritten binary
 // contains in its place: nil keeps the instruction unchanged; otherwise the
 // returned sequence is laid down instead (the paper's "binary blob"
-// snippet, spliced in by block patching).
-type Expander func(in isa.Instr) []isa.Instr
+// snippet, spliced in by block patching). A non-nil error aborts the
+// rewrite immediately: no further instructions are visited and the error
+// is returned to the caller with the failing address attached.
+type Expander func(in isa.Instr) ([]isa.Instr, error)
 
 // Rewrite produces a new module in which every instruction of m has been
 // passed through expand, all code has been relocated, and every branch
@@ -45,7 +47,10 @@ func Rewrite(m *prog.Module, expand Expander) (*prog.Module, error) {
 	for fi, f := range m.Funcs {
 		funcs[fi] = &prog.Func{Name: f.Name, Addr: addr}
 		for _, in := range f.Instrs {
-			seq := expand(in)
+			seq, eerr := expand(in)
+			if eerr != nil {
+				return nil, fmt.Errorf("cfg: expanding %s at %#x: %w", in.Op, in.Addr, eerr)
+			}
 			if seq == nil {
 				seq = []isa.Instr{in}
 			}
@@ -130,7 +135,10 @@ func AddrMap(m *prog.Module, expand Expander) (map[uint64]uint64, error) {
 	addr := prog.CodeBase
 	for _, f := range m.Funcs {
 		for _, in := range f.Instrs {
-			seq := expand(in)
+			seq, err := expand(in)
+			if err != nil {
+				return nil, fmt.Errorf("cfg: expanding %s at %#x: %w", in.Op, in.Addr, err)
+			}
 			if seq == nil {
 				seq = []isa.Instr{in}
 			}

@@ -88,11 +88,16 @@ func (k Kind) String() string {
 
 // Node is one entry in the configuration tree.
 type Node struct {
-	Kind     Kind
-	ID       int    // 1-based sequence number within kind (FUNC01, ...)
-	Name     string // function name, or disassembly for instructions
-	Addr     uint64 // instruction address (KindInsn), block start (KindBlock)
-	Flag     Precision
+	Kind Kind
+	ID   int    // 1-based sequence number within kind (FUNC01, ...)
+	Name string // function name, or disassembly for instructions
+	Addr uint64 // instruction address (KindInsn), block start (KindBlock)
+	Flag Precision
+	// Note is a free-form classification annotation (e.g. the dataflow
+	// analysis' "pruned: exact-integer sink"); it survives the exchange
+	// format as a trailing "; note" comment and never affects precision
+	// semantics.
+	Note     string
 	Children []*Node
 }
 
@@ -176,6 +181,14 @@ func walk(n *Node, f func(*Node)) {
 
 // NodeAt returns the instruction node at addr, or nil.
 func (c *Config) NodeAt(addr uint64) *Node { return c.byAddr[addr] }
+
+// Annotate records a classification note on the instruction node at
+// addr; it is a no-op when the address is not in the tree.
+func (c *Config) Annotate(addr uint64, note string) {
+	if n := c.byAddr[addr]; n != nil {
+		n.Note = note
+	}
+}
 
 // Candidates returns the addresses of all candidate instructions in the
 // tree, sorted.

@@ -131,6 +131,7 @@ func TestFormatRoundTrip(t *testing.T) {
 	cands := c.Candidates()
 	c.NodeAt(cands[0]).Flag = Single
 	c.NodeAt(cands[1]).Flag = Double
+	c.Annotate(cands[1], "pruned: exact-integer sink")
 	text := c.String()
 
 	got, err := Read(strings.NewReader(text))
@@ -149,6 +150,9 @@ func TestFormatRoundTrip(t *testing.T) {
 		if b[addr] != p {
 			t.Errorf("effective[%#x] = %v, want %v", addr, b[addr], p)
 		}
+	}
+	if got.NodeAt(cands[1]).Note != "pruned: exact-integer sink" {
+		t.Errorf("note lost in round trip: %q", got.NodeAt(cands[1]).Note)
 	}
 }
 

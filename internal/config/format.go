@@ -17,7 +17,8 @@ import (
 //	  s INSN13: 0x6f8248 "subsd %xmm1, %xmm0"
 //
 // Module lines use MODULE01: name. An aggregate entry with a flag
-// overrides all flags of its children.
+// overrides all flags of its children. A trailing "  ; note" records a
+// classification annotation (Node.Note) and is ignored semantically.
 
 // Write renders the configuration in the exchange format.
 func (c *Config) Write(w io.Writer) error {
@@ -39,6 +40,9 @@ func (c *Config) Write(w io.Writer) error {
 			desc = fmt.Sprintf("BBLK%02d", n.ID)
 		case KindInsn:
 			desc = fmt.Sprintf("INSN%02d: %#x %q", n.ID, n.Addr, n.Name)
+		}
+		if n.Note != "" {
+			desc += "  ; " + n.Note
 		}
 		if _, err := fmt.Fprintf(bw, "%s %s%s\n", flag, indent, desc); err != nil {
 			return err
@@ -87,7 +91,12 @@ func Read(r io.Reader) (*Config, error) {
 			return nil, fmt.Errorf("config: line %d: %v", lineno, err)
 		}
 		body := strings.TrimSpace(line[1:])
-		n := &Node{Flag: flag}
+		note := ""
+		if i := strings.LastIndex(body, " ; "); i >= 0 {
+			note = strings.TrimSpace(body[i+3:])
+			body = strings.TrimSpace(body[:i])
+		}
+		n := &Node{Flag: flag, Note: note}
 		switch {
 		case strings.HasPrefix(body, "MODULE"):
 			if c.Root != nil {

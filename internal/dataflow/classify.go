@@ -1,0 +1,605 @@
+package dataflow
+
+import "fpmix/internal/isa"
+
+// This file detects integer round-trips — a float truncated to an
+// integer (CVTTSD2SI) whose value is widened back to float (CVTSI2SD) —
+// and classifies the exact-integer sinks built on them. The motivating
+// case is the NAS EP kernel's randlc: a 46-bit linear congruential
+// generator decomposed into 23-bit halves with truncations and
+// low-order cancellation subtractions (a2 = a - t23*a1), which is
+// exactly the code the paper's user marks "ignore" (§2.1). A float32
+// payload holds 24 mantissa bits, so any such sink whose state cycles
+// through the truncation cannot survive lowering.
+
+// convTaint runs a forward reaching-definitions analysis over
+// "conversion sites" (every CVTTSD2SI and CVTSI2SD): each location's
+// abstract value is the set of conversion sites the value flowing
+// through it derives from. Truncation taint propagating into a widen
+// yields a round-trip pair; widen taint cycling back into the paired
+// truncation's input marks the pair cyclic (generator state feedback).
+//
+// It returns the detected pairs and the per-instruction input taint
+// states (used by the sink classification).
+func (a *analysis) convTaint() ([]RoundTrip, []state) {
+	var sites []int // instruction indices of conversion sites
+	siteID := make(map[int]int)
+	for i, in := range a.instrs {
+		if in.Op == isa.CVTTSD2SI || in.Op == isa.CVTSI2SD {
+			siteID[i] = len(sites)
+			sites = append(sites, i)
+		}
+	}
+	if len(sites) == 0 {
+		return nil, nil
+	}
+	w := (len(sites) + 63) / 64 // words per location
+
+	n := len(a.instrs)
+	taintIn := make([]state, n)
+	for i := range taintIn {
+		taintIn[i] = newState(a.nLocs, w)
+	}
+	inList := make([]bool, n)
+	var work []int
+	push := func(i int) {
+		if !inList[i] {
+			inList[i] = true
+			work = append(work, i)
+		}
+	}
+	// Seed every transfer once (reverse order so pops run forward).
+	for i := n - 1; i >= 0; i-- {
+		push(i)
+	}
+	out := newState(a.nLocs, w)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[i] = false
+
+		out.copyFrom(taintIn[i])
+		a.taintStep(i, siteID, out)
+		for _, s := range a.succs[i] {
+			if taintIn[s].or(out) {
+				push(int(s))
+			}
+		}
+	}
+
+	// Detect pairs: at each widen, the source register's taint names the
+	// truncations it derives from; at each truncation, the input lane's
+	// taint names the widens feeding back into it.
+	var pairs []RoundTrip
+	for wi, in := range a.instrs {
+		if in.Op != isa.CVTSI2SD {
+			continue
+		}
+		src := taintIn[wi].loc(locGPR + int(in.B.Reg))
+		for _, ti := range sites {
+			if a.instrs[ti].Op != isa.CVTTSD2SI || !src.get(siteID[ti]) {
+				continue
+			}
+			cyclic := false
+			if a.instrs[ti].B.Kind == isa.KindXMM {
+				cyclic = taintIn[ti].loc(laneLoc(a.instrs[ti].B.Reg, 0)).get(siteID[wi])
+			} else if a.instrs[ti].B.Kind == isa.KindMem {
+				locs, _ := a.valueLocs(a.instrs[ti].B.Mem, false)
+				for _, l := range locs {
+					if taintIn[ti].loc(l).get(siteID[wi]) {
+						cyclic = true
+						break
+					}
+				}
+			}
+			pairs = append(pairs, RoundTrip{
+				Trunc:  a.instrs[ti].Addr,
+				Widen:  a.instrs[wi].Addr,
+				Cyclic: cyclic,
+			})
+		}
+	}
+	return pairs, taintIn
+}
+
+// state is a per-location vector of conversion-site bitsets, flattened.
+type state struct {
+	w    int
+	bits []uint64
+}
+
+func newState(nLocs, w int) state { return state{w: w, bits: make([]uint64, nLocs*w)} }
+
+func (s state) loc(l int) bitset { return bitset(s.bits[l*s.w : (l+1)*s.w]) }
+
+func (s state) copyFrom(src state) { copy(s.bits, src.bits) }
+
+func (s state) or(src state) bool {
+	changed := false
+	for i, v := range src.bits {
+		if s.bits[i]|v != s.bits[i] {
+			s.bits[i] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// taintStep applies the value-flow transfer of instruction i: copies
+// propagate sets, arithmetic unions its inputs into the destination, and
+// conversion sites additionally root themselves.
+func (a *analysis) taintStep(i int, siteID map[int]int, st state) {
+	in := a.instrs[i]
+	e := regEffects(in)
+
+	// Gather the union of the value sources. regEffects' use sets
+	// include address registers of memory operands; for value flow we
+	// want the memory contents instead, so collect those separately.
+	tmp := newBitset(st.w * 64)
+	addLoc := func(l int) { bitset(tmp).or(st.loc(l)) }
+	valueSources(a, in, e, addLoc)
+
+	// Destination locations: full defs from regEffects, plus memory
+	// stores resolved through the slot model.
+	switch in.Op {
+	case isa.STORE:
+		locs, direct := a.valueLocs(in.A.Mem, false)
+		bitset(tmp).or(st.loc(locGPR + int(in.B.Reg)))
+		for _, l := range locs {
+			if direct {
+				st.loc(l).copyFrom(tmp)
+			} else {
+				st.loc(l).or(tmp)
+			}
+		}
+		return
+	case isa.MOVSD, isa.MOVSS, isa.MOVAPD:
+		if in.A.Kind == isa.KindMem {
+			wide := in.Op == isa.MOVAPD
+			locs, direct := a.valueLocs(in.A.Mem, wide)
+			bitset(tmp).or(st.loc(laneLoc(in.B.Reg, 0)))
+			if wide {
+				bitset(tmp).or(st.loc(laneLoc(in.B.Reg, 1)))
+			}
+			for _, l := range locs {
+				if direct {
+					st.loc(l).copyFrom(tmp)
+				} else {
+					st.loc(l).or(tmp)
+				}
+			}
+			return
+		}
+	case isa.PUSH:
+		st.loc(a.stackLoc()).or(st.loc(locGPR + int(in.A.Reg)))
+		return
+	case isa.PUSHX:
+		st.loc(a.stackLoc()).or(st.loc(laneLoc(in.A.Reg, 0)))
+		st.loc(a.stackLoc()).or(st.loc(laneLoc(in.A.Reg, 1)))
+		return
+	}
+
+	if id, ok := siteID[i]; ok {
+		// A conversion site re-roots its destination to itself alone:
+		// pair detection then names the immediate truncation feeding a
+		// widen (through value moves), not every transitive ancestor.
+		for j := range tmp {
+			tmp[j] = 0
+		}
+		tmp.set(id)
+	}
+
+	// Two-operand ALU and dst-is-source FP forms read the destination
+	// too; regEffects already lists those uses, which valueSources
+	// folded into tmp. Apply tmp to every written location.
+	dsts := taintDsts(a, in, e)
+	for _, l := range dsts {
+		st.loc(l).copyFrom(tmp)
+	}
+}
+
+// valueSources feeds every value-carrying source location of in to add:
+// register uses from the liveness effect table, memory contents for
+// loads, and the stack cell for pops.
+func valueSources(a *analysis, in isa.Instr, e regEffect, add func(int)) {
+	// Register uses, minus address registers of memory operands (those
+	// carry pointers, not the value being moved).
+	addrRegs := map[int]bool{}
+	for _, op := range []isa.Operand{in.A, in.B} {
+		if op.Kind == isa.KindMem {
+			addrRegs[locGPR+int(op.Mem.Base)] = true
+			if op.Mem.HasIndex {
+				addrRegs[locGPR+int(op.Mem.Index)] = true
+			}
+		}
+	}
+	for _, u := range e.uses {
+		if !addrRegs[u] {
+			add(u)
+		}
+	}
+	// Memory contents feeding register loads.
+	for _, op := range []isa.Operand{in.A, in.B} {
+		if op.Kind != isa.KindMem {
+			continue
+		}
+		reads := in.Op == isa.LOAD || in.Op == isa.LEA ||
+			((in.Op == isa.MOVSD || in.Op == isa.MOVSS || in.Op == isa.MOVAPD) && in.A.Kind == isa.KindXMM) ||
+			isFPSource(in)
+		if in.Op == isa.LEA {
+			continue // address computation, no value read
+		}
+		if reads {
+			locs, _ := a.valueLocs(op.Mem, in.Op == isa.MOVAPD || isa.IsPacked(in.Op))
+			for _, l := range locs {
+				add(l)
+			}
+		}
+	}
+	if in.Op == isa.POP || in.Op == isa.POPX {
+		add(a.stackLoc())
+	}
+}
+
+// isFPSource reports whether in's B memory operand is read as a
+// floating-point value (arithmetic or conversion with a memory source).
+func isFPSource(in isa.Instr) bool {
+	if in.B.Kind != isa.KindMem {
+		return false
+	}
+	switch in.Op {
+	case isa.LOAD, isa.LEA, isa.STORE, isa.MOVSD, isa.MOVSS, isa.MOVAPD:
+		return false
+	}
+	return true
+}
+
+// taintDsts lists the locations in writes for value-flow purposes:
+// full register defs plus partial FP writes (SS forms merge, but the
+// value is still derived from the inputs).
+func taintDsts(a *analysis, in isa.Instr, e regEffect) []int {
+	dsts := append([]int(nil), e.defs...)
+	switch in.Op {
+	case isa.ADDSS, isa.SUBSS, isa.MULSS, isa.DIVSS, isa.MINSS, isa.MAXSS,
+		isa.SQRTSS, isa.SINSS, isa.COSSS, isa.EXPSS, isa.LOGSS,
+		isa.CVTSD2SS, isa.CVTSI2SS, isa.MOVSS:
+		if in.A.Kind == isa.KindXMM {
+			dsts = append(dsts, laneLoc(in.A.Reg, 0))
+		}
+	}
+	return dsts
+}
+
+// classify marks the exact-integer sinks: cyclic round-trip
+// truncations, their immediate feeding products, and the low-order
+// cancellation subtractions carrying widened round-trip values.
+func (a *analysis) classify(pairs []RoundTrip, taintIn []state) []bool {
+	n := len(a.instrs)
+	unsafe := make([]bool, n)
+	if len(pairs) == 0 {
+		return unsafe
+	}
+	cyclicTrunc := map[uint64]bool{}
+	widenSite := map[uint64]bool{}
+	for _, p := range pairs {
+		widenSite[p.Widen] = true
+		if p.Cyclic {
+			cyclicTrunc[p.Trunc] = true
+		}
+	}
+	if len(cyclicTrunc) == 0 {
+		return unsafe
+	}
+
+	// Backward 1-bit sink-reach: does the value produced here flow into
+	// some cyclic truncation's input?
+	reach := a.sinkReach(cyclicTrunc)
+
+	// Widen taint per instruction: which widen sites feed this
+	// instruction's FP sources.
+	widenIDs := map[int]bool{}
+	for i, in := range a.instrs {
+		if in.Op == isa.CVTSI2SD && widenSite[in.Addr] {
+			widenIDs[i] = true
+		}
+	}
+	siteIdx := map[int]int{}
+	k := 0
+	for i, in := range a.instrs {
+		if in.Op == isa.CVTTSD2SI || in.Op == isa.CVTSI2SD {
+			siteIdx[i] = k
+			k++
+		}
+	}
+	hasWidenTaint := func(i int) bool {
+		in := a.instrs[i]
+		check := func(op isa.Operand) bool {
+			var locs []int
+			switch op.Kind {
+			case isa.KindXMM:
+				locs = []int{laneLoc(op.Reg, 0)}
+				if isa.IsPacked(in.Op) {
+					locs = append(locs, laneLoc(op.Reg, 1))
+				}
+			case isa.KindMem:
+				locs, _ = a.valueLocs(op.Mem, isa.IsPacked(in.Op))
+			default:
+				return false
+			}
+			for _, l := range locs {
+				for wi := range widenIDs {
+					if taintIn[i].loc(l).get(siteIdx[wi]) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if check(in.B) {
+			return true
+		}
+		if isa.DstIsSource(in.Op) {
+			return check(in.A)
+		}
+		return false
+	}
+
+	// Immediate producers of each cyclic truncation's input: the last
+	// arithmetic candidates whose result reaches the truncation through
+	// moves and memory only.
+	producers := a.immediateProducers(cyclicTrunc)
+
+	for i, in := range a.instrs {
+		if !isa.IsCandidate(in.Op) {
+			continue
+		}
+		switch {
+		case in.Op == isa.CVTTSD2SI && cyclicTrunc[in.Addr]:
+			unsafe[i] = true
+		case producers[i]:
+			unsafe[i] = true
+		case (in.Op == isa.SUBSD || in.Op == isa.SUBPD) && reach[i] && hasWidenTaint(i):
+			// Low-order cancellation inside the generator state loop.
+			unsafe[i] = true
+		}
+	}
+	return unsafe
+}
+
+// sinkReach computes, per instruction, whether the value it produces may
+// flow (through copies, memory and arithmetic) into the input of a
+// cyclic truncation. Backward may-analysis over value flow.
+func (a *analysis) sinkReach(cyclicTrunc map[uint64]bool) []bool {
+	n := len(a.instrs)
+	// Per-instruction "out" state over locations: value in location l
+	// after instruction i flows into a sink input.
+	outSt := make([]bitset, n)
+	inSt := make([]bitset, n)
+	for i := range outSt {
+		outSt[i] = newBitset(a.nLocs)
+		inSt[i] = newBitset(a.nLocs)
+	}
+	inList := make([]bool, n)
+	var work []int
+	push := func(i int) {
+		if !inList[i] {
+			inList[i] = true
+			work = append(work, i)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		push(i)
+	}
+	tmp := newBitset(a.nLocs)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[i] = false
+
+		out := outSt[i]
+		for _, s := range a.succs[i] {
+			out.or(inSt[s])
+		}
+		tmp.copyFrom(out)
+		a.sinkStep(i, cyclicTrunc, tmp)
+		if inSt[i].or(tmp) {
+			for _, p := range a.preds[i] {
+				push(int(p))
+			}
+		}
+	}
+	// The value an instruction produces is marked if any of its
+	// destination locations is marked in its out state.
+	res := make([]bool, n)
+	for i, in := range a.instrs {
+		e := regEffects(in)
+		for _, d := range taintDsts(a, in, e) {
+			if outSt[i].get(d) {
+				res[i] = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// sinkStep applies the reverse value-flow transfer: marked destinations
+// propagate to the instruction's value sources, and cyclic truncations
+// seed their input locations.
+func (a *analysis) sinkStep(i int, cyclicTrunc map[uint64]bool, st bitset) {
+	in := a.instrs[i]
+	e := regEffects(in)
+
+	marked := false
+	dsts := taintDsts(a, in, e)
+	for _, d := range dsts {
+		if st.get(d) {
+			marked = true
+		}
+	}
+	// Memory destinations.
+	var memDstLocs []int
+	memDirect := false
+	if in.A.Kind == isa.KindMem {
+		switch in.Op {
+		case isa.STORE, isa.MOVSD, isa.MOVSS, isa.MOVAPD:
+			memDstLocs, memDirect = a.valueLocs(in.A.Mem, in.Op == isa.MOVAPD)
+			for _, l := range memDstLocs {
+				if st.get(l) {
+					marked = true
+				}
+			}
+		}
+	}
+	if in.Op == isa.PUSH || in.Op == isa.PUSHX {
+		if st.get(a.stackLoc()) {
+			marked = true
+		}
+	}
+
+	// Kill strongly-overwritten destinations.
+	for _, d := range e.defs {
+		st.clear(d)
+	}
+	if memDirect {
+		for _, l := range memDstLocs {
+			st.clear(l)
+		}
+	}
+
+	if marked {
+		add := func(l int) { st.set(l) }
+		valueSources(a, in, e, add)
+	}
+
+	// Seed: a cyclic truncation's FP input is a sink.
+	if in.Op == isa.CVTTSD2SI && cyclicTrunc[in.Addr] {
+		switch in.B.Kind {
+		case isa.KindXMM:
+			st.set(laneLoc(in.B.Reg, 0))
+		case isa.KindMem:
+			locs, _ := a.valueLocs(in.B.Mem, false)
+			for _, l := range locs {
+				st.set(l)
+			}
+		}
+	}
+}
+
+// immediateProducers finds the arithmetic candidates whose results reach
+// a cyclic truncation's input through value moves and memory only (no
+// intervening arithmetic): the products feeding the truncation.
+func (a *analysis) immediateProducers(cyclicTrunc map[uint64]bool) []bool {
+	n := len(a.instrs)
+	// Forward producer taint: each arithmetic candidate roots itself;
+	// moves and memory propagate; other arithmetic clears (re-roots
+	// empty, making the relation "immediate").
+	arith := make(map[int]int) // instruction index -> producer id
+	var ids []int
+	for i, in := range a.instrs {
+		if isa.IsCandidate(in.Op) && isa.WritesDst(in.Op) && in.A.Kind == isa.KindXMM &&
+			in.Op != isa.CVTSI2SD {
+			arith[i] = len(ids)
+			ids = append(ids, i)
+		}
+	}
+	res := make([]bool, n)
+	if len(ids) == 0 {
+		return res
+	}
+	w := (len(ids) + 63) / 64
+	stIn := make([]state, n)
+	for i := range stIn {
+		stIn[i] = newState(a.nLocs, w)
+	}
+	inList := make([]bool, n)
+	var work []int
+	push := func(i int) {
+		if !inList[i] {
+			inList[i] = true
+			work = append(work, i)
+		}
+	}
+	// Seed every transfer once (reverse order so pops run forward).
+	for i := n - 1; i >= 0; i-- {
+		push(i)
+	}
+	out := newState(a.nLocs, w)
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		inList[i] = false
+
+		out.copyFrom(stIn[i])
+		a.producerStep(i, arith, out)
+		for _, s := range a.succs[i] {
+			if stIn[s].or(out) {
+				push(int(s))
+			}
+		}
+	}
+	for i, in := range a.instrs {
+		if in.Op != isa.CVTTSD2SI || !cyclicTrunc[in.Addr] {
+			continue
+		}
+		var locs []int
+		switch in.B.Kind {
+		case isa.KindXMM:
+			locs = []int{laneLoc(in.B.Reg, 0)}
+		case isa.KindMem:
+			locs, _ = a.valueLocs(in.B.Mem, false)
+		}
+		for _, l := range locs {
+			set := stIn[i].loc(l)
+			for id, pi := range ids {
+				if set.get(id) {
+					res[pi] = true
+				}
+			}
+		}
+	}
+	return res
+}
+
+// producerStep: moves and memory propagate producer sets; arithmetic
+// candidates re-root to themselves; all other arithmetic clears.
+func (a *analysis) producerStep(i int, arith map[int]int, st state) {
+	in := a.instrs[i]
+	e := regEffects(in)
+
+	switch in.Op {
+	case isa.MOVSD, isa.MOVSS, isa.MOVAPD, isa.MOVQ, isa.MOVHQ,
+		isa.STORE, isa.LOAD, isa.PUSH, isa.POP, isa.PUSHX, isa.POPX, isa.MOVRR:
+		// value moves: propagate like taintStep
+		tmp := newBitset(st.w * 64)
+		valueSources(a, in, e, func(l int) { bitset(tmp).or(st.loc(l)) })
+		if in.A.Kind == isa.KindMem {
+			locs, direct := a.valueLocs(in.A.Mem, in.Op == isa.MOVAPD)
+			for _, l := range locs {
+				if direct {
+					st.loc(l).copyFrom(tmp)
+				} else {
+					st.loc(l).or(tmp)
+				}
+			}
+			return
+		}
+		if in.Op == isa.PUSH || in.Op == isa.PUSHX {
+			st.loc(a.stackLoc()).or(tmp)
+			return
+		}
+		for _, d := range taintDsts(a, in, e) {
+			st.loc(d).copyFrom(tmp)
+		}
+	default:
+		// Arithmetic and everything else: destinations carry only the
+		// instruction's own root (if it is an arithmetic candidate).
+		tmp := newBitset(st.w * 64)
+		if id, ok := arith[i]; ok {
+			bitset(tmp).set(id)
+		}
+		for _, d := range taintDsts(a, in, e) {
+			st.loc(d).copyFrom(tmp)
+		}
+	}
+}

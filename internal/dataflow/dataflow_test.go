@@ -1,0 +1,263 @@
+package dataflow_test
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/dataflow"
+	"fpmix/internal/isa"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+)
+
+// buildMod assembles a module from the given functions with a small data
+// segment and main as entry.
+func buildMod(t *testing.T, funcs []*prog.Func) *prog.Module {
+	t.Helper()
+	m, err := prog.Build("t", funcs, make([]byte, 512), prog.DataBase+65536, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestScratchDead checks that explicit scratch-register references and
+// live scratch values defeat elision, and that ordinary code proves it.
+func TestScratchDead(t *testing.T) {
+	one := int64(math.Float64bits(1.0))
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.MOVRI, isa.Gpr(isa.R15), isa.Imm(one)),
+		isa.I(isa.MOVQ, isa.Xmm(1), isa.Gpr(isa.R15)),
+		isa.I(isa.ADDSD, isa.Xmm(1), isa.Xmm(1)), // idx 3: r15 dead here
+		isa.I(isa.MOVRI, isa.Gpr(isa.R14), isa.Imm(7)),
+		isa.I(isa.MULSD, isa.Xmm(1), isa.Xmm(1)), // idx 5: r14 live across
+		isa.I(isa.MOVQ, isa.Xmm(2), isa.Gpr(isa.R14)),
+		// idx 7: writes xmm15 (a reference defeats elision at this site,
+		// but a pure def does not make xmm15 live upstream)
+		isa.I(isa.SQRTSD, isa.Xmm(15), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	}}
+	m := buildMod(t, []*prog.Func{f})
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := f.Instrs
+	if !r.Site(ins[3].Addr).ScratchDead {
+		t.Errorf("addsd at %#x: scratch should be dead", ins[3].Addr)
+	}
+	if r.Site(ins[5].Addr).ScratchDead {
+		t.Errorf("mulsd at %#x: r14 is live across, scratch must not be dead", ins[5].Addr)
+	}
+	if r.Site(ins[7].Addr).ScratchDead {
+		t.Errorf("candidate at %#x writes xmm15, scratch must not be dead", ins[7].Addr)
+	}
+}
+
+// TestCleanInputs checks the flag-reachability lattice: the first
+// candidate consuming fresh memory values is provably clean, while any
+// candidate consuming another candidate's register result is not (that
+// result may be downcast-stamped under some configuration).
+func TestCleanInputs(t *testing.T) {
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.MOVSD, isa.Xmm(0), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.MOVSD, isa.Xmm(1), isa.Mem(isa.RBX, 8)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // idx 3: inputs clean
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Xmm(1)), // idx 4: xmm0/xmm1 may be stamped
+		isa.I(isa.HALT),
+	}}
+	m := buildMod(t, []*prog.Func{f})
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := f.Instrs
+	if !r.Site(ins[3].Addr).CleanInputs {
+		t.Errorf("first addsd at %#x: memory-fed inputs must be clean", ins[3].Addr)
+	}
+	if r.Site(ins[4].Addr).CleanInputs {
+		t.Errorf("mulsd at %#x consumes candidate outputs, must not be clean", ins[4].Addr)
+	}
+}
+
+// TestMPIPoisonsMemory: after an MPI receive, memory-fed candidates are
+// no longer provably clean (the payload may carry a sender's sentinel).
+func TestMPIPoisonsMemory(t *testing.T) {
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RDI), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RSI), isa.Imm(1)),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RDX), isa.Imm(0)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysMPIRecvF64)),
+		isa.I(isa.MOVSD, isa.Xmm(0), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.MOVSD, isa.Xmm(1), isa.Mem(isa.RBX, 8)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)), // idx 7: poisoned memory
+		isa.I(isa.HALT),
+	}}
+	m := buildMod(t, []*prog.Func{f})
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Site(f.Instrs[7].Addr).CleanInputs {
+		t.Error("candidate after MPI recv must not have provably clean inputs")
+	}
+}
+
+// TestDeadFunction: candidates in a never-called function are marked
+// Dead by supergraph reachability.
+func TestDeadFunction(t *testing.T) {
+	main := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(0)),
+		isa.I(isa.HALT),
+	}}
+	orphan := &prog.Func{Name: "orphan", Instrs: []isa.Instr{
+		isa.I(isa.MULSD, isa.Xmm(1), isa.Xmm(1)),
+		isa.I(isa.RET),
+	}}
+	m := buildMod(t, []*prog.Func{main, orphan})
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Site(main.Instrs[1].Addr).Dead {
+		t.Error("reachable candidate marked dead")
+	}
+	if !r.Site(orphan.Instrs[0].Addr).Dead {
+		t.Error("candidate in uncalled function not marked dead")
+	}
+}
+
+// TestRoundTripDetection builds the shape of randlc's state update —
+// t = x*a; i = trunc(t); x = x - widen(i)*c — and checks the cyclic
+// round-trip is found, while an output-only truncation (histogram
+// index) stays acyclic.
+func TestRoundTripDetection(t *testing.T) {
+	f := &prog.Func{Name: "main", Instrs: []isa.Instr{
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(int64(prog.DataBase))),
+		isa.I(isa.MOVRI, isa.Gpr(isa.RCX), isa.Imm(10)),
+		// loop:
+		isa.I(isa.MOVSD, isa.Xmm(0), isa.Mem(isa.RBX, 0)),  // x
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Mem(isa.RBX, 8)),  // t = x*a
+		isa.I(isa.CVTTSD2SI, isa.Gpr(isa.RAX), isa.Xmm(0)), // idx 4: i = trunc(t)
+		isa.I(isa.CVTSI2SD, isa.Xmm(1), isa.Gpr(isa.RAX)),  // idx 5: widen(i)
+		isa.I(isa.MULSD, isa.Xmm(1), isa.Mem(isa.RBX, 16)),
+		isa.I(isa.MOVSD, isa.Xmm(2), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.SUBSD, isa.Xmm(2), isa.Xmm(1)),
+		isa.I(isa.MOVSD, isa.Mem(isa.RBX, 0), isa.Xmm(2)), // x = x - widen(i)*c
+		// acyclic trunc: index = trunc(x), used only as an address index
+		isa.I(isa.CVTTSD2SI, isa.Gpr(isa.RDX), isa.Xmm(2)), // idx 10
+		isa.I(isa.STORE, isa.MemIdx(isa.RBX, isa.RDX, 8, 256), isa.Gpr(isa.RCX)),
+		isa.I(isa.SUBI, isa.Gpr(isa.RCX), isa.Imm(1)),
+		isa.I(isa.CMPI, isa.Gpr(isa.RCX), isa.Imm(0)),
+		isa.I(isa.JG, isa.Imm(0)), // patched to loop
+		isa.I(isa.HALT),
+	}}
+	m := buildMod(t, []*prog.Func{f})
+	f.Instrs[14].A.Imm = int64(f.Instrs[2].Addr)
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, widen := f.Instrs[4].Addr, f.Instrs[5].Addr
+	var found *dataflow.RoundTrip
+	for i := range r.Pairs {
+		if r.Pairs[i].Trunc == trunc && r.Pairs[i].Widen == widen {
+			found = &r.Pairs[i]
+		}
+		if r.Pairs[i].Trunc == f.Instrs[10].Addr {
+			t.Errorf("index-only truncation at %#x paired as a round-trip", f.Instrs[10].Addr)
+		}
+	}
+	if found == nil {
+		t.Fatalf("round-trip %#x -> %#x not detected (pairs: %v)", trunc, widen, r.Pairs)
+	}
+	if !found.Cyclic {
+		t.Error("state-feedback round-trip not marked cyclic")
+	}
+	if !r.Site(trunc).Unsafe {
+		t.Error("cyclic truncation not classified unsafe")
+	}
+	if r.Site(f.Instrs[10].Addr).Unsafe {
+		t.Error("index-only truncation wrongly classified unsafe")
+	}
+}
+
+// TestEPClassification pins the analysis results on the real EP kernel:
+// the three generator-state round-trips are cyclic, the a1 split (whose
+// input is the constant a) is acyclic, and the classified set is exactly
+// the LCG state chain the paper's user marks by hand.
+func TestEPClassification(t *testing.T) {
+	b, err := kernels.Get("ep", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := b.Module
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Pairs) != 4 {
+		t.Fatalf("EP round-trip pairs = %d, want 4: %v", len(r.Pairs), r.Pairs)
+	}
+	cyclic := 0
+	for _, p := range r.Pairs {
+		if p.Cyclic {
+			cyclic++
+		}
+	}
+	if cyclic != 3 {
+		t.Errorf("EP cyclic pairs = %d, want 3 (a1 split is acyclic)", cyclic)
+	}
+	unsafe := r.UnsafeAddrs()
+	if len(unsafe) != 10 {
+		t.Errorf("EP classified sinks = %d, want 10: %#x", len(unsafe), unsafe)
+	}
+	// All classified sites must live in randlc (the LCG), none in the
+	// accumulation code.
+	randlc := m.FuncByName("randlc")
+	if randlc == nil {
+		t.Fatal("randlc not found")
+	}
+	for _, a := range unsafe {
+		if a < randlc.Addr || a >= randlc.End {
+			t.Errorf("classified site %#x outside randlc [%#x,%#x)", a, randlc.Addr, randlc.End)
+		}
+	}
+}
+
+// TestKernelsAnalyzable runs the analysis over every kernel and checks
+// the structural results: every candidate gets a site, scratch is
+// provably dead everywhere (the hl compiler never touches r14/r15/xmm14+
+// across candidates), and no non-EP kernel classifies sinks.
+func TestKernelsAnalyzable(t *testing.T) {
+	for _, name := range kernels.Names() {
+		b, err := kernels.Get(name, kernels.ClassW)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		m := b.Module
+		r, err := dataflow.Analyze(m)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", name, err)
+		}
+		cands := m.Candidates()
+		if len(r.Sites) != len(cands) {
+			t.Errorf("%s: %d sites for %d candidates", name, len(r.Sites), len(cands))
+		}
+		for _, a := range cands {
+			if !r.Site(a).ScratchDead {
+				t.Errorf("%s: scratch not proven dead at %#x", name, a)
+			}
+		}
+		if name != "ep" && len(r.UnsafeAddrs()) != 0 {
+			t.Errorf("%s: unexpected classified sinks %#x", name, r.UnsafeAddrs())
+		}
+		if !r.HasStableBase {
+			t.Errorf("%s: stable data base not detected", name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"fpmix/internal/cfg"
 	"fpmix/internal/config"
+	"fpmix/internal/dataflow"
 	"fpmix/internal/isa"
 	"fpmix/internal/prog"
 )
@@ -13,12 +14,54 @@ import (
 type InstrumentOptions struct {
 	Snippet Options
 	// SkipDoubleSnippets omits the double-precision wrapper snippets for
-	// instructions kept in double precision. This is the paper's §2.5
-	// "static data flow analysis" future optimization in its most
-	// aggressive (whole-program, unchecked) form: it is only sound when no
-	// replaced value can flow into an unwrapped instruction, so it is an
-	// ablation knob, not a default.
+	// instructions kept in double precision, unconditionally. This is the
+	// whole-program unchecked form of the §2.5 optimization, kept as an
+	// ablation knob; the sound per-site version is the analysis-gated
+	// CleanInputs elision, which is on by default.
 	SkipDoubleSnippets bool
+	// Analysis supplies the per-site dataflow results that gate snippet
+	// streamlining (scratch save/restore elision, flag-check elision,
+	// double-wrapper skipping). When nil, Instrument/InstrumentMap/
+	// Precompile compute it from the module unless NoAnalysis is set; if
+	// the analysis itself fails, instrumentation falls back to fully
+	// checked snippets (always sound, just slower).
+	Analysis *dataflow.Result
+	// NoAnalysis disables analysis-gated streamlining: every snippet is
+	// generated fully checked. Kept for differential testing against the
+	// gated path.
+	NoAnalysis bool
+}
+
+// analysis resolves the dataflow results for m per the options.
+func (o InstrumentOptions) analysis(m *prog.Module) *dataflow.Result {
+	if o.NoAnalysis {
+		return nil
+	}
+	if o.Analysis != nil {
+		return o.Analysis
+	}
+	r, err := dataflow.Analyze(m)
+	if err != nil {
+		return nil // fall back to fully checked snippets
+	}
+	return r
+}
+
+// siteOptions specializes the snippet options with the proven per-site
+// elisions for the candidate at addr.
+func (o InstrumentOptions) siteOptions(r *dataflow.Result, addr uint64) Options {
+	so := o.Snippet
+	if r == nil {
+		return so
+	}
+	s := r.Site(addr)
+	if s.ScratchDead {
+		so.ScratchDead = true
+	}
+	if s.CleanInputs {
+		so.CleanInputs = true
+	}
+	return so
 }
 
 // Instrument rewrites m according to cfgn: every double-precision
@@ -32,11 +75,13 @@ func Instrument(m *prog.Module, cfgn *config.Config, opts InstrumentOptions) (*p
 
 // InstrumentMap is Instrument with a precomputed effective-precision map
 // (address -> precision). Addresses absent from the map default to Double.
+// The first snippet generation failure aborts the rewrite immediately and
+// is returned with its instruction address attached.
 func InstrumentMap(m *prog.Module, eff map[uint64]config.Precision, opts InstrumentOptions) (*prog.Module, error) {
-	var expandErr error
-	out, err := cfg.Rewrite(m, func(in isa.Instr) []isa.Instr {
-		if expandErr != nil || !isa.IsCandidate(in.Op) {
-			return nil
+	ana := opts.analysis(m)
+	out, err := cfg.Rewrite(m, func(in isa.Instr) ([]isa.Instr, error) {
+		if !isa.IsCandidate(in.Op) {
+			return nil, nil
 		}
 		p, ok := eff[in.Addr]
 		if !ok {
@@ -44,29 +89,16 @@ func InstrumentMap(m *prog.Module, eff map[uint64]config.Precision, opts Instrum
 		}
 		switch p {
 		case config.Ignore:
-			return nil
+			return nil, nil
 		case config.Single:
-			seq, err := SingleSnippet(in, opts.Snippet)
-			if err != nil {
-				expandErr = err
-				return nil
-			}
-			return seq
+			return SingleSnippet(in, opts.siteOptions(ana, in.Addr))
 		default:
 			if opts.SkipDoubleSnippets {
-				return nil
+				return nil, nil
 			}
-			seq, err := DoubleSnippet(in, opts.Snippet)
-			if err != nil {
-				expandErr = err
-				return nil
-			}
-			return seq
+			return DoubleSnippet(in, opts.siteOptions(ana, in.Addr))
 		}
 	})
-	if expandErr != nil {
-		return nil, expandErr
-	}
 	if err != nil {
 		return nil, fmt.Errorf("replace: %w", err)
 	}

@@ -47,12 +47,14 @@ func Precompile(m *prog.Module, opts InstrumentOptions) (*CompiledSnippets, erro
 		singleErr: make(map[uint64]error),
 		doubleErr: make(map[uint64]error),
 	}
+	ana := opts.analysis(m)
 	for _, f := range m.Funcs {
 		for _, in := range f.Instrs {
 			if !isa.IsCandidate(in.Op) {
 				continue
 			}
-			if sseq, err := SingleSnippet(in, opts.Snippet); err != nil {
+			so := opts.siteOptions(ana, in.Addr)
+			if sseq, err := SingleSnippet(in, so); err != nil {
 				cs.singleErr[in.Addr] = err
 			} else {
 				cs.single[in.Addr] = cfg.NewExpansion(sseq)
@@ -60,7 +62,7 @@ func Precompile(m *prog.Module, opts InstrumentOptions) (*CompiledSnippets, erro
 			if opts.SkipDoubleSnippets {
 				continue
 			}
-			dseq, err := DoubleSnippet(in, opts.Snippet)
+			dseq, err := DoubleSnippet(in, so)
 			switch {
 			case err != nil:
 				cs.doubleErr[in.Addr] = err
@@ -81,10 +83,9 @@ func (cs *CompiledSnippets) Module() *prog.Module { return cs.module }
 // generation. Addresses absent from eff default to Double; Ignore leaves
 // the instruction untouched.
 func (cs *CompiledSnippets) Instrument(eff map[uint64]config.Precision) (*prog.Module, error) {
-	var expandErr error
-	out, err := cfg.RewriteExpanded(cs.module, func(in isa.Instr) *cfg.Expansion {
-		if expandErr != nil || !isa.IsCandidate(in.Op) {
-			return nil
+	out, err := cfg.RewriteExpanded(cs.module, func(in isa.Instr) (*cfg.Expansion, error) {
+		if !isa.IsCandidate(in.Op) {
+			return nil, nil
 		}
 		p, ok := eff[in.Addr]
 		if !ok {
@@ -92,24 +93,19 @@ func (cs *CompiledSnippets) Instrument(eff map[uint64]config.Precision) (*prog.M
 		}
 		switch p {
 		case config.Ignore:
-			return nil
+			return nil, nil
 		case config.Single:
 			if err := cs.singleErr[in.Addr]; err != nil {
-				expandErr = err
-				return nil
+				return nil, err
 			}
-			return cs.single[in.Addr]
+			return cs.single[in.Addr], nil
 		default:
 			if err := cs.doubleErr[in.Addr]; err != nil {
-				expandErr = err
-				return nil
+				return nil, err
 			}
-			return cs.double[in.Addr]
+			return cs.double[in.Addr], nil
 		}
 	})
-	if expandErr != nil {
-		return nil, expandErr
-	}
 	if err != nil {
 		return nil, fmt.Errorf("replace: %w", err)
 	}

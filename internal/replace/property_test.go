@@ -1,0 +1,396 @@
+package replace_test
+
+// Property tests for the analysis-gated snippet streamlining: over
+// randomly generated programs and over the real serial and MPI kernels,
+// the default gated build (per-site elisions proven by the dataflow
+// analyses) must be bit-identical to the fully checked build for every
+// configuration. This is the testing/quick-style complement to the
+// directed cases in streamline_test.go: instead of one hand-built
+// kernel, it throws arbitrary control flow, memory shapes, and
+// precision mixes at the instrumenter and requires the analysis never
+// to elide a check that mattered.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/kernels"
+	"fpmix/internal/mpi"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/vm"
+)
+
+// genState carries the declared variables of a program under
+// construction so statement and expression generators can reference
+// them.
+type genState struct {
+	r       *rand.Rand
+	scalars []hl.FVar
+	arrs    []hl.FArr
+	arrLens []int
+}
+
+// expr builds a random float expression over the declared variables.
+// Every operation is drawn from the candidate set the instrumenter
+// rewrites, so deep trees stress chains of snippet-to-snippet value
+// flow; NaN and Inf results are acceptable — both builds must still
+// agree bit for bit.
+func (g *genState) expr(depth int) hl.Expr {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return hl.Const(float64(g.r.Intn(9)) - 4 + g.r.Float64())
+		case 1:
+			return hl.Load(g.scalars[g.r.Intn(len(g.scalars))])
+		default:
+			k := g.r.Intn(len(g.arrs))
+			return hl.At(g.arrs[k], hl.IConst(int64(g.r.Intn(g.arrLens[k]))))
+		}
+	}
+	switch g.r.Intn(8) {
+	case 0:
+		return hl.Add(g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return hl.Sub(g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return hl.Mul(g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		return hl.Div(g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		return hl.Min(g.expr(depth-1), g.expr(depth-1))
+	case 5:
+		return hl.Max(g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return hl.Sqrt(hl.Abs(g.expr(depth - 1)))
+	default:
+		return hl.Sin(g.expr(depth - 1))
+	}
+}
+
+// stmts emits n random statements into fb. Control flow is limited to
+// constant-bound loops and value-dependent branches so every generated
+// program terminates.
+func (g *genState) stmts(p *hl.Prog, fb *hl.FuncBuilder, n int, loopVars *int) {
+	for s := 0; s < n; s++ {
+		switch g.r.Intn(5) {
+		case 0, 1:
+			fb.Set(g.scalars[g.r.Intn(len(g.scalars))], g.expr(3))
+		case 2:
+			k := g.r.Intn(len(g.arrs))
+			fb.Store(g.arrs[k], hl.IConst(int64(g.r.Intn(g.arrLens[k]))), g.expr(2))
+		case 3:
+			*loopVars++
+			i := p.Int(fmt.Sprintf("i%d", *loopVars))
+			k := g.r.Intn(len(g.arrs))
+			arr, ln := g.arrs[k], g.arrLens[k]
+			acc := g.scalars[g.r.Intn(len(g.scalars))]
+			fb.For(i, hl.IConst(0), hl.IConst(int64(ln)), func() {
+				fb.Set(acc, hl.Add(hl.Load(acc), hl.At(arr, hl.ILoad(i))))
+				if g.r.Intn(2) == 0 {
+					fb.Store(arr, hl.ILoad(i), hl.Mul(hl.At(arr, hl.ILoad(i)), g.expr(1)))
+				}
+			})
+		default:
+			a := g.scalars[g.r.Intn(len(g.scalars))]
+			b := g.scalars[g.r.Intn(len(g.scalars))]
+			fb.If(hl.Gt(hl.Load(a), g.expr(1)), func() {
+				fb.Set(b, g.expr(2))
+			}, func() {
+				fb.Set(b, hl.Neg(hl.Load(b)))
+			})
+		}
+	}
+}
+
+// genProgram builds a random terminating module: a few scalars and
+// arrays, random straight-line code, loops, branches, and (sometimes) a
+// helper function called from main, ending with every scalar and array
+// cell written to the output buffer.
+func genProgram(r *rand.Rand, trial int) (*prog.Module, error) {
+	p := hl.New(fmt.Sprintf("prop%d", trial), hl.ModeF64)
+	g := &genState{r: r}
+	for i := 0; i < 2+r.Intn(3); i++ {
+		g.scalars = append(g.scalars, p.ScalarInit(fmt.Sprintf("v%d", i), float64(r.Intn(7))-3+r.Float64()))
+	}
+	for i := 0; i < 1+r.Intn(2); i++ {
+		n := 3 + r.Intn(5)
+		vals := make([]float64, n)
+		for j := range vals {
+			vals[j] = float64(r.Intn(5)) - 2 + r.Float64()
+		}
+		g.arrs = append(g.arrs, p.ArrayInit(fmt.Sprintf("a%d", i), vals))
+		g.arrLens = append(g.arrLens, n)
+	}
+	loopVars := 0
+
+	hasHelper := r.Intn(2) == 0
+	main := p.Func("main")
+	g.stmts(p, main, 2+r.Intn(4), &loopVars)
+	if hasHelper {
+		main.Call("helper")
+		g.stmts(p, main, 1+r.Intn(3), &loopVars)
+	}
+	for _, v := range g.scalars {
+		main.Out(hl.Load(v))
+	}
+	for k, arr := range g.arrs {
+		for j := 0; j < g.arrLens[k]; j++ {
+			main.Out(hl.At(arr, hl.IConst(int64(j))))
+		}
+	}
+	main.Halt()
+
+	if hasHelper {
+		h := p.Func("helper")
+		g.stmts(p, h, 1+r.Intn(3), &loopVars)
+		h.Ret()
+	}
+	return p.Build("main")
+}
+
+// genMPIProgram builds a random module that mixes local floating-point
+// work with collective communication: every rank perturbs a shared
+// array by its rank id, the array is summed across ranks and broadcast,
+// and each rank reports the result — so replaced values travel through
+// the MPI substrate in both builds.
+func genMPIProgram(r *rand.Rand, trial int) (*prog.Module, error) {
+	p := hl.New(fmt.Sprintf("propmpi%d", trial), hl.ModeF64)
+	n := 3 + r.Intn(4)
+	vals := make([]float64, n)
+	for j := range vals {
+		vals[j] = float64(r.Intn(5)) - 2 + r.Float64()
+	}
+	arr := p.ArrayInit("a", vals)
+	acc := p.ScalarInit("acc", r.Float64())
+	rank := p.Int("rank")
+	i := p.Int("i")
+
+	g := &genState{r: r, scalars: []hl.FVar{acc}, arrs: []hl.FArr{arr}, arrLens: []int{n}}
+	main := p.Func("main")
+	main.MPIRank(rank)
+	main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		main.Store(arr, hl.ILoad(i),
+			hl.Add(hl.At(arr, hl.ILoad(i)),
+				hl.Mul(hl.FromInt(hl.ILoad(rank)), g.expr(2))))
+	})
+	main.MPIAllreduceSum(arr, hl.IConst(int64(n)))
+	if r.Intn(2) == 0 {
+		main.MPIBcast(arr, hl.IConst(int64(n)), hl.IConst(0))
+	}
+	main.For(i, hl.IConst(0), hl.IConst(int64(n)), func() {
+		main.Set(acc, hl.Add(hl.Load(acc), hl.At(arr, hl.ILoad(i))))
+		main.Out(hl.At(arr, hl.ILoad(i)))
+	})
+	main.Out(hl.Load(acc))
+	main.Halt()
+	return p.Build("main")
+}
+
+// runOut executes the module and returns its output buffer.
+func runOut(t *testing.T, m *prog.Module) []vm.OutVal {
+	t.Helper()
+	mach, err := vm.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mach.MaxSteps = 50_000_000
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return mach.Out
+}
+
+// trialConfigs returns the configurations each trial is checked under:
+// all-single, all-double, and one uniformly random per-site mix.
+func trialConfigs(t *testing.T, m *prog.Module, r *rand.Rand) []*config.Config {
+	t.Helper()
+	var cs []*config.Config
+	for _, prec := range []config.Precision{config.Single, config.Double} {
+		c, err := config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetAll(prec)
+		cs = append(cs, c)
+	}
+	mixed, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range mixed.Candidates() {
+		if r.Intn(2) == 0 {
+			mixed.NodeAt(a).Flag = config.Single
+		} else {
+			mixed.NodeAt(a).Flag = config.Double
+		}
+	}
+	cs = append(cs, mixed)
+	return cs
+}
+
+// instrumentBoth builds the fully checked and the analysis-gated
+// variants of (m, c).
+func instrumentBoth(t *testing.T, m *prog.Module, c *config.Config) (full, gated *prog.Module) {
+	t.Helper()
+	full, err := replace.Instrument(m, c, replace.InstrumentOptions{NoAnalysis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gated, err = replace.Instrument(m, c, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return full, gated
+}
+
+// TestPropertyGatedMatchesCheckedRandomPrograms: for random serial
+// programs and random configurations, the analysis-gated build is
+// bit-identical to the fully checked build.
+func TestPropertyGatedMatchesCheckedRandomPrograms(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		m, err := genProgram(r, trial)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		if len(m.Candidates()) == 0 {
+			continue
+		}
+		for ci, c := range trialConfigs(t, m, r) {
+			full, gated := instrumentBoth(t, m, c)
+			fo := runOut(t, full)
+			gout := runOut(t, gated)
+			if len(fo) != len(gout) {
+				t.Fatalf("trial %d config %d: output lengths differ: %d vs %d", trial, ci, len(fo), len(gout))
+			}
+			for i := range fo {
+				if fo[i].Bits != gout[i].Bits {
+					t.Errorf("trial %d config %d: output %d differs: %#x vs %#x",
+						trial, ci, i, fo[i].Bits, gout[i].Bits)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyGatedMatchesCheckedMPIPrograms: the same property over
+// random programs whose values cross rank boundaries through reductions
+// and broadcasts, compared on every rank.
+func TestPropertyGatedMatchesCheckedMPIPrograms(t *testing.T) {
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(7000 + trial)))
+		m, err := genMPIProgram(r, trial)
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		for ci, c := range trialConfigs(t, m, r) {
+			full, gated := instrumentBoth(t, m, c)
+			for _, ranks := range []int{1, 3} {
+				fw, err := mpi.RunWorld(full, ranks, 50_000_000)
+				if err != nil {
+					t.Fatalf("trial %d config %d ranks %d: checked: %v", trial, ci, ranks, err)
+				}
+				gw, err := mpi.RunWorld(gated, ranks, 50_000_000)
+				if err != nil {
+					t.Fatalf("trial %d config %d ranks %d: gated: %v", trial, ci, ranks, err)
+				}
+				for rk := 0; rk < ranks; rk++ {
+					fo, gout := fw[rk].Out, gw[rk].Out
+					if len(fo) != len(gout) {
+						t.Fatalf("trial %d config %d ranks %d rank %d: output lengths differ",
+							trial, ci, ranks, rk)
+					}
+					for i := range fo {
+						if fo[i].Bits != gout[i].Bits {
+							t.Errorf("trial %d config %d ranks %d rank %d: output %d differs",
+								trial, ci, ranks, rk, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGatedMatchesCheckedSerialKernels: the gated/checked bit-identity
+// holds on every real serial kernel for both uniform configurations.
+func TestGatedMatchesCheckedSerialKernels(t *testing.T) {
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			b, err := kernels.Get(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, prec := range []config.Precision{config.Single, config.Double} {
+				c, err := config.FromModule(b.Module)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.SetAll(prec)
+				full, gated := instrumentBoth(t, b.Module, c)
+				fo := runOut(t, full)
+				gout := runOut(t, gated)
+				if len(fo) == 0 || len(fo) != len(gout) {
+					t.Fatalf("%v: bad output buffers: %d vs %d", prec, len(fo), len(gout))
+				}
+				for i := range fo {
+					if fo[i].Bits != gout[i].Bits {
+						t.Errorf("%v: output %d differs between checked and gated builds", prec, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestGatedMatchesCheckedMPIKernels: the same identity on the MPI
+// kernel variants, compared across every rank of a 4-rank world.
+func TestGatedMatchesCheckedMPIKernels(t *testing.T) {
+	for _, name := range kernels.MPIKernelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			m, err := kernels.MPISource(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, prec := range []config.Precision{config.Single, config.Double} {
+				c, err := config.FromModule(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.SetAll(prec)
+				full, gated := instrumentBoth(t, m, c)
+				const ranks = 4
+				fw, err := mpi.RunWorld(full, ranks, 0)
+				if err != nil {
+					t.Fatalf("%v: checked: %v", prec, err)
+				}
+				gw, err := mpi.RunWorld(gated, ranks, 0)
+				if err != nil {
+					t.Fatalf("%v: gated: %v", prec, err)
+				}
+				for rk := 0; rk < ranks; rk++ {
+					fo, gout := fw[rk].Out, gw[rk].Out
+					if len(fo) != len(gout) {
+						t.Fatalf("%v rank %d: output lengths differ", prec, rk)
+					}
+					for i := range fo {
+						if fo[i].Bits != gout[i].Bits {
+							t.Errorf("%v rank %d: output %d differs between checked and gated builds",
+								prec, rk, i)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -43,14 +43,31 @@ type Options struct {
 	// a scratch register (debugging aid).
 	NoMemPromotion bool
 	// LivenessElision omits the save/restore of the snippet's scratch
-	// registers (r14, r15, xmm14, xmm15). This is the paper's §2.5
-	// "streamline the machine code" optimization, justified here by the
-	// fpmix compiler ABI: hl-generated code never holds live values in
-	// those registers across a floating-point instruction (the same
-	// argument Dyninst makes with binary register-liveness analysis).
-	// Unsound for binaries produced outside that ABI.
+	// registers (r14, r15, xmm14, xmm15) at every site, unconditionally.
+	// This is the whole-program ablation form of the paper's §2.5
+	// "streamline the machine code" optimization; it is only sound for
+	// binaries whose ABI keeps those registers dead across FP
+	// instructions. The proven per-site form is ScratchDead below.
 	LivenessElision bool
+
+	// ScratchDead elides the scratch save/restore at this one site,
+	// justified by the dataflow liveness analysis having proven the
+	// scratch registers dead across the instruction (the same argument
+	// Dyninst makes with binary register-liveness analysis, here per
+	// site instead of by ABI fiat). Set by instrumentation from
+	// dataflow.Site.ScratchDead.
+	ScratchDead bool
+
+	// CleanInputs elides the flag-check prologues: the flag-reachability
+	// analysis proved no input of this site can carry the replacement
+	// sentinel under any configuration, so single snippets downcast
+	// unconditionally and double snippets need no wrapper at all. Set by
+	// instrumentation from dataflow.Site.CleanInputs.
+	CleanInputs bool
 }
+
+// elideSaves reports whether scratch save/restore is omitted.
+func (o Options) elideSaves() bool { return o.LivenessElision || o.ScratchDead }
 
 // snip accumulates a snippet with local branch targets.
 type snip struct {
@@ -122,6 +139,15 @@ func (s *snip) cvtLane(op isa.Op, reg uint8, lane int) {
 // downcastLane converts one 64-bit lane of reg to replaced form unless it
 // already carries the flag.
 func (s *snip) downcastLane(reg uint8, lane int, opts Options) {
+	if opts.CleanInputs {
+		// The value is proven to be a plain double: convert and stamp
+		// with no flag test.
+		s.cvtLane(isa.CVTSD2SS, reg, lane)
+		s.laneToScratch(reg, lane)
+		s.stampFlag()
+		s.scratchToLane(reg, lane)
+		return
+	}
 	if opts.UncheckedDowncast {
 		// Slow path: normalize to double first, then always downcast.
 		s.upcastLane(reg, lane)
@@ -184,7 +210,7 @@ func SingleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 	}
 	packed := isa.IsPacked(in.Op)
 	s := &snip{}
-	if !opts.LivenessElision {
+	if !opts.elideSaves() {
 		s.emit(isa.I(isa.PUSH, isa.Gpr(sr1)))
 		s.emit(isa.I(isa.PUSH, isa.Gpr(sr2)))
 		if packed {
@@ -205,7 +231,7 @@ func SingleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 			return nil, fmt.Errorf("replace: memory operand on %s with promotion disabled", in.Op)
 		}
 		usedMem = true
-		if !opts.LivenessElision {
+		if !opts.elideSaves() {
 			s.emit(isa.I(isa.PUSHX, isa.Xmm(sxMem)))
 		}
 		if packed {
@@ -248,7 +274,7 @@ func SingleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 		}
 	}
 
-	if !opts.LivenessElision {
+	if !opts.elideSaves() {
 		if usedMem {
 			s.emit(isa.I(isa.POPX, isa.Xmm(sxMem)))
 		}
@@ -276,12 +302,19 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 		// instruction is already correct.
 		return nil, nil
 	}
+	if opts.CleanInputs {
+		// The flag-reachability analysis proved no replaced value can
+		// reach this site's inputs, so the original double-precision
+		// instruction runs correctly with no wrapper at all — the sound
+		// per-site form of SkipDoubleSnippets.
+		return nil, nil
+	}
 	if err := checkMemOperand(in); err != nil {
 		return nil, err
 	}
 	packed := isa.IsPacked(in.Op)
 	s := &snip{}
-	if !opts.LivenessElision {
+	if !opts.elideSaves() {
 		s.emit(isa.I(isa.PUSH, isa.Gpr(sr1)))
 		s.emit(isa.I(isa.PUSH, isa.Gpr(sr2)))
 		if packed {
@@ -298,7 +331,7 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 			return nil, fmt.Errorf("replace: memory operand on %s with promotion disabled", in.Op)
 		}
 		usedMem = true
-		if !opts.LivenessElision {
+		if !opts.elideSaves() {
 			s.emit(isa.I(isa.PUSHX, isa.Xmm(sxMem)))
 		}
 		if packed {
@@ -324,7 +357,7 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 
 	s.emit(op)
 
-	if !opts.LivenessElision {
+	if !opts.elideSaves() {
 		if usedMem {
 			s.emit(isa.I(isa.POPX, isa.Xmm(sxMem)))
 		}

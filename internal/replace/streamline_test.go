@@ -9,10 +9,16 @@ import (
 	"fpmix/internal/vm"
 )
 
-// TestLivenessElisionPreservesResults: the §2.5 streamlining optimization
-// must not change a single output bit on ABI-conforming (hl-compiled)
-// programs, while strictly reducing cycles.
-func TestLivenessElisionPreservesResults(t *testing.T) {
+// TestStreamliningPreservesResults: the §2.5 streamlining optimization
+// must not change a single output bit. Three builds of every
+// configuration are compared: fully checked (analysis off), the default
+// analysis-gated build (per-site elisions proven by dataflow), and the
+// unchecked whole-program ablation (LivenessElision). Outputs must be
+// bit-identical across all three, and the gated build must cost no more
+// cycles than the ablation, which in turn must beat fully checked —
+// proving the analysis recovers at least the ablation's entire win,
+// soundly.
+func TestStreamliningPreservesResults(t *testing.T) {
 	m, err := buildKernel(hl.ModeF64)
 	if err != nil {
 		t.Fatal(err)
@@ -23,19 +29,28 @@ func TestLivenessElisionPreservesResults(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.SetAll(prec)
-		full, err := Instrument(m, c, InstrumentOptions{})
+		full, err := Instrument(m, c, InstrumentOptions{NoAnalysis: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gated, err := Instrument(m, c, InstrumentOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		lean, err := Instrument(m, c, InstrumentOptions{
-			Snippet: Options{LivenessElision: true},
+			NoAnalysis: true,
+			Snippet:    Options{LivenessElision: true},
 		})
 		if err != nil {
 			t.Fatal(err)
 		}
 		mf := runModule(t, full)
+		mg := runModule(t, gated)
 		ml := runModule(t, lean)
 		for i := range mf.Out {
+			if mf.Out[i].Bits != mg.Out[i].Bits {
+				t.Errorf("%v: output %d differs under analysis gating", prec, i)
+			}
 			if mf.Out[i].Bits != ml.Out[i].Bits {
 				t.Errorf("%v: output %d differs under elision", prec, i)
 			}
@@ -43,8 +58,9 @@ func TestLivenessElisionPreservesResults(t *testing.T) {
 		if ml.Cycles >= mf.Cycles {
 			t.Errorf("%v: elision did not reduce cycles: %d vs %d", prec, ml.Cycles, mf.Cycles)
 		}
-		if ml.Steps >= mf.Steps {
-			t.Errorf("%v: elision did not shrink snippets", prec)
+		if mg.Cycles > ml.Cycles {
+			t.Errorf("%v: gated build (%d cycles) costs more than the unchecked ablation (%d)",
+				prec, mg.Cycles, ml.Cycles)
 		}
 	}
 }

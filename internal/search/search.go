@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"fpmix/internal/config"
+	"fpmix/internal/dataflow"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
 	"fpmix/internal/vm"
@@ -62,6 +63,11 @@ type Options struct {
 	// Engine selects the evaluation backend (default EngineOn: the
 	// cached evaluation engine; EngineOff: the from-scratch fallback).
 	Engine EngineMode
+	// NoPrune disables static candidate pruning (dataflow unsafe-sink
+	// exclusion and zero-weight auto-passing), evaluating every piece
+	// as the paper's original search does. Kept as a
+	// differential-testing fallback; pruning is the default.
+	NoPrune bool
 
 	// testEval, when set by in-package tests, overrides the evaluation
 	// backend entirely.
@@ -95,6 +101,16 @@ type Result struct {
 	// engine's memo table instead of re-running (binary-split re-splits
 	// and single-child aggregate chains produce such duplicates).
 	MemoHits int
+	// PrunedCandidates is the number of candidate instructions the
+	// static analyses pre-decided: exact-integer sinks found by the
+	// dataflow classification (excluded from the search tree; double in
+	// every tested configuration and in Final) plus candidates the
+	// profiling run never executed (pieces made up entirely of them
+	// pass by construction and skip their evaluation runs).
+	PrunedCandidates int
+	// Unsafe lists, in address order, the candidates pruned as
+	// exact-integer sinks by the dataflow classification.
+	Unsafe []uint64
 	// Passing lists the coarsest-granularity pieces that passed.
 	Passing []*Piece
 	// Stats carries the static/dynamic replacement percentages of Final.
@@ -145,7 +161,55 @@ func Run(t Target, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("search: profiling run failed: %w", err)
 	}
 
-	root := buildPiece(base.Root, ignored, profile, opts.Granularity)
+	// Static pruning (the paper §2.5's "static data flow analysis",
+	// default on) removes two candidate classes from the search tree
+	// before any evaluation:
+	//
+	//   - Exact-integer sinks, which the dataflow classification marks
+	//     as statically expected to break under lowering (EP's randlc
+	//     LCG). They stay double in every tested configuration — the
+	//     automated analogue of the paper's user marking randlc
+	//     "ignore", but conservative: the sites keep their double
+	//     wrappers.
+	//
+	//   - Pieces consisting entirely of candidates the profiling run
+	//     never executed skip their evaluation: such a run is
+	//     bit-identical to the verified baseline (the piece's snippets
+	//     never execute, no flagged value is ever produced, and double
+	//     wrappers preserve double semantics exactly), so the verdict is
+	//     a pass by construction. The candidates stay in the tree — the
+	//     piece partitioning, and therefore every evaluated
+	//     configuration, is exactly the unpruned search's.
+	var unsafeAddrs, zeroAddrs []uint64
+	skip := ignored
+	if !opts.NoPrune {
+		excluded := make(map[uint64]bool)
+		if ana := pruneAnalysis(t); ana != nil {
+			for _, a := range ana.UnsafeAddrs() {
+				if !ignored[a] {
+					excluded[a] = true
+					unsafeAddrs = append(unsafeAddrs, a)
+				}
+			}
+		}
+		for addr := range base.Effective() {
+			if !ignored[addr] && !excluded[addr] && profile[addr] == 0 {
+				zeroAddrs = append(zeroAddrs, addr)
+			}
+		}
+		sort.Slice(zeroAddrs, func(i, j int) bool { return zeroAddrs[i] < zeroAddrs[j] })
+		if len(excluded) > 0 {
+			skip = make(map[uint64]bool, len(ignored)+len(excluded))
+			for a := range ignored {
+				skip[a] = true
+			}
+			for a := range excluded {
+				skip[a] = true
+			}
+		}
+	}
+
+	root := buildPiece(base.Root, skip, profile, opts.Granularity)
 	if root == nil {
 		return nil, fmt.Errorf("search: no replaceable instructions")
 	}
@@ -158,8 +222,9 @@ func Run(t Target, opts Options) (*Result, error) {
 		}
 	}
 
-	res := &Result{Profile: profile}
-	res.Candidates = len(root.Addrs)
+	res := &Result{Profile: profile, Unsafe: unsafeAddrs}
+	res.PrunedCandidates = len(unsafeAddrs) + len(zeroAddrs)
+	res.Candidates = len(root.Addrs) + len(unsafeAddrs)
 
 	// The work queue, optionally a priority queue by weight.
 	q := &pieceQueue{prioritize: opts.Prioritize}
@@ -206,6 +271,11 @@ func Run(t Target, opts Options) (*Result, error) {
 	for q.Len() > 0 || inflight > 0 {
 		for q.Len() > 0 && inflight < opts.Workers {
 			p := heap.Pop(q).(*Piece)
+			if !opts.NoPrune && p.Weight == 0 {
+				// Entirely never-executed: pass by construction, no run.
+				apply(p, true)
+				continue
+			}
 			var key string
 			if memo != nil {
 				key = addrKey(p.Addrs)
@@ -254,6 +324,14 @@ func Run(t Target, opts Options) (*Result, error) {
 			}
 		}
 	}
+	// Record the classification in the configuration itself so a written
+	// file documents what the analyses decided.
+	for _, a := range zeroAddrs {
+		final.Annotate(a, "never executed")
+	}
+	for _, a := range res.Unsafe {
+		final.Annotate(a, "pruned: exact-integer sink")
+	}
 	res.Final = final
 
 	eff := final.Effective()
@@ -269,6 +347,25 @@ func Run(t Target, opts Options) (*Result, error) {
 
 	sortPassing(res.Passing)
 	return res, nil
+}
+
+// pruneAnalysis resolves the dataflow result used for candidate
+// pruning, mirroring the instrumenter's own resolution: an explicit
+// result on the target's InstrumentOptions is reused, NoAnalysis
+// disables pruning along with the per-site elisions, and an analysis
+// failure falls back to no pruning (every candidate is searched).
+func pruneAnalysis(t Target) *dataflow.Result {
+	if t.InstOpts.NoAnalysis {
+		return nil
+	}
+	if t.InstOpts.Analysis != nil {
+		return t.InstOpts.Analysis
+	}
+	r, err := dataflow.Analyze(t.Module)
+	if err != nil {
+		return nil
+	}
+	return r
 }
 
 // sortPassing orders passing pieces by their first address for

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"fpmix/internal/config"
+	"fpmix/internal/dataflow"
 	"fpmix/internal/hl"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
@@ -270,6 +271,134 @@ func TestSearchRespectsIgnore(t *testing.T) {
 	// With the troublemaker ignored, the whole remaining module passes.
 	if !resIgn.FinalPass {
 		t.Error("final should pass with sensitive ignored")
+	}
+}
+
+// coldProgram extends the mixed shape with a function that is never
+// called: its candidates profile to weight zero, so the pruned search
+// must auto-pass them without an evaluation run.
+func coldProgram(t *testing.T) *prog.Module {
+	t.Helper()
+	p := hl.New("coldprog", hl.ModeF64)
+	safe := p.Scalar("safe")
+	tiny := p.Scalar("tiny")
+	unused := p.Scalar("unused")
+	i := p.Int("i")
+
+	main := p.Func("main")
+	main.Call("safe")
+	main.Call("sensitive")
+	main.Out(hl.Load(safe))
+	main.Out(hl.Load(tiny))
+	main.Halt()
+
+	sf := p.Func("safe")
+	sf.For(i, hl.IConst(0), hl.IConst(8), func() {
+		sf.Set(safe, hl.Add(hl.Load(safe), hl.Const(0.25)))
+	})
+	sf.Ret()
+
+	sn := p.Func("sensitive")
+	sn.Set(tiny, hl.Const(1.0))
+	sn.For(i, hl.IConst(0), hl.IConst(200), func() {
+		sn.Set(tiny, hl.Add(hl.Load(tiny), hl.Const(1e-9)))
+	})
+	sn.Ret()
+
+	cold := p.Func("cold") // never called
+	cold.Set(unused, hl.Add(hl.Load(unused), hl.Const(0.5)))
+	cold.Set(unused, hl.Mul(hl.Load(unused), hl.Const(2.0)))
+	cold.Ret()
+
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSearchPrunesZeroWeightPieces(t *testing.T) {
+	m := coldProgram(t)
+	v := refVerify(t, m, 1e-10)
+	pruned, err := Run(Target{Module: m, Verify: v}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Target{Module: m, Verify: v}, Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.PrunedCandidates == 0 {
+		t.Error("cold function candidates not pruned")
+	}
+	if full.PrunedCandidates != 0 {
+		t.Errorf("NoPrune still pruned %d candidates", full.PrunedCandidates)
+	}
+	if pruned.Tested >= full.Tested {
+		t.Errorf("pruning did not reduce evaluations: %d vs %d", pruned.Tested, full.Tested)
+	}
+	if pruned.Candidates != full.Candidates {
+		t.Errorf("candidate count changed under pruning: %d vs %d", pruned.Candidates, full.Candidates)
+	}
+	// The final configurations must be identical: a never-executed piece
+	// passes evaluation trivially, so auto-passing it changes nothing.
+	if pruned.FinalPass != full.FinalPass {
+		t.Error("final verdict differs under pruning")
+	}
+	effP, effF := pruned.Final.Effective(), full.Final.Effective()
+	if len(effP) != len(effF) {
+		t.Fatalf("effective map sizes differ: %d vs %d", len(effP), len(effF))
+	}
+	for a, p := range effF {
+		if effP[a] != p {
+			t.Errorf("final config differs at %#x: %v vs %v", a, effP[a], p)
+		}
+	}
+}
+
+func TestSearchExcludesUnsafeSinks(t *testing.T) {
+	// Inject an analysis result that classifies one safe-function
+	// candidate as an exact-integer sink; the search must keep it double,
+	// report it, and leave every other decision unchanged.
+	m := mixedProgram(t)
+	ana, err := dataflow.Analyze(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim uint64
+	for a := range ana.Sites {
+		if victim == 0 || a < victim {
+			victim = a
+		}
+	}
+	s := ana.Sites[victim]
+	s.Unsafe = true
+	ana.Sites[victim] = s
+
+	v := refVerify(t, m, 1e-10)
+	pruned, err := Run(Target{Module: m, Verify: v,
+		InstOpts: replace.InstrumentOptions{Analysis: ana}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(Target{Module: m, Verify: v}, Options{NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Unsafe) != 1 || pruned.Unsafe[0] != victim {
+		t.Fatalf("Unsafe = %#x, want [%#x]", pruned.Unsafe, victim)
+	}
+	if pruned.PrunedCandidates < 1 {
+		t.Error("unsafe sink not counted as pruned")
+	}
+	if pruned.Candidates != full.Candidates {
+		t.Errorf("candidate count changed: %d vs %d", pruned.Candidates, full.Candidates)
+	}
+	if p := pruned.Final.Effective()[victim]; p != config.Double {
+		t.Errorf("excluded sink configured %v, want Double", p)
+	}
+	if n := pruned.Final.NodeAt(victim); n == nil || n.Note == "" {
+		t.Error("pruned sink not annotated in the final configuration")
 	}
 }
 
