@@ -21,6 +21,7 @@ import (
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
 	"fpmix/internal/search"
+	"fpmix/internal/shadow"
 	"fpmix/internal/vm"
 )
 
@@ -369,6 +370,46 @@ func BenchmarkAblationSkipDoubleSnippets(b *testing.B) {
 				overhead = float64(wrapped.Cycles) / float64(orig.Cycles)
 			}
 			b.ReportMetric(overhead, "overheadX")
+		})
+	}
+}
+
+// BenchmarkAblationSensitivity compares the sensitivity-guided search
+// (shadow profile ordering the queue and predicting hopeless aggregates)
+// against the counts-prioritized baseline on the same kernel. Both
+// sub-runs compose the identical final configuration; the metrics of
+// interest are testedCfgs (guided must not exceed the baseline) and
+// predicted (aggregate failures resolved without a run).
+func BenchmarkAblationSensitivity(b *testing.B) {
+	bench, err := kernels.Get("ep", kernels.ClassW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := shadow.Collect("ep.W", bench.Module, bench.MaxSteps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, guided := range []bool{true, false} {
+		guided := guided
+		name := "guided"
+		if !guided {
+			name = "nosens"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := search.Options{Workers: 1, BinarySplit: true, Prioritize: true}
+			if guided {
+				opts.Shadow = sh
+				opts.SensThreshold = bench.SensTol
+			}
+			var res *search.Result
+			for i := 0; i < b.N; i++ {
+				res, err = search.Run(searchTarget(bench), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Tested), "testedCfgs")
+			b.ReportMetric(float64(res.Predicted), "predicted")
 		})
 	}
 }

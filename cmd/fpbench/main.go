@@ -6,25 +6,49 @@
 //	fpbench -exp all                 # every experiment
 //	fpbench -exp fig10 -classes W,A  # the search table at chosen classes
 //	fpbench -exp fig11 -class W      # the SuperLU threshold sweep
+//	fpbench -exp sens -workers 1     # the sensitivity-guided search ablation
+//
+// Besides the human-readable tables, -json writes the raw experiment
+// rows as JSON and -benchstat writes Go testing.B-style lines
+// (benchstat-compatible: "Benchmark<exp>/<case> 1 <value> <unit> ...")
+// so the perf trajectory can be diffed across revisions with standard
+// tooling. Either flag accepts "-" for stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"fpmix/internal/experiments"
 	"fpmix/internal/kernels"
 	"fpmix/internal/report"
 )
 
+// results aggregates the raw rows of every experiment that ran, for the
+// -json output.
+type results struct {
+	Fig8     []experiments.Fig8Row     `json:"fig8,omitempty"`
+	Fig9     []experiments.Fig9Row     `json:"fig9,omitempty"`
+	Fig10    []experiments.Fig10Row    `json:"fig10,omitempty"`
+	Fig11    []experiments.Fig11Row    `json:"fig11,omitempty"`
+	AMG      *experiments.AMGResult    `json:"amg,omitempty"`
+	BitExact []experiments.BitExactRow `json:"bitexact,omitempty"`
+	Sens     []experiments.SensRow     `json:"sens,omitempty"`
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, all")
 	class := flag.String("class", "W", "input class for single-class experiments (W, A, C)")
 	classes := flag.String("classes", "W,A", "comma-separated classes for fig10")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel search evaluations")
+	jsonOut := flag.String("json", "", "write raw experiment rows as JSON to this file (- for stdout)")
+	statOut := flag.String("benchstat", "", "write benchstat-compatible lines to this file (- for stdout)")
 	flag.Parse()
 
 	cl := kernels.Class(*class)
@@ -33,14 +57,19 @@ func main() {
 		cls = append(cls, kernels.Class(strings.TrimSpace(c)))
 	}
 
+	var res results
+	var stats []string
+
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		stats = append(stats, fmt.Sprintf("Benchmark%s 1 %d ns/op", camel(name), time.Since(start).Nanoseconds()))
 		report.Rule(os.Stdout)
 	}
 
@@ -48,6 +77,13 @@ func main() {
 		rows, err := experiments.Fig8(kernels.ClassA)
 		if err != nil {
 			return err
+		}
+		res.Fig8 = rows
+		for _, r := range rows {
+			for i, ov := range r.Overhead {
+				stats = append(stats, fmt.Sprintf("BenchmarkFig8/%s/%dranks 1 %.3f overheadX",
+					r.Bench, experiments.Fig8Ranks[i], ov))
+			}
 		}
 		report.Fig8(os.Stdout, rows)
 		return nil
@@ -57,6 +93,10 @@ func main() {
 		if err != nil {
 			return err
 		}
+		res.Fig9 = rows
+		for _, r := range rows {
+			stats = append(stats, fmt.Sprintf("BenchmarkFig9/%s.%s 1 %.3f overheadX", r.Bench, r.Class, r.Overhead))
+		}
 		report.Fig9(os.Stdout, rows)
 		return nil
 	})
@@ -64,6 +104,11 @@ func main() {
 		rows, err := experiments.Fig10(experiments.Fig10Benches, cls, *workers)
 		if err != nil {
 			return err
+		}
+		res.Fig10 = rows
+		for _, r := range rows {
+			stats = append(stats, fmt.Sprintf("BenchmarkFig10/%s.%s 1 %d testedCfgs %.1f staticPct %.1f dynamicPct",
+				r.Bench, r.Class, r.Tested, r.StaticPct, r.DynamicPct))
 		}
 		report.Fig10(os.Stdout, rows)
 		return nil
@@ -73,15 +118,23 @@ func main() {
 		if err != nil {
 			return err
 		}
+		res.Fig11 = rows
+		for _, r := range rows {
+			stats = append(stats, fmt.Sprintf("BenchmarkFig11/%.0e 1 %.1f staticPct %.1f dynamicPct",
+				r.Threshold, r.StaticPct, r.DynamicPct))
+		}
 		report.Fig11(os.Stdout, rows)
 		return nil
 	})
 	run("amg", func() error {
-		res, err := experiments.AMG(cl, *workers)
+		r, err := experiments.AMG(cl, *workers)
 		if err != nil {
 			return err
 		}
-		report.AMG(os.Stdout, res)
+		res.AMG = r
+		stats = append(stats,
+			fmt.Sprintf("BenchmarkAMG 1 %.3f speedupX %.3f overheadX", r.ManualSpeedup, r.AnalysisOverhead))
+		report.AMG(os.Stdout, r)
 		return nil
 	})
 	run("bitexact", func() error {
@@ -89,7 +142,65 @@ func main() {
 		if err != nil {
 			return err
 		}
+		res.BitExact = rows
 		report.BitExact(os.Stdout, rows)
 		return nil
 	})
+	run("sens", func() error {
+		rows, err := experiments.Sens(experiments.Fig10Benches, cl, *workers)
+		if err != nil {
+			return err
+		}
+		res.Sens = rows
+		for _, r := range rows {
+			stats = append(stats, fmt.Sprintf("BenchmarkSens/%s.%s 1 %d testedCfgs %d baseCfgs %d predicted",
+				r.Bench, r.Class, r.TestedSens, r.TestedBase, r.Predicted))
+		}
+		report.Sens(os.Stdout, rows)
+		return nil
+	})
+
+	if *jsonOut != "" {
+		emit(*jsonOut, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(&res)
+		})
+	}
+	if *statOut != "" {
+		emit(*statOut, func(w io.Writer) error {
+			for _, s := range stats {
+				if _, err := fmt.Fprintln(w, s); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// emit writes to a file or, for "-", stdout.
+func emit(path string, f func(io.Writer) error) {
+	w := io.Writer(os.Stdout)
+	if path != "-" {
+		file, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpbench:", err)
+			os.Exit(1)
+		}
+		defer file.Close()
+		w = file
+	}
+	if err := f(w); err != nil {
+		fmt.Fprintln(os.Stderr, "fpbench:", err)
+		os.Exit(1)
+	}
+}
+
+// camel maps an experiment name to its Benchmark suffix (fig10 → Fig10).
+func camel(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
 }

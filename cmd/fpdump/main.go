@@ -2,19 +2,22 @@
 // listings in the AT&T-style syntax of the configuration files, with
 // double-precision replacement candidates marked — the raw view under
 // the configuration tree. Candidates carry the dataflow analysis'
-// clean/flagged/pruned marks, and -conf overlays a configuration file's
-// effective precisions so search results can be inspected against the
-// analysis.
+// clean/flagged/pruned marks, -conf overlays a configuration file's
+// effective precisions and classification notes, and -shadow overlays a
+// sensitivity profile's per-instruction error/cancellation marks so
+// search results can be inspected against both analyses.
 //
 //	fpdump -in cg.fpx
 //	fpdump -bench cg -class W -func matvec
 //	fpdump -bench mg -class W -conf mg-final.cfg
+//	fpdump -bench ep -class W -shadow ep.shadow
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"fpmix/internal/cfg"
 	"fpmix/internal/config"
@@ -22,6 +25,7 @@ import (
 	"fpmix/internal/isa"
 	"fpmix/internal/kernels"
 	"fpmix/internal/prog"
+	"fpmix/internal/shadow"
 )
 
 func main() {
@@ -29,7 +33,8 @@ func main() {
 	bench := flag.String("bench", "", "benchmark to build instead of reading an image")
 	class := flag.String("class", "W", "input class")
 	fnName := flag.String("func", "", "restrict the listing to one function")
-	confPath := flag.String("conf", "", "overlay a configuration file's effective precisions")
+	confPath := flag.String("conf", "", "overlay a configuration file's effective precisions and notes")
+	shadowPath := flag.String("shadow", "", "overlay a sensitivity profile's error/cancellation marks")
 	flag.Parse()
 
 	var m *prog.Module
@@ -55,17 +60,31 @@ func main() {
 	}
 
 	var eff map[uint64]config.Precision
+	var conf *config.Config
 	if *confPath != "" {
 		f, err := os.Open(*confPath)
 		if err != nil {
 			fatal(err)
 		}
-		c, err := config.Read(f)
+		conf, err = config.Read(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
 		}
-		eff = c.Effective()
+		eff = conf.Effective()
+	}
+
+	var sh *shadow.Profile
+	if *shadowPath != "" {
+		f, err := os.Open(*shadowPath)
+		if err != nil {
+			fatal(err)
+		}
+		sh, err = shadow.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	// Analysis marks are best-effort: an unanalyzable image (no entry
@@ -89,8 +108,13 @@ func main() {
 		for _, b := range fg.Blocks {
 			fmt.Printf("  block %#x:\n", b.Addr)
 			for _, ins := range b.Instrs {
+				// The precision and mark columns are fixed-width and
+				// written for every line; annotations accumulate as
+				// uniformly separated "; …" parts after the disassembly, so
+				// a config note with no analysis mark (or any other overlay
+				// combination) cannot shift the columns.
 				mark, prec := " ", " "
-				note := ""
+				var notes []string
 				if isa.IsCandidate(ins.Op) {
 					mark = "*"
 					cands++
@@ -101,27 +125,49 @@ func main() {
 					}
 					if ana != nil {
 						s := ana.Site(ins.Addr)
+						var note string
 						switch {
 						case s.Unsafe:
-							note = "    ; pruned (exact-integer sink)"
+							note = "pruned (exact-integer sink)"
 							pruned++
 						case s.CleanInputs:
-							note = "    ; clean"
+							note = "clean"
 							clean++
 						default:
-							note = "    ; flagged"
+							note = "flagged"
 						}
 						if s.Dead {
 							note += " dead"
 						}
+						notes = append(notes, note)
+					}
+				}
+				if conf != nil {
+					if n := conf.NodeAt(ins.Addr); n != nil && n.Note != "" {
+						notes = append(notes, n.Note)
+					}
+				}
+				if sh != nil {
+					if r, ok := sh.At(ins.Addr); ok {
+						note := fmt.Sprintf("err=%.3g local=%.3g", r.MaxRelErr, r.LocalMaxErr)
+						if r.MaxCancelBits > 0 {
+							note += fmt.Sprintf(" cancel=%d", r.MaxCancelBits)
+						}
+						if r.Divergences > 0 {
+							note += fmt.Sprintf(" div=%d", r.Divergences)
+						}
+						notes = append(notes, note)
 					}
 				}
 				total++
-				src := ""
 				if lbl, ok := m.Debug[ins.Addr]; ok {
-					src = "    ; " + lbl
+					notes = append(notes, lbl)
 				}
-				fmt.Printf("  %s%s %#08x  %-34s%s%s\n", prec, mark, ins.Addr, isa.Disasm(ins), note, src)
+				ann := ""
+				if len(notes) > 0 {
+					ann = "    ; " + strings.Join(notes, "  ; ")
+				}
+				fmt.Printf("  %s%s %#08x  %-34s%s\n", prec, mark, ins.Addr, isa.Disasm(ins), ann)
 			}
 		}
 	}

@@ -2,8 +2,16 @@
 // search (paper §2.2) on a benchmark and reports the Figure 10 metrics,
 // optionally writing the final composed configuration.
 //
+// By default the search is sensitivity-guided: a shadow-value pass
+// (internal/shadow, one instrumented run) profiles per-instruction
+// single-precision error first, the work queue is ordered safest-first,
+// and predictably hopeless aggregates skip their evaluation runs.
+// -nosens disables all of it, reproducing the counts-prioritized
+// baseline trajectory exactly.
+//
 //	fpsearch -bench mg -class W -o mg-final.cfg
 //	fpsearch -bench cg -class A -granularity block -workers 8
+//	fpsearch -bench ep -class W -nosens
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fpmix/internal/config"
 	"fpmix/internal/kernels"
 	"fpmix/internal/search"
+	"fpmix/internal/shadow"
 )
 
 func main() {
@@ -28,6 +37,8 @@ func main() {
 	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
 	noEngine := flag.Bool("noengine", false, "evaluate through the from-scratch fallback instead of the cached engine")
 	noPrune := flag.Bool("noprune", false, "disable static candidate pruning (dataflow unsafe sinks, zero-weight pieces)")
+	noSens := flag.Bool("nosens", false, "disable sensitivity guidance (shadow-value ordering and prediction gating)")
+	shadowIn := flag.String("shadow", "", "load a saved sensitivity profile instead of collecting one")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search here")
 	compose := flag.Bool("compose", false, "run the second search phase when the union fails (§3.1)")
 	verbose := flag.Bool("v", false, "list every passing piece")
@@ -72,13 +83,31 @@ func main() {
 	if *noEngine {
 		mode = search.EngineOff
 	}
+	var sh *shadow.Profile
+	if !*noSens {
+		if *shadowIn != "" {
+			f, err := os.Open(*shadowIn)
+			if err != nil {
+				fatal(err)
+			}
+			sh, err = shadow.Read(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else if sh, err = shadow.Collect(*bench+"."+*class, b.Module, b.MaxSteps); err != nil {
+			fatal(err)
+		}
+	}
 	res, err := search.Run(target, search.Options{
-		Workers:     *workers,
-		Granularity: g,
-		BinarySplit: !*noSplit,
-		Prioritize:  !*noPrio,
-		Engine:      mode,
-		NoPrune:     *noPrune,
+		Workers:       *workers,
+		Granularity:   g,
+		BinarySplit:   !*noSplit,
+		Prioritize:    !*noPrio,
+		Engine:        mode,
+		NoPrune:       *noPrune,
+		Shadow:        sh,
+		SensThreshold: b.SensTol,
 	})
 	if err != nil {
 		fatal(err)
@@ -91,6 +120,11 @@ func main() {
 	fmt.Printf("candidates:           %d\n", res.Candidates)
 	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
 	fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
+	if sh != nil {
+		fmt.Printf("sensitivity:          guided (%d aggregate failures predicted without a run)\n", res.Predicted)
+	} else {
+		fmt.Printf("sensitivity:          off\n")
+	}
 	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
 	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
 	fmt.Printf("final verification:   %s\n", verdict)
@@ -115,6 +149,10 @@ func main() {
 		}
 	}
 	if *out != "" {
+		if sh != nil {
+			// Sensitivity notes ride along in the exchange format.
+			shadow.AnnotateConfig(sh, finalCfg)
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)

@@ -1,0 +1,142 @@
+// Command fpshadow runs the shadow-value numerical analysis (one
+// instrumented run carrying a single-precision shadow beside every
+// double) and emits a ranked sensitivity report: the instructions least
+// likely to survive single precision first, plus error-flow attribution
+// by function. The profile can be persisted in the fpmix-profile text
+// container and reloaded for later reports.
+//
+//	fpshadow -bench ep -class W                  # ranked report
+//	fpshadow -bench ep -class W -o ep.shadow     # also persist the profile
+//	fpshadow -in ep.shadow -top 10               # report from a saved profile
+//	fpshadow -bench mg -class W -conf mg.cfg     # annotate a configuration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fpmix/internal/config"
+	"fpmix/internal/kernels"
+	"fpmix/internal/shadow"
+)
+
+func main() {
+	bench := flag.String("bench", "", "benchmark to analyze (one of kernels.Names())")
+	class := flag.String("class", "W", "input class (W, A, C)")
+	in := flag.String("in", "", "read a saved sensitivity profile instead of running")
+	out := flag.String("o", "", "persist the sensitivity profile here")
+	top := flag.Int("top", 20, "ranked instructions to list (0 for all)")
+	confPath := flag.String("conf", "", "annotate this configuration file with shadow notes and rewrite it")
+	flag.Parse()
+
+	var p *shadow.Profile
+	var cfg *config.Config
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = shadow.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	case *bench != "":
+		b, err := kernels.Get(*bench, kernels.Class(*class))
+		if err != nil {
+			fatal(err)
+		}
+		p, err = shadow.Collect(*bench+"."+*class, b.Module, b.MaxSteps)
+		if err != nil {
+			fatal(err)
+		}
+		if cfg, err = config.FromModule(b.Module); err != nil {
+			fatal(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fmt.Printf("shadow profile %s: %d instructions sampled\n", p.Name, len(p.Records))
+	ranked := p.Ranked()
+	n := len(ranked)
+	if *top > 0 && *top < n {
+		n = *top
+	}
+	fmt.Printf("%4s %-10s %-10s %10s %10s %10s %6s %6s\n",
+		"rank", "addr", "op", "execs", "maxrelerr", "localerr", "cancel", "div")
+	for i := 0; i < n; i++ {
+		r := ranked[i]
+		fmt.Printf("%4d %#08x %-10s %10d %10.3g %10.3g %6d %6d\n",
+			i+1, r.Addr, r.Op, r.Execs, r.MaxRelErr, r.LocalMaxErr, r.MaxCancelBits, r.Divergences)
+	}
+
+	// Error-flow attribution up the piece tree (needs the module's
+	// structure, so only with -bench).
+	if cfg != nil {
+		fmt.Println("\nerror flow by piece:")
+		for _, s := range shadow.Attribute(p, cfg) {
+			if s.Depth > 1 {
+				continue // module and function rows only
+			}
+			label := "module " + s.Name
+			if s.Kind == config.KindFunc {
+				label = "func " + s.Name
+			}
+			indent := ""
+			if s.Depth == 1 {
+				indent = "  "
+			}
+			fmt.Printf("%s%-28s insns=%-4d execs=%-10d maxerr=%-10.3g errmass=%-12.4g cancel=%-3d div=%d\n",
+				indent, label, s.Insns, s.Execs, s.MaxErr, s.ErrMass, s.MaxCancelBits, s.Divergences)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := shadow.Write(f, p); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpshadow: wrote %s\n", *out)
+	}
+
+	if *confPath != "" {
+		f, err := os.Open(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := config.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		annotated := shadow.AnnotateConfig(p, c)
+		f, err = os.Create(*confPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.Write(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpshadow: annotated %d instructions in %s\n", annotated, *confPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fpshadow:", err)
+	os.Exit(1)
+}

@@ -1,11 +1,14 @@
 // Command fpview renders a precision configuration as an annotated tree —
 // the terminal counterpart of the paper's GUI configuration editor
-// (Figure 4). Each node shows its flag (d/s/i, or inherited), and with
+// (Figure 4). Each node shows its flag (d/s/i, or inherited), with
 // -bench the per-instruction execution counts from a profiling run are
-// shown so hot unreplaced regions stand out.
+// shown so hot unreplaced regions stand out, and with -shadow the
+// sensitivity profile's error/cancellation marks are shown so fragile
+// regions stand out.
 //
 //	fpview -config mg-final.cfg
 //	fpview -config mg-final.cfg -bench mg -class W
+//	fpview -config ep-final.cfg -shadow ep.shadow
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 
 	"fpmix/internal/config"
 	"fpmix/internal/kernels"
+	"fpmix/internal/shadow"
 	"fpmix/internal/vm"
 )
 
@@ -22,6 +26,7 @@ func main() {
 	cfgPath := flag.String("config", "", "configuration file to display")
 	bench := flag.String("bench", "", "benchmark for profile annotation (optional)")
 	class := flag.String("class", "W", "input class")
+	shadowPath := flag.String("shadow", "", "sensitivity profile for error annotation (optional)")
 	flag.Parse()
 
 	if *cfgPath == "" {
@@ -59,6 +64,19 @@ func main() {
 		profile = m.Profile()
 	}
 
+	var sh *shadow.Profile
+	if *shadowPath != "" {
+		f, err := os.Open(*shadowPath)
+		if err != nil {
+			fatal(err)
+		}
+		sh, err = shadow.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	eff := c.Effective()
 	var render func(n *config.Node, depth int, inherited config.Precision)
 	render = func(n *config.Node, depth int, inherited config.Precision) {
@@ -88,11 +106,25 @@ func main() {
 			if cnt := profile[n.Addr]; cnt > 0 {
 				extra += fmt.Sprintf(", %d execs", cnt)
 			}
+			if sh != nil {
+				if r, ok := sh.At(n.Addr); ok {
+					extra += fmt.Sprintf(", err=%.3g", r.MaxRelErr)
+					if r.MaxCancelBits > 0 {
+						extra += fmt.Sprintf(", cancel=%d", r.MaxCancelBits)
+					}
+					if r.Divergences > 0 {
+						extra += fmt.Sprintf(", div=%d", r.Divergences)
+					}
+				}
+			}
 			if src, ok := debug[n.Addr]; ok {
 				extra += ", " + src
 			}
 			extra += "]"
 			line += extra
+		}
+		if n.Note != "" {
+			line += "  ; " + n.Note
 		}
 		fmt.Println(line)
 		next := inherited

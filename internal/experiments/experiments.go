@@ -16,6 +16,7 @@ import (
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
 	"fpmix/internal/search"
+	"fpmix/internal/shadow"
 	"fpmix/internal/verify"
 	"fpmix/internal/vm"
 )
@@ -138,6 +139,75 @@ func Fig10(names []string, classes []kernels.Class, workers int) ([]Fig10Row, er
 				FinalPass:  res.FinalPass,
 			})
 		}
+	}
+	return rows, nil
+}
+
+// SensRow is one benchmark's sensitivity-guided search ablation.
+type SensRow struct {
+	Bench string
+	Class kernels.Class
+	// TestedBase is configurations tested by the counts-prioritized
+	// baseline (`fpsearch -nosens`), TestedSens by the sensitivity-guided
+	// search on the same shadow profile.
+	TestedBase int
+	TestedSens int
+	// Predicted is the number of aggregates the gate failed without a
+	// run; MaxErr is the profile's worst instruction error.
+	Predicted int
+	MaxErr    float64
+	// Identical reports whether both searches composed byte-identical
+	// final configurations (the gate's correctness condition).
+	Identical bool
+	FinalPass bool
+}
+
+// Sens runs the sensitivity ablation: one shadow-value pass per
+// benchmark, then the search twice — the counts-prioritized baseline and
+// the sensitivity-guided default — and compares trajectories and final
+// configurations.
+func Sens(names []string, class kernels.Class, workers int) ([]SensRow, error) {
+	var rows []SensRow
+	for _, name := range names {
+		b, err := kernels.Get(name, class)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := shadow.Collect(name+"."+string(class), b.Module, b.MaxSteps)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: shadow: %w", name, class, err)
+		}
+		tgt := search.Target{
+			Module:   b.Module,
+			Verify:   b.Verify,
+			MaxSteps: b.MaxSteps,
+			Base:     b.Base,
+		}
+		opts := search.Options{Workers: workers, BinarySplit: true, Prioritize: true}
+		base, err := search.Run(tgt, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: baseline: %w", name, class, err)
+		}
+		opts.Shadow = sh
+		opts.SensThreshold = b.SensTol
+		res, err := search.Run(tgt, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: sensitivity: %w", name, class, err)
+		}
+		maxErr := 0.0
+		if r := sh.Ranked(); len(r) > 0 {
+			maxErr = r[0].MaxRelErr
+		}
+		rows = append(rows, SensRow{
+			Bench:      name,
+			Class:      class,
+			TestedBase: base.Tested,
+			TestedSens: res.Tested,
+			Predicted:  res.Predicted,
+			MaxErr:     maxErr,
+			Identical:  res.Final.String() == base.Final.String(),
+			FinalPass:  res.FinalPass,
+		})
 	}
 	return rows, nil
 }

@@ -114,6 +114,46 @@ func TestBitExactRows(t *testing.T) {
 	}
 }
 
+func TestSensDifferential(t *testing.T) {
+	// The gate's acceptance bar: across every serial NAS kernel the guided
+	// search must compose a byte-identical final configuration while
+	// testing no more — and on at least two kernels strictly fewer —
+	// configurations than the baseline. workers=1 keeps both trajectories
+	// deterministic.
+	if testing.Short() {
+		t.Skip("full-kernel differential is slow")
+	}
+	rows, err := Sens(Fig10Benches, kernels.ClassW, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig10Benches) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Fig10Benches))
+	}
+	fewer := 0
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s.%s: guided final configuration differs from baseline", r.Bench, r.Class)
+		}
+		if r.TestedSens > r.TestedBase {
+			t.Errorf("%s.%s: guided search tested more (%d) than baseline (%d)",
+				r.Bench, r.Class, r.TestedSens, r.TestedBase)
+		}
+		// Every predicted failure replaces exactly one evaluation; the
+		// trajectories otherwise coincide.
+		if r.TestedBase-r.TestedSens != r.Predicted {
+			t.Errorf("%s.%s: tested %d->%d but %d predicted",
+				r.Bench, r.Class, r.TestedBase, r.TestedSens, r.Predicted)
+		}
+		if r.TestedSens < r.TestedBase {
+			fewer++
+		}
+	}
+	if fewer < 2 {
+		t.Errorf("sensitivity guidance cut tested configs on only %d kernels, want >= 2", fewer)
+	}
+}
+
 func TestFig10BenchesAreKnown(t *testing.T) {
 	known := strings.Join(kernels.Names(), ",")
 	for _, n := range Fig10Benches {

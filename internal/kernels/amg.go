@@ -80,5 +80,6 @@ func buildAMG(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-3,
 	}, nil
 }

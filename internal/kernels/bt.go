@@ -273,5 +273,6 @@ func buildBT(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-4,
 	}, nil
 }

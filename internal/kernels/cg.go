@@ -203,6 +203,7 @@ func buildCG(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-3,
 	}, nil
 }
 

@@ -174,6 +174,7 @@ func buildEP(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   2e-5,
 	}, nil
 }
 

@@ -236,5 +236,6 @@ func buildFT(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-2,
 	}, nil
 }

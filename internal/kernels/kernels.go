@@ -49,6 +49,12 @@ type Bench struct {
 	MaxSteps uint64
 	// Reference holds the trusted double-precision outputs.
 	Reference []float64
+	// SensTol is the verification tolerance the sensitivity-guided
+	// search's prediction gate compares aggregated shadow error against
+	// (search.Options.SensThreshold): the loosest relative tolerance in
+	// the kernel's Verify, so a predicted failure means no output check
+	// could accept the piece. 0 disables gating for the kernel.
+	SensTol float64
 }
 
 // builder constructs a benchmark for a class.

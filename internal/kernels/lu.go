@@ -225,5 +225,6 @@ func buildLU(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-4,
 	}, nil
 }

@@ -235,5 +235,6 @@ func buildMG(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-6,
 	}, nil
 }

@@ -263,6 +263,7 @@ func buildSP(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-4,
 	}, nil
 }
 

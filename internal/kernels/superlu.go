@@ -203,5 +203,6 @@ func buildSuperLU(class Class) (*Bench, error) {
 		Verify:    v,
 		MaxSteps:  maxSteps,
 		Reference: ref,
+		SensTol:   1e-2,
 	}, nil
 }

@@ -38,8 +38,18 @@ type World struct {
 	cond    *sync.Cond
 	arrived int
 	gen     int
-	aborted bool
-	abort   chan struct{}
+
+	// Failure state: once set (abort or close), every blocked operation
+	// wakes with the failure and every later one returns it immediately.
+	failure error
+	done    chan struct{}
+
+	// Departure tracking: a rank that finished executing can never join
+	// another collective, so collectives blocked on it (and receives from
+	// it, once its mailbox drains) fail cleanly instead of deadlocking.
+	departed  []bool
+	departCh  []chan struct{}
+	ndeparted int
 
 	// reduce scratch: per-rank contributions for the current collective.
 	contrib [][]float64
@@ -57,11 +67,14 @@ func NewWorld(size int) *World {
 	if size < 1 {
 		size = 1
 	}
-	w := &World{size: size, abort: make(chan struct{})}
+	w := &World{size: size, done: make(chan struct{})}
 	w.cond = sync.NewCond(&w.mu)
 	w.contrib = make([][]float64, size)
+	w.departed = make([]bool, size)
+	w.departCh = make([]chan struct{}, size)
 	w.p2p = make([][]chan []uint64, size)
 	for i := range w.p2p {
+		w.departCh[i] = make(chan struct{})
 		w.p2p[i] = make([]chan []uint64, size)
 		for j := range w.p2p[i] {
 			w.p2p[i][j] = make(chan []uint64, 64)
@@ -87,26 +100,82 @@ type Rank struct {
 	id int
 }
 
+var (
+	errAborted = fmt.Errorf("mpi: world aborted (another rank died)")
+	errClosed  = fmt.Errorf("mpi: communicator closed")
+)
+
+// failLocked records the world's failure and wakes every blocked rank.
+// Callers hold w.mu.
+func (w *World) failLocked(err error) {
+	if w.failure == nil {
+		w.failure = err
+		close(w.done)
+		w.cond.Broadcast()
+	}
+}
+
+// err returns the recorded failure, if any.
+func (w *World) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failure
+}
+
 // Abort wakes every blocked rank; subsequent collective operations fail.
 // It is called when any rank dies so the rest do not deadlock.
 func (w *World) Abort() {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if !w.aborted {
-		w.aborted = true
-		close(w.abort)
-		w.cond.Broadcast()
-	}
+	w.failLocked(errAborted)
 }
 
-var errAborted = fmt.Errorf("mpi: world aborted (another rank died)")
+// Close marks the communicator closed: every blocked operation wakes
+// with a clean error and every later one fails immediately, never
+// deadlocking.
+func (w *World) Close() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failLocked(errClosed)
+}
 
-// barrier blocks until every rank has arrived or the world aborts.
+// Leave records that rank has finished executing. Collectives blocked on
+// the departed rank — which can now never complete — fail with a
+// mismatch error, and receives from it fail once its mailbox drains.
+// RunWorld calls this as each rank's program ends.
+func (w *World) Leave(rank int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if rank < 0 || rank >= w.size || w.departed[rank] {
+		return
+	}
+	w.departed[rank] = true
+	w.ndeparted++
+	close(w.departCh[rank])
+	w.cond.Broadcast()
+}
+
+// mismatchLocked builds the mismatched-participation error. Callers hold
+// w.mu and have checked ndeparted > 0.
+func (w *World) mismatchLocked() error {
+	for r, d := range w.departed {
+		if d {
+			return fmt.Errorf("mpi: collective mismatch: rank %d already left the communicator", r)
+		}
+	}
+	return fmt.Errorf("mpi: collective mismatch")
+}
+
+// barrier blocks until every rank has arrived, or fails cleanly when the
+// world aborts/closes or a rank that can never arrive has departed.
 func (w *World) barrier() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.aborted {
-		return errAborted
+	if w.failure != nil {
+		return w.failure
+	}
+	if w.ndeparted > 0 {
+		return w.mismatchLocked()
 	}
 	gen := w.gen
 	w.arrived++
@@ -116,13 +185,17 @@ func (w *World) barrier() error {
 		w.cond.Broadcast()
 		return nil
 	}
-	for gen == w.gen && !w.aborted {
+	for gen == w.gen && w.failure == nil && w.ndeparted == 0 {
 		w.cond.Wait()
 	}
-	if w.aborted {
-		return errAborted
+	if gen != w.gen {
+		return nil // completed before any failure
 	}
-	return nil
+	w.arrived-- // withdraw: this barrier can never complete
+	if w.failure != nil {
+		return w.failure
+	}
+	return w.mismatchLocked()
 }
 
 // allreduce sums vec element-wise across ranks, deterministically in rank
@@ -232,8 +305,8 @@ func (r *Rank) Syscall(m *vm.Machine, num int64) error {
 		m.Cycles += p2pCost(n)
 		select {
 		case r.w.p2p[r.id][dst] <- vec:
-		case <-r.w.abort:
-			return errAborted
+		case <-r.w.done:
+			return r.w.err()
 		}
 	case isa.SysMPIRecvF64:
 		addr, n, src := m.GPR[isa.RDI], int(m.GPR[isa.RSI]), int(m.GPR[isa.RDX])
@@ -243,8 +316,18 @@ func (r *Rank) Syscall(m *vm.Machine, num int64) error {
 		var vec []uint64
 		select {
 		case vec = <-r.w.p2p[src][r.id]:
-		case <-r.w.abort:
-			return errAborted
+		case <-r.w.done:
+			return r.w.err()
+		case <-r.w.departCh[src]:
+			// The sender is gone; deliver anything already mailed, else
+			// fail cleanly — nothing will ever arrive.
+			select {
+			case vec = <-r.w.p2p[src][r.id]:
+			case <-r.w.done:
+				return r.w.err()
+			default:
+				return fmt.Errorf("mpi: recv from departed rank %d", src)
+			}
 		}
 		if len(vec) > n {
 			vec = vec[:n]
@@ -296,6 +379,9 @@ func writeVec(m *vm.Machine, addr uint64, vec []uint64) error {
 	for i, v := range vec {
 		binary.LittleEndian.PutUint64(m.Mem[addr+uint64(i)*8:], v)
 	}
+	// Values arriving over the wire were not computed through the local
+	// shadow lanes; drop any stale shadow slots so they reseed.
+	m.ShadowInvalidate(addr, uint64(len(vec))*8)
 	return nil
 }
 
@@ -321,7 +407,9 @@ func RunWorld(mod *prog.Module, size int, maxSteps uint64) ([]*vm.Machine, error
 		m.Host = w.Rank(i)
 		machines[i] = m
 		go func(rank int, m *vm.Machine) {
-			results <- RunResult{Rank: rank, Machine: m, Err: m.Run()}
+			err := m.Run()
+			w.Leave(rank)
+			results <- RunResult{Rank: rank, Machine: m, Err: err}
 		}(i, m)
 	}
 	var firstErr error

@@ -3,10 +3,12 @@ package mpi
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"fpmix/internal/hl"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
+	"fpmix/internal/vm"
 )
 
 // sumProgram: every rank contributes rank+1 into a one-element allreduce;
@@ -179,6 +181,123 @@ func TestRankFaultAborts(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "rank") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// recvProgram receives one element from src and halts.
+func recvProgram(t *testing.T, src int64) *prog.Module {
+	t.Helper()
+	p := hl.New("recv", hl.ModeF64)
+	buf := p.Array("buf", 1)
+	f := p.Func("main")
+	f.MPIRecv(buf, hl.IConst(1), hl.IConst(src))
+	f.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRecvOnClosedCommunicator(t *testing.T) {
+	// A receive issued after Close must fail immediately with the close
+	// error, not block on the empty mailbox.
+	w := NewWorld(2)
+	m, err := vm.New(recvProgram(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Host = w.Rank(0)
+	w.Close()
+	err = m.Run()
+	if err == nil {
+		t.Fatal("recv on closed communicator succeeded")
+	}
+	if !strings.Contains(err.Error(), "closed") {
+		t.Errorf("err = %v, want communicator-closed error", err)
+	}
+}
+
+func TestRecvUnblocksOnClose(t *testing.T) {
+	// A receive already blocked when the communicator closes must wake
+	// with the close error instead of deadlocking.
+	w := NewWorld(2)
+	m, err := vm.New(recvProgram(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Host = w.Rank(0)
+	done := make(chan error, 1)
+	go func() { done <- m.Run() }()
+	time.Sleep(10 * time.Millisecond) // give the recv time to block
+	w.Close()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "closed") {
+			t.Errorf("err = %v, want communicator-closed error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv deadlocked across Close")
+	}
+}
+
+func TestRecvFromDepartedRank(t *testing.T) {
+	// Rank 1 receives from rank 0, which halts without ever sending; the
+	// receive must fail cleanly once rank 0 departs.
+	p := hl.New("recvgone", hl.ModeF64)
+	buf := p.Array("buf", 1)
+	rank := p.Int("rank")
+	f := p.Func("main")
+	f.MPIRank(rank)
+	f.If(hl.IEq(hl.ILoad(rank), hl.IConst(1)), func() {
+		f.MPIRecv(buf, hl.IConst(1), hl.IConst(0))
+	}, nil)
+	f.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunWorld(m, 2, 0)
+	if err == nil {
+		t.Fatal("recv from departed rank succeeded")
+	}
+	if !strings.Contains(err.Error(), "departed") && !strings.Contains(err.Error(), "rank") {
+		t.Errorf("err = %v, want departed-rank error", err)
+	}
+}
+
+func TestAllreduceMismatchedParticipation(t *testing.T) {
+	// Only rank 1 joins the reduction; rank 0 halts without
+	// participating. The collective must fail with a mismatch error, not
+	// deadlock waiting for a rank that can never arrive.
+	p := hl.New("mismatch", hl.ModeF64)
+	buf := p.Array("buf", 1)
+	rank := p.Int("rank")
+	f := p.Func("main")
+	f.MPIRank(rank)
+	f.If(hl.IEq(hl.ILoad(rank), hl.IConst(1)), func() {
+		f.MPIAllreduceSum(buf, hl.IConst(1))
+	}, nil)
+	f.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunWorld(m, 2, 0)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("mismatched allreduce succeeded")
+		}
+		if !strings.Contains(err.Error(), "mismatch") {
+			t.Errorf("err = %v, want collective-mismatch error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("mismatched allreduce deadlocked")
 	}
 }
 

@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Versioned text container shared by every persisted profile kind. The
+// first line identifies the file:
+//
+//	fpmix-profile v1 <kind> <name>
+//
+// followed by kind-specific body lines; blank lines and '#' comments are
+// ignored. The execution-count profile is kind "counts" (one
+// "<addr> <count>" pair per line); the shadow sensitivity profile
+// (internal/shadow) is kind "shadow" in the same container.
+
+// Magic is the container's leading token.
+const Magic = "fpmix-profile"
+
+// Version is the current container version.
+const Version = 1
+
+// WriteHeader writes the container header line for a profile kind.
+func WriteHeader(w io.Writer, kind, name string) error {
+	if strings.ContainsAny(name, " \t\n") {
+		return fmt.Errorf("profile: name %q contains whitespace", name)
+	}
+	_, err := fmt.Fprintf(w, "%s v%d %s %s\n", Magic, Version, kind, name)
+	return err
+}
+
+// ParseHeader validates a container header line against the expected
+// kind and returns the profile name.
+func ParseHeader(line, wantKind string) (string, error) {
+	f := strings.Fields(line)
+	if len(f) != 4 || f[0] != Magic {
+		return "", fmt.Errorf("profile: not a %s file: %q", Magic, line)
+	}
+	if f[1] != fmt.Sprintf("v%d", Version) {
+		return "", fmt.Errorf("profile: unsupported version %q", f[1])
+	}
+	if f[2] != wantKind {
+		return "", fmt.Errorf("profile: kind %q, want %q", f[2], wantKind)
+	}
+	return f[3], nil
+}
+
+// Body scans r past the header (validated against wantKind), invoking
+// line for each non-blank, non-comment body line.
+func Body(r io.Reader, wantKind string, line func(string) error) (name string, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		return "", fmt.Errorf("profile: empty input")
+	}
+	name, err = ParseHeader(sc.Text(), wantKind)
+	if err != nil {
+		return "", err
+	}
+	for sc.Scan() {
+		t := strings.TrimSpace(sc.Text())
+		if t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		if err := line(t); err != nil {
+			return name, err
+		}
+	}
+	return name, sc.Err()
+}
+
+// WriteCounts persists an execution-count profile (kind "counts"),
+// address-sorted for stable diffs.
+func WriteCounts(w io.Writer, name string, p P) error {
+	if err := WriteHeader(w, "counts", name); err != nil {
+		return err
+	}
+	addrs := make([]uint64, 0, len(p))
+	for a := range p {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if _, err := fmt.Fprintf(w, "%#08x %d\n", a, p[a]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadCounts parses a kind "counts" profile.
+func ReadCounts(r io.Reader) (string, P, error) {
+	p := make(P)
+	name, err := Body(r, "counts", func(t string) error {
+		f := strings.Fields(t)
+		if len(f) != 2 {
+			return fmt.Errorf("profile: bad counts line %q", t)
+		}
+		addr, err := strconv.ParseUint(f[0], 0, 64)
+		if err != nil {
+			return fmt.Errorf("profile: bad address %q: %v", f[0], err)
+		}
+		n, err := strconv.ParseUint(f[1], 0, 64)
+		if err != nil {
+			return fmt.Errorf("profile: bad count %q: %v", f[1], err)
+		}
+		p[addr] = n
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return name, p, nil
+}

@@ -1,0 +1,67 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestCountsRoundTrip(t *testing.T) {
+	p := P{0x1040: 512, 0x1048: 1, 0x2000: 99999}
+	var buf bytes.Buffer
+	if err := WriteCounts(&buf, "ep.W", p); err != nil {
+		t.Fatal(err)
+	}
+	name, back, err := ReadCounts(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "ep.W" {
+		t.Errorf("name = %q", name)
+	}
+	if !reflect.DeepEqual(map[uint64]uint64(back), map[uint64]uint64(p)) {
+		t.Errorf("round trip: %v != %v", back, p)
+	}
+}
+
+func TestCountsWriteIsSorted(t *testing.T) {
+	p := P{0x3000: 1, 0x1000: 2, 0x2000: 3}
+	var buf bytes.Buffer
+	if err := WriteCounts(&buf, "x", p); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"fpmix-profile v1 counts x", "0x00001000 2", "0x00002000 3", "0x00003000 1"}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("lines = %q, want %q", lines, want)
+	}
+}
+
+func TestHeaderValidation(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"fpmix-profile v1 counts",
+		"fpmix-profile v2 counts x",
+		"other v1 counts x",
+		"fpmix-profile v1 shadow x",
+	} {
+		if _, _, err := ReadCounts(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("header %q accepted", bad)
+		}
+	}
+	if err := WriteHeader(&bytes.Buffer{}, "counts", "has space"); err == nil {
+		t.Error("whitespace name accepted")
+	}
+}
+
+func TestBodySkipsCommentsAndBlanks(t *testing.T) {
+	in := "fpmix-profile v1 counts x\n\n# comment\n0x10 5\n"
+	name, p, err := ReadCounts(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "x" || p[0x10] != 5 || len(p) != 1 {
+		t.Errorf("got name=%q p=%v", name, p)
+	}
+}

@@ -88,6 +88,26 @@ func BitExact(w io.Writer, rows []experiments.BitExactRow) {
 	}
 }
 
+// Sens renders the sensitivity-guided search ablation.
+func Sens(w io.Writer, rows []experiments.SensRow) {
+	fmt.Fprintln(w, "Sensitivity-guided search ablation (-nosens baseline vs shadow-guided)")
+	fmt.Fprintf(w, "%-10s %12s %12s %10s %10s %6s %6s\n",
+		"Benchmark", "Tested-base", "Tested-sens", "Predicted", "MaxErr", "Same", "Final")
+	for _, row := range rows {
+		same := "DIFF"
+		if row.Identical {
+			same = "yes"
+		}
+		verdict := "fail"
+		if row.FinalPass {
+			verdict = "pass"
+		}
+		fmt.Fprintf(w, "%-10s %12d %12d %10d %10.2g %6s %6s\n",
+			row.Bench+"."+string(row.Class), row.TestedBase, row.TestedSens,
+			row.Predicted, row.MaxErr, same, verdict)
+	}
+}
+
 // Rule prints a separator line.
 func Rule(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 72))

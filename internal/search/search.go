@@ -15,11 +15,13 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"time"
 
 	"fpmix/internal/config"
 	"fpmix/internal/dataflow"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
+	"fpmix/internal/shadow"
 	"fpmix/internal/vm"
 )
 
@@ -69,10 +71,58 @@ type Options struct {
 	// differential-testing fallback; pruning is the default.
 	NoPrune bool
 
+	// Shadow supplies a sensitivity profile from the shadow-value pass
+	// (internal/shadow). When present (and NoSensitivity is unset) the
+	// search runs sensitivity-guided: the work queue is ordered by
+	// predicted single-precision safety — lowest aggregated shadow error
+	// first — instead of raw execution counts, and aggregates whose
+	// predicted error exceeds SensThreshold by the safety margin skip
+	// their evaluation run and go straight to binary splitting.
+	Shadow *shadow.Profile
+	// NoSensitivity ignores Shadow entirely, reproducing the
+	// counts-prioritized baseline trajectory exactly (the `-nosens`
+	// differential baseline).
+	NoSensitivity bool
+	// SensThreshold is the verification tolerance the prediction gate
+	// compares aggregated shadow error against; 0 disables gating
+	// (ordering still applies).
+	SensThreshold float64
+
 	// testEval, when set by in-package tests, overrides the evaluation
 	// backend entirely.
 	testEval evaluator
 }
+
+// sensGateMargin is the safety factor between the verifier tolerance and
+// the predicted error at which the gate declares an aggregate hopeless.
+// The gate only trusts the prediction where it cannot overestimate:
+//
+//   - A full-coverage piece (every candidate instruction — the search
+//     root, or a chain aggregate with the same address set). Lowering it
+//     is exactly the whole-program single-precision run the carried
+//     shadow simulates, so its aggregated global error is an exact
+//     prediction of the run the gate skips.
+//
+//   - Any aggregate whose LOCAL error — each instruction re-run with
+//     true operands rounded to single for one step — exceeds the gate. A
+//     large local error means the operation itself does not fit in 24
+//     bits of mantissa (a truncation needing more, a comparison of
+//     values closer than single can distinguish), no matter what
+//     produced its inputs.
+//
+// Sub-root pieces must not be gated on the global shadow error: the
+// shadow is carried globally, so downstream instructions inherit
+// upstream drift, and that mispredicts pieces which merely consume
+// polluted values (EP's gaussian rejection loop diverges under randlc's
+// drift yet passes in isolation; MG's V-cycle self-corrects inherited
+// error). Each misprediction forces every child to be evaluated
+// individually, inflating the tested count past the baseline. Predicted
+// failures are never final: the piece still binary-splits and its
+// children are evaluated, so a wrong prediction only flips the final
+// configuration if the aggregate would have passed as a whole — which
+// the differential ablation (experiments.Sens) checks stays impossible
+// on every serial NAS kernel.
+const sensGateMargin = 64
 
 // Piece is one tested configuration: a subtree (or binary-split range) of
 // the program replaced with single precision.
@@ -81,7 +131,58 @@ type Piece struct {
 	Kind   config.Kind
 	Addrs  []uint64
 	Weight uint64 // profiled executions of the piece's instructions
-	subs   []*Piece
+	// PredErr is the piece's aggregated shadow error (max over its
+	// instructions; 0 without a sensitivity profile): the predicted
+	// relative error of a whole-program single run at the piece's
+	// instructions. Orders the queue safest-first.
+	PredErr float64
+	// PredLocal is the piece's aggregated local (intrinsic, drift-free)
+	// error: what the prediction gate compares against the tolerance.
+	PredLocal float64
+	subs      []*Piece
+}
+
+// Provenance classifies how a piece's verdict was obtained.
+type Provenance uint8
+
+// Verdict provenances.
+const (
+	// ProvEvaluated: an instrumented run decided the verdict.
+	ProvEvaluated Provenance = iota
+	// ProvMemo: replayed from the engine's memo table.
+	ProvMemo
+	// ProvPruned: passed by construction (never-executed piece).
+	ProvPruned
+	// ProvPredicted: failed by the sensitivity gate without a run.
+	ProvPredicted
+)
+
+func (p Provenance) String() string {
+	switch p {
+	case ProvEvaluated:
+		return "evaluated"
+	case ProvMemo:
+		return "memo"
+	case ProvPruned:
+		return "pruned"
+	case ProvPredicted:
+		return "predicted"
+	default:
+		return "provenance?"
+	}
+}
+
+// Eval records one verdict the search reached: which piece, how the
+// verdict was obtained, and — for evaluated pieces — the wall time of
+// the evaluation run. Ablation tables regenerate from these without
+// re-instrumenting the search.
+type Eval struct {
+	Label string
+	Kind  config.Kind
+	Insns int // piece size in candidate instructions
+	Pass  bool
+	Prov  Provenance
+	Wall  time.Duration
 }
 
 // Result summarizes a completed search.
@@ -111,6 +212,13 @@ type Result struct {
 	// Unsafe lists, in address order, the candidates pruned as
 	// exact-integer sinks by the dataflow classification.
 	Unsafe []uint64
+	// Predicted is the number of aggregates the sensitivity gate failed
+	// without an evaluation run.
+	Predicted int
+	// Evals records every verdict in the order it was reached: verdict
+	// provenance (evaluated, memo, pruned, predicted) plus per-piece
+	// evaluation wall time.
+	Evals []Eval
 	// Passing lists the coarsest-granularity pieces that passed.
 	Passing []*Piece
 	// Stats carries the static/dynamic replacement percentages of Final.
@@ -214,6 +322,18 @@ func Run(t Target, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("search: no replaceable instructions")
 	}
 
+	// Sensitivity guidance (default on when a shadow profile is
+	// supplied): annotate every piece with its aggregated predicted
+	// error, order the queue safest-first, and gate hopeless aggregates.
+	sens := opts.Shadow != nil && !opts.NoSensitivity
+	if sens {
+		setPredErr(root, opts.Shadow)
+	}
+	gate := 0.0
+	if sens && opts.SensThreshold > 0 {
+		gate = opts.SensThreshold * sensGateMargin
+	}
+
 	ev := opts.testEval
 	if ev == nil {
 		ev, err = newEvaluator(t, opts.Engine)
@@ -226,8 +346,9 @@ func Run(t Target, opts Options) (*Result, error) {
 	res.PrunedCandidates = len(unsafeAddrs) + len(zeroAddrs)
 	res.Candidates = len(root.Addrs) + len(unsafeAddrs)
 
-	// The work queue, optionally a priority queue by weight.
-	q := &pieceQueue{prioritize: opts.Prioritize}
+	// The work queue: safest-first under sensitivity guidance, else
+	// optionally a priority queue by weight.
+	q := &pieceQueue{prioritize: opts.Prioritize, sens: sens}
 	heap.Init(q)
 	heap.Push(q, root)
 
@@ -235,6 +356,7 @@ func Run(t Target, opts Options) (*Result, error) {
 		p    *Piece
 		key  string
 		pass bool
+		wall time.Duration
 		err  error
 	}
 	results := make(chan evalRes)
@@ -243,9 +365,17 @@ func Run(t Target, opts Options) (*Result, error) {
 	launch := func(p *Piece, key string) {
 		inflight++
 		go func() {
+			start := time.Now()
 			pass, err := ev.evaluate(effFor(p.Addrs, ignored))
-			results <- evalRes{p: p, key: key, pass: pass, err: err}
+			results <- evalRes{p: p, key: key, pass: pass, wall: time.Since(start), err: err}
 		}()
+	}
+
+	record := func(p *Piece, pass bool, prov Provenance, wall time.Duration) {
+		res.Evals = append(res.Evals, Eval{
+			Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
+			Pass: pass, Prov: prov, Wall: wall,
+		})
 	}
 
 	// Verdict memoization (engine only): binary-split re-splits and
@@ -273,7 +403,23 @@ func Run(t Target, opts Options) (*Result, error) {
 			p := heap.Pop(q).(*Piece)
 			if !opts.NoPrune && p.Weight == 0 {
 				// Entirely never-executed: pass by construction, no run.
+				record(p, true, ProvPruned, 0)
 				apply(p, true)
+				continue
+			}
+			full := len(p.Addrs) == len(root.Addrs)
+			if gate > 0 && len(p.subs) > 0 &&
+				((full && p.PredErr > gate) || p.PredLocal > gate) {
+				// Predicted failure — skip the run and split now. Two sound
+				// cases: a full-coverage piece (lowering it IS the
+				// whole-program single run the carried shadow simulates, so
+				// its global error is an exact prediction, not an
+				// overestimate), or any aggregate whose local error shows an
+				// instruction intrinsically past hope in single regardless
+				// of what upstream produced.
+				res.Predicted++
+				record(p, false, ProvPredicted, 0)
+				apply(p, false)
 				continue
 			}
 			var key string
@@ -281,6 +427,7 @@ func Run(t Target, opts Options) (*Result, error) {
 				key = addrKey(p.Addrs)
 				if pass, ok := memo[key]; ok {
 					res.MemoHits++
+					record(p, pass, ProvMemo, 0)
 					apply(p, pass)
 					continue
 				}
@@ -307,6 +454,7 @@ func Run(t Target, opts Options) (*Result, error) {
 		if memo != nil {
 			memo[r.key] = r.pass
 		}
+		record(r.p, r.pass, ProvEvaluated, r.wall)
 		apply(r.p, r.pass)
 	}
 
@@ -335,6 +483,7 @@ func Run(t Target, opts Options) (*Result, error) {
 	res.Final = final
 
 	eff := final.Effective()
+	start := time.Now()
 	pass, err := ev.evaluate(eff)
 	if err != nil {
 		res.Final = nil
@@ -342,6 +491,10 @@ func Run(t Target, opts Options) (*Result, error) {
 		return res, err
 	}
 	res.Tested++
+	res.Evals = append(res.Evals, Eval{
+		Label: "final union", Kind: config.KindModule, Insns: final.CountSingle(),
+		Pass: pass, Prov: ProvEvaluated, Wall: time.Since(start),
+	})
 	res.FinalPass = pass
 	res.Stats = replace.ComputeStats(t.Module, eff, profile)
 
@@ -458,22 +611,44 @@ func mergePieces(label string, kind config.Kind, subs []*Piece) *Piece {
 	for _, s := range subs {
 		p.Addrs = append(p.Addrs, s.Addrs...)
 		p.Weight += s.Weight
+		if s.PredErr > p.PredErr {
+			p.PredErr = s.PredErr
+		}
+		if s.PredLocal > p.PredLocal {
+			p.PredLocal = s.PredLocal
+		}
 	}
 	return p
 }
 
-// pieceQueue is a heap ordered by descending weight when prioritize is
-// set, FIFO otherwise (implemented as ascending sequence numbers).
+// setPredErr annotates the piece tree with aggregated shadow errors.
+func setPredErr(p *Piece, sh *shadow.Profile) {
+	p.PredErr = sh.AggErr(p.Addrs)
+	p.PredLocal = sh.AggLocalErr(p.Addrs)
+	for _, s := range p.subs {
+		setPredErr(s, sh)
+	}
+}
+
+// pieceQueue is a heap: under sensitivity guidance it orders by
+// predicted single-precision safety (ascending shadow error, so the
+// pieces most likely to pass whole are tried first); otherwise by
+// descending weight when prioritize is set; FIFO ties and fallback
+// (implemented as ascending sequence numbers).
 type pieceQueue struct {
 	items      []*Piece
 	seqs       []int
 	nextSeq    int
 	prioritize bool
+	sens       bool
 }
 
 func (q *pieceQueue) Len() int { return len(q.items) }
 
 func (q *pieceQueue) Less(i, j int) bool {
+	if q.sens && q.items[i].PredErr != q.items[j].PredErr {
+		return q.items[i].PredErr < q.items[j].PredErr
+	}
 	if q.prioritize && q.items[i].Weight != q.items[j].Weight {
 		return q.items[i].Weight > q.items[j].Weight
 	}

@@ -1,0 +1,91 @@
+package shadow
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fpmix/internal/profile"
+)
+
+// The sensitivity profile persists in the shared fpmix-profile text
+// container (see internal/profile) as kind "shadow", one instruction per
+// line:
+//
+//	fpmix-profile v1 shadow ep.W
+//	# addr op execs samples maxrelerr meanrelerr cancelbits divergences localmaxerr localdivergences
+//	0x001040 addsd 512 512 1.19e-07 3.1e-08 2 0 5.9e-08 0
+
+// Kind is the container kind of sensitivity profiles.
+const Kind = "shadow"
+
+// Write persists the profile.
+func Write(w io.Writer, p *Profile) error {
+	if err := profile.WriteHeader(w, Kind, p.Name); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# addr op execs samples maxrelerr meanrelerr cancelbits divergences localmaxerr localdivergences"); err != nil {
+		return err
+	}
+	for _, r := range p.Records {
+		_, err := fmt.Fprintf(w, "%#08x %s %d %d %.6g %.6g %d %d %.6g %d\n",
+			r.Addr, r.Op, r.Execs, r.Samples, r.MaxRelErr, r.MeanRelErr, r.MaxCancelBits, r.Divergences,
+			r.LocalMaxErr, r.LocalDivergences)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a persisted sensitivity profile.
+func Read(r io.Reader) (*Profile, error) {
+	p := &Profile{}
+	name, err := profile.Body(r, Kind, func(t string) error {
+		f := strings.Fields(t)
+		if len(f) != 10 {
+			return fmt.Errorf("shadow: bad record line %q", t)
+		}
+		var rec Record
+		var err error
+		if rec.Addr, err = strconv.ParseUint(f[0], 0, 64); err != nil {
+			return fmt.Errorf("shadow: bad address %q: %v", f[0], err)
+		}
+		rec.Op = f[1]
+		if rec.Execs, err = strconv.ParseUint(f[2], 10, 64); err != nil {
+			return fmt.Errorf("shadow: bad execs %q: %v", f[2], err)
+		}
+		if rec.Samples, err = strconv.ParseUint(f[3], 10, 64); err != nil {
+			return fmt.Errorf("shadow: bad samples %q: %v", f[3], err)
+		}
+		if rec.MaxRelErr, err = strconv.ParseFloat(f[4], 64); err != nil {
+			return fmt.Errorf("shadow: bad maxrelerr %q: %v", f[4], err)
+		}
+		if rec.MeanRelErr, err = strconv.ParseFloat(f[5], 64); err != nil {
+			return fmt.Errorf("shadow: bad meanrelerr %q: %v", f[5], err)
+		}
+		bits, err := strconv.ParseUint(f[6], 10, 8)
+		if err != nil {
+			return fmt.Errorf("shadow: bad cancelbits %q: %v", f[6], err)
+		}
+		rec.MaxCancelBits = uint8(bits)
+		if rec.Divergences, err = strconv.ParseUint(f[7], 10, 64); err != nil {
+			return fmt.Errorf("shadow: bad divergences %q: %v", f[7], err)
+		}
+		if rec.LocalMaxErr, err = strconv.ParseFloat(f[8], 64); err != nil {
+			return fmt.Errorf("shadow: bad localmaxerr %q: %v", f[8], err)
+		}
+		if rec.LocalDivergences, err = strconv.ParseUint(f[9], 10, 64); err != nil {
+			return fmt.Errorf("shadow: bad localdivergences %q: %v", f[9], err)
+		}
+		p.Records = append(p.Records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.Name = name
+	p.index()
+	return p, nil
+}

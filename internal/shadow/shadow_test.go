@@ -1,0 +1,202 @@
+package shadow
+
+import (
+	"bytes"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+)
+
+// mixedProgram builds one single-safe function (float32-exact sums) and
+// one precision-sensitive function (increments that vanish in float32).
+func mixedProgram(t *testing.T) *prog.Module {
+	t.Helper()
+	p := hl.New("mixed", hl.ModeF64)
+	a := p.ArrayInit("a", []float64{1.5, 2.25, 3.0, 0.5, 4.75, 8.5, 1.25, 2.0})
+	safeSum := p.Scalar("safeSum")
+	tiny := p.Scalar("tiny")
+	i := p.Int("i")
+
+	main := p.Func("main")
+	main.Call("safe")
+	main.Call("sensitive")
+	main.Out(hl.Load(safeSum))
+	main.Out(hl.Load(tiny))
+	main.Halt()
+
+	sf := p.Func("safe")
+	sf.For(i, hl.IConst(0), hl.IConst(8), func() {
+		sf.Set(safeSum, hl.Add(hl.Load(safeSum), hl.At(a, hl.ILoad(i))))
+	})
+	sf.Ret()
+
+	sn := p.Func("sensitive")
+	sn.Set(tiny, hl.Const(1.0))
+	sn.For(i, hl.IConst(0), hl.IConst(200), func() {
+		sn.Set(tiny, hl.Add(hl.Load(tiny), hl.Const(1e-9)))
+	})
+	sn.Ret()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// funcAddrs maps function name to its candidate instruction addresses.
+func funcAddrs(t *testing.T, m *prog.Module) map[string][]uint64 {
+	t.Helper()
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]uint64)
+	var fn string
+	c.Walk(func(n *config.Node) {
+		switch n.Kind {
+		case config.KindFunc:
+			fn = n.Name
+		case config.KindInsn:
+			out[fn] = append(out[fn], n.Addr)
+		}
+	})
+	return out
+}
+
+func TestCollectSeparatesSafeFromSensitive(t *testing.T) {
+	m := mixedProgram(t)
+	p, err := Collect("mixed", m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Records) == 0 {
+		t.Fatal("no records")
+	}
+	fa := funcAddrs(t, m)
+	safe, sens := p.AggErr(fa["safe"]), p.AggErr(fa["sensitive"])
+	if safe != 0 {
+		t.Errorf("safe function AggErr = %g, want 0 (float32-exact sums)", safe)
+	}
+	if sens < 1e-8 {
+		t.Errorf("sensitive function AggErr = %g, want ~2e-7 accumulated drift", sens)
+	}
+	// The top-ranked instruction belongs to the sensitive function.
+	top := p.Ranked()[0]
+	found := false
+	for _, a := range fa["sensitive"] {
+		if a == top.Addr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("top-ranked %#x not in sensitive function", top.Addr)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	m := mixedProgram(t)
+	p, err := Collect("mixed", m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != p.Name {
+		t.Errorf("name %q, want %q", back.Name, p.Name)
+	}
+	if len(back.Records) != len(p.Records) {
+		t.Fatalf("records %d, want %d", len(back.Records), len(p.Records))
+	}
+	for i := range p.Records {
+		a, b := p.Records[i], back.Records[i]
+		// Floats round-trip through %.6g: compare within that precision.
+		if a.Addr != b.Addr || a.Op != b.Op || a.Execs != b.Execs ||
+			a.Samples != b.Samples || a.MaxCancelBits != b.MaxCancelBits ||
+			a.Divergences != b.Divergences {
+			t.Errorf("record %d: %+v != %+v", i, a, b)
+		}
+		if relDiff(a.MaxRelErr, b.MaxRelErr) > 1e-5 || relDiff(a.MeanRelErr, b.MeanRelErr) > 1e-5 {
+			t.Errorf("record %d errors drifted: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if a < 0 {
+		a = -a
+	}
+	if a > 1 {
+		return d / a
+	}
+	return d
+}
+
+func TestReadRejectsWrongKind(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("fpmix-profile v1 counts ep.W\n")); err == nil {
+		t.Error("wrong kind accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("not a profile\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Read(bytes.NewBufferString("fpmix-profile v9 shadow x\n")); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+func TestAttributeAggregatesUpTree(t *testing.T) {
+	m := mixedProgram(t)
+	p, err := Collect("mixed", m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := config.FromModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := Attribute(p, c)
+	if len(sums) == 0 {
+		t.Fatal("no summaries")
+	}
+	if sums[0].Kind != config.KindModule {
+		t.Fatalf("first summary %v, want module", sums[0].Kind)
+	}
+	var safe, sens *NodeSummary
+	for i := range sums {
+		if sums[i].Kind == config.KindFunc {
+			switch sums[i].Name {
+			case "safe":
+				safe = &sums[i]
+			case "sensitive":
+				sens = &sums[i]
+			}
+		}
+	}
+	if safe == nil || sens == nil {
+		t.Fatal("missing function summaries")
+	}
+	if sens.MaxErr <= safe.MaxErr {
+		t.Errorf("sensitive MaxErr %g <= safe %g", sens.MaxErr, safe.MaxErr)
+	}
+	if sens.ErrMass <= 0 {
+		t.Errorf("sensitive ErrMass = %g, want > 0", sens.ErrMass)
+	}
+	// Module-level summary dominates its children.
+	if sums[0].MaxErr != p.Ranked()[0].MaxRelErr {
+		t.Errorf("module MaxErr %g != profile max %g", sums[0].MaxErr, p.Ranked()[0].MaxRelErr)
+	}
+	if sums[0].Insns < safe.Insns+sens.Insns {
+		t.Errorf("module Insns %d < %d+%d", sums[0].Insns, safe.Insns, sens.Insns)
+	}
+}

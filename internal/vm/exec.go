@@ -19,6 +19,9 @@ func (m *Machine) Step() error {
 	in := &m.instrs[m.pcIdx]
 	m.counts[m.pcIdx]++
 	m.Steps++
+	if m.shadow != nil {
+		m.shadowStep(in)
+	}
 	if m.costs != nil {
 		m.Cycles += m.costs[m.pcIdx]
 	} else {

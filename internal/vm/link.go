@@ -134,4 +134,7 @@ func (m *Machine) rewind() {
 	copy(m.Mem[prog.DataBase:], m.prog.Data)
 	m.GPR[isa.RSP] = size &^ 15
 	m.pcIdx = m.lp.entry
+	if m.shadow != nil {
+		m.shadow.reset(len(m.instrs))
+	}
 }

@@ -1,0 +1,291 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// findShadow returns the first shadow record for op, or nil.
+func findShadow(recs []ShadowRecord, op isa.Op) *ShadowRecord {
+	for i := range recs {
+		if recs[i].Op == op {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestShadowObservesAccumulationDrift(t *testing.T) {
+	// x = 1.0; x += 1e-9 three times. In the float32 shadow each add is
+	// absorbed (1.0 + 1e-9 == 1.0), so the shadow drifts ~3e-9 behind the
+	// reference — the per-instruction relative error the profile reports.
+	instrs := loadF64(0, 1.0)
+	instrs = append(instrs, loadF64(1, 1e-9)...)
+	for i := 0; i < 3; i++ {
+		instrs = append(instrs, isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)))
+	}
+	instrs = append(instrs,
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var adds []ShadowRecord
+	for _, r := range m.ShadowRecords() {
+		if r.Op == isa.ADDSD {
+			adds = append(adds, r)
+		}
+	}
+	if len(adds) != 3 {
+		t.Fatalf("ADDSD records = %d, want 3", len(adds))
+	}
+	// Drift accumulates: the i-th add sees ~i*1e-9 of error.
+	for i, r := range adds {
+		want := float64(i+1) * 1e-9
+		if r.MaxRelErr < want/2 || r.MaxRelErr > want*2 {
+			t.Errorf("add %d MaxRelErr = %g, want ~%g", i, r.MaxRelErr, want)
+		}
+		if r.Divergences != 0 {
+			t.Errorf("add %d Divergences = %d, want 0", i, r.Divergences)
+		}
+	}
+}
+
+func TestShadowExactArithmeticIsClean(t *testing.T) {
+	// 1.5 + 0.25 is exact in both precisions: zero error, but sampled.
+	instrs := loadF64(0, 1.5)
+	instrs = append(instrs, loadF64(1, 0.25)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []isa.Op{isa.ADDSD, isa.MULSD} {
+		rec := findShadow(m.ShadowRecords(), op)
+		if rec == nil {
+			t.Fatalf("no %s record", op)
+		}
+		if rec.MaxRelErr != 0 {
+			t.Errorf("%s MaxRelErr = %g, want 0", op, rec.MaxRelErr)
+		}
+	}
+}
+
+func TestShadowCancellationBits(t *testing.T) {
+	// (1 + 2^-20) - 1 cancels ~20 leading bits.
+	instrs := loadF64(0, 1+math.Ldexp(1, -20))
+	instrs = append(instrs, loadF64(1, 1.0)...)
+	instrs = append(instrs,
+		isa.I(isa.SUBSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := findShadow(m.ShadowRecords(), isa.SUBSD)
+	if rec == nil {
+		t.Fatal("no SUBSD record")
+	}
+	if rec.MaxCancelBits < 19 || rec.MaxCancelBits > 21 {
+		t.Errorf("MaxCancelBits = %d, want ~20", rec.MaxCancelBits)
+	}
+}
+
+func TestShadowComparisonDivergence(t *testing.T) {
+	// x = 1 + 1e-9 (shadow absorbs to 1.0), then compare against 1.0: the
+	// reference sees x > 1, the shadow sees equality — a divergence.
+	instrs := loadF64(0, 1.0)
+	instrs = append(instrs, loadF64(1, 1e-9)...)
+	instrs = append(instrs, loadF64(2, 1.0)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.UCOMISD, isa.Xmm(0), isa.Xmm(2)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := findShadow(m.ShadowRecords(), isa.UCOMISD)
+	if rec == nil {
+		t.Fatal("no UCOMISD record")
+	}
+	if rec.Divergences != 1 {
+		t.Errorf("Divergences = %d, want 1", rec.Divergences)
+	}
+	if rec.MaxRelErr != 1 {
+		t.Errorf("MaxRelErr = %g, want 1 (divergence)", rec.MaxRelErr)
+	}
+}
+
+func TestShadowTruncationDivergence(t *testing.T) {
+	// 2^24+1 is not representable in float32; truncation of the shadow
+	// yields 2^24, diverging from the reference.
+	instrs := loadF64(0, 1<<24+1)
+	instrs = append(instrs,
+		isa.I(isa.CVTTSD2SI, isa.Gpr(isa.RAX), isa.Xmm(0)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutI64)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := findShadow(m.ShadowRecords(), isa.CVTTSD2SI)
+	if rec == nil {
+		t.Fatal("no CVTTSD2SI record")
+	}
+	if rec.Divergences != 1 {
+		t.Errorf("Divergences = %d, want 1", rec.Divergences)
+	}
+	if m.Out[0].Bits != 1<<24+1 {
+		t.Errorf("architectural result changed: %d", m.Out[0].Bits)
+	}
+}
+
+func TestShadowFlowsThroughMemory(t *testing.T) {
+	// Drift survives a store/load round trip through a memory slot: two
+	// adds of 5e-8 are each absorbed by the float32 shadow (below half an
+	// ulp at 1.0) but their double sum 1e-7 is above it, so a shadow
+	// reseeded from the stored double would round to 1.00000012f while the
+	// flowed shadow stays exactly 1.0f.
+	base := int64(prog.DataBase)
+	instrs := loadF64(0, 1.0)
+	instrs = append(instrs, loadF64(1, 5e-8)...)
+	instrs = append(instrs, loadF64(2, 1.0)...)
+	instrs = append(instrs,
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(base)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.MOVSD, isa.Mem(isa.RBX, 0), isa.Xmm(0)),
+		isa.I(isa.MOVSD, isa.Xmm(3), isa.Mem(isa.RBX, 0)),
+		isa.I(isa.SUBSD, isa.Xmm(3), isa.Xmm(2)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rec := findShadow(m.ShadowRecords(), isa.SUBSD)
+	if rec == nil {
+		t.Fatal("no SUBSD record")
+	}
+	// Flowed shadow: 1.0f - 1.0f = 0 against reference 1e-7 => rel ~1e-7.
+	// A reseeded shadow would land within ~2e-8 of the reference.
+	if rec.MaxRelErr < 5e-8 {
+		t.Errorf("MaxRelErr = %g, want ~1e-7 (shadow drift lost through memory)", rec.MaxRelErr)
+	}
+}
+
+func TestShadowInvalidateReseeds(t *testing.T) {
+	// After an untracked write is invalidated, the shadow reseeds from the
+	// stored double: no phantom drift.
+	base := int64(prog.DataBase)
+	instrs := loadF64(0, 1.0)
+	instrs = append(instrs, loadF64(1, 1e-9)...)
+	instrs = append(instrs,
+		isa.I(isa.MOVRI, isa.Gpr(isa.RBX), isa.Imm(base)),
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.MOVSD, isa.Mem(isa.RBX, 0), isa.Xmm(0)),
+		isa.I(isa.HALT),
+	)
+	m := mach(t, instrs)
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	addr := uint64(base)
+	if _, ok := m.shadow.mem[addr]; !ok {
+		t.Fatal("slot not shadowed after MOVSD store")
+	}
+	m.ShadowInvalidate(addr, 8)
+	if _, ok := m.shadow.mem[addr]; ok {
+		t.Error("slot still shadowed after invalidate")
+	}
+}
+
+func TestShadowArchitecturallyInvisible(t *testing.T) {
+	// The same program with and without the shadow produces bit-identical
+	// architectural state.
+	instrs := loadF64(0, 1.0/3.0)
+	instrs = append(instrs, loadF64(1, 1e-9)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.MULSD, isa.Xmm(0), isa.Xmm(0)),
+		isa.I(isa.SQRTSD, isa.Xmm(0), isa.Xmm(0)),
+		isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF64)),
+		isa.I(isa.HALT),
+	)
+	plain := mach(t, instrs)
+	if err := plain.Run(); err != nil {
+		t.Fatal(err)
+	}
+	shadowed := mach(t, instrs)
+	shadowed.EnableShadow()
+	if err := shadowed.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Out[0].Bits != shadowed.Out[0].Bits {
+		t.Errorf("output bits differ: %#x vs %#x", plain.Out[0].Bits, shadowed.Out[0].Bits)
+	}
+	if plain.XMM != shadowed.XMM || plain.GPR != shadowed.GPR {
+		t.Error("register state differs with shadow enabled")
+	}
+	if plain.Cycles != shadowed.Cycles || plain.Steps != shadowed.Steps {
+		t.Error("cost model differs with shadow enabled")
+	}
+}
+
+func TestShadowResetOnRewind(t *testing.T) {
+	instrs := loadF64(0, 1.0)
+	instrs = append(instrs, loadF64(1, 1e-9)...)
+	instrs = append(instrs,
+		isa.I(isa.ADDSD, isa.Xmm(0), isa.Xmm(1)),
+		isa.I(isa.HALT),
+	)
+	f := &prog.Func{Name: "main", Instrs: instrs}
+	mod, err := prog.Build("t", []*prog.Func{f}, nil, prog.DataBase+1<<16, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.NewMachine()
+	m.EnableShadow()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	first := m.ShadowRecords()
+	if len(first) == 0 {
+		t.Fatal("no records on first run")
+	}
+	m.ResetTo(lp)
+	if len(m.ShadowRecords()) != 0 {
+		t.Error("records survive rewind")
+	}
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	second := m.ShadowRecords()
+	if len(second) != len(first) || second[0].MaxRelErr != first[0].MaxRelErr {
+		t.Errorf("rerun records differ: %+v vs %+v", second, first)
+	}
+}

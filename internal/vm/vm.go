@@ -137,6 +137,10 @@ type Machine struct {
 	pcIdx   int32
 	halted  bool
 
+	// shadow is the single-precision shadow-value state; nil (the
+	// default) disables the pass entirely — see shadow.go.
+	shadow *shadowState
+
 	// Linked-program state (nil/absent on vm.New machines): the Program
 	// the machine executes plus its pre-resolved branch-target and cycle
 	// cost tables (see Link).
