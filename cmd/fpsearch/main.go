@@ -9,19 +9,31 @@
 // -nosens disables all of it, reproducing the counts-prioritized
 // baseline trajectory exactly.
 //
+// The search is crash-tolerant and resumable: -timeout bounds each
+// evaluation, -retries heals transient faults, -checkpoint journals every
+// settled verdict so a killed search can pick up with -resume, -chaos
+// arms seeded fault injection (a self-test: the final configuration must
+// not change), and a SIGINT stops the search gracefully with the
+// best-so-far configuration.
+//
 //	fpsearch -bench mg -class W -o mg-final.cfg
 //	fpsearch -bench cg -class A -granularity block -workers 8
 //	fpsearch -bench ep -class W -nosens
+//	fpsearch -bench lu -class A -checkpoint lu.ckpt      # later: -resume lu.ckpt
+//	fpsearch -bench ep -class W -chaos 42 -retries 3
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 
 	"fpmix/internal/config"
+	"fpmix/internal/faultinject"
 	"fpmix/internal/kernels"
 	"fpmix/internal/search"
 	"fpmix/internal/shadow"
@@ -42,6 +54,11 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search here")
 	compose := flag.Bool("compose", false, "run the second search phase when the union fails (§3.1)")
 	verbose := flag.Bool("v", false, "list every passing piece")
+	timeout := flag.Duration("timeout", 0, "per-evaluation wall-clock bound (0 = none)")
+	retries := flag.Int("retries", 0, "retry budget for transient evaluation faults (default 3 under -chaos)")
+	checkpoint := flag.String("checkpoint", "", "journal settled verdicts to this file (created fresh)")
+	resume := flag.String("resume", "", "resume from this checkpoint journal, then keep appending to it")
+	chaosSeed := flag.Int64("chaos", 0, "arm seeded fault injection on evaluations (0 = off)")
 	flag.Parse()
 
 	if *bench == "" {
@@ -99,6 +116,40 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	// Checkpoint journal: -checkpoint starts one fresh, -resume replays a
+	// previous run's and keeps appending to it. The fingerprint ties the
+	// journal to this exact search shape.
+	var journal *search.Journal
+	fingerprint := fmt.Sprintf("%s.%s gran=%s", *bench, *class, *gran)
+	switch {
+	case *checkpoint != "" && *resume != "":
+		fatal(fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume keeps appending)"))
+	case *checkpoint != "":
+		if journal, err = search.NewJournal(*checkpoint, fingerprint); err != nil {
+			fatal(err)
+		}
+	case *resume != "":
+		if journal, err = search.ResumeJournal(*resume, fingerprint); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fpsearch: resuming %d settled verdicts from %s\n",
+			journal.Prior(), *resume)
+	}
+	if journal != nil {
+		defer journal.Close()
+	}
+
+	var chaos *faultinject.Injector
+	if *chaosSeed != 0 {
+		chaos = faultinject.New(*chaosSeed, faultinject.DefaultRates, 0)
+	}
+
+	// SIGINT cancels the search gracefully: in-flight evaluations stop,
+	// the best-so-far configuration is still reported (and written).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	res, err := search.Run(target, search.Options{
 		Workers:       *workers,
 		Granularity:   g,
@@ -108,6 +159,11 @@ func main() {
 		NoPrune:       *noPrune,
 		Shadow:        sh,
 		SensThreshold: b.SensTol,
+		Context:       ctx,
+		Timeout:       *timeout,
+		Retries:       *retries,
+		Chaos:         chaos,
+		Checkpoint:    journal,
 	})
 	if err != nil {
 		fatal(err)
@@ -116,9 +172,18 @@ func main() {
 	if res.FinalPass {
 		verdict = "pass"
 	}
+	if res.Interrupted {
+		verdict = "not run (interrupted)"
+	}
 	fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
+	if res.Interrupted {
+		fmt.Printf("interrupted:          yes — reporting the best-so-far configuration\n")
+	}
 	fmt.Printf("candidates:           %d\n", res.Candidates)
 	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
+	if res.Resumed > 0 {
+		fmt.Printf("resumed:              %d verdicts replayed from the checkpoint\n", res.Resumed)
+	}
 	fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
 	if sh != nil {
 		fmt.Printf("sensitivity:          guided (%d aggregate failures predicted without a run)\n", res.Predicted)
@@ -128,8 +193,22 @@ func main() {
 	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
 	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
 	fmt.Printf("final verification:   %s\n", verdict)
+	if res.Crashed > 0 || res.TimedOut > 0 {
+		fmt.Printf("failures absorbed:    %d crashed, %d timed out (see result records for faults)\n",
+			res.Crashed, res.TimedOut)
+	}
+	if chaos != nil {
+		s := chaos.Stats()
+		fmt.Printf("chaos: seed %d decided %d faults (%d panics, %d hangs, %d flaky, %d traps), %d absorbed, healed by %d retries\n",
+			chaos.Seed(), s.Total(), s.Panics, s.Hangs, s.Flakes, s.Traps, res.Injected, res.Retried)
+	} else if res.Retried > 0 {
+		fmt.Printf("retries:              %d\n", res.Retried)
+	}
+	for _, label := range res.Nondeterministic {
+		fmt.Printf("nondeterministic verifier: disagreeing verdicts on %s (pass kept)\n", label)
+	}
 	finalCfg := res.Final
-	if *compose && !res.FinalPass {
+	if *compose && !res.FinalPass && !res.Interrupted {
 		cr, err := search.Compose(target, res)
 		if err != nil {
 			fatal(err)

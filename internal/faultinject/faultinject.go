@@ -1,0 +1,226 @@
+// Package faultinject is a deterministic, seeded fault-injection layer
+// for hardening the long-running evaluation loops: it decides, as a pure
+// function of (seed, evaluation key, attempt), whether an evaluation
+// attempt is hit by an artificial fault and which kind — a worker panic,
+// a stalled (hung) run, a flaky verification verdict, or a vm trap armed
+// mid-run — and lets MPI harnesses arm deterministic rank departures.
+//
+// The searcher treats injected faults as transient infrastructure
+// failures: the attempt is retried and, because the injector only faults
+// the first attempt of any key, a bounded retry always reaches a clean
+// attempt. A chaos run therefore terminates deterministically and settles
+// every verdict exactly as the fault-free run would — which is the
+// property the chaos differential tests pin.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"fpmix/internal/vm"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Injected fault kinds.
+const (
+	// KindNone: the attempt runs clean.
+	KindNone Kind = iota
+	// KindPanic: the evaluation goroutine panics with an Injected value
+	// mid-attempt (the recover/retry path in the worker pool).
+	KindPanic
+	// KindHang: the attempt stalls for Decision.StallFor before
+	// producing anything — a slow or hung run, cut short by the
+	// per-evaluation wall-clock bound when one is set.
+	KindHang
+	// KindFlaky: the run executes normally but a passing verification
+	// verdict is reported as failing — a nondeterministic verifier. The
+	// searcher's failing-verdict confirmation retry heals and flags it.
+	KindFlaky
+	// KindTrap: a vm trap (vm.FaultInjected) is armed to fire after
+	// Decision.TrapAfter executed steps, simulating an FP trap at a
+	// deterministic point of the run.
+	KindTrap
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindPanic:
+		return "panic"
+	case KindHang:
+		return "hang"
+	case KindFlaky:
+		return "flaky"
+	case KindTrap:
+		return "trap"
+	default:
+		return "kind?"
+	}
+}
+
+// Injected is the value injected panics carry; recover handlers match it
+// to classify the crash as an injected infrastructure fault (transient)
+// rather than a genuine bug.
+type Injected struct {
+	Key     string
+	Attempt int
+}
+
+func (p Injected) String() string {
+	return fmt.Sprintf("faultinject: injected panic (key %q, attempt %d)", p.Key, p.Attempt)
+}
+
+// Rates are per-kind injection probabilities (each in [0,1], summed to at
+// most 1): the fraction of evaluation keys whose first attempt is hit by
+// that fault kind.
+type Rates struct {
+	Panic, Hang, Flaky, Trap float64
+}
+
+// DefaultRates fault ~5% of evaluations with each kind (~20% total).
+var DefaultRates = Rates{Panic: 0.05, Hang: 0.05, Flaky: 0.05, Trap: 0.05}
+
+// DefaultStall is the default injected-hang duration.
+const DefaultStall = 250 * time.Millisecond
+
+// Decision is the fault chosen for one evaluation attempt.
+type Decision struct {
+	Kind Kind
+	// StallFor is how long a KindHang attempt stalls.
+	StallFor time.Duration
+	// TrapAfter is the executed-step count at which a KindTrap fires
+	// (vm.Machine.InjectTrapAfter); runs shorter than this complete
+	// clean.
+	TrapAfter uint64
+}
+
+// Stats counts the injector's activity.
+type Stats struct {
+	// Decisions is the number of Decide calls (evaluation attempts seen).
+	Decisions int
+	// Panics, Hangs, Flakes and Traps count the injected faults by kind.
+	Panics, Hangs, Flakes, Traps int
+}
+
+// Total is the number of injected faults across all kinds.
+func (s Stats) Total() int { return s.Panics + s.Hangs + s.Flakes + s.Traps }
+
+// Injector decides injected faults deterministically from its seed. It is
+// safe for concurrent use.
+type Injector struct {
+	seed  int64
+	rates Rates
+	stall time.Duration
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds an injector. Zero rates fall back to DefaultRates as a
+// whole; a zero stall falls back to DefaultStall.
+func New(seed int64, rates Rates, stall time.Duration) *Injector {
+	if rates == (Rates{}) {
+		rates = DefaultRates
+	}
+	if stall <= 0 {
+		stall = DefaultStall
+	}
+	return &Injector{seed: seed, rates: rates, stall: stall}
+}
+
+// Seed returns the injector's seed.
+func (inj *Injector) Seed() int64 { return inj.seed }
+
+// Decide returns the fault injected into the given attempt of the given
+// evaluation key — a pure function of (seed, key, attempt), so chaos runs
+// replay identically. Only the first attempt of a key is ever faulted:
+// retries are guaranteed clean, so bounded retry terminates.
+func (inj *Injector) Decide(key string, attempt int) Decision {
+	d := inj.decide(key, attempt)
+	inj.mu.Lock()
+	inj.stats.Decisions++
+	switch d.Kind {
+	case KindPanic:
+		inj.stats.Panics++
+	case KindHang:
+		inj.stats.Hangs++
+	case KindFlaky:
+		inj.stats.Flakes++
+	case KindTrap:
+		inj.stats.Traps++
+	}
+	inj.mu.Unlock()
+	return d
+}
+
+func (inj *Injector) decide(key string, attempt int) Decision {
+	if attempt != 0 {
+		return Decision{}
+	}
+	h := inj.hash(key)
+	// Top 53 bits → uniform in [0,1).
+	roll := float64(h>>11) / float64(1<<53)
+	r := inj.rates
+	switch {
+	case roll < r.Panic:
+		return Decision{Kind: KindPanic}
+	case roll < r.Panic+r.Hang:
+		return Decision{Kind: KindHang, StallFor: inj.stall}
+	case roll < r.Panic+r.Hang+r.Flaky:
+		return Decision{Kind: KindFlaky}
+	case roll < r.Panic+r.Hang+r.Flaky+r.Trap:
+		// A second, independent hash picks the trap site: early enough
+		// (within the first 50k steps) that any real kernel run hits it.
+		after := 1 + inj.hash(key+"\x00site")%50_000
+		return Decision{Kind: KindTrap, TrapAfter: after}
+	}
+	return Decision{}
+}
+
+// hash is FNV-64a over the seed and key, with a splitmix64 finalizer —
+// FNV's high bits are visibly biased across similar keys, and the roll
+// in decide uses exactly those bits.
+func (inj *Injector) hash(key string) uint64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	for i := range seed {
+		seed[i] = byte(uint64(inj.seed) >> (8 * i))
+	}
+	h.Write(seed[:])
+	h.Write([]byte(key))
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stats returns a snapshot of the injector's activity counters.
+func (inj *Injector) Stats() Stats {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.stats
+}
+
+// ArmWorld arms fault injection on one rank's machine of an MPI run
+// (mpi.RunWorldArmed's hook): at the trap rate, deterministically per
+// (seed, key, rank), the rank is armed to trap mid-run — the departing
+// rank then drives the communicator's abort/rank-departure semantics
+// (collective mismatches, receives from departed ranks) while the
+// surviving ranks fail cleanly instead of deadlocking.
+func (inj *Injector) ArmWorld(key string, rank int, m *vm.Machine) {
+	d := inj.decide(fmt.Sprintf("%s\x00rank%d", key, rank), 0)
+	inj.mu.Lock()
+	inj.stats.Decisions++
+	if d.Kind == KindTrap {
+		inj.stats.Traps++
+	}
+	inj.mu.Unlock()
+	if d.Kind == KindTrap {
+		m.InjectTrapAfter(d.TrapAfter)
+	}
+}

@@ -1,0 +1,114 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	a := New(42, Rates{Panic: 0.25, Hang: 0.25, Flaky: 0.25, Trap: 0.25}, time.Millisecond)
+	b := New(42, Rates{Panic: 0.25, Hang: 0.25, Flaky: 0.25, Trap: 0.25}, time.Millisecond)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("piece-%d", i)
+		da, db := a.Decide(key, 0), b.Decide(key, 0)
+		if da != db {
+			t.Fatalf("key %q: decisions differ: %+v vs %+v", key, da, db)
+		}
+		// Replays of the same (key, attempt) must also agree.
+		if da2 := a.Decide(key, 0); da2 != da {
+			t.Fatalf("key %q: replay differs: %+v vs %+v", key, da2, da)
+		}
+	}
+}
+
+func TestDecideOnlyFaultsFirstAttempt(t *testing.T) {
+	inj := New(7, Rates{Panic: 1}, 0)
+	if d := inj.Decide("k", 0); d.Kind != KindPanic {
+		t.Fatalf("attempt 0 at rate 1.0 not faulted: %+v", d)
+	}
+	for attempt := 1; attempt < 5; attempt++ {
+		if d := inj.Decide("k", attempt); d.Kind != KindNone {
+			t.Errorf("attempt %d faulted: %+v — retries must run clean", attempt, d)
+		}
+	}
+}
+
+func TestDecideRatesRoughlyHold(t *testing.T) {
+	inj := New(1234, Rates{Panic: 0.1, Hang: 0.1, Flaky: 0.1, Trap: 0.1}, 0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		inj.Decide(fmt.Sprintf("eval-%d", i), 0)
+	}
+	s := inj.Stats()
+	if s.Decisions != n {
+		t.Fatalf("decisions = %d, want %d", s.Decisions, n)
+	}
+	check := func(name string, got int, rate float64) {
+		want := rate * n
+		if float64(got) < want*0.7 || float64(got) > want*1.3 {
+			t.Errorf("%s = %d, want within 30%% of %.0f", name, got, want)
+		}
+	}
+	check("panics", s.Panics, 0.1)
+	check("hangs", s.Hangs, 0.1)
+	check("flakes", s.Flakes, 0.1)
+	check("traps", s.Traps, 0.1)
+	if s.Total() != s.Panics+s.Hangs+s.Flakes+s.Traps {
+		t.Error("Total does not sum the kinds")
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	rates := Rates{Panic: 0.5, Flaky: 0.5}
+	a, b := New(1, rates, 0), New(2, rates, 0)
+	differ := false
+	for i := 0; i < 64 && !differ; i++ {
+		key := fmt.Sprintf("k%d", i)
+		differ = a.Decide(key, 0) != b.Decide(key, 0)
+	}
+	if !differ {
+		t.Error("seeds 1 and 2 produced identical schedules over 64 keys")
+	}
+}
+
+func TestTrapDecisionsCarrySite(t *testing.T) {
+	inj := New(99, Rates{Trap: 1}, 0)
+	d := inj.Decide("some-eval", 0)
+	if d.Kind != KindTrap {
+		t.Fatalf("kind = %v, want trap", d.Kind)
+	}
+	if d.TrapAfter == 0 || d.TrapAfter > 50_000 {
+		t.Errorf("TrapAfter = %d, want in [1, 50000]", d.TrapAfter)
+	}
+	if d2 := inj.Decide("some-eval", 0); d2.TrapAfter != d.TrapAfter {
+		t.Error("trap site not deterministic")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	inj := New(0, Rates{}, 0)
+	if inj.rates != DefaultRates {
+		t.Errorf("zero rates did not default: %+v", inj.rates)
+	}
+	if inj.stall != DefaultStall {
+		t.Errorf("zero stall did not default: %v", inj.stall)
+	}
+	if inj.Seed() != 0 {
+		t.Errorf("Seed() = %d", inj.Seed())
+	}
+	hangs := New(5, Rates{Hang: 1}, 0)
+	if d := hangs.Decide("x", 0); d.Kind != KindHang || d.StallFor != DefaultStall {
+		t.Errorf("hang decision = %+v, want default stall", d)
+	}
+}
+
+func TestInjectedPanicValue(t *testing.T) {
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		panic(Injected{Key: "k", Attempt: 0})
+	}()
+	if _, ok := caught.(Injected); !ok {
+		t.Fatalf("recovered %T, want Injected", caught)
+	}
+}

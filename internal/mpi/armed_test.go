@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"fpmix/internal/faultinject"
+	"fpmix/internal/hl"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// spinProgram: every rank spins through a long empty loop (plenty of steps
+// for an injected trap to land in), then joins a one-element allreduce;
+// rank 0 outputs the total.
+func spinProgram(t *testing.T) *prog.Module {
+	t.Helper()
+	p := hl.New("spin", hl.ModeF64)
+	buf := p.Array("buf", 1)
+	rank := p.Int("rank")
+	i := p.Int("i")
+	f := p.Func("main")
+	f.MPIRank(rank)
+	f.Store(buf, hl.IConst(0), hl.FromInt(hl.IAdd(hl.ILoad(rank), hl.IConst(1))))
+	f.For(i, hl.IConst(0), hl.IConst(100_000), func() {})
+	f.MPIAllreduceSum(buf, hl.IConst(1))
+	f.If(hl.IEq(hl.ILoad(rank), hl.IConst(0)), func() {
+		f.Out(hl.At(buf, hl.IConst(0)))
+	}, nil)
+	f.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunWorldArmedRankDeath(t *testing.T) {
+	// Arm rank 1 to trap mid-loop. It departs before reaching the
+	// allreduce; the surviving ranks must observe the collective failing
+	// (departed peer / abort) rather than deadlocking, and the world
+	// surfaces an error.
+	mod := spinProgram(t)
+	_, err := RunWorldArmed(mod, 4, 0, func(rank int, m *vm.Machine) {
+		if rank == 1 {
+			m.InjectTrapAfter(100)
+		}
+	})
+	if err == nil {
+		t.Fatal("world with a departed rank reported success")
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Errorf("error does not name a rank: %v", err)
+	}
+}
+
+func TestRunWorldArmedInjector(t *testing.T) {
+	// At trap rate 1 every rank is armed; all trap inside the spin loop
+	// (every injected site is within the first 50k steps) and the world
+	// aborts with injected-trap errors instead of hanging.
+	inj := faultinject.New(11, faultinject.Rates{Trap: 1}, 0)
+	mod := spinProgram(t)
+	_, err := RunWorldArmed(mod, 4, 0, func(rank int, m *vm.Machine) {
+		inj.ArmWorld("spin-eval", rank, m)
+	})
+	if err == nil {
+		t.Fatal("fully armed world reported success")
+	}
+	if !strings.Contains(err.Error(), "injected trap") {
+		t.Errorf("error does not surface the injected trap: %v", err)
+	}
+	if got := inj.Stats().Traps; got != 4 {
+		t.Errorf("injector armed %d ranks, want 4", got)
+	}
+}
+
+func TestRunWorldArmedNilHookMatchesRunWorld(t *testing.T) {
+	machines, err := RunWorldArmed(sumProgram(t), 4, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := machines[0].Out[0].F64(); got != 10 {
+		t.Errorf("sum = %v, want 10", got)
+	}
+}

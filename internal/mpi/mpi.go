@@ -395,6 +395,16 @@ type RunResult struct {
 // RunWorld executes the module on size ranks concurrently and returns the
 // per-rank machines. It fails if any rank faults.
 func RunWorld(mod *prog.Module, size int, maxSteps uint64) ([]*vm.Machine, error) {
+	return RunWorldArmed(mod, size, maxSteps, nil)
+}
+
+// RunWorldArmed is RunWorld with a per-rank arming hook, called on each
+// rank's machine after setup and before it starts executing. Fault
+// injectors use it to arm deterministic mid-run traps on chosen ranks
+// (faultinject.Injector.ArmWorld); a departing rank then exercises the
+// communicator's failure semantics — surviving ranks observe collective
+// mismatches and departed-peer errors instead of deadlocking.
+func RunWorldArmed(mod *prog.Module, size int, maxSteps uint64, arm func(rank int, m *vm.Machine)) ([]*vm.Machine, error) {
 	w := NewWorld(size)
 	machines := make([]*vm.Machine, size)
 	results := make(chan RunResult, size)
@@ -405,6 +415,9 @@ func RunWorld(mod *prog.Module, size int, maxSteps uint64) ([]*vm.Machine, error
 		}
 		m.MaxSteps = maxSteps
 		m.Host = w.Rank(i)
+		if arm != nil {
+			arm(i, m)
+		}
 		machines[i] = m
 		go func(rank int, m *vm.Machine) {
 			err := m.Run()

@@ -1,0 +1,142 @@
+package search
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// journalMagic heads every checkpoint file, followed by the caller's
+// fingerprint of the search being journaled (benchmark, class,
+// granularity…). Resume refuses a journal whose fingerprint does not
+// match: verdicts are only replayable into the same search.
+const journalMagic = "fpmix-checkpoint v1"
+
+// Journal is an append-only checkpoint of settled evaluation verdicts.
+// Each evaluated piece appends one line — the hex image of its address
+// set key and its verdict — flushed as it settles, so a search killed at
+// any point leaves a journal of everything it decided. Resuming replays
+// those verdicts (Provenance ProvCheckpoint) instead of re-evaluating:
+// the queue trajectory is deterministic given the verdicts, so the
+// resumed search reaches a final configuration byte-identical to an
+// uninterrupted run's.
+//
+// Only evaluated settles are journaled. Pruned, predicted and memo
+// verdicts are recomputed on resume (they are deterministic and free),
+// and the final-union evaluation is re-run so a resumed search re-checks
+// composition.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	prior map[string]bool
+}
+
+// NewJournal creates (or truncates) a checkpoint at path for a search
+// with the given fingerprint.
+func NewJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(f, "%s %s\n", journalMagic, fingerprint); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, prior: make(map[string]bool)}, nil
+}
+
+// ResumeJournal opens an existing checkpoint, validates its fingerprint,
+// loads every complete verdict line, and truncates a partial trailing
+// line (the write the dying process did not finish). The journal is then
+// ready for both replay and further appends.
+func ResumeJournal(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("search: checkpoint %s: unreadable header: %w", path, err)
+	}
+	want := fmt.Sprintf("%s %s", journalMagic, fingerprint)
+	if strings.TrimSuffix(header, "\n") != want {
+		f.Close()
+		return nil, fmt.Errorf("search: checkpoint %s is for %q, not %q",
+			path, strings.TrimSuffix(header, "\n"), want)
+	}
+	prior := make(map[string]bool)
+	good := int64(len(header)) // offset past the last complete, valid line
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil || !strings.HasSuffix(line, "\n") {
+			break // EOF or a torn final write: truncate it away
+		}
+		hexKey, verdict, ok := strings.Cut(strings.TrimSuffix(line, "\n"), " ")
+		if !ok || (verdict != "pass" && verdict != "fail") {
+			break
+		}
+		key, err := hex.DecodeString(hexKey)
+		if err != nil {
+			break
+		}
+		prior[string(key)] = verdict == "pass"
+		good += int64(len(line))
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Journal{f: f, prior: prior}, nil
+}
+
+// Prior is the number of verdicts loaded from an existing checkpoint.
+func (j *Journal) Prior() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.prior)
+}
+
+// Close releases the journal file. The search closes the journal it was
+// handed; callers only Close on paths where Run was never reached.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// lookup replays a verdict journaled by a prior process (loaded at
+// ResumeJournal). Verdicts recorded in the current run are deliberately
+// not consulted: in-run duplicates are the memo table's job, so Resumed
+// counts exactly the work inherited from the interrupted search.
+func (j *Journal) lookup(key string) (pass, ok bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pass, ok = j.prior[key]
+	return pass, ok
+}
+
+// record appends one settled verdict, flushed to the file immediately.
+func (j *Journal) record(key string, pass bool) error {
+	verdict := "fail"
+	if pass {
+		verdict = "pass"
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := fmt.Fprintf(j.f, "%s %s\n", hex.EncodeToString([]byte(key)), verdict)
+	return err
+}

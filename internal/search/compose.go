@@ -65,12 +65,12 @@ func Compose(t Target, res *Result) (*ComposeResult, error) {
 		}
 		cr.Dropped = append(cr.Dropped, p)
 		eff := cfg.Effective()
-		pass, err := ev.evaluate(eff)
+		out, err := ev.evaluate(evalRequest{eff: eff})
 		if err != nil {
 			return nil, err
 		}
 		cr.Tested++
-		if pass {
+		if out.pass {
 			cr.Config = cfg
 			cr.Pass = true
 			cr.Stats = replace.ComputeStats(t.Module, eff, res.Profile)

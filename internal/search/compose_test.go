@@ -89,11 +89,11 @@ func TestComposeRecoversPassingSubset(t *testing.T) {
 	}
 	// The composed configuration really passes (checked via the fallback
 	// pipeline, independently of the engine Compose used).
-	pass, err := legacyEvaluator{t: tgt}.evaluate(cr.Config.Effective())
+	out, err := legacyEvaluator{t: tgt}.evaluate(evalRequest{eff: cr.Config.Effective()})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !pass {
+	if !out.pass {
 		t.Error("composed configuration does not verify")
 	}
 }

@@ -1,7 +1,9 @@
 package search
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"sort"
 	"sync"
 
@@ -30,11 +32,53 @@ const (
 	EngineOff
 )
 
-// evaluator runs one configuration, given the full effective-precision
-// map, and reports whether it passes the target's verification routine.
-// Implementations must be safe for concurrent use by the worker pool.
+// evalRequest is one evaluation of a configuration.
+type evalRequest struct {
+	// eff is the full effective-precision map to instrument with.
+	eff map[uint64]config.Precision
+	// ctx, when non-nil, bounds the run: cancellation stops the machine
+	// with a vm.FaultCancelled reported in the outcome.
+	ctx context.Context
+	// trapAfter, when >0, arms an injected vm trap at that executed-step
+	// count (fault injection drives this; runs shorter than the site
+	// complete clean).
+	trapAfter uint64
+}
+
+// outcome is an evaluation's verdict. A faulted run (NaN-driven
+// divergence, runaway loop, cancellation, injected trap) is a failing
+// verdict with the fault attached, not a search error.
+type outcome struct {
+	pass  bool
+	fault *vm.Fault
+}
+
+// evaluator runs one configuration and reports whether it passes the
+// target's verification routine. Implementations must be safe for
+// concurrent use by the worker pool.
 type evaluator interface {
-	evaluate(eff map[uint64]config.Precision) (bool, error)
+	evaluate(req evalRequest) (outcome, error)
+}
+
+// finish maps a completed machine run to an outcome: faults become
+// failing verdicts carrying the fault, clean runs are verified.
+func finish(t Target, m *vm.Machine, err error) (outcome, error) {
+	if err != nil {
+		var f *vm.Fault
+		if errors.As(err, &f) {
+			return outcome{fault: f}, nil
+		}
+		return outcome{}, err
+	}
+	return outcome{pass: t.Verify(m.Out)}, nil
+}
+
+// runMachine runs m under the request's cancellation bound, if any.
+func runMachine(m *vm.Machine, req evalRequest) error {
+	if req.ctx != nil {
+		return m.RunContext(req.ctx)
+	}
+	return m.Run()
 }
 
 // newEvaluator builds the backend selected by mode.
@@ -49,22 +93,20 @@ func newEvaluator(t Target, mode EngineMode) (evaluator, error) {
 // layout and a fresh machine per evaluation.
 type legacyEvaluator struct{ t Target }
 
-func (e legacyEvaluator) evaluate(eff map[uint64]config.Precision) (bool, error) {
-	inst, err := replace.InstrumentMap(e.t.Module, eff, e.t.InstOpts)
+func (e legacyEvaluator) evaluate(req evalRequest) (outcome, error) {
+	inst, err := replace.InstrumentMap(e.t.Module, req.eff, e.t.InstOpts)
 	if err != nil {
-		return false, err
+		return outcome{}, err
 	}
 	m, err := vm.New(inst)
 	if err != nil {
-		return false, err
+		return outcome{}, err
 	}
 	m.MaxSteps = e.t.MaxSteps
-	if err := m.Run(); err != nil {
-		// Traps (NaN-driven divergence, runaway loops) are verification
-		// failures, not search errors.
-		return false, nil
+	if req.trapAfter > 0 {
+		m.InjectTrapAfter(req.trapAfter)
 	}
-	return e.t.Verify(m.Out), nil
+	return finish(e.t, m, runMachine(m, req))
 }
 
 // engine is the cached evaluation backend. It holds the per-instruction
@@ -86,23 +128,24 @@ func newEngine(t Target) (*engine, error) {
 	return e, nil
 }
 
-func (e *engine) evaluate(eff map[uint64]config.Precision) (bool, error) {
-	inst, err := e.snips.Instrument(eff)
+func (e *engine) evaluate(req evalRequest) (outcome, error) {
+	inst, err := e.snips.Instrument(req.eff)
 	if err != nil {
-		return false, err
+		return outcome{}, err
 	}
 	lp, err := vm.Link(inst)
 	if err != nil {
-		return false, err
+		return outcome{}, err
 	}
 	m := e.pool.Get().(*vm.Machine)
 	defer e.pool.Put(m)
 	m.ResetTo(lp)
 	m.MaxSteps = e.t.MaxSteps
-	if err := m.Run(); err != nil {
-		return false, nil // traps are verification failures
+	if req.trapAfter > 0 {
+		// After ResetTo: the reset disarms any previously armed trap.
+		m.InjectTrapAfter(req.trapAfter)
 	}
-	return e.t.Verify(m.Out), nil
+	return finish(e.t, m, runMachine(m, req))
 }
 
 // effFor expands a piece's address set into the full effective-precision

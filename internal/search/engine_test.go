@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"fpmix/internal/config"
 	"fpmix/internal/hl"
 	"fpmix/internal/kernels"
 	"fpmix/internal/prog"
@@ -145,15 +144,16 @@ type scriptedEval struct {
 	verdict []func() (bool, error)
 }
 
-func (s *scriptedEval) evaluate(map[uint64]config.Precision) (bool, error) {
+func (s *scriptedEval) evaluate(evalRequest) (outcome, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.n >= len(s.verdict) {
-		return false, errEvalBoom
+		return outcome{}, errEvalBoom
 	}
 	v := s.verdict[s.n]
 	s.n++
-	return v()
+	pass, err := v()
+	return outcome{pass: pass}, err
 }
 
 // TestRunPartialResultOnError drives Run into an evaluation error after a

@@ -1,0 +1,424 @@
+package search
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fpmix/internal/faultinject"
+	"fpmix/internal/kernels"
+	"fpmix/internal/vm"
+)
+
+// chaosRates fault aggressively (~60% of first attempts) so even small
+// search trees absorb injections.
+var chaosRates = faultinject.Rates{Panic: 0.15, Hang: 0.15, Flaky: 0.15, Trap: 0.15}
+
+// TestChaosFinalByteIdentical is the core robustness property: a search
+// under seeded fault injection settles every verdict exactly as the
+// fault-free search does, so the final configuration is byte-identical.
+func TestChaosFinalByteIdentical(t *testing.T) {
+	m := mixedProgram(t)
+	tgt := Target{Module: m, Verify: refVerify(t, m, 1e-10)}
+	clean, err := Run(tgt, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injectedTotal := 0
+	for _, seed := range []int64{1, 2, 3} {
+		inj := faultinject.New(seed, chaosRates, 5*time.Millisecond)
+		res, err := Run(tgt, Options{
+			Workers: 4,
+			Chaos:   inj,
+			Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Final.String() != clean.Final.String() {
+			t.Errorf("seed %d: final configuration differs from the fault-free run", seed)
+		}
+		if res.FinalPass != clean.FinalPass {
+			t.Errorf("seed %d: FinalPass = %v, clean %v", seed, res.FinalPass, clean.FinalPass)
+		}
+		if res.Tested != clean.Tested {
+			t.Errorf("seed %d: Tested = %d, clean %d", seed, res.Tested, clean.Tested)
+		}
+		if res.Injected > 0 && res.Retried == 0 {
+			t.Errorf("seed %d: %d injections healed with no retries counted", seed, res.Injected)
+		}
+		injectedTotal += res.Injected
+	}
+	if injectedTotal == 0 {
+		t.Error("no faults injected across three seeds at ~60% rates")
+	}
+}
+
+// panicEval panics on chosen call numbers and otherwise delegates to a
+// verdict schedule, emulating a buggy evaluation pipeline.
+type panicEval struct {
+	mu      sync.Mutex
+	n       int
+	panicOn map[int]bool
+	verdict func(n int) bool
+}
+
+func (s *panicEval) evaluate(evalRequest) (outcome, error) {
+	s.mu.Lock()
+	n := s.n
+	s.n++
+	s.mu.Unlock()
+	if s.panicOn[n] {
+		panic("evaluation pipeline bug")
+	}
+	return outcome{pass: s.verdict(n)}, nil
+}
+
+func TestRealPanicSettlesAsCrash(t *testing.T) {
+	m := mixedProgram(t)
+	v := refVerify(t, m, 1e-10)
+	// Call 0 is the module root: it panics. The search must survive,
+	// settle the root as crashed (a fail), and keep searching its
+	// children, which all pass here.
+	stub := &panicEval{panicOn: map[int]bool{0: true}, verdict: func(int) bool { return true }}
+	res, err := Run(Target{Module: m, Verify: v}, Options{Workers: 2, testEval: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Crashed != 1 {
+		t.Fatalf("Crashed = %d, want 1", res.Crashed)
+	}
+	var crash *Eval
+	for i := range res.Evals {
+		if res.Evals[i].Failure == FailCrash {
+			crash = &res.Evals[i]
+		}
+	}
+	if crash == nil {
+		t.Fatal("no Eval records the crash")
+	}
+	if crash.Pass || crash.Prov != ProvEvaluated {
+		t.Error("crash recorded as something other than an evaluated fail")
+	}
+	if !strings.Contains(crash.Stack, "evaluation pipeline bug") ||
+		!strings.Contains(crash.Stack, "goroutine") {
+		t.Error("crash record carries no panic value / stack trace")
+	}
+	if !res.FinalPass {
+		t.Error("search did not recover: final union should pass")
+	}
+}
+
+// hangEval blocks until the request's context is cancelled, then reports
+// the cancellation fault — the way a real machine run behaves under the
+// per-evaluation timeout.
+type hangEval struct {
+	mu     sync.Mutex
+	n      int
+	hangOn map[int]bool
+}
+
+func (s *hangEval) evaluate(req evalRequest) (outcome, error) {
+	s.mu.Lock()
+	n := s.n
+	s.n++
+	s.mu.Unlock()
+	if s.hangOn[n] {
+		<-req.ctx.Done()
+		return outcome{fault: &vm.Fault{Kind: vm.FaultCancelled}}, nil
+	}
+	return outcome{pass: true}, nil
+}
+
+func TestTimeoutSettlesAsFail(t *testing.T) {
+	m := mixedProgram(t)
+	v := refVerify(t, m, 1e-10)
+	stub := &hangEval{hangOn: map[int]bool{0: true}}
+	res, err := Run(Target{Module: m, Verify: v}, Options{
+		Workers: 2, Timeout: 20 * time.Millisecond, testEval: stub,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut != 1 {
+		t.Fatalf("TimedOut = %d, want 1", res.TimedOut)
+	}
+	var timedOut *Eval
+	for i := range res.Evals {
+		if res.Evals[i].Failure == FailTimeout {
+			timedOut = &res.Evals[i]
+		}
+	}
+	if timedOut == nil {
+		t.Fatal("no Eval records the timeout")
+	}
+	if timedOut.Fault == nil || timedOut.Fault.Kind != vm.FaultCancelled {
+		t.Error("timeout record carries no cancellation fault")
+	}
+	if !res.FinalPass {
+		t.Error("search did not recover from the hung evaluation")
+	}
+}
+
+// TestVerifierNondeterminismFlagged drives a fail-then-pass disagreement
+// through the confirmation retry and checks the pass wins and the piece
+// is flagged.
+func TestVerifierNondeterminismFlagged(t *testing.T) {
+	m := mixedProgram(t)
+	v := refVerify(t, m, 1e-10)
+	// Call 0 (module root, attempt 0) fails; call 1 is its confirmation
+	// re-run and passes: a nondeterministic verifier.
+	flaky := &panicEval{panicOn: nil, verdict: func(n int) bool { return n != 0 }}
+	res, err := Run(Target{Module: m, Verify: v},
+		Options{Workers: 1, Retries: 2, testEval: flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nondeterministic) != 1 {
+		t.Fatalf("Nondeterministic = %v, want exactly the root piece", res.Nondeterministic)
+	}
+	// The pass won: the root settles pass, so the search never descends.
+	if len(res.Passing) != 1 {
+		t.Errorf("passing pieces = %d, want 1 (the root)", len(res.Passing))
+	}
+	if res.Retried == 0 {
+		t.Error("confirmation re-run not counted as a retry")
+	}
+}
+
+// cancelEval cancels the search's own context during the first
+// evaluation, emulating a SIGINT landing mid-search.
+type cancelEval struct {
+	cancel context.CancelFunc
+	mu     sync.Mutex
+	n      int
+}
+
+func (s *cancelEval) evaluate(evalRequest) (outcome, error) {
+	s.mu.Lock()
+	n := s.n
+	s.n++
+	s.mu.Unlock()
+	if n == 0 {
+		s.cancel()
+		// The root's verdict still completes: interrupts keep finished
+		// work.
+		return outcome{pass: false}, nil
+	}
+	return outcome{pass: true}, nil
+}
+
+func TestInterruptReturnsBestSoFar(t *testing.T) {
+	m := mixedProgram(t)
+	v := refVerify(t, m, 1e-10)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stub := &cancelEval{cancel: cancel}
+	res, err := Run(Target{Module: m, Verify: v},
+		Options{Workers: 1, Context: ctx, testEval: stub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled search not marked Interrupted")
+	}
+	if res.Final == nil {
+		t.Fatal("interrupted search returned no best-so-far configuration")
+	}
+	if res.FinalPass {
+		t.Error("interrupted search cannot have verified its final union")
+	}
+	if res.Tested != 1 {
+		t.Errorf("Tested = %d, want 1 (the root, settled before the interrupt)", res.Tested)
+	}
+	// The last Eval must not be a final-union run.
+	if n := len(res.Evals); n > 0 && res.Evals[n-1].Label == "final union" {
+		t.Error("interrupted search evaluated the final union")
+	}
+}
+
+func TestInterruptBeforeStart(t *testing.T) {
+	m := mixedProgram(t)
+	v := refVerify(t, m, 1e-10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(Target{Module: m, Verify: v}, Options{Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.Tested != 0 {
+		t.Errorf("pre-cancelled search: Interrupted=%v Tested=%d, want true/0",
+			res.Interrupted, res.Tested)
+	}
+}
+
+// truncateJournal rewrites path keeping the header and the first half of
+// the verdict lines, plus a torn partial line, simulating a process
+// killed mid-write.
+func truncateJournal(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// lines: header, verdicts..., trailing "".
+	verdicts := len(lines) - 2
+	if verdicts < 2 {
+		t.Fatalf("journal too small to truncate meaningfully (%d verdicts)", verdicts)
+	}
+	keep := strings.Join(lines[:1+verdicts/2], "")
+	keep += "deadbeef pa" // torn final write
+	if err := os.WriteFile(path, []byte(keep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	m := mixedProgram(t)
+	tgt := Target{Module: m, Verify: refVerify(t, m, 1e-10)}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+
+	jr, err := NewJournal(path, "mixed gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(tgt, Options{Workers: 2, Checkpoint: jr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	if full.Resumed != 0 {
+		t.Errorf("fresh journal replayed %d verdicts", full.Resumed)
+	}
+
+	truncateJournal(t, path)
+	re, err := ResumeJournal(path, "mixed gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Prior() == 0 {
+		t.Fatal("resume loaded no prior verdicts")
+	}
+	resumed, err := Run(tgt, Options{Workers: 2, Checkpoint: re})
+	re.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 {
+		t.Error("resumed search replayed no checkpointed verdicts")
+	}
+	if resumed.Tested >= full.Tested {
+		t.Errorf("resume re-evaluated everything: Tested %d vs %d", resumed.Tested, full.Tested)
+	}
+	if resumed.Final.String() != full.Final.String() {
+		t.Error("resumed final configuration differs from the uninterrupted run")
+	}
+	if resumed.FinalPass != full.FinalPass {
+		t.Error("resumed final verdict differs")
+	}
+
+	// A journal from a different search must be refused.
+	if _, err := ResumeJournal(path, "other gran=func"); err == nil {
+		t.Error("fingerprint mismatch accepted")
+	}
+}
+
+// kernelTarget adapts a NAS kernel to a search target.
+func kernelTarget(t *testing.T, name string) Target {
+	t.Helper()
+	bench, err := kernels.Get(name, kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Target{
+		Module:   bench.Module,
+		Verify:   bench.Verify,
+		MaxSteps: bench.MaxSteps,
+		Base:     bench.Base,
+	}
+}
+
+// TestChaosKernels checks the acceptance property on real kernels: with
+// panics, hangs, flaky verdicts and traps injected into ≥5% of
+// evaluations, the search completes with a final configuration
+// byte-identical to the fault-free run's.
+func TestChaosKernels(t *testing.T) {
+	names := []string{"ep", "mg"}
+	if !testing.Short() {
+		names = append(names, "lu")
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			tgt := kernelTarget(t, name)
+			opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
+			clean, err := Run(tgt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chaotic := opts
+			chaotic.Chaos = faultinject.New(42, faultinject.DefaultRates, 5*time.Millisecond)
+			chaotic.Backoff = time.Millisecond
+			res, err := Run(tgt, chaotic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Final.String() != clean.Final.String() {
+				t.Error("chaos changed the final configuration")
+			}
+			if res.FinalPass != clean.FinalPass {
+				t.Errorf("chaos changed the final verdict: %v vs %v", res.FinalPass, clean.FinalPass)
+			}
+			t.Logf("%s: %d injected faults healed by %d retries over %d evaluations",
+				name, res.Injected, res.Retried, res.Tested)
+		})
+	}
+}
+
+// TestCheckpointKernelRoundTrip kills a kernel search "mid-run" (by
+// truncating its journal) and checks resuming reaches a byte-identical
+// final configuration.
+func TestCheckpointKernelRoundTrip(t *testing.T) {
+	tgt := kernelTarget(t, "ep")
+	path := filepath.Join(t.TempDir(), "ep.ckpt")
+	opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
+
+	jr, err := NewJournal(path, "ep.W gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(tgt, withJournal(opts, jr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+
+	truncateJournal(t, path)
+	re, err := ResumeJournal(path, "ep.W gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(tgt, withJournal(opts, re))
+	re.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 {
+		t.Error("kernel resume replayed nothing")
+	}
+	if resumed.Final.String() != full.Final.String() {
+		t.Error("kernel resume changed the final configuration")
+	}
+	if resumed.FinalPass != full.FinalPass {
+		t.Error("kernel resume changed the final verdict")
+	}
+}
+
+func withJournal(opts Options, jr *Journal) Options {
+	opts.Checkpoint = jr
+	return opts
+}

@@ -13,12 +13,14 @@ package search
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"fpmix/internal/config"
 	"fpmix/internal/dataflow"
+	"fpmix/internal/faultinject"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
 	"fpmix/internal/shadow"
@@ -88,6 +90,35 @@ type Options struct {
 	// (ordering still applies).
 	SensThreshold float64
 
+	// Context, when non-nil, bounds the whole search: on cancellation
+	// in-flight evaluations stop, no new ones launch, and Run returns the
+	// best-so-far configuration with Result.Interrupted set (and a nil
+	// error — an interrupt is an outcome, not a failure).
+	Context context.Context
+	// Timeout is the per-evaluation wall-clock bound (0 = none). A run
+	// exceeding it settles as a deterministic FailTimeout verdict.
+	Timeout time.Duration
+	// Retries is the per-evaluation budget for retrying transient faults
+	// (injected infrastructure failures, plus one confirmation re-run of
+	// any failing verification verdict). Defaults to 3 when Chaos is
+	// armed, else 0 — with 0 retries every verdict settles on its first
+	// attempt, preserving baseline evaluation counts exactly.
+	Retries int
+	// Backoff is the initial delay between retries, doubling per retry
+	// (default 25ms).
+	Backoff time.Duration
+	// Chaos arms deterministic fault injection on every evaluation: at
+	// the injector's seeded rates, first attempts panic, hang, flip
+	// passing verdicts or trap mid-run. Because only first attempts are
+	// ever faulted, retries settle every verdict exactly as a fault-free
+	// search would — chaos changes the road, never the destination.
+	Chaos *faultinject.Injector
+	// Checkpoint, when non-nil, journals every evaluated verdict as it
+	// settles and replays journaled verdicts instead of re-evaluating, so
+	// an interrupted search resumes where it died (fpsearch -checkpoint /
+	// -resume).
+	Checkpoint *Journal
+
 	// testEval, when set by in-package tests, overrides the evaluation
 	// backend entirely.
 	testEval evaluator
@@ -155,6 +186,8 @@ const (
 	ProvPruned
 	// ProvPredicted: failed by the sensitivity gate without a run.
 	ProvPredicted
+	// ProvCheckpoint: replayed from a resumed checkpoint journal.
+	ProvCheckpoint
 )
 
 func (p Provenance) String() string {
@@ -167,6 +200,8 @@ func (p Provenance) String() string {
 		return "pruned"
 	case ProvPredicted:
 		return "predicted"
+	case ProvCheckpoint:
+		return "checkpoint"
 	default:
 		return "provenance?"
 	}
@@ -183,6 +218,19 @@ type Eval struct {
 	Pass  bool
 	Prov  Provenance
 	Wall  time.Duration
+
+	// Failure classifies a failing verdict (FailNone on a pass); Fault
+	// carries the vm fault — kind and PC — that decided a FailTrap or
+	// FailTimeout, and Stack the recovered goroutine stack of a
+	// FailCrash.
+	Failure Failure
+	Fault   *vm.Fault
+	Stack   string
+	// Attempts is how many evaluation runs the verdict took (1 when
+	// nothing was injected or confirmed); Nondet flags a verifier that
+	// returned disagreeing verdicts across them (the pass won).
+	Attempts int
+	Nondet   bool
 }
 
 // Result summarizes a completed search.
@@ -221,6 +269,21 @@ type Result struct {
 	Evals []Eval
 	// Passing lists the coarsest-granularity pieces that passed.
 	Passing []*Piece
+	// Crashed and TimedOut count evaluations settled as FailCrash /
+	// FailTimeout; Retried counts retry attempts spent on transient
+	// faults and verdict confirmations; Injected counts injected faults
+	// absorbed under chaos.
+	Crashed, TimedOut, Retried, Injected int
+	// Nondeterministic lists the pieces whose verifier returned
+	// disagreeing verdicts across attempts (the pass was kept).
+	Nondeterministic []string
+	// Resumed is the number of verdicts replayed from a checkpoint
+	// journal instead of re-evaluated.
+	Resumed int
+	// Interrupted reports the search was cancelled through
+	// Options.Context: Final is the best-so-far union of the pieces that
+	// had settled (never verified as a whole, so FinalPass is false).
+	Interrupted bool
 	// Stats carries the static/dynamic replacement percentages of Final.
 	Stats replace.Stats
 	// Profile is the uninstrumented execution profile used for weighting.
@@ -245,6 +308,16 @@ func Run(t Target, opts Options) (*Result, error) {
 	}
 	if opts.Granularity == config.KindModule {
 		opts.Granularity = config.KindInsn
+	}
+	if opts.Chaos != nil && opts.Retries == 0 {
+		// Chaos without a retry budget could never terminate cleanly;
+		// injected faults are healed by retries (and only first attempts
+		// are faulted, so 1 would do — 3 leaves slack for real flakes).
+		opts.Retries = 3
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	base := t.Base
@@ -352,12 +425,20 @@ func Run(t Target, opts Options) (*Result, error) {
 	heap.Init(q)
 	heap.Push(q, root)
 
+	// The settler wraps every evaluation with the failure model: panic
+	// recovery, the per-attempt wall-clock bound, and bounded retry of
+	// transient (injected) faults — see robust.go.
+	st := &settler{
+		ev: ev, ignored: ignored, ctx: ctx,
+		timeout: opts.Timeout, retries: opts.Retries,
+		backoff: opts.Backoff, chaos: opts.Chaos,
+	}
+	interrupted := func() bool { return ctx.Err() != nil }
+
 	type evalRes struct {
-		p    *Piece
-		key  string
-		pass bool
-		wall time.Duration
-		err  error
+		p   *Piece
+		key string
+		s   settled
 	}
 	results := make(chan evalRes)
 	inflight := 0
@@ -365,9 +446,7 @@ func Run(t Target, opts Options) (*Result, error) {
 	launch := func(p *Piece, key string) {
 		inflight++
 		go func() {
-			start := time.Now()
-			pass, err := ev.evaluate(effFor(p.Addrs, ignored))
-			results <- evalRes{p: p, key: key, pass: pass, wall: time.Since(start), err: err}
+			results <- evalRes{p: p, key: key, s: st.settle(effFor(p.Addrs, ignored), key)}
 		}()
 	}
 
@@ -375,6 +454,28 @@ func Run(t Target, opts Options) (*Result, error) {
 		res.Evals = append(res.Evals, Eval{
 			Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
 			Pass: pass, Prov: prov, Wall: wall,
+		})
+	}
+
+	// account folds a settled verdict's robustness metadata into the
+	// result and appends its full Eval record.
+	account := func(label string, kind config.Kind, insns int, s settled) {
+		res.Retried += s.retried
+		res.Injected += s.injected
+		switch s.failure {
+		case FailCrash:
+			res.Crashed++
+		case FailTimeout:
+			res.TimedOut++
+		}
+		if s.nondet {
+			res.Nondeterministic = append(res.Nondeterministic, label)
+		}
+		res.Evals = append(res.Evals, Eval{
+			Label: label, Kind: kind, Insns: insns,
+			Pass: s.pass, Prov: ProvEvaluated, Wall: s.wall,
+			Failure: s.failure, Fault: s.fault, Stack: s.stack,
+			Attempts: s.attempts, Nondet: s.nondet,
 		})
 	}
 
@@ -399,7 +500,7 @@ func Run(t Target, opts Options) (*Result, error) {
 	}
 
 	for q.Len() > 0 || inflight > 0 {
-		for q.Len() > 0 && inflight < opts.Workers {
+		for q.Len() > 0 && inflight < opts.Workers && !interrupted() {
 			p := heap.Pop(q).(*Piece)
 			if !opts.NoPrune && p.Weight == 0 {
 				// Entirely never-executed: pass by construction, no run.
@@ -422,9 +523,8 @@ func Run(t Target, opts Options) (*Result, error) {
 				apply(p, false)
 				continue
 			}
-			var key string
+			key := addrKey(p.Addrs)
 			if memo != nil {
-				key = addrKey(p.Addrs)
 				if pass, ok := memo[key]; ok {
 					res.MemoHits++
 					record(p, pass, ProvMemo, 0)
@@ -432,14 +532,30 @@ func Run(t Target, opts Options) (*Result, error) {
 					continue
 				}
 			}
+			if opts.Checkpoint != nil {
+				// After the memo: a journal verdict replays once, its
+				// in-run duplicates stay memo hits as in a fresh search.
+				if pass, ok := opts.Checkpoint.lookup(key); ok {
+					res.Resumed++
+					record(p, pass, ProvCheckpoint, 0)
+					if memo != nil {
+						memo[key] = pass
+					}
+					apply(p, pass)
+					continue
+				}
+			}
 			launch(p, key)
 		}
 		if inflight == 0 {
+			if interrupted() {
+				break
+			}
 			continue // memo replay may have emptied or refilled the queue
 		}
 		r := <-results
 		inflight--
-		if r.err != nil {
+		if r.s.err != nil {
 			// Drain outstanding workers, then surface the error alongside
 			// the partial result: pieces that already passed stay
 			// available to the caller instead of being discarded.
@@ -448,14 +564,30 @@ func Run(t Target, opts Options) (*Result, error) {
 				inflight--
 			}
 			sortPassing(res.Passing)
-			return res, r.err
+			return res, r.s.err
+		}
+		if r.s.interrupted {
+			// Cancelled before a verdict: the piece stays unsettled (and
+			// is never journaled). The launch gate is closed, so inflight
+			// drains and the loop exits.
+			continue
 		}
 		res.Tested++
 		if memo != nil {
-			memo[r.key] = r.pass
+			memo[r.key] = r.s.pass
 		}
-		record(r.p, r.pass, ProvEvaluated, r.wall)
-		apply(r.p, r.pass)
+		if opts.Checkpoint != nil {
+			if err := opts.Checkpoint.record(r.key, r.s.pass); err != nil {
+				for inflight > 0 {
+					<-results
+					inflight--
+				}
+				sortPassing(res.Passing)
+				return res, fmt.Errorf("search: checkpoint write: %w", err)
+			}
+		}
+		account(r.p.Label, r.p.Kind, len(r.p.Addrs), r.s)
+		apply(r.p, r.s.pass)
 	}
 
 	// Compose the final configuration: union of every passing piece.
@@ -483,22 +615,33 @@ func Run(t Target, opts Options) (*Result, error) {
 	res.Final = final
 
 	eff := final.Effective()
-	start := time.Now()
-	pass, err := ev.evaluate(eff)
-	if err != nil {
+	res.Stats = replace.ComputeStats(t.Module, eff, profile)
+	sortPassing(res.Passing)
+
+	if interrupted() {
+		// Cancelled: Final is the best-so-far union of the pieces that
+		// settled before the interrupt. It was never verified as a whole
+		// (FinalPass stays false) — an interrupt is an outcome, not an
+		// error.
+		res.Interrupted = true
+		return res, nil
+	}
+
+	// The final-union run goes through the settler too, so a crash or
+	// injected fault there is recovered like any other evaluation. Its
+	// verdict is never journaled: a resumed search re-checks composition.
+	fs := st.settle(eff, "final union")
+	if fs.err != nil {
 		res.Final = nil
-		sortPassing(res.Passing)
-		return res, err
+		return res, fs.err
+	}
+	if fs.interrupted {
+		res.Interrupted = true
+		return res, nil
 	}
 	res.Tested++
-	res.Evals = append(res.Evals, Eval{
-		Label: "final union", Kind: config.KindModule, Insns: final.CountSingle(),
-		Pass: pass, Prov: ProvEvaluated, Wall: time.Since(start),
-	})
-	res.FinalPass = pass
-	res.Stats = replace.ComputeStats(t.Module, eff, profile)
-
-	sortPassing(res.Passing)
+	account("final union", config.KindModule, final.CountSingle(), fs)
+	res.FinalPass = fs.pass
 	return res, nil
 }
 

@@ -19,6 +19,11 @@ func (m *Machine) Step() error {
 	in := &m.instrs[m.pcIdx]
 	m.counts[m.pcIdx]++
 	m.Steps++
+	if m.inject != nil {
+		if err := m.injectCheck(in); err != nil {
+			return err
+		}
+	}
 	if m.shadow != nil {
 		m.shadowStep(in)
 	}

@@ -83,7 +83,8 @@ func (lp *Program) NewMachine() *Machine {
 // registers, flags, counters, outputs and the memory image — reusing the
 // machine's existing buffers instead of reallocating. Previously returned
 // Out slices and Counts are invalidated. Caller-set policy fields
-// (MaxSteps, Host, TrapUnreplaced) are preserved.
+// (MaxSteps, Host, TrapUnreplaced) are preserved; armed injected traps
+// are disarmed (re-arm after the reset if wanted).
 func (m *Machine) ResetTo(lp *Program) {
 	m.lp = lp
 	m.prog = lp.mod
@@ -110,10 +111,12 @@ func (m *Machine) Reset(p *prog.Module) error {
 }
 
 // rewind restores the pristine start-of-run state for the bound program.
+// Armed injected traps are per-run state, not policy, and are disarmed.
 func (m *Machine) rewind() {
 	m.GPR = [isa.NumGPR]uint64{}
 	m.XMM = [isa.NumXMM][2]uint64{}
 	m.eq, m.ltS, m.ltU = false, false, false
+	m.inject = nil
 	m.Out = m.Out[:0]
 	m.Cycles = 0
 	m.Steps = 0

@@ -12,8 +12,11 @@
 package vm
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"fpmix/internal/isa"
 	"fpmix/internal/prog"
@@ -31,6 +34,8 @@ const (
 	FaultBadSyscall                // unknown or unsupported syscall
 	FaultUnreplacedInput           // double-precision op consumed a flagged value (debug mode)
 	FaultHost                      // host (MPI) error
+	FaultCancelled                 // run cancelled through RunContext
+	FaultInjected                  // artificial trap armed by fault injection
 )
 
 func (k FaultKind) String() string {
@@ -47,6 +52,10 @@ func (k FaultKind) String() string {
 		return "unreplaced flagged input"
 	case FaultHost:
 		return "host error"
+	case FaultCancelled:
+		return "run cancelled"
+	case FaultInjected:
+		return "injected trap"
 	default:
 		return "no fault"
 	}
@@ -141,6 +150,16 @@ type Machine struct {
 	// default) disables the pass entirely — see shadow.go.
 	shadow *shadowState
 
+	// cancelled, when non-nil, is polled on the run loop: once it reads
+	// true the run stops with FaultCancelled. Set by RunContext; nil (the
+	// default) costs one pointer comparison per step.
+	cancelled *atomic.Bool
+
+	// inject, when non-nil, is an armed artificial trap (fault
+	// injection); nil (the default) costs one pointer comparison per
+	// step. Per-run state: rewind/ResetTo disarm it.
+	inject *injectState
+
 	// Linked-program state (nil/absent on vm.New machines): the Program
 	// the machine executes plus its pre-resolved branch-target and cycle
 	// cost tables (see Link).
@@ -213,11 +232,99 @@ func (m *Machine) Run() error {
 		if m.Steps >= max {
 			return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
 		}
+		if m.cancelled != nil && m.cancelled.Load() {
+			return &Fault{Kind: FaultCancelled, PC: m.PC(), Detail: fmt.Sprintf("after %d steps", m.Steps)}
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// RunContext executes like Run but additionally stops with FaultCancelled
+// when ctx is cancelled. Cancellation is delivered through an atomic flag
+// polled on the step loop, so an expired deadline ends the run within one
+// instruction; a context that can never be cancelled falls back to Run
+// with no per-step cost.
+func (m *Machine) RunContext(ctx context.Context) error {
+	done := ctx.Done()
+	if done == nil {
+		return m.Run()
+	}
+	if err := ctx.Err(); err != nil {
+		return &Fault{Kind: FaultCancelled, PC: m.PC(), Detail: err.Error()}
+	}
+	var flag atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			flag.Store(true)
+		case <-stop:
+		}
+	}()
+	m.cancelled = &flag
+	err := m.Run()
+	m.cancelled = nil
+	close(stop)
+	wg.Wait()
+	return err
+}
+
+// injectState is an armed artificial trap: execution faults with
+// FaultInjected either at a step-count threshold or on the n-th execution
+// of a chosen instruction address.
+type injectState struct {
+	step    uint64 // fault at the first instruction whose step count reaches this (0 = by address)
+	addr    uint64
+	hits    uint64 // by-address: remaining executions of addr before the fault
+	useAddr bool
+}
+
+// InjectTrapAfter arms an artificial trap: execution faults with
+// FaultInjected at the first instruction at or beyond the given step
+// count (1 faults the very first instruction). Fault-injection harnesses
+// use it to simulate FP traps at deterministic points of a run.
+func (m *Machine) InjectTrapAfter(steps uint64) {
+	if steps == 0 {
+		steps = 1
+	}
+	m.inject = &injectState{step: steps}
+}
+
+// InjectTrapAt arms an artificial trap at an instruction site: the n-th
+// execution of addr (counting from 1) faults with FaultInjected.
+func (m *Machine) InjectTrapAt(addr uint64, n uint64) {
+	if n == 0 {
+		n = 1
+	}
+	m.inject = &injectState{addr: addr, hits: n, useAddr: true}
+}
+
+// ClearInjected disarms any armed artificial trap.
+func (m *Machine) ClearInjected() { m.inject = nil }
+
+// injectCheck reports whether the armed trap fires on this instruction,
+// building the fault and disarming when it does.
+func (m *Machine) injectCheck(in *isa.Instr) error {
+	st := m.inject
+	if st.useAddr {
+		if in.Addr != st.addr {
+			return nil
+		}
+		st.hits--
+		if st.hits > 0 {
+			return nil
+		}
+	} else if m.Steps < st.step {
+		return nil
+	}
+	m.inject = nil
+	return m.fault(FaultInjected, in, fmt.Sprintf("armed trap fired at step %d", m.Steps))
 }
 
 // fault constructs a fault at the current instruction.
