@@ -168,27 +168,33 @@ func BenchmarkAMG(b *testing.B) {
 
 // ---- Evaluation engine ---------------------------------------------------
 
-// BenchmarkSearchEvaluate measures end-to-end search throughput with the
-// cached evaluation engine (snippet precompilation, linked programs,
-// machine reuse, memoization) against the from-scratch fallback. The two
-// sub-benchmarks run the identical search; the ns/op ratio is the
-// engine's speedup.
+// BenchmarkSearchEvaluate measures end-to-end search throughput across
+// the evaluation backends: the cached engine on the compiled
+// direct-threaded VM tier (the default), the same engine pinned to the
+// per-step interpreter (nocompile), and the from-scratch fallback. All
+// sub-benchmarks run the identical search; ns/op ratios are the
+// respective speedups.
 func BenchmarkSearchEvaluate(b *testing.B) {
 	bench, err := kernels.Get("mg", kernels.ClassW)
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, mode := range []struct {
-		name string
-		mode search.EngineMode
-	}{{"engine", search.EngineOn}, {"fallback", search.EngineOff}} {
+		name      string
+		mode      search.EngineMode
+		noCompile bool
+	}{
+		{"engine", search.EngineOn, false},
+		{"nocompile", search.EngineOn, true},
+		{"fallback", search.EngineOff, false},
+	} {
 		mode := mode
 		b.Run(mode.name, func(b *testing.B) {
 			var res *search.Result
 			for i := 0; i < b.N; i++ {
 				res, err = search.Run(searchTarget(bench), search.Options{
 					Workers: 8, BinarySplit: true, Prioritize: true,
-					Engine: mode.mode,
+					Engine: mode.mode, NoCompile: mode.noCompile,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -429,6 +435,32 @@ func BenchmarkVMThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		if err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		steps = m.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/op")
+}
+
+// BenchmarkVMThroughputCompiled measures the compiled direct-threaded
+// tier on the same kernel (ns/op against BenchmarkVMThroughput is the
+// raw engine speedup, with link cost amortized as the search amortizes
+// it).
+func BenchmarkVMThroughputCompiled(b *testing.B) {
+	bench, err := kernels.Get("mg", kernels.ClassW)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lp, err := vm.Link(bench.Module)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var steps uint64
+	m := &vm.Machine{}
+	for i := 0; i < b.N; i++ {
+		m.ResetTo(lp)
 		if err := m.Run(); err != nil {
 			b.Fatal(err)
 		}

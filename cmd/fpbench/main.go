@@ -7,6 +7,7 @@
 //	fpbench -exp fig10 -classes W,A  # the search table at chosen classes
 //	fpbench -exp fig11 -class W      # the SuperLU threshold sweep
 //	fpbench -exp sens -workers 1     # the sensitivity-guided search ablation
+//	fpbench -exp engine -class W     # compiled vs interpreted engine ablation
 //
 // Besides the human-readable tables, -json writes the raw experiment
 // rows as JSON and -benchstat writes Go testing.B-style lines
@@ -40,10 +41,11 @@ type results struct {
 	AMG      *experiments.AMGResult    `json:"amg,omitempty"`
 	BitExact []experiments.BitExactRow `json:"bitexact,omitempty"`
 	Sens     []experiments.SensRow     `json:"sens,omitempty"`
+	Engine   []experiments.EngineRow   `json:"engine,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, engine, all")
 	class := flag.String("class", "W", "input class for single-class experiments (W, A, C)")
 	classes := flag.String("classes", "W,A", "comma-separated classes for fig10")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel search evaluations")
@@ -157,6 +159,24 @@ func main() {
 				r.Bench, r.Class, r.TestedSens, r.TestedBase, r.Predicted))
 		}
 		report.Sens(os.Stdout, rows)
+		return nil
+	})
+	run("engine", func() error {
+		rows, err := experiments.Engine(experiments.Fig10Benches, cl, *workers)
+		if err != nil {
+			return err
+		}
+		res.Engine = rows
+		for _, r := range rows {
+			// One line per backend so `benchstat compiled.txt interp.txt`
+			// and cross-revision diffs both work.
+			stats = append(stats,
+				fmt.Sprintf("BenchmarkEngine/%s.%s/compiled 1 %d ns/op %d testedCfgs",
+					r.Bench, r.Class, r.CompiledNS, r.Tested),
+				fmt.Sprintf("BenchmarkEngine/%s.%s/nocompile 1 %d ns/op %d testedCfgs",
+					r.Bench, r.Class, r.InterpNS, r.Tested))
+		}
+		report.Engine(os.Stdout, rows)
 		return nil
 	})
 

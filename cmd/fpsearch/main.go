@@ -48,6 +48,7 @@ func main() {
 	noSplit := flag.Bool("nosplit", false, "disable the binary-splitting optimization")
 	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
 	noEngine := flag.Bool("noengine", false, "evaluate through the from-scratch fallback instead of the cached engine")
+	noCompile := flag.Bool("nocompile", false, "run evaluations on the per-step interpreter instead of the compiled engine (differential testing)")
 	noPrune := flag.Bool("noprune", false, "disable static candidate pruning (dataflow unsafe sinks, zero-weight pieces)")
 	noSens := flag.Bool("nosens", false, "disable sensitivity guidance (shadow-value ordering and prediction gating)")
 	shadowIn := flag.String("shadow", "", "load a saved sensitivity profile instead of collecting one")
@@ -156,6 +157,7 @@ func main() {
 		BinarySplit:   !*noSplit,
 		Prioritize:    !*noPrio,
 		Engine:        mode,
+		NoCompile:     *noCompile,
 		NoPrune:       *noPrune,
 		Shadow:        sh,
 		SensThreshold: b.SensTol,

@@ -1,0 +1,116 @@
+// Differential identity suite for the compiled execution engine at
+// kernel scale: every serial NAS kernel and every MPI world must finish
+// with byte-identical machines whether it runs on the compiled
+// direct-threaded tier or the per-step interpreter.
+package fpmix_test
+
+import (
+	"bytes"
+	"testing"
+
+	"fpmix/internal/kernels"
+	"fpmix/internal/mpi"
+	"fpmix/internal/vm"
+)
+
+// sameMachine compares every externally observable piece of machine
+// state two engines could diverge on.
+func sameMachine(t *testing.T, label string, a, b *vm.Machine) {
+	t.Helper()
+	if a.Steps != b.Steps || a.Cycles != b.Cycles {
+		t.Errorf("%s: Steps/Cycles mismatch: %d/%d vs %d/%d", label, a.Steps, a.Cycles, b.Steps, b.Cycles)
+	}
+	if a.PC() != b.PC() || a.Halted() != b.Halted() {
+		t.Errorf("%s: PC/halted mismatch: %#x/%v vs %#x/%v", label, a.PC(), a.Halted(), b.PC(), b.Halted())
+	}
+	if a.GPR != b.GPR {
+		t.Errorf("%s: GPR mismatch", label)
+	}
+	if a.XMM != b.XMM {
+		t.Errorf("%s: XMM mismatch", label)
+	}
+	if !bytes.Equal(a.Mem, b.Mem) {
+		t.Errorf("%s: memory image mismatch", label)
+	}
+	if len(a.Out) != len(b.Out) {
+		t.Fatalf("%s: output length mismatch: %d vs %d", label, len(a.Out), len(b.Out))
+	}
+	for i := range a.Out {
+		if a.Out[i] != b.Out[i] {
+			t.Fatalf("%s: output %d mismatch: %+v vs %+v", label, i, a.Out[i], b.Out[i])
+		}
+	}
+	ac, bc := a.Counts(), b.Counts()
+	if len(ac) != len(bc) {
+		t.Fatalf("%s: counts length mismatch", label)
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Fatalf("%s: counts[%d] mismatch: %d vs %d", label, i, ac[i], bc[i])
+		}
+	}
+}
+
+func TestCompiledEngineIdenticalOnSerialKernels(t *testing.T) {
+	names := kernels.Names()
+	if testing.Short() {
+		names = []string{"ep", "cg", "mg"}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			bench, err := kernels.Get(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lp, err := vm.Link(bench.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled := lp.NewMachine()
+			compiled.MaxSteps = bench.MaxSteps
+			errC := compiled.Run()
+
+			interp := lp.NewMachine()
+			interp.NoCompile = true
+			interp.MaxSteps = bench.MaxSteps
+			errI := interp.Run()
+
+			if (errC == nil) != (errI == nil) {
+				t.Fatalf("run error mismatch: %v vs %v", errC, errI)
+			}
+			sameMachine(t, name, compiled, interp)
+			if !bench.Verify(compiled.Out) {
+				t.Fatalf("%s: compiled run failed its own verification", name)
+			}
+		})
+	}
+}
+
+func TestCompiledEngineIdenticalOnMPIWorlds(t *testing.T) {
+	names := kernels.MPIKernelNames()
+	if testing.Short() {
+		names = []string{"ep", "mg"}
+	}
+	const ranks = 4
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			mod, err := kernels.MPISource(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compiled, err := mpi.RunWorld(mod, ranks, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			interp, err := mpi.RunWorldArmed(mod, ranks, 0, func(rank int, m *vm.Machine) {
+				m.NoCompile = true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < ranks; r++ {
+				sameMachine(t, name, compiled[r], interp[r])
+			}
+		})
+	}
+}

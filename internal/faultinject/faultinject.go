@@ -42,7 +42,10 @@ const (
 	KindFlaky
 	// KindTrap: a vm trap (vm.FaultInjected) is armed to fire after
 	// Decision.TrapAfter executed steps, simulating an FP trap at a
-	// deterministic point of the run.
+	// deterministic point of the run. Arming routes the machine to the
+	// VM's instrumented per-step dispatch tier, so the trap fires at the
+	// exact step count and instruction PC regardless of the compiled
+	// engine's block batching.
 	KindTrap
 )
 

@@ -408,11 +408,15 @@ func RunWorldArmed(mod *prog.Module, size int, maxSteps uint64, arm func(rank in
 	w := NewWorld(size)
 	machines := make([]*vm.Machine, size)
 	results := make(chan RunResult, size)
+	// Link once: every rank shares the immutable compiled program and runs
+	// on the compiled tier (unless the arming hook installs a per-step
+	// hook, which routes that rank to the instrumented tier).
+	lp, err := vm.Link(mod)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < size; i++ {
-		m, err := vm.New(mod)
-		if err != nil {
-			return nil, err
-		}
+		m := lp.NewMachine()
 		m.MaxSteps = maxSteps
 		m.Host = w.Rank(i)
 		if arm != nil {

@@ -108,6 +108,27 @@ func Sens(w io.Writer, rows []experiments.SensRow) {
 	}
 }
 
+// Engine renders the execution-engine ablation.
+func Engine(w io.Writer, rows []experiments.EngineRow) {
+	fmt.Fprintln(w, "Execution-engine ablation (compiled direct-threaded vs -nocompile interpreter)")
+	fmt.Fprintf(w, "%-10s %12s %12s %9s %7s %6s %6s\n",
+		"Benchmark", "Compiled-ms", "Interp-ms", "Speedup", "Tested", "Same", "Final")
+	for _, row := range rows {
+		same := "DIFF"
+		if row.Identical {
+			same = "yes"
+		}
+		verdict := "fail"
+		if row.FinalPass {
+			verdict = "pass"
+		}
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %8.2fx %7d %6s %6s\n",
+			row.Bench+"."+string(row.Class),
+			float64(row.CompiledNS)/1e6, float64(row.InterpNS)/1e6,
+			row.SpeedupX, row.Tested, same, verdict)
+	}
+}
+
 // Rule prints a separator line.
 func Rule(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 72))

@@ -81,12 +81,14 @@ func runMachine(m *vm.Machine, req evalRequest) error {
 	return m.Run()
 }
 
-// newEvaluator builds the backend selected by mode.
-func newEvaluator(t Target, mode EngineMode) (evaluator, error) {
+// newEvaluator builds the backend selected by mode. noCompile forces the
+// cached engine's machines onto the per-step interpreter tier (the legacy
+// backend never compiles, so the flag is meaningful only with EngineOn).
+func newEvaluator(t Target, mode EngineMode, noCompile bool) (evaluator, error) {
 	if mode == EngineOff {
 		return legacyEvaluator{t: t}, nil
 	}
-	return newEngine(t)
+	return newEngine(t, noCompile)
 }
 
 // legacyEvaluator is the unmodified seed path: full snippet regeneration,
@@ -116,14 +118,17 @@ type engine struct {
 	t     Target
 	snips *replace.CompiledSnippets
 	pool  sync.Pool
+	// noCompile pins pooled machines to the per-step interpreter tier
+	// (Options.NoCompile, fpsearch -nocompile).
+	noCompile bool
 }
 
-func newEngine(t Target) (*engine, error) {
+func newEngine(t Target, noCompile bool) (*engine, error) {
 	snips, err := replace.Precompile(t.Module, t.InstOpts)
 	if err != nil {
 		return nil, err
 	}
-	e := &engine{t: t, snips: snips}
+	e := &engine{t: t, snips: snips, noCompile: noCompile}
 	e.pool.New = func() any { return &vm.Machine{} }
 	return e, nil
 }
@@ -141,6 +146,7 @@ func (e *engine) evaluate(req evalRequest) (outcome, error) {
 	defer e.pool.Put(m)
 	m.ResetTo(lp)
 	m.MaxSteps = e.t.MaxSteps
+	m.NoCompile = e.noCompile
 	if req.trapAfter > 0 {
 		// After ResetTo: the reset disarms any previously armed trap.
 		m.InjectTrapAfter(req.trapAfter)

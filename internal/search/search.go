@@ -67,6 +67,11 @@ type Options struct {
 	// Engine selects the evaluation backend (default EngineOn: the
 	// cached evaluation engine; EngineOff: the from-scratch fallback).
 	Engine EngineMode
+	// NoCompile keeps the cached engine but forces its pooled machines
+	// onto the per-step interpreter tier instead of the compiled
+	// direct-threaded engine (fpsearch -nocompile). Differential-testing
+	// escape hatch: results are byte-identical either way, only slower.
+	NoCompile bool
 	// NoPrune disables static candidate pruning (dataflow unsafe-sink
 	// exclusion and zero-weight auto-passing), evaluating every piece
 	// as the paper's original search does. Kept as a
@@ -409,7 +414,7 @@ func Run(t Target, opts Options) (*Result, error) {
 
 	ev := opts.testEval
 	if ev == nil {
-		ev, err = newEvaluator(t, opts.Engine)
+		ev, err = newEvaluator(t, opts.Engine, opts.NoCompile)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,825 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"fpmix/internal/isa"
+)
+
+// The compiled direct-threaded execution engine.
+//
+// Link translates the instruction stream once into an array of basic
+// blocks whose straight-line bodies are pre-decoded closures (operands
+// resolved to register numbers, immediates and memory references at
+// compile time) and whose terminators hold direct pointers to their
+// successor blocks. Run dispatches block to block through those pointers
+// — no per-step opcode switch, no per-step budget check, no program
+// counter maintenance in the steady state (pcIdx is materialized only at
+// faults, HALT and tier transitions), and step/cycle/count accounting
+// batched per block instead of per instruction. Per-instruction counts
+// are reconstructed exactly from per-block execution counters when the
+// run ends, because every instruction of a basic block executes the same
+// number of times.
+//
+// The engine is a pure speedup: a compiled run produces a machine
+// byte-identical to the per-step interpreter — same Steps, Cycles,
+// Counts, memory image, outputs and fault kind+PC (the randomized
+// differential suite and the kernel identity tests enforce this). Any
+// per-step observation hook (shadow values, armed injected traps,
+// RunContext cancellation, TrapUnreplaced) routes the run to the
+// instrumented per-step tier instead, so hooks keep exact per-step
+// semantics without costing the fast path anything.
+
+// microOp is one pre-decoded straight-line instruction. It never
+// transfers control; control flow lives in the block terminator.
+type microOp func(m *Machine) error
+
+// termKind classifies how a basic block transfers control.
+type termKind uint8
+
+const (
+	termFall    termKind = iota // fall through into the next block
+	termFallOff                 // run off the end of the code segment (faults)
+	termJump                    // unconditional jump
+	termCond                    // conditional branch
+	termCall                    // call: push return address, jump
+	termRet                     // return: pop target address
+	termHalt                    // HALT
+)
+
+// block is one compiled basic block: a fused superinstruction executing
+// the whole straight-line body before settling accounting once.
+type block struct {
+	start int32     // instruction index of the first instruction
+	n     int32     // total instructions in the block (body + terminator)
+	id    int32     // index in compiled.blocks (the blkExec slot)
+	cost  uint64    // summed cycle cost of all n instructions
+	body  []microOp // pre-decoded straight-line instructions, in order
+	term  termKind
+	in    *isa.Instr // terminator instruction; nil only for termFall
+	// condOp is the branch opcode a termCond block evaluates.
+	condOp isa.Op
+	// takenBlk is the successor when the terminator's branch/call is
+	// taken; nil when the target address is not an instruction (following
+	// it then faults, exactly as the per-step interpreter does).
+	takenBlk *block
+	// fallBlk is the fall-through successor (termFall always; termCond
+	// when not taken); nil when falling through runs off the code
+	// segment.
+	fallBlk   *block
+	takenAddr uint64 // unresolved target address, for the fault message
+	ret       uint64 // termCall: the return address pushed
+}
+
+// compiled is the direct-threaded form of a linked program. Like the
+// Program that owns it, it is immutable after Link and shared by every
+// machine executing the program.
+type compiled struct {
+	blocks []block
+	// blockOf maps an instruction index to the index of the block
+	// containing it (meaningful for dispatch only at leaders).
+	blockOf []int32
+	// leader marks instruction indices that begin a basic block.
+	leader []bool
+}
+
+// endsBlock reports whether op terminates a basic block in the compiled
+// stream: control transfers plus CALL (RET must resume at the call's
+// continuation, so the continuation needs to be a block boundary).
+func endsBlock(op isa.Op) bool {
+	return op.IsBranch() || op == isa.RET || op == isa.HALT
+}
+
+// compileProgram builds the direct-threaded block stream for lp. It
+// requires lp.targets and lp.costs to be populated.
+func compileProgram(lp *Program) *compiled {
+	instrs := lp.instrs
+	n := len(instrs)
+	c := &compiled{leader: make([]bool, n), blockOf: make([]int32, n)}
+	if n == 0 {
+		return c
+	}
+	c.leader[lp.entry] = true
+	for i := range instrs {
+		if !endsBlock(instrs[i].Op) {
+			continue
+		}
+		if i+1 < n {
+			c.leader[i+1] = true
+		}
+		if t := lp.targets[i]; t >= 0 {
+			c.leader[t] = true
+		}
+	}
+	// takenIdx[id] remembers each block's taken-target instruction index
+	// until every block exists and pointers can be resolved.
+	var takenIdx []int32
+	for start := 0; start < n; start++ {
+		if !c.leader[start] {
+			// Instructions not reachable by fall-through from any leader
+			// (a gap before the entry point) execute on the per-step
+			// tier if ever reached dynamically.
+			continue
+		}
+		end := start
+		for {
+			if endsBlock(instrs[end].Op) {
+				end++
+				break
+			}
+			end++
+			if end >= n || c.leader[end] {
+				break
+			}
+		}
+		b := block{start: int32(start), n: int32(end - start), id: int32(len(c.blocks))}
+		taken := int32(-1)
+		for i := start; i < end; i++ {
+			b.cost += lp.costs[i]
+			c.blockOf[i] = b.id
+		}
+		last := &instrs[end-1]
+		bodyEnd := end - 1
+		switch {
+		case last.Op == isa.HALT:
+			b.term, b.in = termHalt, last
+		case last.Op == isa.RET:
+			b.term, b.in = termRet, last
+		case last.Op == isa.CALL:
+			b.term, b.in = termCall, last
+			taken = lp.targets[end-1]
+			b.takenAddr = uint64(last.A.Imm)
+			if end < n {
+				b.ret = instrs[end].Addr
+			} else {
+				b.ret = last.Addr + uint64(isa.EncodedSize(*last))
+			}
+		case last.Op == isa.JMP:
+			b.term, b.in = termJump, last
+			taken = lp.targets[end-1]
+			b.takenAddr = uint64(last.A.Imm)
+		case last.Op.IsCondBranch():
+			b.term, b.in, b.condOp = termCond, last, last.Op
+			taken = lp.targets[end-1]
+			b.takenAddr = uint64(last.A.Imm)
+		default:
+			// Straight-line block ending at the next leader or at the end
+			// of the stream; the last instruction belongs to the body.
+			bodyEnd = end
+			if end >= n {
+				b.term, b.in = termFallOff, last
+			} else {
+				b.term = termFall
+			}
+		}
+		b.body = make([]microOp, 0, bodyEnd-start)
+		for i := start; i < bodyEnd; i++ {
+			b.body = append(b.body, compileOp(&instrs[i]))
+		}
+		c.blocks = append(c.blocks, b)
+		takenIdx = append(takenIdx, taken)
+	}
+	// Second pass: resolve successor pointers now that the block array is
+	// stable. Branch/call targets and fall-through continuations are
+	// always leaders by construction, so blockOf addresses them exactly.
+	for i := range c.blocks {
+		b := &c.blocks[i]
+		if t := takenIdx[i]; t >= 0 {
+			b.takenBlk = &c.blocks[c.blockOf[t]]
+		}
+		if b.term == termFall || b.term == termCond {
+			if next := int(b.start + b.n); next < n {
+				b.fallBlk = &c.blocks[c.blockOf[next]]
+			}
+		}
+	}
+	return c
+}
+
+// compiledTier reports whether the next Run may take the compiled fast
+// path: a compiled program is bound and no per-step hook — shadow
+// collection, an armed injected trap, RunContext cancellation, or
+// unreplaced-input trapping — needs per-instruction observation.
+func (m *Machine) compiledTier() bool {
+	return !m.NoCompile && m.lp != nil && m.lp.compiled != nil &&
+		m.shadow == nil && m.inject == nil && m.cancelled == nil && !m.TrapUnreplaced
+}
+
+// runCompiled executes block to block until HALT, a fault, or budget
+// exhaustion, producing exactly the machine the per-step tier would.
+func (m *Machine) runCompiled(max uint64) error {
+	c := m.lp.compiled
+	if len(m.blkExec) != len(c.blocks) {
+		m.blkExec = make([]uint64, len(c.blocks))
+	}
+	defer m.flushBlockCounts(c)
+outer:
+	for !m.halted {
+		if int(m.pcIdx) >= len(m.instrs) || m.pcIdx < 0 {
+			// Budget before bad-PC, matching the per-step loop's order.
+			if m.Steps >= max {
+				return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
+			}
+			return &Fault{Kind: FaultBadPC, PC: 0, Detail: "fell off code segment"}
+		}
+		// Mid-block entry (partial Step()s before Run, or a RET into the
+		// middle of a block): single-step to the next block boundary.
+		for !c.leader[m.pcIdx] {
+			if m.Steps >= max {
+				return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
+			}
+			if err := m.Step(); err != nil {
+				return err
+			}
+			if m.halted {
+				return nil
+			}
+		}
+		cur := &c.blocks[c.blockOf[m.pcIdx]]
+		// Steady state: block to block through resolved successor
+		// pointers; pcIdx is materialized only on exits.
+		for {
+			if m.Steps+uint64(cur.n) > max {
+				// The budget expires inside this block (or already has):
+				// finish on the per-step tier, which faults at the exact
+				// instruction the interpreter would.
+				m.pcIdx = cur.start
+				return m.runInstrumented(max)
+			}
+			body := cur.body
+			for j := 0; j < len(body); j++ {
+				if err := body[j](m); err != nil {
+					m.settlePartial(cur, int32(j))
+					return err
+				}
+			}
+			// The whole block executed: settle accounting in one batch.
+			// The terminator below is part of the block — if it faults,
+			// it has executed (and is counted), matching the per-step
+			// tier.
+			m.Steps += uint64(cur.n)
+			m.Cycles += cur.cost
+			m.blkExec[cur.id]++
+			switch cur.term {
+			case termFall:
+				cur = cur.fallBlk
+			case termHalt:
+				m.halted = true
+				m.pcIdx = cur.start + cur.n - 1
+				return nil
+			case termCond:
+				if m.branchTaken(cur.condOp) {
+					if cur.takenBlk == nil {
+						m.pcIdx = cur.start + cur.n - 1
+						return m.fault(FaultBadPC, cur.in, fmt.Sprintf("target %#x", cur.takenAddr))
+					}
+					cur = cur.takenBlk
+				} else {
+					if cur.fallBlk == nil {
+						m.pcIdx = cur.start + cur.n
+						return &Fault{Kind: FaultBadPC, PC: cur.in.Addr, Op: cur.in.Op, Detail: "fell off code segment"}
+					}
+					cur = cur.fallBlk
+				}
+			case termJump:
+				if cur.takenBlk == nil {
+					m.pcIdx = cur.start + cur.n - 1
+					return m.fault(FaultBadPC, cur.in, fmt.Sprintf("target %#x", cur.takenAddr))
+				}
+				cur = cur.takenBlk
+			case termCall:
+				if err := m.push64(cur.in, cur.ret); err != nil {
+					m.pcIdx = cur.start + cur.n - 1
+					return err
+				}
+				if cur.takenBlk == nil {
+					m.pcIdx = cur.start + cur.n - 1
+					return m.fault(FaultBadPC, cur.in, fmt.Sprintf("target %#x", cur.takenAddr))
+				}
+				cur = cur.takenBlk
+			case termRet:
+				v, err := m.pop64(cur.in)
+				if err != nil {
+					m.pcIdx = cur.start + cur.n - 1
+					return err
+				}
+				idx, ok := m.lp.idxOf(v)
+				if !ok {
+					m.pcIdx = cur.start + cur.n - 1
+					return m.fault(FaultBadPC, cur.in, fmt.Sprintf("target %#x", v))
+				}
+				if !c.leader[idx] {
+					// A return into the middle of a block: resume on the
+					// stepping path until the next boundary.
+					m.pcIdx = idx
+					continue outer
+				}
+				cur = &c.blocks[c.blockOf[idx]]
+			case termFallOff:
+				m.pcIdx = cur.start + cur.n
+				return &Fault{Kind: FaultBadPC, PC: cur.in.Addr, Op: cur.in.Op, Detail: "fell off code segment"}
+			}
+		}
+	}
+	return nil
+}
+
+// settlePartial accounts a block whose body faulted at body index j: the
+// faulting instruction executed (and is counted and charged), everything
+// after it did not.
+func (m *Machine) settlePartial(b *block, j int32) {
+	for i := b.start; i <= b.start+j; i++ {
+		m.counts[i]++
+		m.Cycles += m.costs[i]
+	}
+	m.Steps += uint64(j + 1)
+	m.pcIdx = b.start + j
+}
+
+// flushBlockCounts expands the per-block execution counters into the
+// per-instruction counts the rest of the system consumes (profiles,
+// search prioritization). Runs once per Run exit, so count accounting is
+// O(static blocks), not O(executed steps).
+func (m *Machine) flushBlockCounts(c *compiled) {
+	for bi, execs := range m.blkExec {
+		if execs == 0 {
+			continue
+		}
+		b := &c.blocks[bi]
+		for i := b.start; i < b.start+b.n; i++ {
+			m.counts[i] += execs
+		}
+		m.blkExec[bi] = 0
+	}
+}
+
+// Inline-friendly memory fast paths. Each computes the effective address
+// and performs the bounds-checked access with no call overhead; on a
+// bounds failure the caller re-runs the interpreter's load/store, which
+// deterministically reproduces the exact fault. Kept tiny so the
+// compiler inlines them into the closures.
+
+func loadU64(m *Machine, ref isa.MemRef) (uint64, bool) {
+	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
+	if ref.HasIndex {
+		addr += m.GPR[ref.Index] * uint64(ref.Scale)
+	}
+	if addr+8 > uint64(len(m.Mem)) || addr+8 < addr {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(m.Mem[addr:]), true
+}
+
+func loadU32(m *Machine, ref isa.MemRef) (uint64, bool) {
+	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
+	if ref.HasIndex {
+		addr += m.GPR[ref.Index] * uint64(ref.Scale)
+	}
+	if addr+4 > uint64(len(m.Mem)) || addr+4 < addr {
+		return 0, false
+	}
+	return uint64(binary.LittleEndian.Uint32(m.Mem[addr:])), true
+}
+
+func storeU64(m *Machine, ref isa.MemRef, v uint64) bool {
+	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
+	if ref.HasIndex {
+		addr += m.GPR[ref.Index] * uint64(ref.Scale)
+	}
+	if addr+8 > uint64(len(m.Mem)) || addr+8 < addr {
+		return false
+	}
+	binary.LittleEndian.PutUint64(m.Mem[addr:], v)
+	return true
+}
+
+func storeU32(m *Machine, ref isa.MemRef, v uint64) bool {
+	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
+	if ref.HasIndex {
+		addr += m.GPR[ref.Index] * uint64(ref.Scale)
+	}
+	if addr+4 > uint64(len(m.Mem)) || addr+4 < addr {
+		return false
+	}
+	binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
+	return true
+}
+
+// compileOp pre-decodes one straight-line instruction into a closure.
+// Operand fields are resolved here, once, instead of on every execution;
+// the captured *isa.Instr is only consulted on fault paths. Uncommon
+// opcodes fall back to the shared stepFP executor — still closure
+// dispatch, just without operand pre-decoding.
+func compileOp(in *isa.Instr) microOp {
+	switch in.Op {
+	case isa.NOP:
+		return func(*Machine) error { return nil }
+	case isa.SYSCALL:
+		return func(m *Machine) error { return m.syscall(in) }
+
+	case isa.MOVRI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] = imm; return nil }
+	case isa.MOVRR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] = m.GPR[src]; return nil }
+	case isa.LOAD:
+		dst, ref := in.A.Reg, in.B.Mem
+		return func(m *Machine) error {
+			v, ok := loadU64(m, ref)
+			if !ok {
+				_, err := m.load(in, ref, 8)
+				return err
+			}
+			m.GPR[dst] = v
+			return nil
+		}
+	case isa.STORE:
+		ref, src := in.A.Mem, in.B.Reg
+		return func(m *Machine) error {
+			if !storeU64(m, ref, m.GPR[src]) {
+				return m.store(in, ref, m.GPR[src], 8)
+			}
+			return nil
+		}
+	case isa.LEA:
+		dst, ref := in.A.Reg, in.B.Mem
+		return func(m *Machine) error { m.GPR[dst] = m.ea(ref); return nil }
+
+	case isa.ADDR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] += m.GPR[src]; return nil }
+	case isa.ADDI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] += imm; return nil }
+	case isa.SUBR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] -= m.GPR[src]; return nil }
+	case isa.SUBI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] -= imm; return nil }
+	case isa.IMULR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			m.GPR[dst] = uint64(int64(m.GPR[dst]) * int64(m.GPR[src]))
+			return nil
+		}
+	case isa.IMULI:
+		dst, imm := in.A.Reg, in.B.Imm
+		return func(m *Machine) error {
+			m.GPR[dst] = uint64(int64(m.GPR[dst]) * imm)
+			return nil
+		}
+	case isa.ANDR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] &= m.GPR[src]; return nil }
+	case isa.ANDI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] &= imm; return nil }
+	case isa.ORR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] |= m.GPR[src]; return nil }
+	case isa.ORI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] |= imm; return nil }
+	case isa.XORR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.GPR[dst] ^= m.GPR[src]; return nil }
+	case isa.XORI:
+		dst, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.GPR[dst] ^= imm; return nil }
+	case isa.IDIVR:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			d := int64(m.GPR[src])
+			if d == 0 {
+				return m.fault(FaultMemOOB, in, "integer division by zero")
+			}
+			m.GPR[dst] = uint64(int64(m.GPR[dst]) / d)
+			return nil
+		}
+	case isa.SHLI:
+		dst, sh := in.A.Reg, uint64(in.B.Imm)&63
+		return func(m *Machine) error { m.GPR[dst] <<= sh; return nil }
+	case isa.SHRI:
+		dst, sh := in.A.Reg, uint64(in.B.Imm)&63
+		return func(m *Machine) error { m.GPR[dst] >>= sh; return nil }
+
+	case isa.CMPR:
+		a, bb := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.setCmp(m.GPR[a], m.GPR[bb]); return nil }
+	case isa.CMPI:
+		a, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.setCmp(m.GPR[a], imm); return nil }
+	case isa.TESTR:
+		a, bb := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.setTest(m.GPR[a] & m.GPR[bb]); return nil }
+	case isa.TESTI:
+		a, imm := in.A.Reg, uint64(in.B.Imm)
+		return func(m *Machine) error { m.setTest(m.GPR[a] & imm); return nil }
+
+	case isa.PUSH:
+		src := in.A.Reg
+		return func(m *Machine) error { return m.push64(in, m.GPR[src]) }
+	case isa.POP:
+		dst := in.A.Reg
+		return func(m *Machine) error {
+			v, err := m.pop64(in)
+			if err != nil {
+				return err
+			}
+			m.GPR[dst] = v
+			return nil
+		}
+	case isa.PUSHX:
+		src := in.A.Reg
+		return func(m *Machine) error {
+			sp := m.GPR[isa.RSP] - 16
+			m.GPR[isa.RSP] = sp
+			if sp+16 > uint64(len(m.Mem)) || sp+16 < sp {
+				// Out of bounds somewhere: replay on the interpreter's
+				// stores for the exact fault (the first may succeed and
+				// mutate memory before the second faults, as in Step).
+				if err := m.store(in, spMem(m), m.XMM[src][0], 8); err != nil {
+					return err
+				}
+				return m.store(in, spMemOff(m, 8), m.XMM[src][1], 8)
+			}
+			binary.LittleEndian.PutUint64(m.Mem[sp:], m.XMM[src][0])
+			binary.LittleEndian.PutUint64(m.Mem[sp+8:], m.XMM[src][1])
+			return nil
+		}
+	case isa.POPX:
+		dst := in.A.Reg
+		return func(m *Machine) error {
+			sp := m.GPR[isa.RSP]
+			if sp+16 > uint64(len(m.Mem)) || sp+16 < sp {
+				lo, err := m.load(in, spMem(m), 8)
+				if err != nil {
+					return err
+				}
+				hi, err := m.load(in, spMemOff(m, 8), 8)
+				if err != nil {
+					return err
+				}
+				m.XMM[dst][0], m.XMM[dst][1] = lo, hi
+				m.GPR[isa.RSP] += 16
+				return nil
+			}
+			m.XMM[dst][0] = binary.LittleEndian.Uint64(m.Mem[sp:])
+			m.XMM[dst][1] = binary.LittleEndian.Uint64(m.Mem[sp+8:])
+			m.GPR[isa.RSP] = sp + 16
+			return nil
+		}
+
+	case isa.MOVSD:
+		switch {
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindXMM:
+			dst, src := in.A.Reg, in.B.Reg
+			return func(m *Machine) error { m.XMM[dst][0] = m.XMM[src][0]; return nil }
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindMem:
+			dst, ref := in.A.Reg, in.B.Mem
+			return func(m *Machine) error {
+				v, ok := loadU64(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 8)
+					return err
+				}
+				m.XMM[dst][0], m.XMM[dst][1] = v, 0
+				return nil
+			}
+		case in.A.Kind == isa.KindMem && in.B.Kind == isa.KindXMM:
+			ref, src := in.A.Mem, in.B.Reg
+			return func(m *Machine) error {
+				if !storeU64(m, ref, m.XMM[src][0]) {
+					return m.store(in, ref, m.XMM[src][0], 8)
+				}
+				return nil
+			}
+		}
+	case isa.MOVSS:
+		switch {
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindXMM:
+			dst, src := in.A.Reg, in.B.Reg
+			return func(m *Machine) error { m.setLow32(dst, uint32(m.XMM[src][0])); return nil }
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindMem:
+			dst, ref := in.A.Reg, in.B.Mem
+			return func(m *Machine) error {
+				v, ok := loadU32(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 4)
+					return err
+				}
+				m.XMM[dst][0], m.XMM[dst][1] = v, 0
+				return nil
+			}
+		case in.A.Kind == isa.KindMem && in.B.Kind == isa.KindXMM:
+			ref, src := in.A.Mem, in.B.Reg
+			return func(m *Machine) error {
+				if !storeU32(m, ref, m.XMM[src][0]) {
+					return m.store(in, ref, m.XMM[src][0], 4)
+				}
+				return nil
+			}
+		}
+	case isa.MOVAPD:
+		switch {
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindXMM:
+			dst, src := in.A.Reg, in.B.Reg
+			return func(m *Machine) error { m.XMM[dst] = m.XMM[src]; return nil }
+		case in.A.Kind == isa.KindXMM && in.B.Kind == isa.KindMem:
+			dst, ref := in.A.Reg, in.B.Mem
+			refHi := ref
+			refHi.Disp += 8
+			return func(m *Machine) error {
+				lo, ok := loadU64(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 8)
+					return err
+				}
+				hi, ok := loadU64(m, refHi)
+				if !ok {
+					_, err := m.load(in, refHi, 8)
+					return err
+				}
+				m.XMM[dst][0], m.XMM[dst][1] = lo, hi
+				return nil
+			}
+		case in.A.Kind == isa.KindMem && in.B.Kind == isa.KindXMM:
+			ref, src := in.A.Mem, in.B.Reg
+			refHi := ref
+			refHi.Disp += 8
+			return func(m *Machine) error {
+				if !storeU64(m, ref, m.XMM[src][0]) {
+					return m.store(in, ref, m.XMM[src][0], 8)
+				}
+				if !storeU64(m, refHi, m.XMM[src][1]) {
+					return m.store(in, refHi, m.XMM[src][1], 8)
+				}
+				return nil
+			}
+		}
+	case isa.MOVQ:
+		if in.A.Kind == isa.KindGPR {
+			dst, src := in.A.Reg, in.B.Reg
+			return func(m *Machine) error { m.GPR[dst] = m.XMM[src][0]; return nil }
+		}
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.XMM[dst][0] = m.GPR[src]; return nil }
+	case isa.MOVHQ:
+		if in.A.Kind == isa.KindGPR {
+			dst, src := in.A.Reg, in.B.Reg
+			return func(m *Machine) error { m.GPR[dst] = m.XMM[src][1]; return nil }
+		}
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error { m.XMM[dst][1] = m.GPR[src]; return nil }
+
+	case isa.ADDSD, isa.SUBSD, isa.MULSD, isa.DIVSD, isa.MINSD, isa.MAXSD:
+		op, dst := in.Op, in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				a := math.Float64frombits(m.XMM[dst][0])
+				b := math.Float64frombits(m.XMM[src][0])
+				m.XMM[dst][0] = math.Float64bits(arith64(op, a, b))
+				return nil
+			}
+		}
+		if in.B.Kind == isa.KindMem {
+			ref := in.B.Mem
+			return func(m *Machine) error {
+				v, ok := loadU64(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 8)
+					return err
+				}
+				a := math.Float64frombits(m.XMM[dst][0])
+				m.XMM[dst][0] = math.Float64bits(arith64(op, a, math.Float64frombits(v)))
+				return nil
+			}
+		}
+	case isa.ADDSS, isa.SUBSS, isa.MULSS, isa.DIVSS, isa.MINSS, isa.MAXSS:
+		op, dst := in.Op, in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				a := math.Float32frombits(uint32(m.XMM[dst][0]))
+				b := math.Float32frombits(uint32(m.XMM[src][0]))
+				m.setLow32(dst, math.Float32bits(arith32(op, a, b)))
+				return nil
+			}
+		}
+		if in.B.Kind == isa.KindMem {
+			ref := in.B.Mem
+			return func(m *Machine) error {
+				v, ok := loadU32(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 4)
+					return err
+				}
+				a := math.Float32frombits(uint32(m.XMM[dst][0]))
+				m.setLow32(dst, math.Float32bits(arith32(op, a, math.Float32frombits(uint32(v)))))
+				return nil
+			}
+		}
+	case isa.SQRTSD:
+		dst := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				m.XMM[dst][0] = math.Float64bits(math.Sqrt(math.Float64frombits(m.XMM[src][0])))
+				return nil
+			}
+		}
+	case isa.SQRTSS:
+		dst := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				m.setLow32(dst, math.Float32bits(sqrt32(math.Float32frombits(uint32(m.XMM[src][0])))))
+				return nil
+			}
+		}
+	case isa.UCOMISD:
+		a := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				m.setUcomi(math.Float64frombits(m.XMM[a][0]), math.Float64frombits(m.XMM[src][0]))
+				return nil
+			}
+		}
+		if in.B.Kind == isa.KindMem {
+			ref := in.B.Mem
+			return func(m *Machine) error {
+				v, ok := loadU64(m, ref)
+				if !ok {
+					_, err := m.load(in, ref, 8)
+					return err
+				}
+				m.setUcomi(math.Float64frombits(m.XMM[a][0]), math.Float64frombits(v))
+				return nil
+			}
+		}
+	case isa.UCOMISS:
+		a := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				av := math.Float32frombits(uint32(m.XMM[a][0]))
+				bv := math.Float32frombits(uint32(m.XMM[src][0]))
+				m.setUcomi(float64(av), float64(bv))
+				return nil
+			}
+		}
+	case isa.CVTSD2SS:
+		dst := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				m.setLow32(dst, math.Float32bits(float32(math.Float64frombits(m.XMM[src][0]))))
+				return nil
+			}
+		}
+	case isa.CVTSS2SD:
+		dst := in.A.Reg
+		if in.B.Kind == isa.KindXMM {
+			src := in.B.Reg
+			return func(m *Machine) error {
+				m.XMM[dst][0] = math.Float64bits(float64(math.Float32frombits(uint32(m.XMM[src][0]))))
+				return nil
+			}
+		}
+	case isa.CVTSI2SD:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			m.XMM[dst][0] = math.Float64bits(float64(int64(m.GPR[src])))
+			return nil
+		}
+	case isa.CVTTSD2SI:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			m.GPR[dst] = uint64(int64(math.Float64frombits(m.XMM[src][0])))
+			return nil
+		}
+	case isa.CVTSI2SS:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			m.setLow32(dst, math.Float32bits(float32(int64(m.GPR[src]))))
+			return nil
+		}
+	case isa.CVTTSS2SI:
+		dst, src := in.A.Reg, in.B.Reg
+		return func(m *Machine) error {
+			m.GPR[dst] = uint64(int64(math.Float32frombits(uint32(m.XMM[src][0]))))
+			return nil
+		}
+	}
+	// Everything else (packed ops, bitwise XMM, transcendentals, memory
+	// forms not specialized above, and any invalid operand combination)
+	// executes through the shared FP interpreter, which faults exactly as
+	// the per-step tier does.
+	return func(m *Machine) error { return m.stepFP(in) }
+}

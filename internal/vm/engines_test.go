@@ -1,0 +1,371 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"fpmix/internal/hl"
+)
+
+// The compiled direct-threaded engine must be a pure speedup: for any
+// program and any budget, the machine it produces is byte-identical to
+// the per-step interpreter's — registers, flags, memory, outputs, Steps,
+// Cycles, per-instruction counts, final PC and fault. These tests drive
+// random structured programs (loops, branches, calls, array traffic,
+// faulting integer division, tiny step budgets) through all three ways
+// of executing a module and compare everything.
+
+// engineResult snapshots a finished machine plus its run error.
+type engineResult struct {
+	m   *Machine
+	err error
+}
+
+// runStepEngine executes m one Step at a time, replicating Run's budget
+// semantics exactly (the "third engine" of the differential suite).
+func runStepEngine(m *Machine) error {
+	max := m.MaxSteps
+	if max == 0 {
+		max = DefaultMaxSteps
+	}
+	for !m.halted {
+		if m.Steps >= max {
+			return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffMachines reports every observable difference between two finished
+// machines and their run errors.
+func diffMachines(t *testing.T, label string, a, b engineResult) {
+	t.Helper()
+	am, bm := a.m, b.m
+	if (a.err == nil) != (b.err == nil) {
+		t.Errorf("%s: error mismatch: %v vs %v", label, a.err, b.err)
+		return
+	}
+	if a.err != nil {
+		fa, okA := a.err.(*Fault)
+		fb, okB := b.err.(*Fault)
+		if !okA || !okB {
+			t.Errorf("%s: non-fault errors: %v vs %v", label, a.err, b.err)
+		} else if *fa != *fb {
+			t.Errorf("%s: fault mismatch: %+v vs %+v", label, fa, fb)
+		}
+	}
+	if am.GPR != bm.GPR {
+		t.Errorf("%s: GPR mismatch:\n  %v\n  %v", label, am.GPR, bm.GPR)
+	}
+	if am.XMM != bm.XMM {
+		t.Errorf("%s: XMM mismatch", label)
+	}
+	if !bytes.Equal(am.Mem, bm.Mem) {
+		t.Errorf("%s: memory image mismatch", label)
+	}
+	if am.Steps != bm.Steps || am.Cycles != bm.Cycles {
+		t.Errorf("%s: Steps/Cycles mismatch: %d/%d vs %d/%d",
+			label, am.Steps, am.Cycles, bm.Steps, bm.Cycles)
+	}
+	if am.pcIdx != bm.pcIdx || am.halted != bm.halted {
+		t.Errorf("%s: pc/halted mismatch: %d/%v vs %d/%v",
+			label, am.pcIdx, am.halted, bm.pcIdx, bm.halted)
+	}
+	if am.eq != bm.eq || am.ltS != bm.ltS || am.ltU != bm.ltU {
+		t.Errorf("%s: flags mismatch", label)
+	}
+	if len(am.Out) != len(bm.Out) {
+		t.Errorf("%s: output length mismatch: %d vs %d", label, len(am.Out), len(bm.Out))
+	} else {
+		for i := range am.Out {
+			if am.Out[i] != bm.Out[i] {
+				t.Errorf("%s: output %d mismatch: %+v vs %+v", label, i, am.Out[i], bm.Out[i])
+			}
+		}
+	}
+	ac, bc := am.Counts(), bm.Counts()
+	if len(ac) != len(bc) {
+		t.Errorf("%s: counts length mismatch", label)
+		return
+	}
+	for i := range ac {
+		if ac[i] != bc[i] {
+			t.Errorf("%s: counts[%d] mismatch: %d vs %d", label, i, ac[i], bc[i])
+		}
+	}
+}
+
+// genFExpr builds a random float expression over the trial's variables.
+func genFExpr(r *rand.Rand, vars []hl.FVar, ivars []hl.IVar, arr hl.FArr, depth int) hl.Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return hl.Const(math.Trunc(r.NormFloat64()*512) / 16)
+		case 1:
+			return hl.Load(vars[r.Intn(len(vars))])
+		case 2:
+			return hl.At(arr, hl.IConst(int64(r.Intn(8))))
+		default:
+			return hl.FromInt(hl.ILoad(ivars[r.Intn(len(ivars))]))
+		}
+	}
+	a := genFExpr(r, vars, ivars, arr, depth-1)
+	b := genFExpr(r, vars, ivars, arr, depth-1)
+	switch r.Intn(8) {
+	case 0:
+		return hl.Add(a, b)
+	case 1:
+		return hl.Sub(a, b)
+	case 2:
+		return hl.Mul(a, b)
+	case 3:
+		return hl.Div(a, b)
+	case 4:
+		return hl.Min(a, b)
+	case 5:
+		return hl.Max(a, b)
+	case 6:
+		return hl.Sqrt(hl.Abs(a))
+	default:
+		return hl.Sin(a)
+	}
+}
+
+// genIExprVM builds a random integer expression; IDiv is included so some
+// trials fault with integer division by zero on all engines.
+func genIExprVM(r *rand.Rand, ivars []hl.IVar, depth int) hl.IExpr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return hl.IConst(int64(r.Intn(64) - 8))
+		}
+		return hl.ILoad(ivars[r.Intn(len(ivars))])
+	}
+	a := genIExprVM(r, ivars, depth-1)
+	b := genIExprVM(r, ivars, depth-1)
+	switch r.Intn(6) {
+	case 0:
+		return hl.IAdd(a, b)
+	case 1:
+		return hl.ISub(a, b)
+	case 2:
+		return hl.IMul(a, b)
+	case 3:
+		return hl.IAnd(a, b)
+	case 4:
+		return hl.IDiv(a, b)
+	default:
+		return hl.IXor(a, b)
+	}
+}
+
+// genStmts emits depth-bounded random statements into f.
+func genStmts(r *rand.Rand, f *hl.FuncBuilder, vars []hl.FVar, ivars []hl.IVar,
+	loopVars []hl.IVar, arr hl.FArr, hasSub bool, depth, n int) {
+	for s := 0; s < n; s++ {
+		switch r.Intn(8) {
+		case 0:
+			f.Set(vars[r.Intn(len(vars))], genFExpr(r, vars, ivars, arr, 2))
+		case 1:
+			f.Store(arr, hl.IConst(int64(r.Intn(8))), genFExpr(r, vars, ivars, arr, 2))
+		case 2:
+			f.SetI(ivars[r.Intn(len(ivars))], genIExprVM(r, ivars, 2))
+		case 3:
+			f.Out(genFExpr(r, vars, ivars, arr, 2))
+		case 4:
+			if depth > 0 {
+				var els func()
+				if r.Intn(2) == 0 {
+					els = func() { genStmts(r, f, vars, ivars, loopVars, arr, hasSub, depth-1, 1+r.Intn(2)) }
+				}
+				c := randCond(r, vars, ivars, arr)
+				f.If(c, func() {
+					genStmts(r, f, vars, ivars, loopVars, arr, hasSub, depth-1, 1+r.Intn(2))
+				}, els)
+			}
+		case 5:
+			if depth > 0 && len(loopVars) > 0 {
+				lv := loopVars[0]
+				f.For(lv, hl.IConst(0), hl.IConst(int64(1+r.Intn(4))), func() {
+					genStmts(r, f, vars, ivars, loopVars[1:], arr, hasSub, depth-1, 1+r.Intn(2))
+				})
+			}
+		case 6:
+			if depth > 0 && len(loopVars) > 0 {
+				lv := loopVars[0]
+				bound := int64(1 + r.Intn(4))
+				f.SetI(lv, hl.IConst(0))
+				f.While(hl.ILt(hl.ILoad(lv), hl.IConst(bound)), func() {
+					genStmts(r, f, vars, ivars, loopVars[1:], arr, hasSub, depth-1, 1)
+					f.SetI(lv, hl.IAdd(hl.ILoad(lv), hl.IConst(1)))
+				})
+			}
+		default:
+			if hasSub {
+				f.Call("sub")
+			} else {
+				f.Out(genFExpr(r, vars, ivars, arr, 1))
+			}
+		}
+	}
+}
+
+func randCond(r *rand.Rand, vars []hl.FVar, ivars []hl.IVar, arr hl.FArr) hl.Cond {
+	if r.Intn(2) == 0 {
+		a := genFExpr(r, vars, ivars, arr, 1)
+		b := genFExpr(r, vars, ivars, arr, 1)
+		switch r.Intn(4) {
+		case 0:
+			return hl.Lt(a, b)
+		case 1:
+			return hl.Le(a, b)
+		case 2:
+			return hl.Gt(a, b)
+		default:
+			return hl.Ge(a, b)
+		}
+	}
+	a := genIExprVM(r, ivars, 1)
+	b := genIExprVM(r, ivars, 1)
+	switch r.Intn(4) {
+	case 0:
+		return hl.ILt(a, b)
+	case 1:
+		return hl.IEq(a, b)
+	case 2:
+		return hl.INe(a, b)
+	default:
+		return hl.IGe(a, b)
+	}
+}
+
+// TestEnginesIdenticalOnRandomPrograms is the randomized differential
+// suite from the issue: random hl programs under the compiled,
+// instrumented (NoCompile) and manual-Step engines must produce
+// byte-identical machines — including the trials whose tiny MaxSteps
+// budget expires mid-block and the trials that fault on integer division.
+func TestEnginesIdenticalOnRandomPrograms(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 40
+	}
+	r := rand.New(rand.NewSource(20260805))
+	for trial := 0; trial < trials; trial++ {
+		p := hl.New("diff", hl.ModeF64)
+		nv := 1 + r.Intn(3)
+		vars := make([]hl.FVar, nv)
+		for i := range vars {
+			vars[i] = p.ScalarInit("v", math.Trunc(r.NormFloat64()*1024)/32)
+		}
+		ni := 1 + r.Intn(2)
+		ivars := make([]hl.IVar, ni)
+		for i := range ivars {
+			ivars[i] = p.IntInit("k", int64(r.Intn(20)-4))
+		}
+		loopVars := []hl.IVar{p.Int("l0"), p.Int("l1")}
+		av := make([]float64, 8)
+		for i := range av {
+			av[i] = math.Trunc(r.NormFloat64()*256) / 8
+		}
+		arr := p.ArrayInit("a", av)
+
+		hasSub := r.Intn(2) == 0
+		if hasSub {
+			sub := p.Func("sub")
+			genStmts(r, sub, vars, ivars, nil, arr, false, 0, 1+r.Intn(3))
+			sub.Ret()
+		}
+		f := p.Func("main")
+		genStmts(r, f, vars, ivars, loopVars, arr, hasSub, 2, 3+r.Intn(5))
+		f.Halt()
+		mod, err := p.Build("main")
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+
+		var maxSteps uint64
+		if trial%3 == 2 {
+			// Tiny budgets land the expiry at arbitrary points inside
+			// blocks, exercising the compiled tier's budget hand-off.
+			maxSteps = uint64(1 + r.Intn(40))
+		}
+
+		lp, err := Link(mod)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", trial, err)
+		}
+		compiledM := lp.NewMachine()
+		compiledM.MaxSteps = maxSteps
+		compiled := engineResult{compiledM, compiledM.Run()}
+
+		instrM := lp.NewMachine()
+		instrM.NoCompile = true
+		instrM.MaxSteps = maxSteps
+		instrumented := engineResult{instrM, instrM.Run()}
+
+		stepM, err := New(mod)
+		if err != nil {
+			t.Fatalf("trial %d: new: %v", trial, err)
+		}
+		stepM.MaxSteps = maxSteps
+		stepped := engineResult{stepM, runStepEngine(stepM)}
+
+		diffMachines(t, fmt.Sprintf("trial %d (max=%d): compiled vs instrumented", trial, maxSteps), compiled, instrumented)
+		diffMachines(t, fmt.Sprintf("trial %d (max=%d): compiled vs step", trial, maxSteps), compiled, stepped)
+		if t.Failed() {
+			t.Fatalf("trial %d: stopping at first divergence", trial)
+		}
+	}
+}
+
+// TestEnginesIdenticalMidBlockEntry enters the compiled engine from the
+// middle of a basic block (partial manual Steps before Run), which must
+// still converge to the identical final machine.
+func TestEnginesIdenticalMidBlockEntry(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		p := hl.New("mid", hl.ModeF64)
+		v := p.ScalarInit("v", 1.5)
+		i := p.Int("i")
+		f := p.Func("main")
+		f.For(i, hl.IConst(0), hl.IConst(5), func() {
+			f.Set(v, hl.Add(hl.Load(v), hl.Const(0.25)))
+			f.Set(v, hl.Mul(hl.Load(v), hl.Const(1.0625)))
+		})
+		f.Out(hl.Load(v))
+		f.Halt()
+		mod, err := p.Build("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := Link(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := r.Intn(12)
+
+		a := lp.NewMachine()
+		for s := 0; s < pre; s++ {
+			if err := a.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ra := engineResult{a, a.Run()}
+
+		b := lp.NewMachine()
+		b.NoCompile = true
+		for s := 0; s < pre; s++ {
+			if err := b.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rb := engineResult{b, b.Run()}
+
+		diffMachines(t, fmt.Sprintf("trial %d (pre=%d)", trial, pre), ra, rb)
+	}
+}

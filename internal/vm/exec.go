@@ -27,11 +27,7 @@ func (m *Machine) Step() error {
 	if m.shadow != nil {
 		m.shadowStep(in)
 	}
-	if m.costs != nil {
-		m.Cycles += m.costs[m.pcIdx]
-	} else {
-		m.Cycles += cost(in)
-	}
+	m.Cycles += m.costs[m.pcIdx]
 
 	next := m.pcIdx + 1
 

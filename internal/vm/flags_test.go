@@ -1,0 +1,103 @@
+package vm
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/isa"
+)
+
+// Direct unit coverage for the flag machinery both dispatch tiers share:
+// branchTaken across every jump opcode and setUcomi's x86 unordered
+// semantics. Previously these were only exercised indirectly through
+// kernel runs.
+
+func TestBranchTakenTruthTable(t *testing.T) {
+	jumps := []isa.Op{
+		isa.JMP, isa.JE, isa.JNE, isa.JL, isa.JLE, isa.JG,
+		isa.JGE, isa.JB, isa.JAE, isa.JA, isa.JBE,
+	}
+	// want computes the architectural condition from (ZF, SF!=OF, CF).
+	want := func(op isa.Op, eq, ltS, ltU bool) bool {
+		switch op {
+		case isa.JMP:
+			return true
+		case isa.JE:
+			return eq
+		case isa.JNE:
+			return !eq
+		case isa.JL:
+			return ltS
+		case isa.JLE:
+			return ltS || eq
+		case isa.JG:
+			return !ltS && !eq
+		case isa.JGE:
+			return !ltS
+		case isa.JB:
+			return ltU
+		case isa.JAE:
+			return !ltU
+		case isa.JA:
+			return !ltU && !eq
+		case isa.JBE:
+			return ltU || eq
+		}
+		return false
+	}
+	m := &Machine{}
+	for flags := 0; flags < 8; flags++ {
+		m.eq = flags&1 != 0
+		m.ltS = flags&2 != 0
+		m.ltU = flags&4 != 0
+		for _, op := range jumps {
+			if got, w := m.branchTaken(op), want(op, m.eq, m.ltS, m.ltU); got != w {
+				t.Errorf("%v with eq=%v ltS=%v ltU=%v: taken=%v, want %v",
+					op, m.eq, m.ltS, m.ltU, got, w)
+			}
+		}
+		// Non-branch opcodes are never taken, whatever the flags.
+		if m.branchTaken(isa.ADDSD) || m.branchTaken(isa.NOP) {
+			t.Errorf("non-branch opcode reported taken with flags %03b", flags)
+		}
+	}
+}
+
+func TestSetUcomiFlagSemantics(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name         string
+		a, b         float64
+		eq, ltU, ltS bool
+		jeTaken      bool // unordered must take JE ...
+		jbTaken      bool // ... and JB, as on x86
+		jaTaken      bool // and never JA
+	}{
+		{"less", 1, 2, false, true, true, false, true, false},
+		{"equal", 3, 3, true, false, false, true, false, false},
+		{"greater", 5, 4, false, false, false, false, false, true},
+		{"nan-left", nan, 1, true, true, true, true, true, false},
+		{"nan-right", 1, nan, true, true, true, true, true, false},
+		{"nan-both", nan, nan, true, true, true, true, true, false},
+		{"zero-signs", math.Copysign(0, -1), 0, true, false, false, true, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Machine{}
+			m.setUcomi(tc.a, tc.b)
+			if m.eq != tc.eq || m.ltU != tc.ltU || m.ltS != tc.ltS {
+				t.Errorf("ucomi(%v, %v): flags eq=%v ltU=%v ltS=%v, want %v/%v/%v",
+					tc.a, tc.b, m.eq, m.ltU, m.ltS, tc.eq, tc.ltU, tc.ltS)
+			}
+			if got := m.branchTaken(isa.JE); got != tc.jeTaken {
+				t.Errorf("JE after ucomi(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.jeTaken)
+			}
+			if got := m.branchTaken(isa.JB); got != tc.jbTaken {
+				t.Errorf("JB after ucomi(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.jbTaken)
+			}
+			if got := m.branchTaken(isa.JA); got != tc.jaTaken {
+				t.Errorf("JA after ucomi(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.jaTaken)
+			}
+		})
+	}
+}

@@ -16,7 +16,10 @@ import (
 // instruction, looked up in a map per step by the unlinked interpreter).
 //
 // A Program is immutable after Link and may back any number of Machines
-// concurrently; all mutable state lives in the Machine.
+// concurrently; all mutable state lives in the Machine. Because the
+// compiled stream is immutable per program, Reset/ResetTo/rewind
+// invalidate nothing — a reset machine re-enters the same compiled
+// blocks.
 type Program struct {
 	mod    *prog.Module
 	instrs []isa.Instr
@@ -28,6 +31,9 @@ type Program struct {
 	targets []int32
 	// costs[i] is the modeled cycle cost of instrs[i].
 	costs []uint64
+	// compiled is the direct-threaded block stream Run's fast dispatch
+	// tier executes (see compile.go).
+	compiled *compiled
 }
 
 // Link validates m and builds its linked program.
@@ -53,6 +59,7 @@ func Link(m *prog.Module) (*Program, error) {
 		return nil, &Fault{Kind: FaultBadPC, PC: m.Entry, Detail: "entry not an instruction"}
 	}
 	lp.entry = idx
+	lp.compiled = compileProgram(lp)
 	return lp, nil
 }
 
@@ -83,8 +90,8 @@ func (lp *Program) NewMachine() *Machine {
 // registers, flags, counters, outputs and the memory image — reusing the
 // machine's existing buffers instead of reallocating. Previously returned
 // Out slices and Counts are invalidated. Caller-set policy fields
-// (MaxSteps, Host, TrapUnreplaced) are preserved; armed injected traps
-// are disarmed (re-arm after the reset if wanted).
+// (MaxSteps, Host, TrapUnreplaced, NoCompile) are preserved; armed
+// injected traps are disarmed (re-arm after the reset if wanted).
 func (m *Machine) ResetTo(lp *Program) {
 	m.lp = lp
 	m.prog = lp.mod

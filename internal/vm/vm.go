@@ -139,6 +139,14 @@ type Machine struct {
 	// (paper §2.3: "anything that our analysis misses causes a crash").
 	TrapUnreplaced bool
 
+	// NoCompile forces Run onto the per-step interpreter tier even when
+	// the bound program carries a compiled stream. The compiled
+	// direct-threaded engine is the default for linked programs; this is
+	// the differential-testing escape hatch (search Options.NoCompile,
+	// fpsearch -nocompile). Like MaxSteps and Host it is caller policy,
+	// preserved across Reset/ResetTo.
+	NoCompile bool
+
 	prog    *prog.Module
 	instrs  []isa.Instr
 	addrIdx map[uint64]int32
@@ -161,11 +169,20 @@ type Machine struct {
 	inject *injectState
 
 	// Linked-program state (nil/absent on vm.New machines): the Program
-	// the machine executes plus its pre-resolved branch-target and cycle
-	// cost tables (see Link).
+	// the machine executes plus its pre-resolved branch-target table (see
+	// Link).
 	lp      *Program
 	targets []int32
-	costs   []uint64
+
+	// costs is the precomputed per-instruction cycle cost table, indexed
+	// like counts. Always populated — by New for unlinked machines and by
+	// ResetTo from the linked program — so neither execution tier ever
+	// recomputes an instruction's cost.
+	costs []uint64
+
+	// blkExec is the compiled tier's per-block execution counter scratch,
+	// expanded into counts when a compiled run ends (see compile.go).
+	blkExec []uint64
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -185,6 +202,10 @@ func New(p *prog.Module) (*Machine, error) {
 		m.addrIdx[m.instrs[i].Addr] = int32(i)
 	}
 	m.counts = make([]uint64, len(m.instrs))
+	m.costs = make([]uint64, len(m.instrs))
+	for i := range m.instrs {
+		m.costs[i] = cost(&m.instrs[i])
+	}
 	m.Mem = make([]byte, p.MemSize)
 	copy(m.Mem[prog.DataBase:], p.Data)
 	m.GPR[isa.RSP] = p.MemSize &^ 15
@@ -223,11 +244,29 @@ func (m *Machine) Profile() map[uint64]uint64 {
 }
 
 // Run executes until HALT, a fault, or the step budget is exhausted.
+//
+// Execution picks one of two dispatch tiers automatically. Machines
+// bound to a linked program with no per-step hook active run on the
+// compiled direct-threaded engine (pre-decoded closures, per-block
+// accounting — see compile.go). Shadow collection, armed injected traps,
+// RunContext cancellation, TrapUnreplaced, or NoCompile route the run to
+// the instrumented per-step interpreter instead, which observes every
+// instruction. Both tiers produce byte-identical machines.
 func (m *Machine) Run() error {
 	max := m.MaxSteps
 	if max == 0 {
 		max = DefaultMaxSteps
 	}
+	if m.compiledTier() {
+		return m.runCompiled(max)
+	}
+	return m.runInstrumented(max)
+}
+
+// runInstrumented is the per-step dispatch tier: one Step per
+// instruction, with the budget, cancellation, injection and shadow hooks
+// checked on every iteration.
+func (m *Machine) runInstrumented(max uint64) error {
 	for !m.halted {
 		if m.Steps >= max {
 			return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
