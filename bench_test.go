@@ -170,7 +170,8 @@ func BenchmarkAMG(b *testing.B) {
 
 // BenchmarkSearchEvaluate measures end-to-end search throughput across
 // the evaluation backends: the cached engine on the compiled
-// direct-threaded VM tier (the default), the same engine pinned to the
+// direct-threaded VM tier (the default), the fork-point engine evaluating
+// siblings from shared-prefix snapshots, the cached engine pinned to the
 // per-step interpreter (nocompile), and the from-scratch fallback. All
 // sub-benchmarks run the identical search; ns/op ratios are the
 // respective speedups.
@@ -185,6 +186,7 @@ func BenchmarkSearchEvaluate(b *testing.B) {
 		noCompile bool
 	}{
 		{"engine", search.EngineOn, false},
+		{"fork", search.EngineFork, false},
 		{"nocompile", search.EngineOn, true},
 		{"fallback", search.EngineOff, false},
 	} {
@@ -202,6 +204,10 @@ func BenchmarkSearchEvaluate(b *testing.B) {
 			}
 			b.ReportMetric(float64(res.Tested), "testedCfgs")
 			b.ReportMetric(float64(res.MemoHits), "memoHits")
+			if mode.mode == search.EngineFork {
+				b.ReportMetric(float64(res.Forked), "forkedCfgs")
+				b.ReportMetric(float64(res.PrefixInstrsSaved), "prefixInstrs")
+			}
 		})
 	}
 }

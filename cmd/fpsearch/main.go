@@ -21,6 +21,13 @@
 //	fpsearch -bench ep -class W -nosens
 //	fpsearch -bench lu -class A -checkpoint lu.ckpt      # later: -resume lu.ckpt
 //	fpsearch -bench ep -class W -chaos 42 -retries 3
+//	fpsearch -bench lu -class W -nofork              # no fork-point snapshots
+//
+// Evaluations default to fork-point mode: one donor run of the base
+// configuration is snapshotted at every candidate site's first execution
+// and each configuration runs only its divergent suffix, re-linked
+// incrementally. -nofork restores entry-to-exit evaluation (the finals
+// are byte-identical either way).
 package main
 
 import (
@@ -48,6 +55,7 @@ func main() {
 	noSplit := flag.Bool("nosplit", false, "disable the binary-splitting optimization")
 	noPrio := flag.Bool("noprio", false, "disable profile-based prioritization")
 	noEngine := flag.Bool("noengine", false, "evaluate through the from-scratch fallback instead of the cached engine")
+	noFork := flag.Bool("nofork", false, "disable fork-point evaluation: evaluate every configuration from the program entry instead of from shared-prefix snapshots")
 	noCompile := flag.Bool("nocompile", false, "run evaluations on the per-step interpreter instead of the compiled engine (differential testing)")
 	noPrune := flag.Bool("noprune", false, "disable static candidate pruning (dataflow unsafe sinks, zero-weight pieces)")
 	noSens := flag.Bool("nosens", false, "disable sensitivity guidance (shadow-value ordering and prediction gating)")
@@ -97,7 +105,15 @@ func main() {
 		MaxSteps: b.MaxSteps,
 		Base:     b.Base,
 	}
-	mode := search.EngineOn
+	// Fork-point evaluation is the default: the cached engine plus a
+	// snapshotted donor run and incremental re-linking. -nofork keeps the
+	// cached engine but evaluates every run from the entry; -noengine
+	// drops to the from-scratch seed pipeline. Finals are byte-identical
+	// across all three (pinned by the fork and engine identity tests).
+	mode := search.EngineFork
+	if *noFork {
+		mode = search.EngineOn
+	}
 	if *noEngine {
 		mode = search.EngineOff
 	}
@@ -183,6 +199,10 @@ func main() {
 	}
 	fmt.Printf("candidates:           %d\n", res.Candidates)
 	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
+	if mode == search.EngineFork {
+		fmt.Printf("forked evaluations:   %d of %d (%d shared-prefix instructions saved)\n",
+			res.Forked, res.Tested, res.PrefixInstrsSaved)
+	}
 	if res.Resumed > 0 {
 		fmt.Printf("resumed:              %d verdicts replayed from the checkpoint\n", res.Resumed)
 	}

@@ -145,12 +145,18 @@ type analysis struct {
 	stableBase int           // -1 if none
 	slotOf     map[int32]int // 8-aligned displacement -> slot index
 	regionOf   map[int32]int // indexed-access base displacement -> region index
-	nLocs      int           // nRegLocs + slots + regions + summary + stack
+	extents    []extent      // sorted, disjoint array extents (module region table)
+	nLocs      int           // nRegLocs + slots + regions + summary + stack + extents
 }
+
+// extent is one array's byte range off the stable base, from the
+// module's region table.
+type extent struct{ off, end int32 }
 
 func (a *analysis) regionLoc(r int) int { return nRegLocs + len(a.slotOf) + r }
 func (a *analysis) summaryLoc() int     { return nRegLocs + len(a.slotOf) + len(a.regionOf) }
 func (a *analysis) stackLoc() int       { return a.summaryLoc() + 1 }
+func (a *analysis) extentLoc(e int) int { return a.stackLoc() + 1 + e }
 
 // Analyze runs every analysis over m and returns the per-candidate
 // summaries.
@@ -261,7 +267,8 @@ func build(m *prog.Module) (*analysis, error) {
 
 	a.findStableBase()
 	a.findSlots()
-	a.nLocs = nRegLocs + len(a.slotOf) + len(a.regionOf) + 2
+	a.buildExtents()
+	a.nLocs = nRegLocs + len(a.slotOf) + len(a.regionOf) + 2 + len(a.extents)
 
 	// Reachability from the module entry.
 	a.reachable = make([]bool, n)
@@ -381,11 +388,44 @@ func (a *analysis) findSlots() {
 	}
 }
 
+// buildExtents validates and adopts the module's region table: extents
+// must be sane and pairwise disjoint or the whole table is dropped (the
+// analyses then stay on the fully conservative memory model).
+func (a *analysis) buildExtents() {
+	if len(a.mod.Regions) == 0 || a.stableBase < 0 {
+		return
+	}
+	exts := make([]extent, 0, len(a.mod.Regions))
+	for _, r := range a.mod.Regions {
+		if r.Off < 0 || r.Size <= 0 || r.Off+r.Size < r.Off {
+			return
+		}
+		exts = append(exts, extent{off: r.Off, end: r.Off + r.Size})
+	}
+	sort.Slice(exts, func(i, j int) bool { return exts[i].off < exts[j].off })
+	for i := 1; i < len(exts); i++ {
+		if exts[i].off < exts[i-1].end {
+			return
+		}
+	}
+	a.extents = exts
+}
+
+// extentAt returns the index of the extent containing displacement d, or
+// -1 when d lies outside every recorded array.
+func (a *analysis) extentAt(d int32) int {
+	i := sort.Search(len(a.extents), func(i int) bool { return a.extents[i].end > d })
+	if i < len(a.extents) && a.extents[i].off <= d {
+		return i
+	}
+	return -1
+}
+
 // memLocs resolves a memory operand to location indices for the
 // soundness-critical flag analysis. For a direct stable-base access it
-// returns the slot(s); otherwise every slot and region plus the summary
-// and stack cells (an unresolved access may touch anything). wide
-// selects 16-byte accesses (MOVAPD).
+// returns the slot(s); otherwise every slot, region and array extent
+// plus the summary and stack cells (an unresolved access may touch
+// anything). wide selects 16-byte accesses (MOVAPD).
 func (a *analysis) memLocs(m isa.MemRef, wide bool) (locs []int, direct bool) {
 	if s, ok, wideOK := a.directSlot(m, wide); ok {
 		locs = append(locs, s...)
@@ -401,7 +441,40 @@ func (a *analysis) memLocs(m isa.MemRef, wide bool) (locs []int, direct bool) {
 		locs = append(locs, a.regionLoc(r))
 	}
 	locs = append(locs, a.summaryLoc(), a.stackLoc())
+	for e := range a.extents {
+		locs = append(locs, a.extentLoc(e))
+	}
 	return locs, false
+}
+
+// memLocsPrec is memLocs refined by the module's array extents: an
+// access through a known array's base displacement resolves to that
+// array's private cell instead of the everything blob. Soundness rests
+// on the region table's contract (hl.Array): indexed accesses through an
+// array's displacement stay inside its allocation. Array cells are
+// always weak — one element's store cannot clean the whole array.
+func (a *analysis) memLocsPrec(m isa.MemRef, wide bool) (locs []int, direct bool) {
+	if len(a.extents) == 0 || a.stableBase < 0 || int(m.Base) != a.stableBase {
+		return a.memLocs(m, wide)
+	}
+	w := int32(8)
+	if wide {
+		w = 16
+	}
+	e := a.extentAt(m.Disp)
+	if m.HasIndex {
+		if e >= 0 {
+			return []int{a.extentLoc(e)}, false
+		}
+		return a.memLocs(m, wide)
+	}
+	if e != a.extentAt(m.Disp+w-1) {
+		return a.memLocs(m, wide) // straddles an array boundary
+	}
+	if e >= 0 {
+		return []int{a.extentLoc(e)}, false
+	}
+	return a.memLocs(m, wide)
 }
 
 // directSlot resolves a direct stable-base access to its slot location(s).
@@ -474,4 +547,79 @@ func gprDefs(in isa.Instr) []int {
 		}
 	}
 	return nil
+}
+
+// FlagAnalysis is a reusable handle over one module's supergraph for
+// re-running the replaced-flag reachability pass under restricted source
+// sets. Analyze's CleanInputs answers the any-configuration question
+// ("could this site ever see a flagged value?"); a search evaluating one
+// piece at a time wants the much sharper per-configuration question
+// ("could it see one when only these sites are single?"), whose clean
+// set licenses assembling the bare original instruction — no wrapper at
+// all — at every other double site. The handle is safe for concurrent
+// use: each query allocates its own fixpoint state.
+type FlagAnalysis struct {
+	a *analysis
+}
+
+// NewFlagAnalysis builds the supergraph and memory model once, for many
+// CleanUnder queries.
+func NewFlagAnalysis(m *prog.Module) (*FlagAnalysis, error) {
+	a, err := build(m)
+	if err != nil {
+		return nil, err
+	}
+	return &FlagAnalysis{a: a}, nil
+}
+
+// CleanUnder returns the candidate addresses whose floating-point inputs
+// are proven clean when exactly the given candidates are configured
+// single. A clean double site's wrapper is a checked no-op for this
+// configuration, so the bare original instruction is bit-identical to
+// it. CleanUnder(nil) restricts the sources to the empty set (no site
+// single), not the any-configuration abstraction — use Analyze for that.
+//
+// The query runs with the extent-precise memory model (memLocsPrec):
+// distinct arrays from the module's region table occupy distinct cells,
+// so a single site storing into one array poisons that array alone.
+func (fa *FlagAnalysis) CleanUnder(singles map[uint64]bool) map[uint64]bool {
+	clean := make(map[uint64]bool)
+	for addr, oc := range fa.CleanOperandsUnder(singles) {
+		if oc.Src && oc.Dst {
+			clean[addr] = true
+		}
+	}
+	return clean
+}
+
+// OperandClean is the per-operand refinement of a clean verdict: Src is
+// the source (B) operand, Dst the destination operand read as a source
+// by dst-is-source operations. An operand the instruction does not read
+// as floating-point input is trivially clean, so Src && Dst is exactly
+// CleanUnder's whole-site verdict.
+type OperandClean struct {
+	Src bool
+	Dst bool
+}
+
+// CleanOperandsUnder is CleanUnder at operand granularity: for every
+// candidate site it reports which of its floating-point inputs are
+// proven unflagged when exactly the given candidates are configured
+// single. A wrapper's check on a proven-clean operand is a guaranteed
+// no-op, so a narrowed wrapper that omits it (replace.DoubleSnippet
+// with CleanSrcInput/CleanDstInput) is bit-identical to the full one
+// under this configuration.
+func (fa *FlagAnalysis) CleanOperandsUnder(singles map[uint64]bool) map[uint64]OperandClean {
+	if singles == nil {
+		singles = map[uint64]bool{}
+	}
+	flags := fa.a.flagReachFor(singles, true)
+	out := make(map[uint64]OperandClean)
+	for i, in := range fa.a.instrs {
+		if !isa.IsCandidate(in.Op) {
+			continue
+		}
+		out[in.Addr] = fa.a.cleanOperandsPrec(i, flags, true)
+	}
+	return out
 }

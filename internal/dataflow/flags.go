@@ -20,6 +20,18 @@ import "fpmix/internal/isa"
 // registers, so they conservatively poison all of memory; allreduce
 // writes back plain reduced doubles and is flag-transparent.
 func (a *analysis) flagReach() []bitset {
+	return a.flagReachFor(nil, false)
+}
+
+// flagReachFor is flagReach with the sentinel sources restricted to the
+// given single-configured candidate addresses; nil means every candidate
+// may be single (the any-configuration abstraction above). Under a
+// restricted source set, candidates outside it are double sites: their
+// wrappers (or, when their inputs are proven clean, the bare originals)
+// never stamp a source and always produce plain double results. precise
+// additionally resolves array accesses through the module's region
+// table (memLocsPrec) instead of the everything blob.
+func (a *analysis) flagReachFor(singles map[uint64]bool, precise bool) []bitset {
 	n := len(a.instrs)
 	flagIn := make([]bitset, n)
 	for i := range flagIn {
@@ -33,11 +45,28 @@ func (a *analysis) flagReach() []bitset {
 			work = append(work, i)
 		}
 	}
-	// Seed every instruction (in reverse so the LIFO pops in forward
-	// order): each transfer must run at least once even when its input
-	// state never changes from bottom.
+	// Seed only the instructions that can generate a flag from bottom
+	// (in reverse so the LIFO pops in forward order): every other
+	// transfer maps bottom to bottom, so it first needs to run only once
+	// a predecessor pushes state into it. With a small singles set this
+	// keeps the fixpoint proportional to the flagged subgraph rather
+	// than the whole module.
 	for i := n - 1; i >= 0; i-- {
-		push(i)
+		in := a.instrs[i]
+		switch {
+		case isa.IsCandidate(in.Op):
+			if singles == nil || singles[in.Addr] {
+				push(i)
+			}
+		case in.Op == isa.MOVRI:
+			if uint32(uint64(in.B.Imm)>>32) == isa.ReplacedFlag {
+				push(i)
+			}
+		case in.Op == isa.SYSCALL:
+			if in.A.Imm == isa.SysMPIRecvF64 || in.A.Imm == isa.SysMPIBcastF64 {
+				push(i)
+			}
+		}
 	}
 	out := newBitset(a.nLocs)
 	for len(work) > 0 {
@@ -46,7 +75,7 @@ func (a *analysis) flagReach() []bitset {
 		inList[i] = false
 
 		out.copyFrom(flagIn[i])
-		a.flagStep(i, out)
+		a.flagStepFor(i, out, singles, precise)
 		for _, s := range a.succs[i] {
 			if flagIn[s].or(out) {
 				push(int(s))
@@ -58,19 +87,35 @@ func (a *analysis) flagReach() []bitset {
 
 // flagStep applies instruction i's transfer function to state in place.
 func (a *analysis) flagStep(i int, st bitset) {
+	a.flagStepFor(i, st, nil, false)
+}
+
+// flagStepFor is flagStep under a restricted single-candidate set (nil =
+// any configuration) and an optional precise memory model. It takes only
+// per-call state, so concurrent analyses over the same supergraph are
+// safe.
+func (a *analysis) flagStepFor(i int, st bitset, singles map[uint64]bool, precise bool) {
 	in := a.instrs[i]
 
 	if isa.IsCandidate(in.Op) {
-		a.flagCandidate(in, st)
+		if singles == nil || singles[in.Addr] {
+			a.flagCandidate(in, st)
+		} else {
+			a.flagDouble(in, st)
+		}
 		return
 	}
 
 	lane0 := func(op isa.Operand) int { return laneLoc(op.Reg, 0) }
 	lane1 := func(op isa.Operand) int { return laneLoc(op.Reg, 1) }
 	gpr := func(op isa.Operand) int { return locGPR + int(op.Reg) }
+	resolve := a.memLocs
+	if precise {
+		resolve = a.memLocsPrec
+	}
 	// join of a memory operand's possible locations
 	memGet := func(m isa.MemRef, wide bool) bool {
-		locs, _ := a.memLocs(m, wide)
+		locs, _ := resolve(m, wide)
 		for _, l := range locs {
 			if st.get(l) {
 				return true
@@ -81,7 +126,7 @@ func (a *analysis) flagStep(i int, st bitset) {
 	// write v to a memory operand: strong update when the address
 	// resolves to one slot, weak otherwise
 	memSet := func(m isa.MemRef, wide, v bool) {
-		locs, direct := a.memLocs(m, wide)
+		locs, direct := resolve(m, wide)
 		for _, l := range locs {
 			if v {
 				st.set(l)
@@ -276,13 +321,54 @@ func (a *analysis) flagCandidate(in isa.Instr, st bitset) {
 	}
 }
 
+// flagDouble applies the transfer of a candidate held at double
+// precision: neither the wrapper snippet nor the bare original stamps a
+// source in place, and the result — an ordinary double (wrappers upcast
+// any flagged input first) or a plain integer — is clean. Memory
+// destinations are left untouched, conservatively preserving any prior
+// maybe-flagged state.
+func (a *analysis) flagDouble(in isa.Instr, st bitset) {
+	if !isa.WritesDst(in.Op) {
+		return
+	}
+	switch in.A.Kind {
+	case isa.KindXMM:
+		st.clear(laneLoc(in.A.Reg, 0))
+		if isa.IsPacked(in.Op) {
+			st.clear(laneLoc(in.A.Reg, 1))
+		}
+	case isa.KindGPR:
+		st.clear(locGPR + int(in.A.Reg))
+	}
+}
+
 // cleanInputs reports whether no floating-point input of candidate i can
 // be flagged under any configuration.
 func (a *analysis) cleanInputs(i int, flagIn []bitset) bool {
+	return a.cleanInputsPrec(i, flagIn, false)
+}
+
+// cleanInputsPrec is cleanInputs with the memory model matching the
+// flagReachFor call that produced flagIn.
+func (a *analysis) cleanInputsPrec(i int, flagIn []bitset, precise bool) bool {
+	oc := a.cleanOperandsPrec(i, flagIn, precise)
+	return oc.Src && oc.Dst
+}
+
+// cleanOperandsPrec splits cleanInputsPrec per operand: Src is the B
+// (source) operand, Dst the destination-read-as-source operand of
+// dst-is-source ops. An operand the instruction does not read as
+// floating-point input is trivially clean.
+func (a *analysis) cleanOperandsPrec(i int, flagIn []bitset, precise bool) OperandClean {
 	in := a.instrs[i]
+	oc := OperandClean{Src: true, Dst: true}
 	if !isa.ConsumesFP(in.Op) {
 		// Producers (CVTSI2SD) read an integer register: trivially clean.
-		return true
+		return oc
+	}
+	resolve := a.memLocs
+	if precise {
+		resolve = a.memLocsPrec
 	}
 	st := flagIn[i]
 	packed := isa.IsPacked(in.Op)
@@ -296,7 +382,7 @@ func (a *analysis) cleanInputs(i int, flagIn []bitset) bool {
 				return false
 			}
 		case isa.KindMem:
-			locs, _ := a.memLocs(op.Mem, packed)
+			locs, _ := resolve(op.Mem, packed)
 			for _, l := range locs {
 				if st.get(l) {
 					return false
@@ -305,11 +391,9 @@ func (a *analysis) cleanInputs(i int, flagIn []bitset) bool {
 		}
 		return true
 	}
-	if !check(in.B) {
-		return false
+	oc.Src = check(in.B)
+	if isa.DstIsSource(in.Op) {
+		oc.Dst = check(in.A)
 	}
-	if isa.DstIsSource(in.Op) && !check(in.A) {
-		return false
-	}
-	return true
+	return oc
 }

@@ -84,6 +84,7 @@ type Prog struct {
 	inits   []func(data []byte)
 	funcs   []*FuncBuilder
 	stack   uint64
+	regions []prog.Region
 }
 
 // New creates a program builder.
@@ -131,8 +132,15 @@ func (p *Prog) ScalarInit(name string, v float64) FVar {
 }
 
 // Array declares a zero-initialized floating-point array of n elements.
+// Array extents are recorded in the module's region table: the compiler
+// guarantees indexed accesses through an array's base displacement stay
+// within its allocation, which is what lets the dataflow analyses keep
+// distinct arrays in distinct memory cells.
 func (p *Prog) Array(name string, n int) FArr {
-	return FArr{name: name, off: p.alloc(int32(n)*p.fpSlot(), p.fpSlot()), n: n}
+	size := int32(n) * p.fpSlot()
+	off := p.alloc(size, p.fpSlot())
+	p.regions = append(p.regions, prog.Region{Name: name, Off: off, Size: size})
+	return FArr{name: name, off: off, n: n}
 }
 
 // ArrayInit declares a floating-point array initialized from vals.
@@ -165,7 +173,10 @@ func (p *Prog) IntInit(name string, v int64) IVar {
 
 // IntArray declares a zero-initialized integer array of n elements.
 func (p *Prog) IntArray(name string, n int) IArr {
-	return IArr{name: name, off: p.alloc(int32(n)*8, 8), n: n}
+	size := int32(n) * 8
+	off := p.alloc(size, 8)
+	p.regions = append(p.regions, prog.Region{Name: name, Off: off, Size: size})
+	return IArr{name: name, off: off, n: n}
 }
 
 // IntArrayInit declares an integer array initialized from vals.
@@ -239,6 +250,7 @@ func (p *Prog) Build(entry string) (*prog.Module, error) {
 	if err != nil {
 		return nil, err
 	}
+	mod.Regions = append([]prog.Region(nil), p.regions...)
 	// Resolve label and call fixups now that addresses are assigned.
 	for _, fb := range p.funcs {
 		f := mod.FuncByName(fb.name)

@@ -24,6 +24,8 @@ import (
 //	    nameLen uint16, name bytes, addr uint64, end uint64
 //	ndebug    uint32, then per entry (format version 2):
 //	    addr uint64, labelLen uint16, label bytes
+//	nregions  uint32, then per region (format version 3):
+//	    nameLen uint16, name bytes, off int32, size int32
 //
 // The code bytes are raw encoded instructions; Load re-decodes them and
 // rebuilds per-function instruction lists from the symbol table, failing if
@@ -32,8 +34,9 @@ import (
 
 var imageMagic = [4]byte{'F', 'P', 'M', 'X'}
 
-// ImageVersion is the serialization format version.
-const ImageVersion = 2
+// ImageVersion is the serialization format version. Load also accepts
+// version 2 images (everything up to the data-region table).
+const ImageVersion = 3
 
 // ErrBadImage reports a malformed serialized image.
 var ErrBadImage = errors.New("prog: bad image")
@@ -100,6 +103,13 @@ func Save(m *Module) ([]byte, error) {
 		writeU16(&buf, uint16(len(m.Debug[a])))
 		buf.WriteString(m.Debug[a])
 	}
+	writeU32(&buf, uint32(len(m.Regions)))
+	for _, rg := range m.Regions {
+		writeU16(&buf, uint16(len(rg.Name)))
+		buf.WriteString(rg.Name)
+		writeU32(&buf, uint32(rg.Off))
+		writeU32(&buf, uint32(rg.Size))
+	}
 	return buf.Bytes(), nil
 }
 
@@ -112,8 +122,9 @@ func Load(img []byte) (*Module, error) {
 	if magic != imageMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
 	}
-	if v := r.u16(); v != ImageVersion {
-		return nil, fmt.Errorf("%w: version %d", ErrBadImage, v)
+	version := r.u16()
+	if version != 2 && version != ImageVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadImage, version)
 	}
 	m := &Module{}
 	m.Name = r.str(int(r.u16()))
@@ -144,6 +155,14 @@ func Load(img []byte) (*Module, error) {
 		for i := 0; i < nd; i++ {
 			a := r.u64()
 			m.Debug[a] = r.str(int(r.u16()))
+		}
+	}
+	if version >= 3 {
+		for i, nr := 0, int(r.u32()); i < nr && r.err == nil; i++ {
+			rg := Region{Name: r.str(int(r.u16()))}
+			rg.Off = int32(r.u32())
+			rg.Size = int32(r.u32())
+			m.Regions = append(m.Regions, rg)
 		}
 	}
 	if r.err != nil {

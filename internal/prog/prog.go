@@ -46,6 +46,22 @@ type Module struct {
 	// "the corresponding source code location for a particular
 	// instruction", paper §2.1). May be nil.
 	Debug map[uint64]string
+
+	// Regions optionally records named data-segment allocations — the
+	// analog of object symbols with sizes. Each entry is an array's byte
+	// extent relative to the data-segment base register; the dataflow
+	// analyses use disjoint extents to separate arrays that would
+	// otherwise share one summary memory cell. May be nil (analyses then
+	// fall back to the fully conservative memory model).
+	Regions []Region
+}
+
+// Region is a named allocation in the data segment: [Off, Off+Size)
+// bytes relative to the data-segment base.
+type Region struct {
+	Name string
+	Off  int32
+	Size int32
 }
 
 // Validate checks structural invariants: functions sorted, non-overlapping,
@@ -155,6 +171,7 @@ func (m *Module) Clone() *Module {
 			c.Debug[a] = s
 		}
 	}
+	c.Regions = append([]Region(nil), m.Regions...)
 	for _, f := range m.Funcs {
 		c.Funcs = append(c.Funcs, &Func{
 			Name:   f.Name,

@@ -27,6 +27,15 @@ type CompiledSnippets struct {
 	// wrapper at that precision (double producers, skipped wrappers).
 	single map[uint64]*cfg.Expansion
 	double map[uint64]*cfg.Expansion
+	// doubleSrcOnly and doubleDstOnly are the narrowed double wrappers
+	// checking only the source respectively only the destination operand,
+	// present when the narrowed form is strictly shorter than the full
+	// wrapper. They are never sound whole-configuration choices; the
+	// stable layout exposes them as extra variants that the fork-point
+	// search selects per configuration when its flag analysis proves the
+	// other operand clean.
+	doubleSrcOnly map[uint64]*cfg.Expansion
+	doubleDstOnly map[uint64]*cfg.Expansion
 	// Snippet generation can fail for individual instructions (e.g.
 	// RSP-relative memory operands). InstrumentMap only generates the
 	// sequence a configuration asks for, so to stay equivalent the error
@@ -40,12 +49,14 @@ type CompiledSnippets struct {
 // candidate instruction of m under the given options.
 func Precompile(m *prog.Module, opts InstrumentOptions) (*CompiledSnippets, error) {
 	cs := &CompiledSnippets{
-		module:    m,
-		opts:      opts,
-		single:    make(map[uint64]*cfg.Expansion),
-		double:    make(map[uint64]*cfg.Expansion),
-		singleErr: make(map[uint64]error),
-		doubleErr: make(map[uint64]error),
+		module:        m,
+		opts:          opts,
+		single:        make(map[uint64]*cfg.Expansion),
+		double:        make(map[uint64]*cfg.Expansion),
+		doubleSrcOnly: make(map[uint64]*cfg.Expansion),
+		doubleDstOnly: make(map[uint64]*cfg.Expansion),
+		singleErr:     make(map[uint64]error),
+		doubleErr:     make(map[uint64]error),
 	}
 	ana := opts.analysis(m)
 	for _, f := range m.Funcs {
@@ -68,6 +79,19 @@ func Precompile(m *prog.Module, opts InstrumentOptions) (*CompiledSnippets, erro
 				cs.doubleErr[in.Addr] = err
 			case dseq != nil:
 				cs.double[in.Addr] = cfg.NewExpansion(dseq)
+				// Narrowed wrappers, cached only when eliding the other
+				// operand's check actually shortens the sequence (a site
+				// whose full wrapper checks a single operand gains
+				// nothing over it).
+				srcSo, dstSo := so, so
+				srcSo.CleanDstInput = true
+				dstSo.CleanSrcInput = true
+				if seq, err := DoubleSnippet(in, srcSo); err == nil && seq != nil && len(seq) < len(dseq) {
+					cs.doubleSrcOnly[in.Addr] = cfg.NewExpansion(seq)
+				}
+				if seq, err := DoubleSnippet(in, dstSo); err == nil && seq != nil && len(seq) < len(dseq) {
+					cs.doubleDstOnly[in.Addr] = cfg.NewExpansion(seq)
+				}
 			}
 		}
 	}

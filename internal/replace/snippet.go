@@ -64,6 +64,18 @@ type Options struct {
 	// unconditionally and double snippets need no wrapper at all. Set by
 	// instrumentation from dataflow.Site.CleanInputs.
 	CleanInputs bool
+
+	// CleanSrcInput and CleanDstInput narrow a double wrapper to one
+	// operand: the per-configuration flag analysis
+	// (dataflow.FlagAnalysis.CleanOperandsUnder) proved the source (B)
+	// respectively destination-read-as-source (A) operand unflagged, so
+	// its check — and, for a clean memory source, the scratch promotion —
+	// is a guaranteed no-op and is omitted. Setting both is CleanInputs
+	// for double snippets. Only DoubleSnippet consults these; they back
+	// the stable layout's narrowed wrapper variants and are never sound
+	// as whole-search options.
+	CleanSrcInput bool
+	CleanDstInput bool
 }
 
 // elideSaves reports whether scratch save/restore is omitted.
@@ -302,7 +314,7 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 		// instruction is already correct.
 		return nil, nil
 	}
-	if opts.CleanInputs {
+	if opts.CleanInputs || (opts.CleanSrcInput && opts.CleanDstInput) {
 		// The flag-reachability analysis proved no replaced value can
 		// reach this site's inputs, so the original double-precision
 		// instruction runs correctly with no wrapper at all — the sound
@@ -326,7 +338,9 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 	op.Addr = 0
 
 	usedMem := false
-	if in.B.Kind == isa.KindMem {
+	// A proven-clean memory source needs no promotion: the original
+	// operand already reads a plain double.
+	if in.B.Kind == isa.KindMem && !opts.CleanSrcInput {
 		if opts.NoMemPromotion {
 			return nil, fmt.Errorf("replace: memory operand on %s with promotion disabled", in.Op)
 		}
@@ -342,13 +356,14 @@ func DoubleSnippet(in isa.Instr, opts Options) ([]isa.Instr, error) {
 		op.B = isa.Xmm(sxMem)
 	}
 
-	if op.B.Kind == isa.KindXMM {
+	if op.B.Kind == isa.KindXMM && !opts.CleanSrcInput {
 		s.upcastLane(op.B.Reg, 0)
 		if packed {
 			s.upcastLane(op.B.Reg, 1)
 		}
 	}
-	if isa.DstIsSource(in.Op) && op.A.Kind == isa.KindXMM && !(op.B.Kind == isa.KindXMM && op.B.Reg == op.A.Reg) {
+	if isa.DstIsSource(in.Op) && op.A.Kind == isa.KindXMM && !opts.CleanDstInput &&
+		!(op.B.Kind == isa.KindXMM && op.B.Reg == op.A.Reg) {
 		s.upcastLane(op.A.Reg, 0)
 		if packed {
 			s.upcastLane(op.A.Reg, 1)

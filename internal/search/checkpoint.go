@@ -31,7 +31,15 @@ const journalMagic = "fpmix-checkpoint v1"
 type Journal struct {
 	mu    sync.Mutex
 	f     *os.File
-	prior map[string]bool
+	prior map[string]journalVerdict
+}
+
+// journalVerdict is one replayable journal line: the verdict plus its
+// fork provenance (how the interrupted search obtained it).
+type journalVerdict struct {
+	pass        bool
+	forked      bool
+	prefixSaved uint64
 }
 
 // NewJournal creates (or truncates) a checkpoint at path for a search
@@ -45,7 +53,7 @@ func NewJournal(path, fingerprint string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	return &Journal{f: f, prior: make(map[string]bool)}, nil
+	return &Journal{f: f, prior: make(map[string]journalVerdict)}, nil
 }
 
 // ResumeJournal opens an existing checkpoint, validates its fingerprint,
@@ -69,22 +77,37 @@ func ResumeJournal(path, fingerprint string) (*Journal, error) {
 		return nil, fmt.Errorf("search: checkpoint %s is for %q, not %q",
 			path, strings.TrimSuffix(header, "\n"), want)
 	}
-	prior := make(map[string]bool)
+	prior := make(map[string]journalVerdict)
 	good := int64(len(header)) // offset past the last complete, valid line
 	for {
 		line, err := br.ReadString('\n')
 		if err != nil || !strings.HasSuffix(line, "\n") {
 			break // EOF or a torn final write: truncate it away
 		}
-		hexKey, verdict, ok := strings.Cut(strings.TrimSuffix(line, "\n"), " ")
-		if !ok || (verdict != "pass" && verdict != "fail") {
+		fields := strings.Fields(strings.TrimSuffix(line, "\n"))
+		if len(fields) < 2 || (fields[1] != "pass" && fields[1] != "fail") {
 			break
 		}
-		key, err := hex.DecodeString(hexKey)
+		key, err := hex.DecodeString(fields[0])
 		if err != nil {
 			break
 		}
-		prior[string(key)] = verdict == "pass"
+		jv := journalVerdict{pass: fields[1] == "pass"}
+		// Optional provenance written by fork-point searches: lines from
+		// older journals simply lack it.
+		bad := false
+		for _, f := range fields[2:] {
+			n, cerr := fmt.Sscanf(f, "forked=%d", &jv.prefixSaved)
+			if cerr != nil || n != 1 {
+				bad = true
+				break
+			}
+			jv.forked = true
+		}
+		if bad {
+			break
+		}
+		prior[string(key)] = jv
 		good += int64(len(line))
 	}
 	if err := f.Truncate(good); err != nil {
@@ -122,21 +145,29 @@ func (j *Journal) Close() error {
 // ResumeJournal). Verdicts recorded in the current run are deliberately
 // not consulted: in-run duplicates are the memo table's job, so Resumed
 // counts exactly the work inherited from the interrupted search.
-func (j *Journal) lookup(key string) (pass, ok bool) {
+func (j *Journal) lookup(key string) (jv journalVerdict, ok bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	pass, ok = j.prior[key]
-	return pass, ok
+	jv, ok = j.prior[key]
+	return jv, ok
 }
 
 // record appends one settled verdict, flushed to the file immediately.
-func (j *Journal) record(key string, pass bool) error {
+// Fork-point verdicts append their provenance ("forked=<prefix steps
+// saved>") so a resumed search reports the inherited work faithfully;
+// readers that predate the field treat such lines as torn and stop there.
+func (j *Journal) record(key string, s settled) error {
 	verdict := "fail"
-	if pass {
+	if s.pass {
 		verdict = "pass"
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err := fmt.Fprintf(j.f, "%s %s\n", hex.EncodeToString([]byte(key)), verdict)
+	var err error
+	if s.forked {
+		_, err = fmt.Fprintf(j.f, "%s %s forked=%d\n", hex.EncodeToString([]byte(key)), verdict, s.prefixSaved)
+	} else {
+		_, err = fmt.Fprintf(j.f, "%s %s\n", hex.EncodeToString([]byte(key)), verdict)
+	}
 	return err
 }

@@ -30,6 +30,15 @@ const (
 	// differential-testing fallback and as the baseline the engine is
 	// benchmarked against.
 	EngineOff
+	// EngineFork is the cached engine plus fork-point evaluation: one
+	// donor run of the base configuration is snapshotted at every
+	// candidate site's first execution, each sibling configuration is
+	// assembled incrementally over a stable slotted layout and evaluated
+	// from its fork-point snapshot, and deterministic failing verdicts
+	// skip the confirmation re-run (replay would be exact). Verdicts and
+	// the final configuration are byte-identical to EngineOn's; see
+	// forkengine.go.
+	EngineFork
 )
 
 // evalRequest is one evaluation of a configuration.
@@ -43,6 +52,10 @@ type evalRequest struct {
 	// count (fault injection drives this; runs shorter than the site
 	// complete clean).
 	trapAfter uint64
+	// attempt is the settler's attempt ordinal (0 for the first try).
+	// The fork engine evaluates retries — attempts after an injected
+	// fault — from scratch, never from a snapshot.
+	attempt int
 }
 
 // outcome is an evaluation's verdict. A faulted run (NaN-driven
@@ -51,6 +64,11 @@ type evalRequest struct {
 type outcome struct {
 	pass  bool
 	fault *vm.Fault
+	// forked marks a verdict reached from a fork-point snapshot (or by
+	// reusing the donor verdict outright); prefixSaved is the number of
+	// shared-prefix instructions the fork skipped re-executing.
+	forked      bool
+	prefixSaved uint64
 }
 
 // evaluator runs one configuration and reports whether it passes the
@@ -85,10 +103,14 @@ func runMachine(m *vm.Machine, req evalRequest) error {
 // cached engine's machines onto the per-step interpreter tier (the legacy
 // backend never compiles, so the flag is meaningful only with EngineOn).
 func newEvaluator(t Target, mode EngineMode, noCompile bool) (evaluator, error) {
-	if mode == EngineOff {
+	switch mode {
+	case EngineOff:
 		return legacyEvaluator{t: t}, nil
+	case EngineFork:
+		return newForkEngine(t, noCompile)
+	default:
+		return newEngine(t, noCompile)
 	}
-	return newEngine(t, noCompile)
 }
 
 // legacyEvaluator is the unmodified seed path: full snippet regeneration,

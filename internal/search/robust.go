@@ -65,6 +65,12 @@ type settled struct {
 	injected int  // injected faults absorbed along the way
 	nondet   bool // the verifier returned disagreeing verdicts; pass wins
 
+	// forked/prefixSaved carry the deciding attempt's fork provenance:
+	// whether it ran from a fork-point snapshot and how many
+	// shared-prefix instructions that skipped.
+	forked      bool
+	prefixSaved uint64
+
 	wall time.Duration // total across attempts, including backoff
 
 	// interrupted: the surrounding context was cancelled before a verdict
@@ -87,6 +93,13 @@ type settler struct {
 	retries int             // transient-retry budget per evaluation
 	backoff time.Duration
 	chaos   *faultinject.Injector
+	// noConfirm skips the confirmation re-run of failing verification
+	// verdicts. Only set when the evaluator's replay is exact (fork
+	// engine, no chaos): re-running a deterministic evaluation cannot
+	// change the verdict, so the confirmation is pure cost. With chaos
+	// armed, confirmation stays on — it is what heals injected flaky
+	// verdicts.
+	noConfirm bool
 }
 
 // attemptOut is one attempt's classified outcome.
@@ -136,7 +149,7 @@ func (s *settler) runAttempt(eff map[uint64]config.Precision, key string, n int)
 	if actx == context.Background() {
 		actx = nil // plain Run: no watcher goroutine, no per-step flag poll
 	}
-	out, err := s.ev.evaluate(evalRequest{eff: eff, ctx: actx, trapAfter: d.TrapAfter})
+	out, err := s.ev.evaluate(evalRequest{eff: eff, ctx: actx, trapAfter: d.TrapAfter, attempt: n})
 	if err != nil {
 		return attemptOut{err: err}
 	}
@@ -218,6 +231,7 @@ func (s *settler) settle(eff map[uint64]config.Precision, key string) (st settle
 			}
 			return st
 		}
+		st.forked, st.prefixSaved = ao.out.forked, ao.out.prefixSaved
 		if f := ao.out.fault; f != nil {
 			if f.Kind == vm.FaultCancelled {
 				if s.ctx.Err() != nil {
@@ -240,7 +254,7 @@ func (s *settler) settle(eff map[uint64]config.Precision, key string) (st settle
 			st.pass, st.failure = true, FailNone
 			return st
 		}
-		if budget > 0 && !confirming {
+		if budget > 0 && !confirming && !s.noConfirm {
 			// Failing verdict: spend one retry confirming it before
 			// settling, healing injected flaky verdicts and surfacing
 			// genuinely nondeterministic verifiers.

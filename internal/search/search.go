@@ -236,6 +236,13 @@ type Eval struct {
 	// returned disagreeing verdicts across them (the pass won).
 	Attempts int
 	Nondet   bool
+
+	// Forked marks a verdict reached by fork-point evaluation — run from
+	// a restored snapshot of the shared prefix (or by reusing the donor
+	// verdict outright) instead of from scratch. PrefixSaved is the
+	// number of shared-prefix instructions that fork skipped.
+	Forked      bool
+	PrefixSaved uint64
 }
 
 // Result summarizes a completed search.
@@ -285,6 +292,12 @@ type Result struct {
 	// Resumed is the number of verdicts replayed from a checkpoint
 	// journal instead of re-evaluated.
 	Resumed int
+	// Forked is the number of verdicts reached by fork-point evaluation
+	// (EngineFork: runs from a restored shared-prefix snapshot plus
+	// donor-verdict reuses); PrefixInstrsSaved totals the shared-prefix
+	// instructions those forks skipped re-executing.
+	Forked            int
+	PrefixInstrsSaved uint64
 	// Interrupted reports the search was cancelled through
 	// Options.Context: Final is the best-so-far union of the pieces that
 	// had settled (never verified as a whole, so FinalPass is false).
@@ -437,6 +450,10 @@ func Run(t Target, opts Options) (*Result, error) {
 		ev: ev, ignored: ignored, ctx: ctx,
 		timeout: opts.Timeout, retries: opts.Retries,
 		backoff: opts.Backoff, chaos: opts.Chaos,
+		// Fork-point evaluation replays deterministically, so a failing
+		// verdict needs no confirmation re-run — unless chaos is armed,
+		// where confirmation is what heals injected flaky verdicts.
+		noConfirm: opts.Engine == EngineFork && opts.Chaos == nil,
 	}
 	interrupted := func() bool { return ctx.Err() != nil }
 
@@ -476,11 +493,16 @@ func Run(t Target, opts Options) (*Result, error) {
 		if s.nondet {
 			res.Nondeterministic = append(res.Nondeterministic, label)
 		}
+		if s.forked {
+			res.Forked++
+			res.PrefixInstrsSaved += s.prefixSaved
+		}
 		res.Evals = append(res.Evals, Eval{
 			Label: label, Kind: kind, Insns: insns,
 			Pass: s.pass, Prov: ProvEvaluated, Wall: s.wall,
 			Failure: s.failure, Fault: s.fault, Stack: s.stack,
 			Attempts: s.attempts, Nondet: s.nondet,
+			Forked: s.forked, PrefixSaved: s.prefixSaved,
 		})
 	}
 
@@ -488,7 +510,7 @@ func Run(t Target, opts Options) (*Result, error) {
 	// aggregate chains with a single child re-enqueue address sets that
 	// were already decided; replay their verdicts instead of re-running.
 	var memo map[string]bool
-	if opts.Engine == EngineOn {
+	if opts.Engine == EngineOn || opts.Engine == EngineFork {
 		memo = make(map[string]bool)
 	}
 
@@ -540,13 +562,17 @@ func Run(t Target, opts Options) (*Result, error) {
 			if opts.Checkpoint != nil {
 				// After the memo: a journal verdict replays once, its
 				// in-run duplicates stay memo hits as in a fresh search.
-				if pass, ok := opts.Checkpoint.lookup(key); ok {
+				if jv, ok := opts.Checkpoint.lookup(key); ok {
 					res.Resumed++
-					record(p, pass, ProvCheckpoint, 0)
+					res.Evals = append(res.Evals, Eval{
+						Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
+						Pass: jv.pass, Prov: ProvCheckpoint,
+						Forked: jv.forked, PrefixSaved: jv.prefixSaved,
+					})
 					if memo != nil {
-						memo[key] = pass
+						memo[key] = jv.pass
 					}
-					apply(p, pass)
+					apply(p, jv.pass)
 					continue
 				}
 			}
@@ -582,7 +608,7 @@ func Run(t Target, opts Options) (*Result, error) {
 			memo[r.key] = r.s.pass
 		}
 		if opts.Checkpoint != nil {
-			if err := opts.Checkpoint.record(r.key, r.s.pass); err != nil {
+			if err := opts.Checkpoint.record(r.key, r.s); err != nil {
 				for inflight > 0 {
 					<-results
 					inflight--

@@ -30,7 +30,11 @@ import (
 // per-step observation hook (shadow values, armed injected traps,
 // RunContext cancellation, TrapUnreplaced) routes the run to the
 // instrumented per-step tier instead, so hooks keep exact per-step
-// semantics without costing the fast path anything.
+// semantics without costing the fast path anything. Breakpoint stops are
+// the exception: when every stop address begins a basic block they are
+// served from the dispatch loop itself, so the fork-point donor pass —
+// one run with a stop at every replacement slot — executes at compiled
+// speed.
 
 // microOp is one pre-decoded straight-line instruction. It never
 // transfers control; control flow lives in the block terminator.
@@ -95,6 +99,22 @@ func endsBlock(op isa.Op) bool {
 // compileProgram builds the direct-threaded block stream for lp. It
 // requires lp.targets and lp.costs to be populated.
 func compileProgram(lp *Program) *compiled {
+	return compileProgramWith(lp, func(i int) microOp { return compileOp(&lp.instrs[i]) }, nil)
+}
+
+// compileProgramWith is compileProgram with the per-instruction closure
+// supplied by the caller: the incremental linker passes pre-compiled
+// micro-ops (closures over its immutable fragment cache, valid for any
+// assembly because instruction content and address are stable), so
+// re-assembling a configuration skips closure creation entirely.
+//
+// extraLeaders lists additional instruction indices to begin basic blocks
+// at. The incremental linker passes every replacement-slot base so that a
+// breakpoint stop at a slot — the donor pass arms one at each — lands on
+// a block boundary and the run stays on the compiled tier (see
+// runCompiled). A few extra block splits cost the steady state nothing
+// but one more dispatch.
+func compileProgramWith(lp *Program, opAt func(int) microOp, extraLeaders []int32) *compiled {
 	instrs := lp.instrs
 	n := len(instrs)
 	c := &compiled{leader: make([]bool, n), blockOf: make([]int32, n)}
@@ -102,6 +122,11 @@ func compileProgram(lp *Program) *compiled {
 		return c
 	}
 	c.leader[lp.entry] = true
+	for _, i := range extraLeaders {
+		if i >= 0 && int(i) < n {
+			c.leader[i] = true
+		}
+	}
 	for i := range instrs {
 		if !endsBlock(instrs[i].Op) {
 			continue
@@ -176,7 +201,7 @@ func compileProgram(lp *Program) *compiled {
 		}
 		b.body = make([]microOp, 0, bodyEnd-start)
 		for i := start; i < bodyEnd; i++ {
-			b.body = append(b.body, compileOp(&instrs[i]))
+			b.body = append(b.body, opAt(i))
 		}
 		c.blocks = append(c.blocks, b)
 		takenIdx = append(takenIdx, taken)
@@ -202,15 +227,41 @@ func compileProgram(lp *Program) *compiled {
 // path: a compiled program is bound and no per-step hook — shadow
 // collection, an armed injected trap, RunContext cancellation, or
 // unreplaced-input trapping — needs per-instruction observation.
+// Breakpoint stops do not force the per-step tier by themselves:
+// runCompiled serves stops whose addresses all begin basic blocks from
+// the block-dispatch loop, and falls back per-step only for a mid-block
+// stop.
 func (m *Machine) compiledTier() bool {
 	return !m.NoCompile && m.lp != nil && m.lp.compiled != nil &&
-		m.shadow == nil && m.inject == nil && m.cancelled == nil && !m.TrapUnreplaced
+		m.shadow == nil && m.inject == nil && m.cancelled == nil &&
+		!m.TrapUnreplaced
 }
 
 // runCompiled executes block to block until HALT, a fault, or budget
 // exhaustion, producing exactly the machine the per-step tier would.
 func (m *Machine) runCompiled(max uint64) error {
 	c := m.lp.compiled
+	// An armed stop set is served at block dispatch when every stop
+	// address that is an instruction begins a block (the incremental
+	// linker makes each slot base a leader for exactly this). The check
+	// runs before the block executes, so the Stopped machine state is
+	// bit-identical to the per-step tier's, which checks before each
+	// instruction. A stop inside a block needs per-instruction
+	// observation: fall back.
+	var stopBlk []bool
+	if m.stops != nil {
+		stopBlk = make([]bool, len(c.blocks))
+		for addr := range m.stops {
+			idx, ok := m.lp.idxOf(addr)
+			if !ok {
+				continue // not an instruction: neither tier ever stops there
+			}
+			if !c.leader[idx] {
+				return m.runInstrumented(max)
+			}
+			stopBlk[c.blockOf[idx]] = true
+		}
+	}
 	if len(m.blkExec) != len(c.blocks) {
 		m.blkExec = make([]uint64, len(c.blocks))
 	}
@@ -241,6 +292,14 @@ outer:
 		// Steady state: block to block through resolved successor
 		// pointers; pcIdx is materialized only on exits.
 		for {
+			if stopBlk != nil && stopBlk[cur.id] {
+				// Checked before the budget, matching the per-step loop's
+				// order; stops live only at block starts here, so the
+				// dispatch check observes exactly the addresses stopCheck
+				// would.
+				m.pcIdx = cur.start
+				return &Stopped{PC: m.instrs[cur.start].Addr, Steps: m.Steps}
+			}
 			if m.Steps+uint64(cur.n) > max {
 				// The budget expires inside this block (or already has):
 				// finish on the per-step tier, which faults at the exact
@@ -383,28 +442,32 @@ func loadU32(m *Machine, ref isa.MemRef) (uint64, bool) {
 	return uint64(binary.LittleEndian.Uint32(m.Mem[addr:])), true
 }
 
-func storeU64(m *Machine, ref isa.MemRef, v uint64) bool {
+// The store helpers return the effective address they computed so
+// callers on tracked machines can mark the write without computing it a
+// second time (the address is meaningless when ok is false).
+
+func storeU64(m *Machine, ref isa.MemRef, v uint64) (uint64, bool) {
 	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
 	if ref.HasIndex {
 		addr += m.GPR[ref.Index] * uint64(ref.Scale)
 	}
 	if addr+8 > uint64(len(m.Mem)) || addr+8 < addr {
-		return false
+		return 0, false
 	}
 	binary.LittleEndian.PutUint64(m.Mem[addr:], v)
-	return true
+	return addr, true
 }
 
-func storeU32(m *Machine, ref isa.MemRef, v uint64) bool {
+func storeU32(m *Machine, ref isa.MemRef, v uint64) (uint64, bool) {
 	addr := m.GPR[ref.Base] + uint64(int64(ref.Disp))
 	if ref.HasIndex {
 		addr += m.GPR[ref.Index] * uint64(ref.Scale)
 	}
 	if addr+4 > uint64(len(m.Mem)) || addr+4 < addr {
-		return false
+		return 0, false
 	}
 	binary.LittleEndian.PutUint32(m.Mem[addr:], uint32(v))
-	return true
+	return addr, true
 }
 
 // compileOp pre-decodes one straight-line instruction into a closure.
@@ -439,8 +502,12 @@ func compileOp(in *isa.Instr) microOp {
 	case isa.STORE:
 		ref, src := in.A.Mem, in.B.Reg
 		return func(m *Machine) error {
-			if !storeU64(m, ref, m.GPR[src]) {
+			addr, ok := storeU64(m, ref, m.GPR[src])
+			if !ok {
 				return m.store(in, ref, m.GPR[src], 8)
+			}
+			if m.track != nil {
+				m.track.markRange(addr, 8)
 			}
 			return nil
 		}
@@ -549,6 +616,9 @@ func compileOp(in *isa.Instr) microOp {
 			}
 			binary.LittleEndian.PutUint64(m.Mem[sp:], m.XMM[src][0])
 			binary.LittleEndian.PutUint64(m.Mem[sp+8:], m.XMM[src][1])
+			if m.track != nil {
+				m.track.markRange(sp, 16)
+			}
 			return nil
 		}
 	case isa.POPX:
@@ -593,8 +663,12 @@ func compileOp(in *isa.Instr) microOp {
 		case in.A.Kind == isa.KindMem && in.B.Kind == isa.KindXMM:
 			ref, src := in.A.Mem, in.B.Reg
 			return func(m *Machine) error {
-				if !storeU64(m, ref, m.XMM[src][0]) {
+				addr, ok := storeU64(m, ref, m.XMM[src][0])
+				if !ok {
 					return m.store(in, ref, m.XMM[src][0], 8)
+				}
+				if m.track != nil {
+					m.track.markRange(addr, 8)
 				}
 				return nil
 			}
@@ -618,8 +692,12 @@ func compileOp(in *isa.Instr) microOp {
 		case in.A.Kind == isa.KindMem && in.B.Kind == isa.KindXMM:
 			ref, src := in.A.Mem, in.B.Reg
 			return func(m *Machine) error {
-				if !storeU32(m, ref, m.XMM[src][0]) {
+				addr, ok := storeU32(m, ref, m.XMM[src][0])
+				if !ok {
 					return m.store(in, ref, m.XMM[src][0], 4)
+				}
+				if m.track != nil {
+					m.track.markRange(addr, 4)
 				}
 				return nil
 			}
@@ -652,11 +730,21 @@ func compileOp(in *isa.Instr) microOp {
 			refHi := ref
 			refHi.Disp += 8
 			return func(m *Machine) error {
-				if !storeU64(m, ref, m.XMM[src][0]) {
+				// Marked half by half: the high store may fault after
+				// the low one has already written.
+				addr, ok := storeU64(m, ref, m.XMM[src][0])
+				if !ok {
 					return m.store(in, ref, m.XMM[src][0], 8)
 				}
-				if !storeU64(m, refHi, m.XMM[src][1]) {
+				if m.track != nil {
+					m.track.markRange(addr, 8)
+				}
+				addr, ok = storeU64(m, refHi, m.XMM[src][1])
+				if !ok {
 					return m.store(in, refHi, m.XMM[src][1], 8)
+				}
+				if m.track != nil {
+					m.track.markRange(addr, 8)
 				}
 				return nil
 			}

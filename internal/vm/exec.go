@@ -299,6 +299,9 @@ func (m *Machine) store(in *isa.Instr, ref isa.MemRef, v uint64, width int) erro
 	default:
 		binary.LittleEndian.PutUint64(m.Mem[addr:], v)
 	}
+	if m.track != nil {
+		m.track.markRange(addr, uint64(width))
+	}
 	return nil
 }
 
@@ -336,6 +339,10 @@ func (m *Machine) syscall(in *isa.Instr) error {
 		}
 		if err := m.Host.Syscall(m, num); err != nil {
 			return m.fault(FaultHost, in, err.Error())
+		}
+		if m.track != nil {
+			// The host may have written anywhere (MPI receives).
+			m.track.markAll()
 		}
 	}
 	return nil

@@ -147,4 +147,5 @@ func (m *Machine) rewind() {
 	if m.shadow != nil {
 		m.shadow.reset(len(m.instrs))
 	}
+	m.rewindTrack()
 }

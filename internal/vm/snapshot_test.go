@@ -1,0 +1,406 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"fpmix/internal/hl"
+)
+
+// Snapshot/RestoreFrom must be perfectly transparent: capturing a machine
+// mid-run, letting it run on (or scribbling over its state), restoring,
+// and finishing the run must produce a machine byte-identical to one that
+// ran start to finish untouched — on every dispatch tier, with and
+// without dirty-page tracking, and with the shadow pass enabled.
+
+// snapTier names one way of driving a machine for the property test.
+type snapTier struct {
+	name      string
+	noCompile bool
+	shadow    bool
+	step      bool // drive via manual Step calls instead of Run
+}
+
+var snapTiers = []snapTier{
+	{name: "compiled"},
+	{name: "instrumented", noCompile: true},
+	{name: "step", step: true},
+	{name: "shadow", shadow: true},
+}
+
+// runTo drives m on the tier until the step budget target is reached, the
+// program halts, or a fault ends the run. The final budget semantics
+// mirror Run exactly.
+func (tr snapTier) runTo(m *Machine, target uint64) error {
+	if tr.step {
+		for !m.halted && m.Steps < target {
+			if err := m.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	saved := m.MaxSteps
+	m.MaxSteps = target
+	err := m.Run()
+	m.MaxSteps = saved
+	if f, ok := err.(*Fault); ok && f.Kind == FaultMaxSteps {
+		return nil
+	}
+	return err
+}
+
+// finish drives m on the tier to completion with the default budget.
+func (tr snapTier) finish(m *Machine) error {
+	if tr.step {
+		return runStepEngine(m)
+	}
+	return m.Run()
+}
+
+func (tr snapTier) newMachine(lp *Program) *Machine {
+	m := lp.NewMachine()
+	m.NoCompile = tr.noCompile
+	if tr.shadow {
+		m.EnableShadow()
+	}
+	return m
+}
+
+// buildSnapModule generates one random structured module (same generator
+// as the engine differential suite).
+func buildSnapModule(t *testing.T, r *rand.Rand, trial int) *hl.Prog {
+	p := hl.New("snap", hl.ModeF64)
+	nv := 1 + r.Intn(3)
+	vars := make([]hl.FVar, nv)
+	for i := range vars {
+		vars[i] = p.ScalarInit("v", math.Trunc(r.NormFloat64()*1024)/32)
+	}
+	ivars := []hl.IVar{p.IntInit("k", int64(r.Intn(20)-4))}
+	loopVars := []hl.IVar{p.Int("l0"), p.Int("l1")}
+	av := make([]float64, 8)
+	for i := range av {
+		av[i] = math.Trunc(r.NormFloat64()*256) / 8
+	}
+	arr := p.ArrayInit("a", av)
+	hasSub := r.Intn(2) == 0
+	if hasSub {
+		sub := p.Func("sub")
+		genStmts(r, sub, vars, ivars, nil, arr, false, 0, 1+r.Intn(3))
+		sub.Ret()
+	}
+	f := p.Func("main")
+	genStmts(r, f, vars, ivars, loopVars, arr, hasSub, 2, 3+r.Intn(5))
+	f.Halt()
+	return p
+}
+
+// scribble trashes every piece of machine state a restore must repair.
+func scribble(r *rand.Rand, m *Machine) {
+	for i := range m.GPR {
+		m.GPR[i] = r.Uint64()
+	}
+	for i := range m.XMM {
+		m.XMM[i][0], m.XMM[i][1] = r.Uint64(), r.Uint64()
+	}
+	m.eq, m.ltS, m.ltU = r.Intn(2) == 0, r.Intn(2) == 0, r.Intn(2) == 0
+	for i := 0; i < 64; i++ {
+		a := r.Intn(len(m.Mem))
+		m.Mem[a] ^= byte(1 + r.Intn(255))
+		m.MarkMemWritten(uint64(a), 1)
+	}
+	m.Out = append(m.Out, OutVal{Kind: OutI64, Bits: 0xDEAD})
+	m.Cycles += uint64(r.Intn(1000))
+}
+
+func TestSnapshotRestoreIdentity(t *testing.T) {
+	trials := 40
+	if testing.Short() {
+		trials = 12
+	}
+	r := rand.New(rand.NewSource(20260808))
+	for trial := 0; trial < trials; trial++ {
+		mod, err := buildSnapModule(t, r, trial).Build("main")
+		if err != nil {
+			t.Fatalf("trial %d: build: %v", trial, err)
+		}
+		lp, err := Link(mod)
+		if err != nil {
+			t.Fatalf("trial %d: link: %v", trial, err)
+		}
+		for _, tr := range snapTiers {
+			tracked := trial%2 == 0
+			label := fmt.Sprintf("trial %d %s tracked=%v", trial, tr.name, tracked)
+
+			// Reference: one uninterrupted run on the same tier.
+			ref := tr.newMachine(lp)
+			refErr := tr.finish(ref)
+
+			// Pick a capture point somewhere inside the reference run.
+			var k uint64
+			if ref.Steps > 0 {
+				k = uint64(r.Int63n(int64(ref.Steps + 1)))
+			}
+
+			m := tr.newMachine(lp)
+			if tracked {
+				m.TrackDirtyPages()
+			}
+			if err := tr.runTo(m, k); err != nil {
+				// The prefix itself faulted (possible: the capture point
+				// is past a fault the budget semantics order differently);
+				// skip, the other trials cover this tier.
+				continue
+			}
+			snap, err := m.Snapshot()
+			if err != nil {
+				t.Fatalf("%s: snapshot: %v", label, err)
+			}
+
+			// Mutate: let the machine run on to completion, then trash
+			// whatever state is left.
+			_ = tr.finish(m)
+			scribble(r, m)
+
+			if err := m.RestoreFrom(snap); err != nil {
+				t.Fatalf("%s: restore: %v", label, err)
+			}
+			if m.Steps != snap.Steps() {
+				t.Fatalf("%s: restored Steps=%d, want %d", label, m.Steps, snap.Steps())
+			}
+			gotErr := tr.finish(m)
+
+			diffMachines(t, label, engineResult{m, gotErr}, engineResult{ref, refErr})
+			if tr.shadow {
+				if !reflect.DeepEqual(m.ShadowRecords(), ref.ShadowRecords()) {
+					t.Errorf("%s: shadow records diverge after restore", label)
+				}
+			}
+			if t.Failed() {
+				t.Fatalf("%s: stopping at first divergence", label)
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoreAcrossPrograms restores a snapshot taken on one
+// linked program onto a machine bound to a different Program value with
+// the same layout (the stable-layout contract the fork engine relies on),
+// exercising the address-based program-counter and count translation.
+func TestSnapshotRestoreAcrossPrograms(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		seed := r.Int63()
+		build := func() *Program {
+			mod, err := buildSnapModule(t, rand.New(rand.NewSource(seed)), trial).Build("main")
+			if err != nil {
+				t.Fatalf("trial %d: build: %v", trial, err)
+			}
+			lp, err := Link(mod)
+			if err != nil {
+				t.Fatalf("trial %d: link: %v", trial, err)
+			}
+			return lp
+		}
+		lpA, lpB := build(), build()
+		if len(lpA.instrs) > 0 && &lpA.instrs[0] == &lpB.instrs[0] {
+			t.Fatal("distinct programs share an instruction stream; test is vacuous")
+		}
+
+		ref := lpB.NewMachine()
+		refErr := ref.Run()
+		var k uint64
+		if ref.Steps > 0 {
+			k = uint64(r.Int63n(int64(ref.Steps + 1)))
+		}
+
+		donor := lpA.NewMachine()
+		donor.TrackDirtyPages()
+		donor.MaxSteps = k
+		if err := donor.Run(); err != nil {
+			if f, ok := err.(*Fault); !ok || f.Kind != FaultMaxSteps {
+				continue
+			}
+		}
+		donor.MaxSteps = 0
+		snap, err := donor.Snapshot()
+		if err != nil {
+			t.Fatalf("trial %d: snapshot: %v", trial, err)
+		}
+
+		m := lpB.NewMachine()
+		m.TrackDirtyPages()
+		if err := m.RestoreFrom(snap); err != nil {
+			t.Fatalf("trial %d: cross-program restore: %v", trial, err)
+		}
+		gotErr := m.Run()
+		diffMachines(t, fmt.Sprintf("trial %d cross-program", trial),
+			engineResult{m, gotErr}, engineResult{ref, refErr})
+		if t.Failed() {
+			t.Fatalf("trial %d: stopping at first divergence", trial)
+		}
+	}
+}
+
+// TestSnapshotPageSharing pins the COW economics: consecutive snapshots
+// share every page the program did not write in between.
+func TestSnapshotPageSharing(t *testing.T) {
+	p := hl.New("cow", hl.ModeF64)
+	v := p.ScalarInit("v", 1.0)
+	i := p.Int("i")
+	f := p.Func("main")
+	f.For(i, hl.IConst(0), hl.IConst(1000), func() {
+		f.Set(v, hl.Add(hl.Load(v), hl.Const(0.5)))
+	})
+	f.Out(hl.Load(v))
+	f.Halt()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.NewMachine()
+	m.TrackDirtyPages()
+
+	m.MaxSteps = 50
+	_ = m.Run()
+	s1, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 100
+	_ = m.Run()
+	s2, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.pages) != len(s2.pages) {
+		t.Fatalf("page counts differ: %d vs %d", len(s1.pages), len(s2.pages))
+	}
+	shared, total := 0, len(s1.pages)
+	for i := range s1.pages {
+		if s1.pages[i] == s2.pages[i] {
+			shared++
+		}
+	}
+	// The loop touches one scalar slot and the stack page; everything
+	// else must be shared between the two snapshots.
+	if total-shared > 2 {
+		t.Errorf("snapshots share %d/%d pages; expected all but at most 2", shared, total)
+	}
+	if shared == total {
+		t.Errorf("snapshots share every page; the loop's writes went untracked")
+	}
+
+	// An untracked machine restoring s1 then s2 must still be exact.
+	ref := lp.NewMachine()
+	refErr := ref.Run()
+	if err := m.RestoreFrom(s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RestoreFrom(s2); err != nil {
+		t.Fatal(err)
+	}
+	m.MaxSteps = 0
+	gotErr := m.Run()
+	diffMachines(t, "cow restore chain", engineResult{m, gotErr}, engineResult{ref, refErr})
+}
+
+// TestSnapshotInjectRules pins the fault-injection interaction: a machine
+// with an armed trap refuses to snapshot (a snapshot must never capture a
+// pending fault), and restoring disarms any armed trap.
+func TestSnapshotInjectRules(t *testing.T) {
+	p := hl.New("inj", hl.ModeF64)
+	v := p.ScalarInit("v", 2.0)
+	f := p.Func("main")
+	f.Out(hl.Load(v))
+	f.Halt()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.NewMachine()
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectTrapAfter(1)
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot with an armed injected trap should fail")
+	}
+	if err := m.RestoreFrom(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(); err != nil {
+		t.Errorf("restore should disarm the trap; run faulted: %v", err)
+	}
+}
+
+// TestSnapshotStops pins the breakpoint machinery the donor pass uses:
+// Run stops before executing a stop address with exact state, resumes
+// after ClearStop, and stops do not perturb the finished machine.
+func TestSnapshotStops(t *testing.T) {
+	p := hl.New("stops", hl.ModeF64)
+	v := p.ScalarInit("v", 1.0)
+	i := p.Int("i")
+	f := p.Func("main")
+	f.For(i, hl.IConst(0), hl.IConst(10), func() {
+		f.Set(v, hl.Add(hl.Load(v), hl.Const(1.0)))
+	})
+	f.Out(hl.Load(v))
+	f.Halt()
+	mod, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := Link(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := lp.NewMachine()
+	refErr := ref.Run()
+	if refErr != nil {
+		t.Fatal(refErr)
+	}
+
+	// Stop at every instruction the reference executed, one at a time.
+	m := lp.NewMachine()
+	for i := range lp.instrs {
+		if ref.Counts()[i] > 0 {
+			m.StopAt(lp.instrs[i].Addr)
+		}
+	}
+	stopsSeen := 0
+	for {
+		err := m.Run()
+		if err == nil {
+			break
+		}
+		st, ok := err.(*Stopped)
+		if !ok {
+			t.Fatalf("run: %v", err)
+		}
+		if st.PC != m.PC() {
+			t.Fatalf("stopped at %#x but machine pc is %#x", st.PC, m.PC())
+		}
+		if st.Steps != m.Steps {
+			t.Fatalf("stop reports %d steps, machine has %d", st.Steps, m.Steps)
+		}
+		stopsSeen++
+		m.ClearStop(st.PC)
+	}
+	if stopsSeen == 0 {
+		t.Fatal("no stops fired")
+	}
+	diffMachines(t, "stops", engineResult{m, nil}, engineResult{ref, refErr})
+}

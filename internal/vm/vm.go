@@ -183,6 +183,16 @@ type Machine struct {
 	// blkExec is the compiled tier's per-block execution counter scratch,
 	// expanded into counts when a compiled run ends (see compile.go).
 	blkExec []uint64
+
+	// track, when non-nil, is the dirty-page state backing incremental
+	// Snapshot/RestoreFrom (see snapshot.go); nil (the default) costs one
+	// pointer comparison per executed store.
+	track *memTrack
+
+	// stops, when non-nil, is the set of breakpoint addresses Run stops
+	// before executing (see stop.go). Like the per-step hooks it routes
+	// execution to the instrumented tier.
+	stops map[uint64]bool
 }
 
 // DefaultMaxSteps bounds runaway programs.
@@ -268,6 +278,11 @@ func (m *Machine) Run() error {
 // checked on every iteration.
 func (m *Machine) runInstrumented(max uint64) error {
 	for !m.halted {
+		if m.stops != nil {
+			if err := m.stopCheck(); err != nil {
+				return err
+			}
+		}
 		if m.Steps >= max {
 			return &Fault{Kind: FaultMaxSteps, PC: m.PC(), Detail: fmt.Sprintf("%d steps", m.Steps)}
 		}
