@@ -1,0 +1,259 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fpmix/internal/errbound"
+	"fpmix/internal/hl"
+	"fpmix/internal/isa"
+	"fpmix/internal/kernels"
+	"fpmix/internal/prog"
+	"fpmix/internal/shadow"
+)
+
+// parseAssumes parses "-assume disp=lo:hi[,disp=lo:hi...]" into range
+// seeds for the error-bound analysis.
+func parseAssumes(s string) (map[int32][2]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[int32][2]float64{}
+	for _, part := range strings.Split(s, ",") {
+		eq := strings.SplitN(part, "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("assume %q: want disp=lo:hi", part)
+		}
+		disp, err := strconv.ParseInt(strings.TrimSpace(eq[0]), 0, 32)
+		if err != nil {
+			return nil, fmt.Errorf("assume %q: bad displacement: %v", part, err)
+		}
+		lh := strings.SplitN(eq[1], ":", 2)
+		if len(lh) != 2 {
+			return nil, fmt.Errorf("assume %q: want disp=lo:hi", part)
+		}
+		lo, err := strconv.ParseFloat(lh[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("assume %q: bad lo: %v", part, err)
+		}
+		hi, err := strconv.ParseFloat(lh[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("assume %q: bad hi: %v", part, err)
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("assume %q: lo > hi", part)
+		}
+		out[int32(disp)] = [2]float64{lo, hi}
+	}
+	return out, nil
+}
+
+// reportBounds runs the error-bound analysis and prints per-function
+// verdicts: proved intervals and grids for exact sites, and the binding
+// reason plus culprit-chain error path for the rest. For -bench targets
+// it additionally rebuilds the kernel with expression rewriting enabled
+// and reports which statements the rewrite flipped to single-safe.
+func reportBounds(m *prog.Module, benchName, className, fnName string,
+	assumes map[int32][2]float64, verbose bool) (*errbound.Analysis, error) {
+	an, err := errbound.Analyze(m, errbound.Options{Ranges: assumes})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("\nerror bounds (%s): converged=%v transfers=%d clamped-cells=%d\n",
+		an.Format.Name, an.Converged, an.Transfers, an.Clamped)
+	fmt.Printf("candidates proved bit-exact in %s: %d of %d\n",
+		an.Format.Name, an.Exact(), len(an.Sites))
+
+	for _, f := range m.Funcs {
+		if fnName != "" && f.Name != fnName {
+			continue
+		}
+		var proved, unreached, total int
+		for _, ins := range f.Instrs {
+			sb, ok := an.Sites[ins.Addr]
+			if !ok {
+				continue
+			}
+			total++
+			if sb.Exact {
+				proved++
+				if sb.Unreached {
+					unreached++
+				}
+			}
+		}
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("\nfunc %s: %d/%d proved exact (%d unreached)\n",
+			f.Name, proved, total, unreached)
+		for _, ins := range f.Instrs {
+			sb, ok := an.Sites[ins.Addr]
+			if !ok {
+				continue
+			}
+			if !verbose && !sb.Exact {
+				continue
+			}
+			fmt.Printf("  %#08x  %-30s %s\n", ins.Addr, isa.Disasm(ins), verdictLine(m, an, sb))
+		}
+	}
+	if benchName != "" {
+		reportRewriteFlips(m, an, benchName, className)
+	}
+	return an, nil
+}
+
+// verdictLine renders one site verdict with its proved facts or its
+// binding error path.
+func verdictLine(m *prog.Module, an *errbound.Analysis, sb errbound.SiteBound) string {
+	if sb.Unreached {
+		return "EXACT (unreached)"
+	}
+	if sb.Exact {
+		s := fmt.Sprintf("EXACT  [%g, %g]", sb.Lo, sb.Hi)
+		if sb.Grid > 0 {
+			s += fmt.Sprintf(" grid %g", sb.Grid)
+		}
+		return s
+	}
+	s := sb.Reason
+	if path := an.Path(sb.Addr, 4); len(path) > 1 {
+		var hops []string
+		for _, a := range path[1:] {
+			hops = append(hops, labelAt(m, a))
+		}
+		s += "  <- " + strings.Join(hops, " <- ")
+	}
+	return s
+}
+
+// labelAt names an address with its debug label when the module has one.
+func labelAt(m *prog.Module, addr uint64) string {
+	if lbl, ok := m.Debug[addr]; ok {
+		return fmt.Sprintf("%#x (%s)", addr, lbl)
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// siteKey groups candidate sites for cross-module comparison: modules
+// rebuilt with rewriting enabled have different addresses, so sites are
+// matched by function, source statement, and opcode.
+type siteKey struct {
+	fn, label string
+	op        isa.Op
+}
+
+func exactByKey(m *prog.Module, an *errbound.Analysis) map[siteKey][2]int {
+	out := map[siteKey][2]int{}
+	for _, f := range m.Funcs {
+		for _, ins := range f.Instrs {
+			sb, ok := an.Sites[ins.Addr]
+			if !ok {
+				continue
+			}
+			k := siteKey{fn: f.Name, label: m.Debug[ins.Addr], op: ins.Op}
+			c := out[k]
+			c[1]++
+			if sb.Exact {
+				c[0]++
+			}
+			out[k] = c
+		}
+	}
+	return out
+}
+
+// reportRewriteFlips rebuilds the benchmark with expression rewriting
+// enabled, re-analyzes it, and lists the statements whose candidate
+// sites the rewrite flipped to fully proved.
+func reportRewriteFlips(m *prog.Module, an *errbound.Analysis, benchName, className string) {
+	prev := hl.SetDefaultRewrite(true)
+	b, err := kernels.Get(benchName, kernels.Class(className))
+	hl.SetDefaultRewrite(prev)
+	if err != nil {
+		fmt.Printf("\nrewrite comparison unavailable: %v\n", err)
+		return
+	}
+	ran, err := errbound.Analyze(b.Module, errbound.Options{})
+	if err != nil {
+		fmt.Printf("\nrewrite comparison unavailable: %v\n", err)
+		return
+	}
+	base := exactByKey(m, an)
+	rew := exactByKey(b.Module, ran)
+	var flipped []string
+	for k, rc := range rew {
+		bc, ok := base[k]
+		if !ok || rc[1] == 0 {
+			continue
+		}
+		// Flipped: every site of the statement proves under rewriting,
+		// while the baseline had unproved ones.
+		if rc[0] == rc[1] && bc[0] < bc[1] {
+			flipped = append(flipped, fmt.Sprintf("%s: %q %s (%d/%d -> %d/%d exact)",
+				k.fn, k.label, k.op, bc[0], bc[1], rc[0], rc[1]))
+		}
+	}
+	sort.Strings(flipped)
+	fmt.Printf("\nrewriting: proved %d of %d sites (baseline %d of %d)\n",
+		ran.Exact(), len(ran.Sites), an.Exact(), len(an.Sites))
+	if len(flipped) == 0 {
+		fmt.Println("rewriting flipped no statement to single-safe")
+		return
+	}
+	fmt.Printf("statements flipped to single-safe by rewriting: %d\n", len(flipped))
+	for _, s := range flipped {
+		fmt.Printf("  %s\n", s)
+	}
+}
+
+// crossCheckShadow compares the bounds pass against the shadow
+// sensitivity profile where both have opinions: a site proved bit-exact
+// must introduce zero local error when its true operands are rounded to
+// single for one step, so any proved site with a nonzero local shadow
+// error is a suspect — in the analysis, or in the shadow's sampling.
+// Suspects are reported ranked by local error, not treated as failures:
+// the cross-check is a lead generator, while the differential elision
+// check above stays the hard gate.
+func crossCheckShadow(m *prog.Module, an *errbound.Analysis, name string, maxSteps uint64) error {
+	prof, err := shadow.Collect(name, m, maxSteps)
+	if err != nil {
+		return err
+	}
+	type suspect struct {
+		addr     uint64
+		localErr float64
+		execs    uint64
+	}
+	var suspects []suspect
+	checked := 0
+	for _, addr := range an.SortedAddrs() {
+		if !an.ExactAt(addr) {
+			continue
+		}
+		rec, ok := prof.At(addr)
+		if !ok || rec.Execs == 0 {
+			continue // the shadow has no opinion on unexecuted sites
+		}
+		checked++
+		if rec.LocalMaxErr > 0 || rec.LocalDivergences > 0 {
+			suspects = append(suspects, suspect{addr: addr, localErr: rec.LocalMaxErr, execs: rec.Execs})
+		}
+	}
+	sort.Slice(suspects, func(i, j int) bool {
+		if suspects[i].localErr != suspects[j].localErr {
+			return suspects[i].localErr > suspects[j].localErr
+		}
+		return suspects[i].addr < suspects[j].addr
+	})
+	fmt.Printf("bounds/shadow cross-check: %d proved sites had shadow samples, %d disagreements\n",
+		checked, len(suspects))
+	for i, s := range suspects {
+		fmt.Printf("  suspect #%d: %s local-err=%.3g execs=%d — %s\n",
+			i+1, labelAt(m, s.addr), s.localErr, s.execs, disasmAt(m, s.addr))
+	}
+	return nil
+}

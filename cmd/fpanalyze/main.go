@@ -22,6 +22,7 @@ import (
 
 	"fpmix/internal/config"
 	"fpmix/internal/dataflow"
+	"fpmix/internal/errbound"
 	"fpmix/internal/isa"
 	"fpmix/internal/kernels"
 	"fpmix/internal/prog"
@@ -35,7 +36,9 @@ func main() {
 	class := flag.String("class", "W", "input class")
 	fnName := flag.String("func", "", "restrict the report to one function")
 	verbose := flag.Bool("v", false, "list every candidate site")
-	selfcheck := flag.Bool("selfcheck", false, "differentially verify the elisions (runs the program four times)")
+	selfcheck := flag.Bool("selfcheck", false, "differentially verify the elisions (runs the program four times) and cross-check the bounds pass against the shadow profile")
+	bounds := flag.Bool("bounds", false, "run the static error-bound analysis and report per-site proved intervals")
+	assume := flag.String("assume", "", "comma-separated range seeds for -bounds: disp=lo:hi[,disp=lo:hi...]")
 	flag.Parse()
 
 	var (
@@ -145,10 +148,32 @@ func main() {
 			tc, tsd, tci, tun, tdead)
 	}
 
+	var an *errbound.Analysis
+	if *bounds || *selfcheck {
+		assumes, err := parseAssumes(*assume)
+		if err != nil {
+			fatal(err)
+		}
+		benchName := ""
+		if *bounds {
+			benchName = *bench
+		}
+		an, err = reportBounds(m, benchName, *class, *fnName, assumes, *verbose)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	findings := 0
 	if *selfcheck {
 		findings, err = runSelfcheck(m, maxSteps)
 		if err != nil {
+			fatal(err)
+		}
+		// The shadow cross-check reports ranked suspects without
+		// failing: local shadow error at a proved-exact site is a lead,
+		// not a verdict (see crossCheckShadow).
+		if err := crossCheckShadow(m, an, m.Name, maxSteps); err != nil {
 			fatal(err)
 		}
 	}

@@ -44,10 +44,11 @@ type results struct {
 	Sens     []experiments.SensRow     `json:"sens,omitempty"`
 	Engine   []experiments.EngineRow   `json:"engine,omitempty"`
 	Fork     []experiments.ForkRow     `json:"fork,omitempty"`
+	Bounds   []experiments.BoundsRow   `json:"bounds,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, engine, fork, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, engine, fork, bounds, all")
 	class := flag.String("class", "W", "input class for single-class experiments (W, A, C)")
 	classes := flag.String("classes", "W,A", "comma-separated classes for fig10")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel search evaluations")
@@ -197,6 +198,24 @@ func main() {
 					r.Bench, r.Class, r.ForkNS, r.Forked, r.PrefixSaved))
 		}
 		report.Fork(os.Stdout, rows)
+		return nil
+	})
+	run("bounds", func() error {
+		rows, err := experiments.Bounds(experiments.Fig10Benches, cl, *workers)
+		if err != nil {
+			return err
+		}
+		res.Bounds = rows
+		for _, r := range rows {
+			// One line per mode so benchstat can diff proving against
+			// -noprove and either against prior revisions.
+			stats = append(stats,
+				fmt.Sprintf("BenchmarkBounds/%s.%s/noprove 1 %d ns/op %d testedCfgs",
+					r.Bench, r.Class, r.NoProveNS, r.TestedNoProve),
+				fmt.Sprintf("BenchmarkBounds/%s.%s/prove 1 %d ns/op %d testedCfgs %d provedCfgs",
+					r.Bench, r.Class, r.ProveNS, r.TestedProve, r.Proved))
+		}
+		report.Bounds(os.Stdout, rows)
 		return nil
 	})
 

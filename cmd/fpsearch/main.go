@@ -58,6 +58,7 @@ func main() {
 	noFork := flag.Bool("nofork", false, "disable fork-point evaluation: evaluate every configuration from the program entry instead of from shared-prefix snapshots")
 	noCompile := flag.Bool("nocompile", false, "run evaluations on the per-step interpreter instead of the compiled engine (differential testing)")
 	noPrune := flag.Bool("noprune", false, "disable static candidate pruning (dataflow unsafe sinks, zero-weight pieces)")
+	noProve := flag.Bool("noprove", false, "disable the static error-bound prover (every verdict comes from evaluation)")
 	noSens := flag.Bool("nosens", false, "disable sensitivity guidance (shadow-value ordering and prediction gating)")
 	shadowIn := flag.String("shadow", "", "load a saved sensitivity profile instead of collecting one")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the search here")
@@ -175,6 +176,7 @@ func main() {
 		Engine:        mode,
 		NoCompile:     *noCompile,
 		NoPrune:       *noPrune,
+		NoProve:       *noProve,
 		Shadow:        sh,
 		SensThreshold: b.SensTol,
 		Context:       ctx,
@@ -207,6 +209,9 @@ func main() {
 		fmt.Printf("resumed:              %d verdicts replayed from the checkpoint\n", res.Resumed)
 	}
 	fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
+	if res.Proved > 0 {
+		fmt.Printf("proved safe:          %d piece verdicts settled by the error-bound prover without a run\n", res.Proved)
+	}
 	if sh != nil {
 		fmt.Printf("sensitivity:          guided (%d aggregate failures predicted without a run)\n", res.Predicted)
 	} else {

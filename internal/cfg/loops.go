@@ -1,0 +1,340 @@
+package cfg
+
+import (
+	"sort"
+
+	"fpmix/internal/isa"
+)
+
+// This file detects the natural loops of a function graph and, where the
+// code matches the counted-loop shape the hl compiler emits, recovers a
+// static trip-count bound. The error-bound analysis (internal/errbound)
+// uses the nesting structure and trip counts for bounded-iteration
+// unrolling: loop-head widening is delayed, and accumulators inside
+// statically counted nests get execution-count bounds.
+
+// Loop is one natural loop of a function: the head block plus every
+// block that can reach the back edge's source without leaving through
+// the head.
+type Loop struct {
+	// Head is the address of the loop-header block.
+	Head uint64
+	// Blocks lists the addresses of all member blocks (head included),
+	// sorted.
+	Blocks []uint64
+	// Parent indexes the innermost enclosing loop in the slice returned
+	// by Loops, or -1 for a top-level loop.
+	Parent int
+	// Trip is a proven upper bound on the number of iterations, or 0
+	// when no bound is statically known. It is recovered from the
+	// counted-loop shape the hl compiler emits for For statements:
+	//
+	//	  MOVRI r, c ; STORE [v], r      (init, in the fall-in block)
+	//	head:
+	//	  LOAD  rv, [v]
+	//	  MOVRI rt, n
+	//	  CMPR  rv, rt
+	//	  JGE   exit
+	//	  ...body..., exactly one other store to [v]: LOAD;ADDI 1;STORE
+	//
+	// and only claimed when the loop variable's slot is written nowhere
+	// else in the module and the module has no unresolvable stores that
+	// could alias it.
+	Trip int64
+	// CounterDisp is the loop-variable slot displacement the trip bound
+	// was proven against (meaningful only when Trip > 0).
+	CounterDisp int32
+}
+
+// Loops finds the natural loops of fg. Irreducible cycles (a back edge
+// to a block that does not dominate its source) are ignored — the hl
+// compiler never emits them, and callers treat unrecognized cycles as
+// unbounded. Loops are returned outermost-first; nesting is reported via
+// Parent.
+func (fg *FuncGraph) Loops() []Loop {
+	n := len(fg.Blocks)
+	if n == 0 {
+		return nil
+	}
+	idx := make(map[uint64]int, n)
+	for i, b := range fg.Blocks {
+		idx[b.Addr] = i
+	}
+	succs := make([][]int, n)
+	for i, b := range fg.Blocks {
+		last := b.Instrs[len(b.Instrs)-1]
+		addTarget := func(addr uint64) {
+			if j, ok := idx[addr]; ok {
+				succs[i] = append(succs[i], j)
+			}
+		}
+		switch {
+		case last.Op == isa.JMP:
+			addTarget(uint64(last.A.Imm))
+		case last.Op.IsCondBranch():
+			addTarget(uint64(last.A.Imm))
+			if i+1 < n {
+				succs[i] = append(succs[i], i+1)
+			}
+		case last.Op == isa.RET || last.Op == isa.HALT:
+			// no intra-function successors
+		default:
+			// CALL and straight-line flow continue to the next block.
+			if i+1 < n {
+				succs[i] = append(succs[i], i+1)
+			}
+		}
+	}
+
+	dom := dominators(succs)
+	var loops []Loop
+	for i := range fg.Blocks {
+		for _, j := range succs[i] {
+			if dominates(dom, j, i) {
+				// Back edge i -> j: collect the natural loop of (i, j).
+				body := naturalLoop(i, j, n, func(k int) []int { return preds(succs, k) })
+				var addrs []uint64
+				for _, b := range body {
+					addrs = append(addrs, fg.Blocks[b].Addr)
+				}
+				sort.Slice(addrs, func(a, c int) bool { return addrs[a] < addrs[c] })
+				loops = append(loops, Loop{Head: fg.Blocks[j].Addr, Blocks: addrs, Parent: -1})
+			}
+		}
+	}
+	// Merge loops sharing a head (multiple back edges) and order
+	// outermost-first (larger body first, then by head address).
+	loops = mergeSameHead(loops)
+	sort.Slice(loops, func(a, b int) bool {
+		if len(loops[a].Blocks) != len(loops[b].Blocks) {
+			return len(loops[a].Blocks) > len(loops[b].Blocks)
+		}
+		return loops[a].Head < loops[b].Head
+	})
+	// Nesting: the parent of L is the smallest loop strictly containing it.
+	for i := range loops {
+		member := make(map[uint64]bool, len(loops[i].Blocks))
+		for _, a := range loops[i].Blocks {
+			member[a] = true
+		}
+		for j := i - 1; j >= 0; j-- {
+			if j == i || len(loops[j].Blocks) <= len(loops[i].Blocks) {
+				continue
+			}
+			if contains(loops[j].Blocks, loops[i].Head) {
+				loops[i].Parent = j
+				break
+			}
+		}
+		_ = member
+	}
+	for i := range loops {
+		fg.detectTrip(&loops[i], idx)
+	}
+	return loops
+}
+
+// preds computes the predecessors of block k on demand.
+func preds(succs [][]int, k int) []int {
+	var out []int
+	for i, ss := range succs {
+		for _, j := range ss {
+			if j == k {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// dominators computes the dominator sets of a small block graph with the
+// classic iterative bit-set algorithm (block counts are tiny).
+func dominators(succs [][]int) [][]bool {
+	n := len(succs)
+	dom := make([][]bool, n)
+	for i := range dom {
+		dom[i] = make([]bool, n)
+		for j := range dom[i] {
+			dom[i][j] = true
+		}
+	}
+	entry := make([]bool, n)
+	entry[0] = true
+	dom[0] = entry
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			cur := make([]bool, n)
+			first := true
+			for p, ss := range succs {
+				for _, j := range ss {
+					if j != i {
+						continue
+					}
+					if first {
+						copy(cur, dom[p])
+						first = false
+					} else {
+						for k := range cur {
+							cur[k] = cur[k] && dom[p][k]
+						}
+					}
+				}
+			}
+			if first {
+				// Unreachable block: keep the full set.
+				continue
+			}
+			cur[i] = true
+			for k := range cur {
+				if cur[k] != dom[i][k] {
+					dom[i] = cur
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func dominates(dom [][]bool, a, b int) bool { return dom[b][a] }
+
+// naturalLoop collects the natural loop of back edge tail->head.
+func naturalLoop(tail, head, n int, preds func(int) []int) []int {
+	in := make([]bool, n)
+	in[head] = true
+	stack := []int{tail}
+	in[tail] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range preds(b) {
+			if !in[p] {
+				in[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	var out []int
+	for i, ok := range in {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func mergeSameHead(loops []Loop) []Loop {
+	byHead := map[uint64]int{}
+	var out []Loop
+	for _, l := range loops {
+		if i, ok := byHead[l.Head]; ok {
+			seen := map[uint64]bool{}
+			for _, a := range out[i].Blocks {
+				seen[a] = true
+			}
+			for _, a := range l.Blocks {
+				if !seen[a] {
+					out[i].Blocks = append(out[i].Blocks, a)
+				}
+			}
+			sort.Slice(out[i].Blocks, func(x, y int) bool { return out[i].Blocks[x] < out[i].Blocks[y] })
+			continue
+		}
+		byHead[l.Head] = len(out)
+		out = append(out, l)
+	}
+	return out
+}
+
+func contains(sorted []uint64, addr uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= addr })
+	return i < len(sorted) && sorted[i] == addr
+}
+
+// detectTrip pattern-matches the hl counted-loop shape on l's header and
+// fall-in block and records a proven iteration bound. The caller
+// (errbound) separately verifies the loop variable's slot has no other
+// writers; here only the local shape is checked:
+//
+//   - header begins LOAD rv, [base+d] ; MOVRI rt, n ; CMPR rv, rt ; JGE out
+//     with out not a member block,
+//   - the immediately preceding block ends MOVRI ri, c ; STORE [base+d], ri,
+//   - inside the loop the only stores to [base+d] follow the increment
+//     shape LOAD r, [base+d] ; ADDI r, 1 ; STORE [base+d], r,
+//
+// which bounds iterations by max(0, n-c): the counter starts at c, grows
+// by exactly 1 per iteration, and the loop exits once it reaches n.
+func (fg *FuncGraph) detectTrip(l *Loop, idx map[uint64]int) {
+	head := fg.BlockAt(l.Head)
+	if head == nil || len(head.Instrs) < 4 {
+		return
+	}
+	ld, mv, cmp, br := head.Instrs[0], head.Instrs[1], head.Instrs[2], head.Instrs[3]
+	if ld.Op != isa.LOAD || ld.A.Kind != isa.KindGPR || ld.B.Kind != isa.KindMem || ld.B.Mem.HasIndex {
+		return
+	}
+	if mv.Op != isa.MOVRI || mv.A.Kind != isa.KindGPR {
+		return
+	}
+	if cmp.Op != isa.CMPR || cmp.A.Reg != ld.A.Reg || cmp.B.Reg != mv.A.Reg {
+		return
+	}
+	if br.Op != isa.JGE || contains(l.Blocks, uint64(br.A.Imm)) {
+		return
+	}
+	base, disp, bound := ld.B.Mem.Base, ld.B.Mem.Disp, mv.B.Imm
+
+	// Fall-in block: the block immediately before the header.
+	hi, ok := idx[l.Head]
+	if !ok || hi == 0 {
+		return
+	}
+	pre := fg.Blocks[hi-1]
+	if len(pre.Instrs) < 2 {
+		return
+	}
+	st := pre.Instrs[len(pre.Instrs)-1]
+	mvi := pre.Instrs[len(pre.Instrs)-2]
+	if st.Op != isa.STORE || st.A.Kind != isa.KindMem || st.A.Mem.HasIndex ||
+		st.A.Mem.Base != base || st.A.Mem.Disp != disp || st.B.Kind != isa.KindGPR {
+		return
+	}
+	if mvi.Op != isa.MOVRI || mvi.A.Reg != st.B.Reg {
+		return
+	}
+	init := mvi.B.Imm
+
+	// Every store to the counter slot inside the loop must be the
+	// canonical +1 increment.
+	for _, ba := range l.Blocks {
+		b := fg.BlockAt(ba)
+		for i, in := range b.Instrs {
+			if in.Op != isa.STORE || in.A.Kind != isa.KindMem || in.A.Mem.HasIndex ||
+				in.A.Mem.Base != base || in.A.Mem.Disp != disp {
+				continue
+			}
+			if i < 2 {
+				return
+			}
+			add := b.Instrs[i-1]
+			ld2 := b.Instrs[i-2]
+			if in.B.Kind != isa.KindGPR ||
+				add.Op != isa.ADDI || add.A.Reg != in.B.Reg || add.B.Imm != 1 ||
+				ld2.Op != isa.LOAD || ld2.A.Reg != in.B.Reg ||
+				ld2.B.Kind != isa.KindMem || ld2.B.Mem.HasIndex ||
+				ld2.B.Mem.Base != base || ld2.B.Mem.Disp != disp {
+				return
+			}
+		}
+	}
+
+	trip := bound - init
+	if trip < 0 {
+		trip = 0
+	}
+	l.Trip = trip + 1 // the header test runs once more than the body
+	l.CounterDisp = disp
+}

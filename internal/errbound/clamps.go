@@ -1,0 +1,190 @@
+package errbound
+
+import (
+	"math"
+	"sort"
+
+	"fpmix/internal/dataflow"
+)
+
+// Accumulator clamps.
+//
+// Plain threshold widening destroys accumulator facts: a cell updated as
+// `c = c + d` in a loop climbs the widening ladder to a huge interval
+// even when the loop runs a statically known number of times. The clamp
+// machinery recovers the bound by a counting argument rather than
+// abstract induction (which provably fails: [0,B]+d is not contained in
+// [0,B]):
+//
+// If every store to cell c is either an "init" write of a value in I, or
+// an "accumulator" write — the stored value carries provenance "c's
+// loaded value plus a delta in [dLo, dHi]" with at most maxAccOps
+// roundings folded in — executing at most B_w times, then at any moment
+// every value c has ever held lies within
+//
+//	hull(init(c), I) + [sum_w B_w*min(0,dLo_w), sum_w B_w*max(0,dHi_w)] +- pad
+//
+// where pad absorbs the per-operation rounding of the real VM: each of
+// the at most sum(B_w)*maxAccOps roundings errs by at most
+// (|clamp| + maxDelta)*2^-52, and pad = (|lo|+|hi|+maxDelta+1) *
+// sum(B_w) * 2^-48 dominates that total with 16x slack.
+//
+// The argument is a simultaneous induction over execution time: assume
+// all clamped cells have stayed within their clamps so far; then the
+// clamped abstract fixpoint is sound for the execution prefix, so the
+// deltas observed at each store are valid, so the counting bound applies
+// to the next store, which verifyClamps checked is inside the clamp.
+// The base case is the initial data image. verifyClamps re-derives every
+// ingredient from the records of the clamped fixpoint itself; any
+// failure drops the clamp and the analysis re-runs without it.
+type cellAgg struct {
+	initLo, initHi float64
+	sumNeg, sumPos float64
+	btot, maxD     float64
+	hasAcc         bool
+	bad            bool
+	inits          [][2]float64 // raw init-write intervals, for verification
+}
+
+// aggregates classifies the recorded stores per slot/extent cell.
+func (az *analyzer) aggregates() map[int]*cellAgg {
+	per := map[int]*cellAgg{}
+	get := func(c int) *cellAgg {
+		if ag, ok := per[c]; ok {
+			return ag
+		}
+		ag := &cellAgg{}
+		init := az.cellInit[c]
+		if init.mayNaN || init.emptyF() || init.hasInf() {
+			ag.bad = true
+			ag.initLo, ag.initHi = math.Inf(-1), math.Inf(1)
+		} else {
+			ag.initLo, ag.initHi = init.lo, init.hi
+		}
+		per[c] = ag
+		return ag
+	}
+
+	keys := make([]int, 0, len(az.stores))
+	for k := range az.stores {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, si := range keys {
+		rec := az.stores[si]
+		for _, c := range rec.cells {
+			kind := az.cells[c].Kind
+			if kind != dataflow.CellSlot && kind != dataflow.CellExtent {
+				continue
+			}
+			ag := get(c)
+			v := &rec.val
+			eb := az.execB[si]
+			if v.acc == int32(c) && len(rec.cells) == 1 && eb > 0 && !v.mayNaN &&
+				v.accN <= maxAccOps &&
+				!math.IsInf(v.accLo, 0) && !math.IsInf(v.accHi, 0) &&
+				!math.IsNaN(v.accLo) && !math.IsNaN(v.accHi) {
+				ag.hasAcc = true
+				ag.sumNeg += eb * math.Min(0, v.accLo)
+				ag.sumPos += eb * math.Max(0, v.accHi)
+				ag.btot += eb
+				ag.maxD = math.Max(ag.maxD, math.Max(math.Abs(v.accLo), math.Abs(v.accHi)))
+			} else {
+				if v.mayNaN || v.emptyF() || v.hasInf() {
+					ag.bad = true
+					continue
+				}
+				if v.lo < ag.initLo {
+					ag.initLo = v.lo
+				}
+				if v.hi > ag.initHi {
+					ag.initHi = v.hi
+				}
+				ag.inits = append(ag.inits, [2]float64{v.lo, v.hi})
+			}
+		}
+	}
+	return per
+}
+
+func (ag *cellAgg) bound() (lo, hi float64, ok bool) {
+	lo = ag.initLo + ag.sumNeg
+	hi = ag.initHi + ag.sumPos
+	pad := (math.Abs(lo) + math.Abs(hi) + ag.maxD + 1) * ag.btot * 0x1p-48
+	lo, hi = outward(lo-pad, hi+pad, 4)
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}
+
+// inferClamps proposes a clamp for every cell whose recorded stores
+// classify cleanly, from the unclamped fixpoint's records.
+func (az *analyzer) inferClamps() {
+	az.clamps = map[int]clampInfo{}
+	if az.sawWild || az.sawMPIWrite {
+		return
+	}
+	per := az.aggregates()
+	cells := make([]int, 0, len(per))
+	for c := range per {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells)
+	for _, c := range cells {
+		ag := per[c]
+		if ag.bad || !ag.hasAcc {
+			continue
+		}
+		if lo, hi, ok := ag.bound(); ok {
+			az.clamps[c] = clampInfo{lo: lo, hi: hi}
+		}
+	}
+}
+
+// verifyClamps re-derives every clamp from the clamped fixpoint's own
+// records and returns the cells whose clamps failed to verify.
+func (az *analyzer) verifyClamps() []int {
+	var dropped []int
+	dropAll := az.sawWild || az.sawMPIWrite
+	var per map[int]*cellAgg
+	if !dropAll {
+		per = az.aggregates()
+	}
+	cells := make([]int, 0, len(az.clamps))
+	for c := range az.clamps {
+		cells = append(cells, c)
+	}
+	sort.Ints(cells)
+	for _, c := range cells {
+		cl := az.clamps[c]
+		if dropAll {
+			dropped = append(dropped, c)
+			continue
+		}
+		init := az.cellInit[c]
+		if init.mayNaN || init.emptyF() || init.lo < cl.lo || init.hi > cl.hi {
+			dropped = append(dropped, c)
+			continue
+		}
+		ag := per[c]
+		if ag == nil {
+			continue // no stores reach the cell: the init value suffices
+		}
+		ok := !ag.bad
+		for _, iv := range ag.inits {
+			if iv[0] < cl.lo || iv[1] > cl.hi {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			lo, hi, bok := ag.bound()
+			ok = bok && lo >= cl.lo && hi <= cl.hi
+		}
+		if !ok {
+			dropped = append(dropped, c)
+		}
+	}
+	return dropped
+}

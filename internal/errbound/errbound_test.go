@@ -1,0 +1,98 @@
+package errbound
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGridOf(t *testing.T) {
+	cases := []struct {
+		v, grid float64
+	}{
+		{0, hugeGrid},
+		{1, 1},
+		{145, 1},
+		{0.5, 0.5},
+		{0.75, 0.25},
+		{3, 1},
+		{1024, 1024},
+		{0x1p-1074, 0x1p-1074},
+	}
+	for _, c := range cases {
+		if g := gridOf(c.v); g != c.grid {
+			t.Errorf("gridOf(%g) = %g, want %g", c.v, g, c.grid)
+		}
+	}
+}
+
+func TestExactlyRepresentable(t *testing.T) {
+	ok := []aval{
+		fromF64(1.5, -1),
+		fromF64(1<<20, -1),
+		{lo: 0, hi: 1024, grid: 1},
+		{lo: -8, hi: 8, grid: 0.25},
+	}
+	for i := range ok {
+		if !ok[i].exactlyRepresentable(Single) {
+			t.Errorf("case %d: want representable", i)
+		}
+	}
+	bad := []aval{
+		fromF64(0.1, -1),                      // needs 53 significand bits
+		fromF64(1<<25+1, -1),                  // 26 significand bits
+		{lo: 0, hi: 1 << 26, grid: 1},         // range exceeds the 24-bit reach
+		{lo: 0, hi: 1, grid: 1, mayNaN: true}, // NaN escapes any grid
+		{lo: 0, hi: math.Inf(1), grid: 1},     // infinity
+		{lo: 0, hi: 1, grid: 0x1p-200},        // grid below single subnormals
+		{lo: 0, hi: 0x1p130, grid: 0x1p120},   // magnitude exceeds the single range
+	}
+	for i := range bad {
+		if bad[i].exactlyRepresentable(Single) {
+			t.Errorf("bad case %d: want not representable", i)
+		}
+	}
+}
+
+func TestLossless(t *testing.T) {
+	for _, v := range []float64{0, 1, -1.5, 145, 0x1p127, -0x1p-126, 3.25} {
+		if !Single.Lossless(v) {
+			t.Errorf("Lossless(%g) = false", v)
+		}
+	}
+	for _, v := range []float64{0.1, 1e300, 0x1p-1074, 1<<25 + 1} {
+		if Single.Lossless(v) {
+			t.Errorf("Lossless(%g) = true", v)
+		}
+	}
+}
+
+// TestPath follows the culprit chain without cycling.
+func TestPath(t *testing.T) {
+	a := &Analysis{Sites: map[uint64]SiteBound{
+		10: {Addr: 10, Culprit: 20},
+		20: {Addr: 20, Culprit: 10}, // cycle back
+	}}
+	p := a.Path(10, 8)
+	if len(p) != 2 || p[0] != 10 || p[1] != 20 {
+		t.Errorf("path = %v", p)
+	}
+}
+
+func TestPieceExact(t *testing.T) {
+	a := &Analysis{Sites: map[uint64]SiteBound{
+		1: {Exact: true},
+		2: {Exact: false},
+	}}
+	if a.PieceExact(nil) {
+		t.Error("empty piece must not be exact")
+	}
+	if !a.PieceExact([]uint64{1}) {
+		t.Error("proved piece rejected")
+	}
+	if a.PieceExact([]uint64{1, 2}) {
+		t.Error("mixed piece accepted")
+	}
+	if a.PieceExact([]uint64{1, 3}) {
+		t.Error("unknown address accepted")
+	}
+}

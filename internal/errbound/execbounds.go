@@ -1,0 +1,258 @@
+package errbound
+
+import (
+	"fpmix/internal/cfg"
+	"fpmix/internal/dataflow"
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+)
+
+// execBCap bounds usable execution counts; anything larger is treated as
+// unknown (the clamp pad would lose all precision anyway).
+const execBCap = 1e15
+
+// fnSummary is a syntactic per-function summary for trip-count validity.
+type fnSummary struct {
+	slots  map[int32]bool // displacements of direct stable-base stores
+	wild   bool           // a store that may hit arbitrary memory
+	memSys bool           // a syscall that rewrites memory (or unknown)
+	calls  []int          // callee function indices
+}
+
+func classifyStore(s *fnSummary, m isa.MemRef, sb uint8, haveSB bool, size int) {
+	if !haveSB || m.Base != sb {
+		s.wild = true
+		return
+	}
+	if m.HasIndex {
+		return // extent store: disjoint from slots in the validated model
+	}
+	s.slots[m.Disp] = true
+	if size == 16 {
+		s.slots[m.Disp+8] = true
+	}
+}
+
+// computeExecBounds derives, per supergraph instruction, a static upper
+// bound on how many times it can execute: the product of the trip counts
+// of its enclosing counted loops times a call-graph bound on its
+// function's activation count. 0 means unknown.
+func computeExecBounds(m *prog.Module, g *dataflow.Graph) []float64 {
+	out := make([]float64, g.Len())
+	fg, err := cfg.Build(m)
+	if err != nil {
+		return out
+	}
+	sb, haveSB := g.StableBase()
+
+	nf := len(m.Funcs)
+	fidx := make(map[uint64]int, nf)
+	for fi, f := range m.Funcs {
+		fidx[f.Addr] = fi
+	}
+	sums := make([]fnSummary, nf)
+	for fi, f := range m.Funcs {
+		s := &sums[fi]
+		s.slots = map[int32]bool{}
+		for _, in := range f.Instrs {
+			switch in.Op {
+			case isa.STORE:
+				classifyStore(s, in.A.Mem, sb, haveSB, 8)
+			case isa.MOVSD, isa.MOVSS:
+				if in.A.Kind == isa.KindMem {
+					classifyStore(s, in.A.Mem, sb, haveSB, 8)
+				}
+			case isa.MOVAPD:
+				if in.A.Kind == isa.KindMem {
+					classifyStore(s, in.A.Mem, sb, haveSB, 16)
+				}
+			case isa.PUSH, isa.PUSHX:
+				// Stack writes are disjoint from data slots in the model.
+			case isa.SYSCALL:
+				switch in.A.Imm {
+				case isa.SysOutF64, isa.SysOutF32, isa.SysOutI64,
+					isa.SysMPIRank, isa.SysMPISize, isa.SysMPIBarrier, isa.SysMPISendF64:
+					// read-only host services
+				default:
+					s.memSys = true
+				}
+			case isa.CALL:
+				if ci, ok := fidx[uint64(in.A.Imm)]; ok {
+					s.calls = append(s.calls, ci)
+				} else {
+					s.memSys = true // unresolvable call: assume the worst
+				}
+			}
+		}
+	}
+
+	// calleeClosure expands a set of direct callees transitively.
+	calleeClosure := func(start []int) []int {
+		seen := map[int]bool{}
+		stack := append([]int(nil), start...)
+		var out []int
+		for len(stack) > 0 {
+			fi := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[fi] {
+				continue
+			}
+			seen[fi] = true
+			out = append(out, fi)
+			stack = append(stack, sums[fi].calls...)
+		}
+		return out
+	}
+
+	// Per-instruction loop trip products. A zero poisons (unknown).
+	prod := map[uint64]float64{}
+	for fi, fgf := range fg.Funcs {
+		if fi >= nf {
+			break
+		}
+		for _, l := range fgf.Loops() {
+			factor := float64(l.Trip)
+			if l.Trip > 0 && !loopTripValid(fgf, &l, sb, haveSB, fidx, sums, calleeClosure) {
+				factor = 0
+			}
+			for _, ba := range l.Blocks {
+				b := fgf.BlockAt(ba)
+				if b == nil {
+					continue
+				}
+				for _, in := range b.Instrs {
+					p, ok := prod[in.Addr]
+					if !ok {
+						p = 1
+					}
+					prod[in.Addr] = p * factor
+				}
+			}
+		}
+	}
+
+	// Call-graph activation bounds. bounds[f] is an upper bound on how
+	// many times f can be entered; cycles and unknown call sites yield 0.
+	entryFunc := -1
+	for fi, f := range m.Funcs {
+		if m.Entry >= f.Addr && m.Entry < f.End {
+			entryFunc = fi
+		}
+	}
+	type callSite struct {
+		caller int
+		addr   uint64
+	}
+	sites := map[int][]callSite{}
+	for fi, f := range m.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op == isa.CALL {
+				if ci, ok := fidx[uint64(in.A.Imm)]; ok {
+					sites[ci] = append(sites[ci], callSite{fi, in.Addr})
+				}
+			}
+		}
+	}
+	bounds := make([]float64, nf)
+	color := make([]int, nf) // 0 new, 1 visiting, 2 done
+	var fb func(fi int) float64
+	fb = func(fi int) float64 {
+		switch color[fi] {
+		case 1:
+			return 0 // recursion: unbounded
+		case 2:
+			return bounds[fi]
+		}
+		color[fi] = 1
+		total := 0.0
+		if fi == entryFunc {
+			total = 1
+		}
+		for _, s := range sites[fi] {
+			cb := fb(s.caller)
+			lp, ok := prod[s.addr]
+			if !ok {
+				lp = 1
+			}
+			if cb == 0 || lp == 0 {
+				total = 0
+				break
+			}
+			total += cb * lp
+		}
+		if total > execBCap {
+			total = 0
+		}
+		color[fi] = 2
+		bounds[fi] = total
+		return total
+	}
+
+	for i := 0; i < g.Len(); i++ {
+		in := g.Instr(i)
+		fi := g.FuncOf(i)
+		if fi < 0 || fi >= nf {
+			continue
+		}
+		b := fb(fi)
+		p, ok := prod[in.Addr]
+		if !ok {
+			p = 1
+		}
+		e := b * p
+		if b == 0 || p == 0 || e > execBCap {
+			e = 0
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// loopTripValid checks the non-local side conditions of a detected trip
+// count: nothing reachable from inside the loop may write the counter
+// slot behind the shape-checked increment's back, hit arbitrary memory,
+// or invoke a memory-writing host service. (The in-loop direct stores to
+// the counter slot itself were already shape-checked by detectTrip.)
+func loopTripValid(fgf *cfg.FuncGraph, l *cfg.Loop, sb uint8, haveSB bool,
+	fidx map[uint64]int, sums []fnSummary, closure func([]int) []int) bool {
+	var callees []int
+	wildStore := func(m isa.MemRef) bool { return !haveSB || m.Base != sb }
+	for _, ba := range l.Blocks {
+		b := fgf.BlockAt(ba)
+		if b == nil {
+			return false
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case isa.STORE:
+				if wildStore(in.A.Mem) {
+					return false
+				}
+			case isa.MOVSD, isa.MOVSS, isa.MOVAPD:
+				if in.A.Kind == isa.KindMem && wildStore(in.A.Mem) {
+					return false
+				}
+			case isa.SYSCALL:
+				switch in.A.Imm {
+				case isa.SysOutF64, isa.SysOutF32, isa.SysOutI64,
+					isa.SysMPIRank, isa.SysMPISize, isa.SysMPIBarrier, isa.SysMPISendF64:
+				default:
+					return false
+				}
+			case isa.CALL:
+				ci, ok := fidx[uint64(in.A.Imm)]
+				if !ok {
+					return false
+				}
+				callees = append(callees, ci)
+			}
+		}
+	}
+	for _, fi := range closure(callees) {
+		s := &sums[fi]
+		if s.wild || s.memSys || s.slots[l.CounterDisp] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+// Package errbound is a sound forward error analysis over the
+// instruction-level supergraph of internal/dataflow.
+//
+// The analysis abstracts every floating-point location by an interval
+// refined with a dyadic grid — the largest power of two g such that the
+// value is provably an integer multiple of g — plus a may-NaN flag and a
+// degenerate affine form (a single shared noise symbol) for correlated
+// terms. From these facts it derives, per candidate instruction, an
+// *exactness* verdict: whether lowering that site to the target format
+// provably changes no bit of any value the program computes. A piece
+// whose every executed candidate is exact therefore passes any verifier
+// the all-double baseline passes, so the search can skip its evaluation
+// run entirely (provenance "proved") without perturbing the rest of the
+// search trajectory.
+//
+// Soundness argument, in brief: interval endpoints are propagated with
+// the same float64 arithmetic the VM executes, which is sound because
+// round-to-nearest is monotone, and exactly for singletons, which is
+// sound because analysis and VM share one arithmetic; a value on grid g
+// with magnitude at most g·2^(p-1) fits a p-bit significand exactly, so
+// both the double op and its single twin compute the identical value and
+// the downcast at the replacement boundary is lossless. Loop heads widen
+// to a fixed threshold ladder after a delay; statically counted loops
+// (cfg.Loop.Trip) additionally justify accumulator clamps by an
+// execution-count argument (see analyze.go). Anything the analysis
+// cannot prove it reports as not exact — never the other way around.
+package errbound
+
+import "math"
+
+// Format describes a target floating-point format — the precision a
+// candidate site would be lowered to. Single is the only format the
+// replacement machinery emits today; the table is the hook for the
+// precision-lattice roadmap item (half, bfloat16, customized mantissas).
+type Format struct {
+	// Name identifies the format in reports.
+	Name string
+	// MantBits is the significand width in bits, including the implicit
+	// leading bit (24 for IEEE single).
+	MantBits uint
+	// MinGrid is the smallest dyadic grid on which every multiple with
+	// at most MantBits significant bits is exactly representable
+	// (2^-126 for single: such multiples stay inside the normal +
+	// exactly-representable subnormal range).
+	MinGrid float64
+	// MaxMag is the largest magnitude the exactness proof admits;
+	// chosen a power of two comfortably inside the format's range.
+	MaxMag float64
+}
+
+// Predefined formats. Single is the default target.
+var (
+	Single   = Format{Name: "single", MantBits: 24, MinGrid: 0x1p-126, MaxMag: 0x1p127}
+	Double   = Format{Name: "double", MantBits: 53, MinGrid: 0x1p-1022, MaxMag: 0x1p1023}
+	Half     = Format{Name: "half", MantBits: 11, MinGrid: 0x1p-24, MaxMag: 0x1p15}
+	BFloat16 = Format{Name: "bfloat16", MantBits: 8, MinGrid: 0x1p-126, MaxMag: 0x1p127}
+)
+
+// Eps is the unit roundoff of the format (half an ulp at 1.0) — the
+// per-operation relative error bound rewriting scorers use.
+func (f Format) Eps() float64 { return math.Ldexp(1, -int(f.MantBits)) }
+
+// maxMult is the largest multiplier of the grid that still fits the
+// significand: values on grid g with |v| <= g·maxMult are exact.
+func (f Format) maxMult() float64 { return math.Ldexp(1, int(f.MantBits)) }
+
+// Lossless reports whether v survives a round trip through the format
+// unchanged (NaN does not count: its payload is not preserved by the
+// replacement encoding).
+func (f Format) Lossless(v float64) bool {
+	if math.IsNaN(v) {
+		return false
+	}
+	if f.MantBits >= 53 {
+		return true
+	}
+	if f == Single || (f.MantBits == 24 && f.MinGrid == Single.MinGrid) {
+		return float64(float32(v)) == v
+	}
+	// Generic check: v must sit on a representable grid of the format.
+	if v == 0 {
+		return true
+	}
+	if math.Abs(v) > f.MaxMag {
+		return false
+	}
+	g := gridOf(v)
+	return g >= f.MinGrid && math.Abs(v) <= g*f.maxMult()
+}
+
+// gridOf returns the largest power of two that exactly divides v, or 0
+// for NaN/Inf. Zero divides everything; it reports a huge grid.
+func gridOf(v float64) float64 {
+	if v == 0 {
+		return hugeGrid
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	bits := math.Float64bits(v)
+	exp := int(bits>>52) & 0x7FF
+	frac := bits & (1<<52 - 1)
+	if exp == 0 {
+		// Subnormal: value = frac · 2^-1074.
+		return math.Ldexp(1, -1074+trailingZeros52(frac))
+	}
+	sig := frac | 1<<52
+	return math.Ldexp(1, exp-1075+trailingZeros52(sig))
+}
+
+func trailingZeros52(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// hugeGrid is the grid reported for an exact zero: zero is a multiple of
+// every power of two, and a finite sentinel keeps grid arithmetic total.
+const hugeGrid = 0x1p200

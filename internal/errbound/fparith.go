@@ -1,0 +1,368 @@
+package errbound
+
+import (
+	"math"
+
+	"fpmix/internal/isa"
+)
+
+// arithVM mirrors the VM's scalar-double arithmetic bit for bit
+// (internal/vm fpexec.go arith64), so singleton transfers are exact.
+func arithVM(op isa.Op, a, b float64) float64 {
+	switch op {
+	case isa.ADDSD:
+		return a + b
+	case isa.SUBSD:
+		return a - b
+	case isa.MULSD:
+		return a * b
+	case isa.DIVSD:
+		return a / b
+	case isa.MINSD:
+		// x86 semantics: return b on NaN or equality.
+		if a < b {
+			return a
+		}
+		return b
+	default: // MAXSD
+		if a > b {
+			return a
+		}
+		return b
+	}
+}
+
+func transcVM(op isa.Op, x float64) float64 {
+	switch op {
+	case isa.SINSD:
+		return math.Sin(x)
+	case isa.COSSD:
+		return math.Cos(x)
+	case isa.EXPSD:
+		return math.Exp(x)
+	default: // LOGSD
+		return math.Log(x)
+	}
+}
+
+// fpExact abstracts a concretely known float result. A zero result's
+// int view stays top: the abstract [0,0] interval cannot distinguish
+// +0 from -0, so the bit pattern is not pinned.
+func fpExact(v float64, i int) aval {
+	r := fromF64(v, int32(i))
+	if v == 0 {
+		r.topI()
+	}
+	return r
+}
+
+func containsZero(v *aval) bool { return !v.emptyF() && v.lo <= 0 && v.hi >= 0 }
+
+// fpArith abstracts one scalar-double arithmetic instruction.
+func (az *analyzer) fpArith(op isa.Op, a, b aval, i int) aval {
+	finite := func(v *aval) bool { return !v.mayNaN && !v.emptyF() && !v.hasInf() }
+
+	// Correlation rules from the shared noise symbol. These are the
+	// patterns the hl compiler emits for x-x, negation, and abs.
+	if a.sym != 0 && a.sym == b.sym {
+		switch {
+		case op == isa.SUBSD && a.symNeg == b.symNeg && finite(&a) && finite(&b):
+			return fromF64(0, int32(i)) // x - x == +0 exactly
+		case op == isa.ADDSD && a.symNeg != b.symNeg && finite(&a) && finite(&b):
+			return fromF64(0, int32(i)) // x + (-x) == +0 exactly
+		case op == isa.MULSD && !a.mayNaN && !b.mayNaN && !a.emptyF():
+			r := squareRange(&a, i) // x*x (or (-x)*(-x)): a square
+			if a.symNeg != b.symNeg {
+				r.lo, r.hi = -r.hi, -r.lo // x * -x == -(x^2)
+			}
+			return r
+		case (op == isa.MAXSD || op == isa.MINSD) && a.symNeg != b.symNeg && !a.mayNaN && !b.mayNaN:
+			r := absRange(&a, i) // max(x,-x) == |x|; min == -|x|
+			if op == isa.MINSD {
+				r.lo, r.hi = -r.hi, -r.lo
+			}
+			return r
+		}
+	}
+
+	// Negation: 0 - x. The result keeps x's symbol with the sign flipped,
+	// which is what lets a later MAXSD recognize |x|.
+	if op == isa.SUBSD && !a.mayNaN && a.lo == 0 && a.hi == 0 && !b.mayNaN && !b.emptyF() {
+		var r aval
+		if bv, ok := b.singleton(); ok && bv != 0 {
+			r = fpExact(-bv, i)
+		} else {
+			r = fpExact(0, i) // placeholder; fields set below
+			r.lo, r.hi = -b.hi, -b.lo
+			r.topI()
+		}
+		r.grid = b.grid
+		r.sym, r.symNeg = b.sym, !b.symNeg
+		r.acc = -1
+		r.src = int32(i)
+		return r
+	}
+
+	// Singleton fast path: the analyzer computes exactly what the VM
+	// computes.
+	if av, aok := a.singleton(); aok {
+		if bv, bok := b.singleton(); bok {
+			r := fpExact(arithVM(op, av, bv), i)
+			if op == isa.ADDSD || op == isa.SUBSD {
+				return az.foldAcc(op, &a, &b, r)
+			}
+			return r
+		}
+	}
+
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	r.sym = 0
+
+	if a.emptyF() || b.emptyF() {
+		// A pure-NaN first operand makes min/max's compare false and
+		// passes b through unchanged (x86 semantics).
+		if (op == isa.MINSD || op == isa.MAXSD) && a.emptyF() && a.mayNaN && !b.emptyF() {
+			return b
+		}
+		r.lo, r.hi = math.Inf(1), math.Inf(-1)
+		r.mayNaN = a.mayNaN || b.mayNaN
+		r.grid = 0
+		return r
+	}
+
+	switch op {
+	case isa.ADDSD, isa.SUBSD:
+		r.mayNaN = a.mayNaN || b.mayNaN || (a.hasInf() && b.hasInf())
+		r.lo, r.hi, r.mayNaN = combos(op, &a, &b, r.mayNaN)
+		r.grid = gridMin(a.grid, b.grid)
+		return az.foldAcc(op, &a, &b, r)
+	case isa.MULSD:
+		r.mayNaN = a.mayNaN || b.mayNaN ||
+			(a.hasInf() && containsZero(&b)) || (b.hasInf() && containsZero(&a))
+		r.lo, r.hi, r.mayNaN = combos(op, &a, &b, r.mayNaN)
+		r.grid = gridMul(a.grid, b.grid)
+	case isa.DIVSD:
+		if containsZero(&b) {
+			r.topF()
+			r.src = int32(i)
+			return r
+		}
+		r.mayNaN = a.mayNaN || b.mayNaN || (a.hasInf() && b.hasInf())
+		r.lo, r.hi, r.mayNaN = combos(op, &a, &b, r.mayNaN)
+		if bv, ok := b.singleton(); ok && bv != 0 && gridOf(bv) == math.Abs(bv) {
+			// Division by a power of two rescales the grid exactly.
+			r.grid = gridMul(a.grid, 1/math.Abs(bv))
+		}
+	case isa.MINSD, isa.MAXSD:
+		// Result is NaN only when b is NaN (a NaN compare returns b).
+		r.mayNaN = b.mayNaN
+		if op == isa.MINSD {
+			r.lo, r.hi = math.Min(a.lo, b.lo), math.Min(a.hi, b.hi)
+		} else {
+			r.lo, r.hi = math.Max(a.lo, b.lo), math.Max(a.hi, b.hi)
+		}
+		r.grid = gridMin(a.grid, b.grid)
+		if a.mayNaN {
+			// a NaN passes any b value through.
+			r.lo = math.Min(r.lo, b.lo)
+			r.hi = math.Max(r.hi, b.hi)
+		}
+	}
+	return r
+}
+
+// combos evaluates the four endpoint combinations with the VM's own
+// arithmetic; correct rounding is monotone in each argument, so the
+// extrema are at corners and no outward nudge is needed.
+func combos(op isa.Op, a, b *aval, mayNaN bool) (float64, float64, bool) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range [2]float64{a.lo, a.hi} {
+		for _, y := range [2]float64{b.lo, b.hi} {
+			v := arithVM(op, x, y)
+			if math.IsNaN(v) {
+				mayNaN = true
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	// Products of intervals spanning zero have interior extrema at the
+	// zero crossings, which evaluate to 0.
+	if op == isa.MULSD && (containsZero(a) || containsZero(b)) {
+		if lo > 0 {
+			lo = 0
+		}
+		if hi < 0 {
+			hi = 0
+		}
+	}
+	return lo, hi, mayNaN
+}
+
+// foldAcc threads accumulator provenance through an ADDSD/SUBSD: the
+// result is still "cell value plus a delta" with the other operand's
+// interval folded into the delta (outward-nudged bound arithmetic).
+func (az *analyzer) foldAcc(op isa.Op, a, b *aval, r aval) aval {
+	okAddend := func(v *aval) bool { return !v.mayNaN && !v.emptyF() && !v.hasInf() }
+	if a.acc >= 0 && b.acc < 0 && okAddend(b) && a.accN < maxAccOps {
+		r.acc = a.acc
+		r.accN = a.accN + 1
+		if op == isa.ADDSD {
+			r.accLo = nextDown(a.accLo + b.lo)
+			r.accHi = nextUp(a.accHi + b.hi)
+		} else {
+			r.accLo = nextDown(a.accLo - b.hi)
+			r.accHi = nextUp(a.accHi - b.lo)
+		}
+		return r
+	}
+	if op == isa.ADDSD && b.acc >= 0 && a.acc < 0 && okAddend(a) && b.accN < maxAccOps {
+		r.acc = b.acc
+		r.accN = b.accN + 1
+		r.accLo = nextDown(b.accLo + a.lo)
+		r.accHi = nextUp(b.accHi + a.hi)
+		return r
+	}
+	r.acc = -1
+	return r
+}
+
+// squareRange is the range of x*x for x in a's interval (rounding is
+// monotone, extrema at corners or the zero crossing).
+func squareRange(a *aval, i int) aval {
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	l2, h2 := a.lo*a.lo, a.hi*a.hi
+	if containsZero(a) {
+		r.lo, r.hi = 0, math.Max(l2, h2)
+	} else {
+		r.lo, r.hi = math.Min(l2, h2), math.Max(l2, h2)
+	}
+	r.grid = gridMul(a.grid, a.grid)
+	return r
+}
+
+// absRange is the range of |x| for x in a's interval.
+func absRange(a *aval, i int) aval {
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	switch {
+	case a.emptyF():
+		r.lo, r.hi = math.Inf(1), math.Inf(-1)
+	case a.lo >= 0:
+		r.lo, r.hi = a.lo, a.hi
+	case a.hi <= 0:
+		r.lo, r.hi = -a.hi, -a.lo
+	default:
+		r.lo, r.hi = 0, math.Max(-a.lo, a.hi)
+	}
+	r.grid = a.grid
+	return r
+}
+
+func fpSqrt(b aval, i int) aval {
+	if bv, ok := b.singleton(); ok {
+		return fpExact(math.Sqrt(bv), i)
+	}
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	if b.emptyF() {
+		r.lo, r.hi = math.Inf(1), math.Inf(-1)
+		r.mayNaN = b.mayNaN
+		return r
+	}
+	r.mayNaN = b.mayNaN || b.lo < 0
+	if b.hi < 0 {
+		r.lo, r.hi = math.Inf(1), math.Inf(-1)
+		r.mayNaN = true
+		return r
+	}
+	// Sqrt is correctly rounded and monotone: endpoints are exact.
+	r.lo = math.Sqrt(math.Max(b.lo, 0))
+	r.hi = math.Sqrt(b.hi)
+	return r
+}
+
+func fpTransc(op isa.Op, b aval, i int) aval {
+	if bv, ok := b.singleton(); ok {
+		return fpExact(transcVM(op, bv), i)
+	}
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	if b.emptyF() {
+		r.lo, r.hi = math.Inf(1), math.Inf(-1)
+		r.mayNaN = b.mayNaN
+		return r
+	}
+	switch op {
+	case isa.SINSD, isa.COSSD:
+		r.mayNaN = b.mayNaN || b.hasInf()
+		r.lo, r.hi = -1, 1
+	case isa.EXPSD:
+		r.mayNaN = b.mayNaN
+		// The library is not trusted to be correctly rounded: nudge the
+		// monotone endpoint images outward.
+		r.lo, r.hi = outward(math.Exp(b.lo), math.Exp(b.hi), 4)
+		if r.lo < 0 {
+			r.lo = 0
+		}
+	default: // LOGSD
+		r.mayNaN = b.mayNaN || b.lo < 0
+		if b.hi < 0 {
+			r.lo, r.hi = math.Inf(1), math.Inf(-1)
+			r.mayNaN = true
+			return r
+		}
+		r.lo, r.hi = outward(math.Log(math.Max(b.lo, 0)), math.Log(b.hi), 4)
+	}
+	return r
+}
+
+// cvtIToF abstracts CVTSI2SD. float64(int64) is monotone, and its image
+// is always integral, so the result is on grid 1 even for unknown input.
+func cvtIToF(b aval, i int) aval {
+	var r aval
+	r.topI()
+	r.acc = -1
+	r.src = int32(i)
+	r.mayNaN = false
+	r.grid = 1
+	if lo, hi, ok := ibounds(&b); ok {
+		if lo == hi {
+			r = fpExact(float64(lo), i)
+			r.src = int32(i)
+			return r
+		}
+		r.lo, r.hi = float64(lo), float64(hi)
+	} else {
+		r.lo, r.hi = float64(math.MinInt64), float64(math.MaxInt64)
+	}
+	return r
+}
+
+// cvtFToI abstracts CVTTSD2SI (truncation toward zero, monotone).
+func cvtFToI(b aval, i int) aval {
+	const lim = float64(iSafe)
+	if !b.mayNaN && !b.emptyF() && b.lo >= -lim && b.hi <= lim {
+		return fromIRange(int64(b.lo), int64(b.hi), int32(i))
+	}
+	v := top()
+	v.src = int32(i)
+	return v
+}

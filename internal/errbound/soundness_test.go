@@ -1,0 +1,490 @@
+package errbound_test
+
+import (
+	"math"
+	"testing"
+
+	"fpmix/internal/config"
+	"fpmix/internal/errbound"
+	"fpmix/internal/hl"
+	"fpmix/internal/isa"
+	"fpmix/internal/kernels"
+	"fpmix/internal/mpi"
+	"fpmix/internal/prog"
+	"fpmix/internal/replace"
+	"fpmix/internal/verify"
+	"fpmix/internal/vm"
+)
+
+// TestAnalyzeStraightLine proves a tiny exact program end to end.
+func TestAnalyzeStraightLine(t *testing.T) {
+	p := hl.New("straight", hl.ModeF64)
+	x := p.ScalarInit("x", 2.0)
+	y := p.ScalarInit("y", 3.0)
+	main := p.Func("main")
+	main.Set(x, hl.Mul(hl.Load(x), hl.Load(y))) // 6: exact
+	main.Set(x, hl.Add(hl.Load(x), hl.Const(0.5)))
+	main.Out(hl.Load(x))
+	main.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := errbound.Analyze(m, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("analysis did not converge")
+	}
+	var mul, add *errbound.SiteBound
+	for _, f := range m.Funcs {
+		for _, ins := range f.Instrs {
+			sb, ok := an.Sites[ins.Addr]
+			if !ok {
+				continue
+			}
+			v := sb
+			switch ins.Op {
+			case isa.MULSD:
+				mul = &v
+			case isa.ADDSD:
+				add = &v
+			}
+		}
+	}
+	if mul == nil || add == nil {
+		t.Fatal("candidate sites not reported")
+	}
+	if !mul.Exact {
+		t.Errorf("2*3 not proved exact: %s", mul.Reason)
+	}
+	if mul.Lo != 6 || mul.Hi != 6 {
+		t.Errorf("mul interval [%g, %g], want [6, 6]", mul.Lo, mul.Hi)
+	}
+	if !add.Exact {
+		t.Errorf("6+0.5 not proved exact: %s", add.Reason)
+	}
+}
+
+// TestAnalyzeUnrepresentable rejects arithmetic on a constant that needs
+// all 53 significand bits.
+func TestAnalyzeUnrepresentable(t *testing.T) {
+	p := hl.New("inexact", hl.ModeF64)
+	x := p.ScalarInit("x", 0.1)
+	main := p.Func("main")
+	main.Set(x, hl.Add(hl.Load(x), hl.Const(1.0)))
+	main.Out(hl.Load(x))
+	main.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := errbound.Analyze(m, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sb := range an.Sites {
+		if sb.Op == isa.ADDSD && sb.Exact {
+			t.Error("0.1+1 wrongly proved exact")
+		}
+	}
+}
+
+// TestAnalyzeCountedLoop proves an integer-grid accumulator inside a
+// counted loop: the trip-count bound must keep it finite instead of
+// widening the sum to infinity.
+func TestAnalyzeCountedLoop(t *testing.T) {
+	p := hl.New("loop", hl.ModeF64)
+	acc := p.ScalarInit("acc", 0)
+	i := p.Int("i")
+	main := p.Func("main")
+	main.For(i, hl.IConst(0), hl.IConst(100), func() {
+		main.Set(acc, hl.Add(hl.Load(acc), hl.Const(1.0)))
+	})
+	main.Out(hl.Load(acc))
+	main.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := errbound.Analyze(m, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("analysis did not converge")
+	}
+	found := false
+	for _, sb := range an.Sites {
+		if sb.Op == isa.ADDSD && !sb.Unreached {
+			found = true
+			if !sb.Exact {
+				t.Errorf("counted accumulator not proved exact: %s", sb.Reason)
+			}
+			if sb.Hi > 1e6 {
+				t.Errorf("accumulator bound too loose: hi=%g", sb.Hi)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no reached ADDSD site")
+	}
+}
+
+// TestAnalyzeRanges seeds an input range assumption and checks the
+// interval propagates; a bare range (no grid) must never prove exactness.
+func TestAnalyzeRanges(t *testing.T) {
+	p := hl.New("ranges", hl.ModeF64)
+	x := p.ScalarInit("x", 0)
+	main := p.Func("main")
+	main.Set(x, hl.Mul(hl.Load(x), hl.Const(2.0)))
+	main.Out(hl.Load(x))
+	main.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover x's data-slot displacement from its load, and the mul site.
+	var disp int32
+	var haveDisp bool
+	var mulAddr uint64
+	for _, f := range m.Funcs {
+		for _, ins := range f.Instrs {
+			if ins.Op == isa.MOVSD && !haveDisp && ins.B.Kind == isa.KindMem {
+				disp = ins.B.Mem.Disp
+				haveDisp = true
+			}
+			if ins.Op == isa.MULSD {
+				mulAddr = ins.Addr
+			}
+		}
+	}
+	if !haveDisp {
+		t.Fatal("no scalar load found")
+	}
+	an, err := errbound.Analyze(m, errbound.Options{
+		Ranges: map[int32][2]float64{disp: {1, 64}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("analysis did not converge")
+	}
+	sb, ok := an.Sites[mulAddr]
+	if !ok {
+		t.Fatal("mul site missing")
+	}
+	if sb.Exact {
+		t.Error("range seed alone must not prove exactness (no grid fact)")
+	}
+	if sb.Lo < 2 || sb.Hi > 128 {
+		t.Errorf("seeded interval [%g, %g], want within [2, 128]", sb.Lo, sb.Hi)
+	}
+}
+
+// TestEPProofs pins the flagship example: EP's integer tally accumulators
+// prove exact while randlc's 2^-46-grid arithmetic stays unproved.
+func TestEPProofs(t *testing.T) {
+	b, err := kernels.Get("ep", kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := errbound.Analyze(b.Module, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Converged {
+		t.Fatal("EP analysis did not converge")
+	}
+	proved := map[string]int{}
+	for _, f := range b.Module.Funcs {
+		for _, ins := range f.Instrs {
+			sb, ok := an.Sites[ins.Addr]
+			if !ok || !sb.Exact || sb.Unreached {
+				continue
+			}
+			proved[f.Name]++
+			if f.Name == "randlc" && sb.Grid > 0 && sb.Grid < 1 {
+				// randlc's fraction arithmetic lives on a 2^-46 grid the
+				// single significand cannot carry; any sub-integer proof
+				// there would be unsound.
+				t.Errorf("randlc %#x (%v) proved exact on sub-integer grid %g",
+					sb.Addr, sb.Op, sb.Grid)
+			}
+		}
+	}
+	total := 0
+	for _, n := range proved {
+		total += n
+	}
+	if total == 0 {
+		t.Fatalf("EP proves nothing: %+v", proved)
+	}
+	if proved["gauss"] == 0 {
+		t.Errorf("gauss tally accumulators not proved: %+v", proved)
+	}
+}
+
+// TestRewriteFlipsProof: expression rewriting can flip a statement from
+// unproved to proved. Here constant folding removes a MULSD whose 0.1
+// operand no single can carry; what remains is an exact integer add, so
+// the rewritten build proves every site while the baseline cannot — and
+// because folding mirrors the VM's arithmetic exactly, the outputs stay
+// bit-identical.
+func TestRewriteFlipsProof(t *testing.T) {
+	build := func(rw bool) *prog.Module {
+		p := hl.New("flip", hl.ModeF64)
+		if rw {
+			p.EnableRewrite()
+		}
+		x := p.ScalarInit("x", 42)
+		main := p.Func("main")
+		main.Set(x, hl.Add(hl.Load(x), hl.Mul(hl.Const(0.1), hl.Const(10))))
+		main.Out(hl.Load(x))
+		main.Halt()
+		m, err := p.Build("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base, rew := build(false), build(true)
+	ban, err := errbound.Analyze(base, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := errbound.Analyze(rew, errbound.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ban.Exact() == len(ban.Sites) {
+		t.Fatal("baseline unexpectedly proves everything — flip has no subject")
+	}
+	if ran.Exact() != len(ran.Sites) || len(ran.Sites) == 0 {
+		t.Errorf("rewritten build not fully proved: %d of %d", ran.Exact(), len(ran.Sites))
+	}
+	refM, err := vm.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := refM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gotM, err := vm.New(rew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gotM.Run(); err != nil {
+		t.Fatal(err)
+	}
+	sameOutputs(t, "flip", refM.Out, gotM.Out, 0)
+}
+
+// lowerProved lowers every proved candidate (honoring Base ignores) and
+// returns the instrumented module plus the lowered-site count.
+func lowerProved(t *testing.T, m *prog.Module, base *config.Config, an *errbound.Analysis) (*prog.Module, int) {
+	t.Helper()
+	c := base
+	if c == nil {
+		var err error
+		c, err = config.FromModule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	eff := map[uint64]config.Precision{}
+	for _, ad := range c.Candidates() {
+		if an.ExactAt(ad) {
+			eff[ad] = config.Single
+		}
+	}
+	inst, err := replace.InstrumentMap(m, eff, replace.InstrumentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst, len(eff)
+}
+
+// sameOutputs asserts decoded outputs are bit-identical.
+func sameOutputs(t *testing.T, label string, ref, got []vm.OutVal, lowered int) {
+	t.Helper()
+	rv, gv := verify.Decode(ref), verify.Decode(got)
+	if len(gv) != len(rv) {
+		t.Fatalf("%s: output length %d, want %d", label, len(gv), len(rv))
+	}
+	for i := range gv {
+		if math.Float64bits(gv[i]) != math.Float64bits(rv[i]) {
+			t.Fatalf("%s: output %d differs with %d proved sites lowered: %x vs %x",
+				label, i, lowered, math.Float64bits(gv[i]), math.Float64bits(rv[i]))
+		}
+	}
+}
+
+// TestSoundnessSerialKernels is the differential soundness suite: on every
+// serial kernel at class W, lowering every proved-exact site to single
+// must leave the program output bit-identical to the double run.
+func TestSoundnessSerialKernels(t *testing.T) {
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			b, err := kernels.Get(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := errbound.Analyze(b.Module, errbound.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := vm.New(b.Module)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.MaxSteps = b.MaxSteps
+			if err := ref.Run(); err != nil {
+				t.Fatal(err)
+			}
+			inst, n := lowerProved(t, b.Module, b.Base, an)
+			if n == 0 {
+				t.Skip("no proved site to lower")
+			}
+			got, err := vm.New(inst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got.MaxSteps = b.MaxSteps
+			if err := got.Run(); err != nil {
+				t.Fatalf("lowered run faulted with %d proved sites: %v", n, err)
+			}
+			sameOutputs(t, name, ref.Out, got.Out, n)
+			if !b.Verify(got.Out) {
+				t.Error("lowered run fails kernel verification")
+			}
+		})
+	}
+}
+
+// TestSoundnessMPIKernels: the MPI kernels have no verifier routine, so
+// soundness is rank-0 output bit-identity across the 2-rank world.
+func TestSoundnessMPIKernels(t *testing.T) {
+	const ranks = 2
+	for _, name := range kernels.MPIKernelNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m, err := kernels.MPISource(name, kernels.ClassW)
+			if err != nil {
+				t.Fatal(err)
+			}
+			an, err := errbound.Analyze(m, errbound.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst, n := lowerProved(t, m, nil, an)
+			if n == 0 {
+				t.Skip("no proved site to lower")
+			}
+			refWorld, err := mpi.RunWorld(m, ranks, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotWorld, err := mpi.RunWorld(inst, ranks, 0)
+			if err != nil {
+				t.Fatalf("lowered world faulted with %d proved sites: %v", n, err)
+			}
+			sameOutputs(t, name, refWorld[0].Out, gotWorld[0].Out, n)
+		})
+	}
+}
+
+// TestSoundnessRandomPrograms fuzzes the analyzer with deterministic
+// pseudo-random straight-line/loop programs: everything proved must stay
+// bit-identical when lowered to single.
+func TestSoundnessRandomPrograms(t *testing.T) {
+	// A fixed-seed LCG keeps the suite reproducible without flags.
+	state := uint64(0x9E3779B97F4A7C15)
+	rnd := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	consts := []float64{1, 2, 0.5, 3, 145, 0.1, 1e-9, 1024, 7, 0.25}
+	lowered := 0
+	for pi := 0; pi < 40; pi++ {
+		p := hl.New("fuzz", hl.ModeF64)
+		vars := []hl.FVar{
+			p.ScalarInit("a", consts[rnd(len(consts))]),
+			p.ScalarInit("b", consts[rnd(len(consts))]),
+			p.ScalarInit("c", consts[rnd(len(consts))]),
+		}
+		i := p.Int("i")
+		main := p.Func("main")
+		expr := func() hl.Expr {
+			x := hl.Load(vars[rnd(len(vars))])
+			for k := 0; k < 1+rnd(3); k++ {
+				y := hl.Load(vars[rnd(len(vars))])
+				switch rnd(6) {
+				case 0:
+					x = hl.Add(x, y)
+				case 1:
+					x = hl.Sub(x, y)
+				case 2:
+					x = hl.Mul(x, y)
+				case 3:
+					x = hl.Add(x, hl.Const(consts[rnd(len(consts))]))
+				case 4:
+					x = hl.Max(x, y)
+				case 5:
+					x = hl.Min(x, y)
+				}
+			}
+			return x
+		}
+		nstmt := 2 + rnd(3)
+		for s := 0; s < nstmt; s++ {
+			v := vars[rnd(len(vars))]
+			if rnd(3) == 0 {
+				e := expr()
+				main.For(i, hl.IConst(0), hl.IConst(int64(1+rnd(20))), func() {
+					main.Set(v, e)
+				})
+			} else {
+				main.Set(v, expr())
+			}
+		}
+		for _, v := range vars {
+			main.Out(hl.Load(v))
+		}
+		main.Halt()
+		m, err := p.Build("main")
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := errbound.Analyze(m, errbound.Options{})
+		if err != nil {
+			t.Fatalf("prog %d: %v", pi, err)
+		}
+		inst, n := lowerProved(t, m, nil, an)
+		if n == 0 {
+			continue
+		}
+		lowered++
+		ref, err := vm.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := vm.New(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := got.Run(); err != nil {
+			t.Fatalf("prog %d: lowered run faulted: %v", pi, err)
+		}
+		sameOutputs(t, "fuzz", ref.Out, got.Out, n)
+	}
+	if lowered == 0 {
+		t.Error("fuzz suite never lowered a proved site — generator too conservative")
+	}
+}

@@ -1,0 +1,197 @@
+package errbound
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fpmix/internal/isa"
+)
+
+// SiteBound is the proved fact about one candidate instruction.
+type SiteBound struct {
+	// Addr and Op identify the instruction.
+	Addr uint64
+	Op   isa.Op
+	// Lo, Hi, Grid, MayNaN describe the proved result-value facts (Grid
+	// 0 = no grid known; Lo > Hi = never produces a float value).
+	Lo, Hi float64
+	Grid   float64
+	MayNaN bool
+	// Exact reports that lowering this site to the target format
+	// provably changes no bit of anything the program computes.
+	Exact bool
+	// Unreached marks sites the analysis proved never execute (trivially
+	// exact).
+	Unreached bool
+	// Reason explains a non-exact verdict ("" when Exact).
+	Reason string
+	// Culprit is the address of the instruction that produced the value
+	// binding the failed proof, or 0; Analysis.Path chains it.
+	Culprit uint64
+}
+
+// ExactAt reports whether the candidate at addr was proved exact.
+func (a *Analysis) ExactAt(addr uint64) bool {
+	sb, ok := a.Sites[addr]
+	return ok && sb.Exact
+}
+
+// PieceExact reports whether every candidate address of a piece was
+// proved exact (false for an empty piece: nothing to prove).
+func (a *Analysis) PieceExact(addrs []uint64) bool {
+	if len(addrs) == 0 {
+		return false
+	}
+	for _, ad := range addrs {
+		if !a.ExactAt(ad) {
+			return false
+		}
+	}
+	return true
+}
+
+// Path follows the binding-culprit chain from addr, returning the
+// addresses along the error path (addr first, at most max entries).
+func (a *Analysis) Path(addr uint64, max int) []uint64 {
+	var out []uint64
+	seen := map[uint64]bool{}
+	for addr != 0 && !seen[addr] && len(out) < max {
+		out = append(out, addr)
+		seen[addr] = true
+		sb, ok := a.Sites[addr]
+		if !ok {
+			break
+		}
+		addr = sb.Culprit
+	}
+	return out
+}
+
+// SortedAddrs returns the candidate addresses in ascending order.
+func (a *Analysis) SortedAddrs() []uint64 {
+	out := make([]uint64, 0, len(a.Sites))
+	for ad := range a.Sites {
+		out = append(out, ad)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Exact counts proved-exact sites (including unreached ones).
+func (a *Analysis) Exact() int {
+	n := 0
+	for _, sb := range a.Sites {
+		if sb.Exact {
+			n++
+		}
+	}
+	return n
+}
+
+func (az *analyzer) buildAnalysis() *Analysis {
+	res := &Analysis{
+		Format:    az.f,
+		Sites:     map[uint64]SiteBound{},
+		Converged: az.converged,
+		Clamped:   len(az.clamps),
+		Transfers: az.transfers,
+	}
+	for i := 0; i < az.g.Len(); i++ {
+		in := az.g.Instr(i)
+		if !isa.IsCandidate(in.Op) {
+			continue
+		}
+		sb := SiteBound{Addr: in.Addr, Op: in.Op, Lo: math.Inf(1), Hi: math.Inf(-1)}
+		var rec *siteRec
+		if az.sites != nil {
+			rec = az.sites[i]
+		}
+		switch {
+		case !az.converged:
+			sb.Reason = "analysis did not converge within budget"
+		case rec == nil || !rec.seen:
+			sb.Unreached, sb.Exact = true, true
+		default:
+			az.judge(&sb, rec)
+		}
+		res.Sites[in.Addr] = sb
+	}
+	return res
+}
+
+// judge derives the exactness verdict for one recorded site. The single
+// uniform criterion: every value the lowered data path touches at this
+// site must be exactly representable in the target format. If the
+// double result is single-representable, the single twin computes the
+// identical value (a correctly rounded result that lands on a single is
+// also the nearest single), so the downcast at the replacement boundary
+// is lossless and the whole machine stays bit-identical by induction.
+func (az *analyzer) judge(sb *SiteBound, rec *siteRec) {
+	sb.Lo, sb.Hi = rec.r.lo, rec.r.hi
+	sb.Grid = rec.r.grid
+	if sb.Grid == hugeGrid {
+		sb.Grid = 0
+	}
+	sb.MayNaN = rec.r.mayNaN
+
+	type part struct {
+		name string
+		v    *aval
+	}
+	var parts []part
+	switch sb.Op {
+	case isa.ADDSD, isa.SUBSD, isa.MULSD, isa.DIVSD:
+		parts = []part{{"operand a", &rec.a}, {"operand b", &rec.b}, {"result", &rec.r}}
+	case isa.MINSD, isa.MAXSD:
+		parts = []part{{"operand a", &rec.a}, {"operand b", &rec.b}}
+	case isa.SQRTSD, isa.SINSD, isa.COSSD, isa.EXPSD, isa.LOGSD:
+		parts = []part{{"operand", &rec.b}, {"result", &rec.r}}
+	case isa.UCOMISD:
+		parts = []part{{"operand a", &rec.a}, {"operand b", &rec.b}}
+	case isa.CVTSI2SD:
+		parts = []part{{"result", &rec.r}}
+	case isa.CVTTSD2SI:
+		parts = []part{{"operand", &rec.b}}
+	default:
+		sb.Reason = "packed operation: lane values not tracked"
+		return
+	}
+	for _, p := range parts {
+		if why := explain(p.v, az.f); why != "" {
+			sb.Reason = p.name + " " + why
+			if p.v.src >= 0 && int(p.v.src) < az.g.Len() {
+				ca := az.g.Instr(int(p.v.src)).Addr
+				if ca != sb.Addr {
+					sb.Culprit = ca
+				}
+			}
+			return
+		}
+	}
+	sb.Exact = true
+}
+
+// explain says why v is not exactly representable in f ("" if it is).
+func explain(v *aval, f Format) string {
+	if v.exactlyRepresentable(f) {
+		return ""
+	}
+	switch {
+	case v.mayNaN:
+		return "may be NaN"
+	case v.lo == v.hi:
+		return fmt.Sprintf("value %g has more than %d significant bits", v.lo, f.MantBits)
+	case v.hasInf():
+		return "may be infinite"
+	case v.grid <= 0:
+		return fmt.Sprintf("no dyadic grid proved for range [%g, %g]", v.lo, v.hi)
+	case v.grid < f.MinGrid:
+		return fmt.Sprintf("grid %g finer than the format carries", v.grid)
+	case v.maxAbs() > f.MaxMag:
+		return fmt.Sprintf("magnitude up to %g exceeds the format range", v.maxAbs())
+	default:
+		return fmt.Sprintf("magnitude up to %g exceeds the %d-bit reach of grid %g",
+			v.maxAbs(), f.MantBits, v.grid)
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"fpmix/internal/kernels"
+	"fpmix/internal/search"
+)
+
+// BoundsRow is one benchmark's error-bound prover ablation: the same
+// search with the prover disabled (`fpsearch -noprove`) and enabled (the
+// default), comparing configurations tested and wall clock.
+type BoundsRow struct {
+	Bench string
+	Class kernels.Class
+	// NoProveNS and ProveNS are the wall-clock nanoseconds of the two
+	// searches.
+	NoProveNS int64
+	ProveNS   int64
+	// SpeedupX is NoProveNS / ProveNS.
+	SpeedupX float64
+	// TestedNoProve and TestedProve are the configurations each search
+	// evaluated; Proved is the piece verdicts the prover settled without
+	// a run. TestedProve + Proved == TestedNoProve when the prover's
+	// passes mirror evaluation verdicts exactly (its soundness
+	// invariant).
+	TestedNoProve int
+	TestedProve   int
+	Proved        int
+	// Identical reports whether the two searches composed the same
+	// precision assignment (proved pieces carry provenance notes the
+	// unproved search lacks, so equality is over effective precisions).
+	Identical bool
+	FinalPass bool
+}
+
+// Bounds runs the error-bound prover ablation per benchmark.
+func Bounds(names []string, class kernels.Class, workers int) ([]BoundsRow, error) {
+	var rows []BoundsRow
+	for _, name := range names {
+		b, err := kernels.Get(name, class)
+		if err != nil {
+			return nil, err
+		}
+		tgt := search.Target{
+			Module:   b.Module,
+			Verify:   b.Verify,
+			MaxSteps: b.MaxSteps,
+			Base:     b.Base,
+		}
+		opts := search.Options{Workers: workers, BinarySplit: true, Prioritize: true}
+		// Collect before each timed phase (as testing.B does) so a phase
+		// is not charged for garbage the previous one left behind.
+		opts.NoProve = true
+		runtime.GC()
+		start := time.Now()
+		plain, err := search.Run(tgt, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: noprove: %w", name, class, err)
+		}
+		noProveNS := time.Since(start).Nanoseconds()
+
+		opts.NoProve = false
+		runtime.GC()
+		start = time.Now()
+		proved, err := search.Run(tgt, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: prove: %w", name, class, err)
+		}
+		proveNS := time.Since(start).Nanoseconds()
+
+		rows = append(rows, BoundsRow{
+			Bench:         name,
+			Class:         class,
+			NoProveNS:     noProveNS,
+			ProveNS:       proveNS,
+			SpeedupX:      float64(noProveNS) / float64(proveNS),
+			TestedNoProve: plain.Tested,
+			TestedProve:   proved.Tested,
+			Proved:        proved.Proved,
+			Identical: reflect.DeepEqual(proved.Final.Effective(), plain.Final.Effective()) &&
+				proved.FinalPass == plain.FinalPass,
+			FinalPass: proved.FinalPass,
+		})
+	}
+	return rows, nil
+}

@@ -85,11 +85,12 @@ type Prog struct {
 	funcs   []*FuncBuilder
 	stack   uint64
 	regions []prog.Region
+	rewrite bool
 }
 
 // New creates a program builder.
 func New(name string, mode Mode) *Prog {
-	return &Prog{name: name, mode: mode, stack: 1 << 16}
+	return &Prog{name: name, mode: mode, stack: 1 << 16, rewrite: defaultRewrite.Load()}
 }
 
 // Mode returns the compilation mode.

@@ -1,0 +1,536 @@
+package hl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"fpmix/internal/errbound"
+	"fpmix/internal/isa"
+)
+
+// Expression rewriting.
+//
+// When enabled, every statement-level floating-point expression is
+// rewritten before code generation: the builder explores a small,
+// deterministic neighborhood of algebraically equivalent forms
+// (flattened and regrouped sums and products, exact constant folding,
+// power-of-two factor hoisting, common-factor extraction) and emits the
+// variant with the smallest structural round-off score — a worst-case
+// rounding estimate in units of the target format's epsilon
+// (errbound.Single.Eps()). Exact transformations (constant folding,
+// power-of-two multiplies) cost nothing; each other rounding operation
+// adds one epsilon along its accumulation path, so balanced trees beat
+// linear chains and hoisted exact factors beat distributed inexact ones.
+//
+// Reassociation changes which double-precision roundings happen, so the
+// rewritten program is a different (tighter-error) program — the pass
+// defaults to off and is opt-in per program (EnableRewrite) or process
+// (SetDefaultRewrite). There is no fused multiply-add in the ISA;
+// "fusion" here means choosing the association that keeps each product
+// adjacent to the sum that consumes it, which the scorer prefers
+// naturally because it minimizes intermediate roundings.
+var defaultRewrite atomic.Bool
+
+// SetDefaultRewrite sets whether newly created programs rewrite
+// expressions, returning the previous setting.
+func SetDefaultRewrite(on bool) (prev bool) { return defaultRewrite.Swap(on) }
+
+// EnableRewrite turns on expression rewriting for this program.
+func (p *Prog) EnableRewrite() { p.rewrite = true }
+
+// RewriteEnabled reports whether this program rewrites expressions.
+func (p *Prog) RewriteEnabled() bool { return p.rewrite }
+
+// maxVariants bounds the rewrite neighborhood per statement.
+const maxVariants = 32
+
+// rewriteExpr returns the best-scored equivalent of e.
+func rewriteExpr(e Expr) Expr {
+	c := canon(e)
+	vars := []Expr{c}
+	vars = appendSumVariants(vars, c)
+	vars = appendMulVariants(vars, c)
+	best, bestErr, bestOps := vars[0], scoreErr(&vars[0]), opCount(&vars[0])
+	for _, v := range vars[1:] {
+		v := v
+		se, so := scoreErr(&v), opCount(&v)
+		if se < bestErr || (se == bestErr && so < bestOps) {
+			best, bestErr, bestOps = v, se, so
+		}
+	}
+	return best
+}
+
+// canon recursively folds constant subexpressions. Folding is always
+// bit-identical: the emitted code would compute the same correctly
+// rounded double at run time, so replacing the operation with its
+// result literal changes nothing.
+func canon(e Expr) Expr {
+	switch e.kind {
+	case eArith:
+		a, b := canon(*e.a), canon(*e.b)
+		if a.kind == eConst && b.kind == eConst {
+			if v, ok := foldVM(e.op, a.v, b.v); ok {
+				return Const(v)
+			}
+		}
+		return Expr{kind: eArith, op: e.op, a: &a, b: &b}
+	case eUnary:
+		a := canon(*e.a)
+		if a.kind == eConst {
+			if v, ok := foldUnVM(e.op, a.v); ok {
+				return Const(v)
+			}
+		}
+		return Expr{kind: eUnary, op: e.op, a: &a}
+	case eNeg:
+		a := canon(*e.a)
+		if a.kind == eConst {
+			// The emitted form is 0 - a: exactly -a for nonzero a, +0 for a=0.
+			if a.v == 0 {
+				return Const(0)
+			}
+			return Const(-a.v)
+		}
+		return Expr{kind: eNeg, a: &a}
+	case eAbs:
+		a := canon(*e.a)
+		if a.kind == eConst {
+			return Const(math.Abs(a.v))
+		}
+		return Expr{kind: eAbs, a: &a}
+	default:
+		return e
+	}
+}
+
+// foldVM mirrors the VM's binary arithmetic; NaN results stay unfolded
+// so payload/ordering subtleties never enter the literal pool.
+func foldVM(op isa.Op, a, b float64) (float64, bool) {
+	var v float64
+	switch op {
+	case isa.ADDSD:
+		v = a + b
+	case isa.SUBSD:
+		v = a - b
+	case isa.MULSD:
+		v = a * b
+	case isa.DIVSD:
+		v = a / b
+	case isa.MINSD:
+		if a < b {
+			v = a
+		} else {
+			v = b
+		}
+	case isa.MAXSD:
+		if a > b {
+			v = a
+		} else {
+			v = b
+		}
+	default:
+		return 0, false
+	}
+	return v, !math.IsNaN(v)
+}
+
+func foldUnVM(op isa.Op, a float64) (float64, bool) {
+	var v float64
+	switch op {
+	case isa.SQRTSD:
+		v = math.Sqrt(a)
+	case isa.SINSD:
+		v = math.Sin(a)
+	case isa.COSSD:
+		v = math.Cos(a)
+	case isa.EXPSD:
+		v = math.Exp(a)
+	case isa.LOGSD:
+		v = math.Log(a)
+	default:
+		return 0, false
+	}
+	return v, !math.IsNaN(v)
+}
+
+// term is one signed addend of a flattened sum.
+type term struct {
+	e   Expr
+	neg bool
+}
+
+// flattenSum collects the addends of a +/- chain (nil if e is not a
+// sum of at least three terms, where regrouping has any freedom).
+func flattenSum(e Expr) []term {
+	var out []term
+	var walk func(x Expr, neg bool)
+	walk = func(x Expr, neg bool) {
+		if x.kind == eArith && (x.op == isa.ADDSD || x.op == isa.SUBSD) {
+			walk(*x.a, neg)
+			walk(*x.b, neg != (x.op == isa.SUBSD))
+			return
+		}
+		if x.kind == eNeg {
+			walk(*x.a, !neg)
+			return
+		}
+		out = append(out, term{e: x, neg: neg})
+	}
+	walk(e, false)
+	if len(out) < 3 {
+		return nil
+	}
+	return out
+}
+
+func appendSumVariants(vars []Expr, c Expr) []Expr {
+	terms := flattenSum(c)
+	if terms == nil {
+		return vars
+	}
+	if len(vars) < maxVariants {
+		vars = append(vars, buildBalanced(terms))
+	}
+	if len(vars) < maxVariants {
+		sorted := append([]term(nil), terms...)
+		sort.SliceStable(sorted, func(i, j int) bool {
+			oi, oj := opCount(&sorted[i].e), opCount(&sorted[j].e)
+			if oi != oj {
+				return oi < oj
+			}
+			return key(&sorted[i].e) < key(&sorted[j].e)
+		})
+		vars = append(vars, buildChain(sorted))
+	}
+	if len(vars) < maxVariants {
+		if f, ok := factorPow2(terms); ok {
+			vars = append(vars, f)
+		}
+	}
+	if len(vars) < maxVariants {
+		if f, ok := factorCommon(terms); ok {
+			vars = append(vars, f)
+		}
+	}
+	return vars
+}
+
+func appendMulVariants(vars []Expr, c Expr) []Expr {
+	var fs []Expr
+	var walk func(x Expr)
+	walk = func(x Expr) {
+		if x.kind == eArith && x.op == isa.MULSD {
+			walk(*x.a)
+			walk(*x.b)
+			return
+		}
+		fs = append(fs, x)
+	}
+	walk(c)
+	if len(fs) < 3 || len(vars) >= maxVariants {
+		return vars
+	}
+	// Hoist constants together (their product folds exactly at build
+	// time) and balance the rest.
+	var consts, rest []term
+	for _, f := range fs {
+		if f.kind == eConst {
+			consts = append(consts, term{e: f})
+		} else {
+			rest = append(rest, term{e: f})
+		}
+	}
+	build := func(ts []term) Expr {
+		acc := ts[0].e
+		for _, t := range ts[1:] {
+			acc = Mul(acc, t.e)
+		}
+		return acc
+	}
+	var v Expr
+	switch {
+	case len(rest) == 0:
+		v = canon(build(consts))
+	case len(consts) == 0:
+		v = buildBalancedMul(rest)
+	default:
+		v = Mul(buildBalancedMul(rest), canon(build(consts)))
+	}
+	return append(vars, v)
+}
+
+// buildChain rebuilds a left-leaning +/- chain from signed terms.
+func buildChain(ts []term) Expr {
+	i := 0
+	for i < len(ts) && ts[i].neg {
+		i++
+	}
+	var acc Expr
+	var rest []term
+	if i == len(ts) { // all negative: -(t0 + t1 + ...)
+		pos := make([]term, len(ts))
+		for j, t := range ts {
+			pos[j] = term{e: t.e}
+		}
+		inner := buildChain(pos)
+		return Expr{kind: eNeg, a: &inner}
+	}
+	acc = ts[i].e
+	rest = append(append([]term(nil), ts[:i]...), ts[i+1:]...)
+	for _, t := range rest {
+		if t.neg {
+			acc = Sub(acc, t.e)
+		} else {
+			acc = Add(acc, t.e)
+		}
+	}
+	return acc
+}
+
+// buildBalanced rebuilds the sum as balanced positive and negative
+// trees joined by one subtraction.
+func buildBalanced(ts []term) Expr {
+	var pos, neg []Expr
+	for _, t := range ts {
+		if t.neg {
+			neg = append(neg, t.e)
+		} else {
+			pos = append(pos, t.e)
+		}
+	}
+	switch {
+	case len(pos) == 0:
+		inner := balTree(neg, isa.ADDSD)
+		return Expr{kind: eNeg, a: &inner}
+	case len(neg) == 0:
+		return balTree(pos, isa.ADDSD)
+	default:
+		return Sub(balTree(pos, isa.ADDSD), balTree(neg, isa.ADDSD))
+	}
+}
+
+func buildBalancedMul(ts []term) Expr {
+	es := make([]Expr, len(ts))
+	for i, t := range ts {
+		es[i] = t.e
+	}
+	return balTree(es, isa.MULSD)
+}
+
+func balTree(es []Expr, op isa.Op) Expr {
+	if len(es) == 1 {
+		return es[0]
+	}
+	mid := len(es) / 2
+	return bin(op, balTree(es[:mid], op), balTree(es[mid:], op))
+}
+
+// factorPow2 hoists a power-of-two constant factor shared by at least
+// two terms: x*c + y*c -> (x+y)*c. The multiply by c is exact, so the
+// factored form saves one rounding per hoisted term.
+func factorPow2(ts []term) (Expr, bool) {
+	factorOf := func(e Expr) (float64, Expr, bool) {
+		if e.kind == eArith && e.op == isa.MULSD {
+			if e.b.kind == eConst && isPow2(e.b.v) {
+				return e.b.v, *e.a, true
+			}
+			if e.a.kind == eConst && isPow2(e.a.v) {
+				return e.a.v, *e.b, true
+			}
+		}
+		return 0, e, false
+	}
+	// Hoist the power-of-two factor of the first term that has one.
+	var c float64
+	found := false
+	for _, t := range ts {
+		if v, _, ok := factorOf(t.e); ok {
+			c, found = v, true
+			break
+		}
+	}
+	if !found {
+		return Expr{}, false
+	}
+	var in, out []term
+	for _, t := range ts {
+		if v, x, ok := factorOf(t.e); ok && v == c {
+			in = append(in, term{e: x, neg: t.neg})
+		} else {
+			out = append(out, t)
+		}
+	}
+	if len(in) < 2 {
+		return Expr{}, false
+	}
+	f := Mul(buildBalanced(in), Const(c))
+	if len(out) == 0 {
+		return f, true
+	}
+	return buildChain(append([]term{{e: f}}, out...)), true
+}
+
+// factorCommon extracts a structurally identical non-constant factor
+// shared by every term: a*x + b*x -> (a+b)*x.
+func factorCommon(ts []term) (Expr, bool) {
+	split := func(e Expr) (l, r Expr, ok bool) {
+		if e.kind == eArith && e.op == isa.MULSD {
+			return *e.a, *e.b, true
+		}
+		return e, Expr{}, false
+	}
+	a0, b0, ok := split(ts[0].e)
+	if !ok {
+		return Expr{}, false
+	}
+	for _, cand := range []Expr{b0, a0} {
+		if cand.kind == eConst {
+			continue
+		}
+		ck := key(&cand)
+		rest := make([]term, len(ts))
+		good := true
+		for i, t := range ts {
+			l, r, ok := split(t.e)
+			if !ok {
+				good = false
+				break
+			}
+			switch {
+			case key(&r) == ck:
+				rest[i] = term{e: l, neg: t.neg}
+			case key(&l) == ck:
+				rest[i] = term{e: r, neg: t.neg}
+			default:
+				good = false
+			}
+			if !good {
+				break
+			}
+		}
+		if good {
+			return Mul(buildBalanced(rest), cand), true
+		}
+	}
+	return Expr{}, false
+}
+
+func isPow2(v float64) bool {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return false
+	}
+	f, _ := math.Frexp(math.Abs(v))
+	return f == 0.5
+}
+
+// scoreErr estimates the worst-case accumulated rounding of e in units
+// of the target format's epsilon: each inexact rounding along a path
+// adds one epsilon; exact operations (power-of-two multiplies, negation,
+// absolute value, min/max selection) add none.
+func scoreErr(e *Expr) float64 {
+	eps := errbound.Single.Eps()
+	var walk func(x *Expr) float64
+	walk = func(x *Expr) float64 {
+		switch x.kind {
+		case eConst, eLoad, eIndex, eFromI:
+			return 0
+		case eNeg, eAbs:
+			return walk(x.a)
+		case eUnary:
+			in := walk(x.a)
+			switch x.op {
+			case isa.SQRTSD:
+				return in/2 + eps
+			default: // transcendental: modest conditioning allowance
+				return 4*in + eps
+			}
+		case eArith:
+			a, b := walk(x.a), walk(x.b)
+			switch x.op {
+			case isa.ADDSD, isa.SUBSD:
+				return math.Max(a, b) + eps
+			case isa.MULSD:
+				if (x.a.kind == eConst && isPow2(x.a.v)) ||
+					(x.b.kind == eConst && isPow2(x.b.v)) {
+					return a + b
+				}
+				return a + b + eps
+			case isa.DIVSD:
+				if x.b.kind == eConst && isPow2(x.b.v) {
+					return a + b
+				}
+				return a + b + eps
+			default: // MINSD/MAXSD select an input unchanged
+				return math.Max(a, b)
+			}
+		}
+		return 0
+	}
+	return walk(e)
+}
+
+func opCount(e *Expr) int {
+	n := 0
+	var walk func(x *Expr)
+	walk = func(x *Expr) {
+		switch x.kind {
+		case eArith:
+			n++
+			walk(x.a)
+			walk(x.b)
+		case eUnary:
+			n++
+			walk(x.a)
+		case eNeg, eAbs:
+			n++
+			walk(x.a)
+		}
+	}
+	walk(e)
+	return n
+}
+
+// key is a deterministic structural fingerprint used for sorting terms
+// and matching common factors.
+func key(e *Expr) string {
+	switch e.kind {
+	case eConst:
+		return fmt.Sprintf("c%x", math.Float64bits(e.v))
+	case eLoad:
+		return fmt.Sprintf("v%d", e.fvar.off)
+	case eIndex:
+		return fmt.Sprintf("a%d[%s]", e.arr.off, ikey(e.idx))
+	case eArith:
+		return fmt.Sprintf("(%s %d %s)", key(e.a), e.op, key(e.b))
+	case eUnary:
+		return fmt.Sprintf("u%d(%s)", e.op, key(e.a))
+	case eNeg:
+		return "-(" + key(e.a) + ")"
+	case eAbs:
+		return "|" + key(e.a) + "|"
+	case eFromI:
+		return "f(" + ikey(e.iexpr) + ")"
+	}
+	return "?"
+}
+
+func ikey(e *IExpr) string {
+	switch e.kind {
+	case iConst:
+		return fmt.Sprintf("%d", e.v)
+	case iLoad:
+		return fmt.Sprintf("i%d", e.ivar.off)
+	case iIndex:
+		return fmt.Sprintf("ia%d[%s]", e.arr.off, ikey(e.idx))
+	case iArith:
+		return fmt.Sprintf("(%s %d %s)", ikey(e.a), e.op, ikey(e.b))
+	case iShift:
+		return fmt.Sprintf("(%s s%d %d)", ikey(e.a), e.op, e.v)
+	case iToI:
+		return "t(" + key(e.fe) + ")"
+	}
+	return "?"
+}

@@ -1,0 +1,206 @@
+package hl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fpmix/internal/isa"
+	"fpmix/internal/prog"
+	"fpmix/internal/vm"
+)
+
+// buildProg assembles one main-only program from stmts, with rewriting
+// on or off.
+func buildProg(t *testing.T, rewrite bool, build func(p *Prog, main *FuncBuilder)) *prog.Module {
+	t.Helper()
+	p := New("rw", ModeF64)
+	if rewrite {
+		p.EnableRewrite()
+	}
+	main := p.Func("main")
+	build(p, main)
+	main.Halt()
+	m, err := p.Build("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runOut(t *testing.T, m *prog.Module) []vm.OutVal {
+	t.Helper()
+	mach, err := vm.New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mach.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return mach.Out
+}
+
+func listing(m *prog.Module) string {
+	var b strings.Builder
+	for _, f := range m.Funcs {
+		b.WriteString(f.Name + ":\n")
+		for _, ins := range f.Instrs {
+			b.WriteString(isa.Disasm(ins) + "\n")
+		}
+	}
+	b.Write(m.Data)
+	return b.String()
+}
+
+func TestSetDefaultRewrite(t *testing.T) {
+	prev := SetDefaultRewrite(true)
+	defer SetDefaultRewrite(prev)
+	if !New("a", ModeF64).RewriteEnabled() {
+		t.Error("default-on not inherited by New")
+	}
+	if was := SetDefaultRewrite(false); !was {
+		t.Error("Swap did not report the prior value")
+	}
+	if New("b", ModeF64).RewriteEnabled() {
+		t.Error("default-off not inherited by New")
+	}
+}
+
+// TestRewriteDeterminism: two builds of the same source with rewriting on
+// produce byte-identical modules — the variant search must not depend on
+// map order or other nondeterminism.
+func TestRewriteDeterminism(t *testing.T) {
+	build := func() *prog.Module {
+		return buildProg(t, true, func(p *Prog, main *FuncBuilder) {
+			a := p.ScalarInit("a", 1.25)
+			b := p.ScalarInit("b", -3)
+			c := p.ScalarInit("c", 7.5)
+			d := p.ScalarInit("d", 0.125)
+			main.Set(a, Add(Add(Add(Load(a), Load(b)), Load(c)), Load(d)))
+			main.Set(b, Mul(Mul(Load(a), Const(2)), Mul(Load(c), Const(4))))
+			main.Set(c, Sub(Add(Mul(Load(a), Const(0.5)), Mul(Load(b), Const(0.5))), Load(d)))
+			main.Out(Load(a))
+			main.Out(Load(b))
+			main.Out(Load(c))
+		})
+	}
+	if l1, l2 := listing(build()), listing(build()); l1 != l2 {
+		t.Error("two rewrite-on builds differ")
+	}
+}
+
+// TestRewriteConstFold: constant folding mirrors the VM's arithmetic
+// exactly, so a program whose expressions fold must still produce
+// bit-identical outputs — even when the folded constant (0.1*3) is itself
+// an inexact value.
+func TestRewriteConstFold(t *testing.T) {
+	build := func(rw bool) *prog.Module {
+		return buildProg(t, rw, func(p *Prog, main *FuncBuilder) {
+			x := p.ScalarInit("x", 42)
+			main.Set(x, Add(Load(x), Mul(Const(0.1), Const(3))))
+			main.Set(x, Mul(Load(x), Div(Const(1), Const(4))))
+			main.Set(x, Add(Load(x), Min(Const(2), Const(-2))))
+			main.Set(x, Sub(Load(x), Sqrt(Const(2))))
+			main.Out(Load(x))
+		})
+	}
+	off, on := build(false), build(true)
+	no, yes := runOut(t, off), runOut(t, on)
+	if len(no) != len(yes) {
+		t.Fatal("output counts differ")
+	}
+	for i := range no {
+		if no[i].Bits != yes[i].Bits {
+			t.Errorf("output %d differs: %x vs %x", i, no[i].Bits, yes[i].Bits)
+		}
+	}
+	count := func(m *prog.Module, op isa.Op) int {
+		n := 0
+		for _, f := range m.Funcs {
+			for _, ins := range f.Instrs {
+				if ins.Op == op {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if count(on, isa.DIVSD) >= count(off, isa.DIVSD) {
+		t.Error("folding removed no division")
+	}
+	if count(on, isa.SQRTSD) >= count(off, isa.SQRTSD) {
+		t.Error("folding removed no square root")
+	}
+}
+
+// TestRewriteNaNUnfolded: a constant expression producing NaN must stay
+// unfolded — the VM's NaN propagation is the semantics of record.
+func TestRewriteNaNUnfolded(t *testing.T) {
+	build := func(rw bool) *prog.Module {
+		return buildProg(t, rw, func(p *Prog, main *FuncBuilder) {
+			x := p.ScalarInit("x", 1)
+			main.Set(x, Add(Load(x), Sqrt(Const(-1))))
+			main.Out(Load(x))
+		})
+	}
+	no, yes := runOut(t, build(false)), runOut(t, build(true))
+	if no[0].Bits != yes[0].Bits {
+		t.Errorf("NaN output differs: %x vs %x", no[0].Bits, yes[0].Bits)
+	}
+	if !math.IsNaN(math.Float64frombits(yes[0].Bits)) {
+		t.Error("expected NaN output")
+	}
+}
+
+// TestRewriteRunsAndStaysClose: reassociation may legitimately change
+// rounding, but the rewritten program must still run and agree with the
+// original to fine relative tolerance on benign data.
+func TestRewriteRunsAndStaysClose(t *testing.T) {
+	build := func(rw bool) *prog.Module {
+		return buildProg(t, rw, func(p *Prog, main *FuncBuilder) {
+			a := p.ScalarInit("a", 0.3)
+			b := p.ScalarInit("b", 1.7)
+			c := p.ScalarInit("c", -2.9)
+			d := p.ScalarInit("d", 4.1)
+			i := p.Int("i")
+			main.For(i, IConst(0), IConst(50), func() {
+				main.Set(a, Add(Add(Add(Load(a), Load(b)), Load(c)), Load(d)))
+				main.Set(b, Add(Mul(Load(b), Const(0.5)), Mul(Load(c), Const(0.5))))
+				main.Set(c, Mul(Mul(Load(c), Const(2)), Mul(Load(d), Const(0.25))))
+			})
+			main.Out(Load(a))
+			main.Out(Load(b))
+			main.Out(Load(c))
+		})
+	}
+	no, yes := runOut(t, build(false)), runOut(t, build(true))
+	for i := range no {
+		x, y := math.Float64frombits(no[i].Bits), math.Float64frombits(yes[i].Bits)
+		scale := math.Max(1, math.Abs(x))
+		if math.Abs(x-y)/scale > 1e-9 {
+			t.Errorf("output %d drifted: %g vs %g", i, x, y)
+		}
+	}
+}
+
+// TestRewriteVariantScoring: the chosen variant never scores worse than
+// the identity expression.
+func TestRewriteVariantScoring(t *testing.T) {
+	p := New("score", ModeF64)
+	a := p.Scalar("a")
+	b := p.Scalar("b")
+	c := p.Scalar("c")
+	d := p.Scalar("d")
+	e := Add(Add(Add(Load(a), Load(b)), Load(c)), Load(d))
+	got := rewriteExpr(e)
+	if s, id := scoreErr(&got), scoreErr(&e); s > id {
+		t.Errorf("rewrite chose a worse-scoring variant: %g > %g", s, id)
+	}
+	// A chain of pow2 multiplies is free; the hoisted form must not
+	// introduce error.
+	m := Mul(Mul(Load(a), Const(2)), Mul(Load(b), Const(4)))
+	gm := rewriteExpr(m)
+	if s, id := scoreErr(&gm), scoreErr(&m); s > id {
+		t.Errorf("mul rewrite chose a worse-scoring variant: %g > %g", s, id)
+	}
+}

@@ -62,6 +62,9 @@ func (fb *FuncBuilder) branch(op isa.Op, label int) {
 // Set assigns a floating-point expression to a scalar variable.
 func (fb *FuncBuilder) Set(v FVar, e Expr) {
 	fb.stmt("set " + v.name)
+	if fb.prog.rewrite {
+		e = rewriteExpr(e)
+	}
 	fb.compileF(&e, 0, 0)
 	fb.emit(isa.I(fb.movOp(), isa.Mem(regBase, v.off), isa.Xmm(0)))
 }
@@ -69,6 +72,9 @@ func (fb *FuncBuilder) Set(v FVar, e Expr) {
 // Store assigns arr[idx] = e.
 func (fb *FuncBuilder) Store(arr FArr, idx IExpr, e Expr) {
 	fb.stmt("store " + arr.name)
+	if fb.prog.rewrite {
+		e = rewriteExpr(e)
+	}
 	fb.compileF(&e, 0, 0)
 	r := fb.compileI(&idx, 0, 1)
 	fb.emit(isa.I(fb.movOp(),
@@ -169,6 +175,9 @@ func (fb *FuncBuilder) Halt() {
 // Out emits a floating-point value to the program output stream.
 func (fb *FuncBuilder) Out(e Expr) {
 	fb.stmt("out")
+	if fb.prog.rewrite {
+		e = rewriteExpr(e)
+	}
 	fb.compileF(&e, 0, 0)
 	if fb.prog.mode == ModeF32 {
 		fb.emit(isa.I(isa.SYSCALL, isa.Imm(isa.SysOutF32)))

@@ -150,6 +150,27 @@ func Fork(w io.Writer, rows []experiments.ForkRow) {
 	}
 }
 
+// Bounds prints the error-bound prover ablation table.
+func Bounds(w io.Writer, rows []experiments.BoundsRow) {
+	fmt.Fprintln(w, "Error-bound prover ablation (static proofs vs -noprove)")
+	fmt.Fprintf(w, "%-10s %12s %12s %9s %10s %8s %7s %6s %6s\n",
+		"Benchmark", "NoProve-ms", "Prove-ms", "Speedup", "TestedOff", "TestedOn", "Proved", "Same", "Final")
+	for _, row := range rows {
+		same := "DIFF"
+		if row.Identical {
+			same = "yes"
+		}
+		verdict := "fail"
+		if row.FinalPass {
+			verdict = "pass"
+		}
+		fmt.Fprintf(w, "%-10s %12.1f %12.1f %8.2fx %10d %8d %7d %6s %6s\n",
+			row.Bench+"."+string(row.Class),
+			float64(row.NoProveNS)/1e6, float64(row.ProveNS)/1e6,
+			row.SpeedupX, row.TestedNoProve, row.TestedProve, row.Proved, same, verdict)
+	}
+}
+
 // Rule prints a separator line.
 func Rule(w io.Writer) {
 	fmt.Fprintln(w, strings.Repeat("-", 72))

@@ -40,6 +40,10 @@ type journalVerdict struct {
 	pass        bool
 	forked      bool
 	prefixSaved uint64
+	// proved marks a verdict settled by the static error-bound prover;
+	// a resumed search replays it as ProvProved instead of re-deriving
+	// the proof.
+	proved bool
 }
 
 // NewJournal creates (or truncates) a checkpoint at path for a search
@@ -97,6 +101,10 @@ func ResumeJournal(path, fingerprint string) (*Journal, error) {
 		// older journals simply lack it.
 		bad := false
 		for _, f := range fields[2:] {
+			if f == "proved" {
+				jv.proved = true
+				continue
+			}
 			n, cerr := fmt.Sscanf(f, "forked=%d", &jv.prefixSaved)
 			if cerr != nil || n != 1 {
 				bad = true
@@ -169,5 +177,16 @@ func (j *Journal) record(key string, s settled) error {
 	} else {
 		_, err = fmt.Fprintf(j.f, "%s %s\n", hex.EncodeToString([]byte(key)), verdict)
 	}
+	return err
+}
+
+// recordProved appends a verdict settled by the static error-bound
+// prover ("pass proved"), so a resumed search replays the proof instead
+// of re-deriving it. Readers that predate the token treat such lines as
+// torn and stop there, as with fork provenance.
+func (j *Journal) recordProved(key string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := fmt.Fprintf(j.f, "%s pass proved\n", hex.EncodeToString([]byte(key)))
 	return err
 }

@@ -1,0 +1,181 @@
+package search
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fpmix/internal/faultinject"
+)
+
+// TestProveVsNoProveKernels is the search-level soundness differential:
+// the prover must never change the destination, only how many evaluation
+// runs reaching it costs. Every piece verdict it settles statically must
+// be one the evaluator would have passed, so Tested+Proved with the
+// prover equals Tested without it, and the effective precision
+// assignments agree exactly (proved pieces additionally carry provenance
+// notes, so identity is over Effective(), not the annotated rendering).
+func TestProveVsNoProveKernels(t *testing.T) {
+	names := []string{"ep", "ft"}
+	provedSomewhere := false
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tgt := kernelTarget(t, name)
+			opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
+
+			opts.NoProve = true
+			off, err := Run(tgt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if off.Proved != 0 {
+				t.Errorf("-noprove run reported %d proved verdicts", off.Proved)
+			}
+
+			opts.NoProve = false
+			on, err := Run(tgt, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if on.Tested+on.Proved != off.Tested {
+				t.Errorf("prover invariant broken: tested %d + proved %d != baseline tested %d",
+					on.Tested, on.Proved, off.Tested)
+			}
+			if !reflect.DeepEqual(on.Final.Effective(), off.Final.Effective()) {
+				t.Error("prover changed the effective final configuration")
+			}
+			if on.FinalPass != off.FinalPass {
+				t.Errorf("prover changed the final verdict: %v vs %v", on.FinalPass, off.FinalPass)
+			}
+			if on.Proved > 0 {
+				provedSomewhere = true
+			}
+		})
+	}
+	if !provedSomewhere {
+		t.Error("prover settled no verdict on any kernel — integration inert")
+	}
+}
+
+// TestProvedAnnotations: pieces the prover settled surface as `proved`
+// provenance notes on the final configuration (rendered by fpdump -conf).
+func TestProvedAnnotations(t *testing.T) {
+	tgt := kernelTarget(t, "ep")
+	res, err := Run(tgt, Options{Workers: 4, BinarySplit: true, Prioritize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Proved == 0 {
+		t.Fatal("ep search proved nothing — annotation test has no subject")
+	}
+	sawProv := false
+	for _, ev := range res.Evals {
+		if ev.Prov == ProvProved {
+			sawProv = true
+			if !ev.Pass {
+				t.Error("proved verdict recorded as failing")
+			}
+		}
+	}
+	if !sawProv {
+		t.Error("no Eval carries ProvProved provenance")
+	}
+	notes := 0
+	for _, a := range res.Final.Candidates() {
+		if n := res.Final.NodeAt(a); n != nil && strings.Contains(n.Note, "proved: bit-exact in single") {
+			notes++
+		}
+	}
+	if notes == 0 {
+		t.Error("no final-config node carries the proved annotation")
+	}
+}
+
+// TestProveUnderChaos: fault injection must not perturb the prover's
+// verdicts or the invariant — proofs are static, so chaos only touches
+// the evaluated remainder.
+func TestProveUnderChaos(t *testing.T) {
+	tgt := kernelTarget(t, "ep")
+	opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
+	clean, err := Run(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Chaos = faultinject.New(7, faultinject.Rates{}, 50*time.Millisecond)
+	chaos, err := Run(tgt, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Proved != clean.Proved {
+		t.Errorf("chaos changed proved count: %d vs %d", chaos.Proved, clean.Proved)
+	}
+	if !reflect.DeepEqual(chaos.Final.Effective(), clean.Final.Effective()) {
+		t.Error("chaos + prover changed the effective final configuration")
+	}
+	if chaos.FinalPass != clean.FinalPass {
+		t.Error("chaos + prover changed the final verdict")
+	}
+}
+
+// TestProveCheckpointReplay: proved verdicts journal with a `proved`
+// token and replay with ProvProved provenance on resume — no re-analysis,
+// no re-evaluation.
+func TestProveCheckpointReplay(t *testing.T) {
+	tgt := kernelTarget(t, "ep")
+	path := filepath.Join(t.TempDir(), "ep.ckpt")
+	opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
+
+	jr, err := NewJournal(path, "ep.W gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(tgt, withJournal(opts, jr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jr.Close()
+	if full.Proved == 0 {
+		t.Fatal("ep search proved nothing — replay test has no subject")
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), " proved\n") {
+		t.Error("journal carries no proved-token verdict line")
+	}
+
+	// A full journal replays everything, proved verdicts included.
+	re, err := ResumeJournal(path, "ep.W gran=insn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Run(tgt, withJournal(opts, re))
+	re.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Proved != full.Proved {
+		t.Errorf("resume replayed %d proved verdicts, want %d", resumed.Proved, full.Proved)
+	}
+	replayedProved := 0
+	for _, ev := range resumed.Evals {
+		if ev.Prov == ProvProved {
+			replayedProved++
+		}
+	}
+	if replayedProved != full.Proved {
+		t.Errorf("%d Evals carry ProvProved after resume, want %d", replayedProved, full.Proved)
+	}
+	if resumed.Final.String() != full.Final.String() {
+		t.Error("resume changed the final configuration (annotations included)")
+	}
+	if resumed.FinalPass != full.FinalPass {
+		t.Error("resume changed the final verdict")
+	}
+}

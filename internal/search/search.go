@@ -20,6 +20,7 @@ import (
 
 	"fpmix/internal/config"
 	"fpmix/internal/dataflow"
+	"fpmix/internal/errbound"
 	"fpmix/internal/faultinject"
 	"fpmix/internal/prog"
 	"fpmix/internal/replace"
@@ -77,6 +78,17 @@ type Options struct {
 	// as the paper's original search does. Kept as a
 	// differential-testing fallback; pruning is the default.
 	NoPrune bool
+	// NoProve disables the static error-bound prover (internal/errbound):
+	// every piece verdict comes from evaluation again, as in the
+	// pre-prover search. Differential-testing escape hatch (fpsearch
+	// -noprove); proving is the default and never changes the final
+	// configuration, only how many evaluations reaching it costs.
+	NoProve bool
+	// Bounds optionally supplies a precomputed error-bound analysis of
+	// the target module. When nil (and NoProve is unset) the search runs
+	// the analysis itself, lazily, the first time a piece reaches the
+	// prover.
+	Bounds *errbound.Analysis
 
 	// Shadow supplies a sensitivity profile from the shadow-value pass
 	// (internal/shadow). When present (and NoSensitivity is unset) the
@@ -193,6 +205,10 @@ const (
 	ProvPredicted
 	// ProvCheckpoint: replayed from a resumed checkpoint journal.
 	ProvCheckpoint
+	// ProvProved: passed by the static error-bound prover — every
+	// executed candidate in the piece was proved bit-exact in the target
+	// format, so the evaluation run was skipped.
+	ProvProved
 )
 
 func (p Provenance) String() string {
@@ -207,6 +223,8 @@ func (p Provenance) String() string {
 		return "predicted"
 	case ProvCheckpoint:
 		return "checkpoint"
+	case ProvProved:
+		return "proved"
 	default:
 		return "provenance?"
 	}
@@ -292,6 +310,10 @@ type Result struct {
 	// Resumed is the number of verdicts replayed from a checkpoint
 	// journal instead of re-evaluated.
 	Resumed int
+	// Proved is the number of piece verdicts settled by the static
+	// error-bound prover (including ones replayed from a checkpoint
+	// journal's proved lines) instead of by evaluation.
+	Proved int
 	// Forked is the number of verdicts reached by fork-point evaluation
 	// (EngineFork: runs from a restored shared-prefix snapshot plus
 	// donor-verdict reuses); PrefixInstrsSaved totals the shared-prefix
@@ -457,6 +479,52 @@ func Run(t Target, opts Options) (*Result, error) {
 	}
 	interrupted := func() bool { return ctx.Err() != nil }
 
+	// The static error-bound prover (internal/errbound) settles a piece
+	// without a run when every candidate it lowers either was proved
+	// bit-exact in the target format or never executes under the profile:
+	// the instrumented run would be bit-identical to the verified
+	// baseline, so the verdict is a pass by construction. The analysis is
+	// lazy — it only runs the first time a piece survives every cheaper
+	// stage (prune, gate, memo, checkpoint).
+	var bounds *errbound.Analysis
+	boundsReady := opts.Bounds != nil
+	if boundsReady {
+		bounds = opts.Bounds
+	}
+	var provedAddrs []uint64
+	proveExact := func(p *Piece) bool {
+		if opts.NoProve || len(p.Addrs) == 0 {
+			return false
+		}
+		if !boundsReady {
+			boundsReady = true
+			if an, err := errbound.Analyze(t.Module, errbound.Options{}); err == nil && an.Converged {
+				bounds = an
+			}
+		}
+		if bounds == nil {
+			return false
+		}
+		for _, a := range p.Addrs {
+			if !bounds.ExactAt(a) && profile[a] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	// markProved collects the piece's executed candidates for the final
+	// configuration's provenance notes. For a proved piece those are
+	// exactly the proved sites (the never-executed rest passed without
+	// needing the proof), so a journal replay can mark them without
+	// re-running the analysis.
+	markProved := func(p *Piece) {
+		for _, a := range p.Addrs {
+			if profile[a] != 0 {
+				provedAddrs = append(provedAddrs, a)
+			}
+		}
+	}
+
 	type evalRes struct {
 		p   *Piece
 		key string
@@ -564,9 +632,20 @@ func Run(t Target, opts Options) (*Result, error) {
 				// in-run duplicates stay memo hits as in a fresh search.
 				if jv, ok := opts.Checkpoint.lookup(key); ok {
 					res.Resumed++
+					prov := ProvCheckpoint
+					if jv.proved {
+						// Replay the proved verdict as proved: the resumed
+						// search inherits the proof without re-deriving it
+						// (the prover stays lazy; markProved needs only the
+						// profile, so the final configuration still carries
+						// the provenance annotations).
+						prov = ProvProved
+						res.Proved++
+						markProved(p)
+					}
 					res.Evals = append(res.Evals, Eval{
 						Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
-						Pass: jv.pass, Prov: ProvCheckpoint,
+						Pass: jv.pass, Prov: prov,
 						Forked: jv.forked, PrefixSaved: jv.prefixSaved,
 					})
 					if memo != nil {
@@ -575,6 +654,26 @@ func Run(t Target, opts Options) (*Result, error) {
 					apply(p, jv.pass)
 					continue
 				}
+			}
+			if proveExact(p) {
+				res.Proved++
+				markProved(p)
+				record(p, true, ProvProved, 0)
+				if memo != nil {
+					memo[key] = true
+				}
+				if opts.Checkpoint != nil {
+					if err := opts.Checkpoint.recordProved(key); err != nil {
+						for inflight > 0 {
+							<-results
+							inflight--
+						}
+						sortPassing(res.Passing)
+						return res, fmt.Errorf("search: checkpoint write: %w", err)
+					}
+				}
+				apply(p, true)
+				continue
 			}
 			launch(p, key)
 		}
@@ -637,6 +736,9 @@ func Run(t Target, opts Options) (*Result, error) {
 	}
 	// Record the classification in the configuration itself so a written
 	// file documents what the analyses decided.
+	for _, a := range provedAddrs {
+		final.Annotate(a, "proved: bit-exact in single")
+	}
 	for _, a := range zeroAddrs {
 		final.Annotate(a, "never executed")
 	}

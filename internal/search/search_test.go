@@ -137,9 +137,14 @@ func TestSearchAllSafeConvergesAtModule(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Module config + final union run.
-	if res.Tested != 2 {
-		t.Errorf("tested = %d, want 2", res.Tested)
+	// The whole program is provably exact in single (2*3 = 6 on the
+	// integer grid), so the error-bound prover settles the module piece
+	// without a run and only the final union is evaluated.
+	if res.Tested != 1 {
+		t.Errorf("tested = %d, want 1", res.Tested)
+	}
+	if res.Proved != 1 {
+		t.Errorf("proved = %d, want 1", res.Proved)
 	}
 	if len(res.Passing) != 1 || res.Passing[0].Kind != config.KindModule {
 		t.Errorf("passing = %+v", res.Passing)
@@ -198,11 +203,13 @@ func TestSearchBinarySplitReducesTests(t *testing.T) {
 		t.Fatal(err)
 	}
 	v := refVerify(t, m, 1e-10)
-	plain, err := Run(Target{Module: m, Verify: v}, Options{BinarySplit: false})
+	// NoProve isolates the splitting dimension from the error-bound
+	// prover's evaluation savings.
+	plain, err := Run(Target{Module: m, Verify: v}, Options{BinarySplit: false, NoProve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	split, err := Run(Target{Module: m, Verify: v}, Options{BinarySplit: true, SplitThreshold: 4})
+	split, err := Run(Target{Module: m, Verify: v}, Options{BinarySplit: true, SplitThreshold: 4, NoProve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,11 +327,14 @@ func coldProgram(t *testing.T) *prog.Module {
 func TestSearchPrunesZeroWeightPieces(t *testing.T) {
 	m := coldProgram(t)
 	v := refVerify(t, m, 1e-10)
-	pruned, err := Run(Target{Module: m, Verify: v}, Options{})
+	// NoProve on both runs isolates the pruning dimension: the error-bound
+	// prover would otherwise settle the never-executed pieces on its own
+	// (unreached sites are trivially exact).
+	pruned, err := Run(Target{Module: m, Verify: v}, Options{NoProve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Run(Target{Module: m, Verify: v}, Options{NoPrune: true})
+	full, err := Run(Target{Module: m, Verify: v}, Options{NoPrune: true, NoProve: true})
 	if err != nil {
 		t.Fatal(err)
 	}
