@@ -64,11 +64,15 @@ func main() {
 
 	var res results
 	var stats []string
+	var known []string
+	matched := false
 
 	run := func(name string, f func() error) {
+		known = append(known, name)
 		if *exp != "all" && *exp != name {
 			return
 		}
+		matched = true
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "fpbench: %s: %v\n", name, err)
@@ -218,6 +222,12 @@ func main() {
 		report.Bounds(os.Stdout, rows)
 		return nil
 	})
+
+	if *exp != "all" && !matched {
+		fmt.Fprintf(os.Stderr, "fpbench: unknown experiment %q\navailable experiments: %s, all\n",
+			*exp, strings.Join(known, ", "))
+		os.Exit(2)
+	}
 
 	if *jsonOut != "" {
 		emit(*jsonOut, func(w io.Writer) error {

@@ -32,6 +32,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -69,6 +70,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "journal settled verdicts to this file (created fresh)")
 	resume := flag.String("resume", "", "resume from this checkpoint journal, then keep appending to it")
 	chaosSeed := flag.Int64("chaos", 0, "arm seeded fault injection on evaluations (0 = off)")
+	jsonOut := flag.Bool("json", false, "print the machine-readable result summary (the fpmixd status-endpoint shape) instead of the report")
 	flag.Parse()
 
 	if *bench == "" {
@@ -137,9 +139,18 @@ func main() {
 
 	// Checkpoint journal: -checkpoint starts one fresh, -resume replays a
 	// previous run's and keeps appending to it. The fingerprint ties the
-	// journal to this exact search shape.
+	// journal to this exact search: the image digest catches a changed
+	// program, the option set a changed search shape — a mismatch on
+	// resume reports which one diverged.
 	var journal *search.Journal
-	fingerprint := fmt.Sprintf("%s.%s gran=%s", *bench, *class, *gran)
+	imageFP, err := search.ModuleFingerprint(b.Module)
+	if err != nil {
+		fatal(err)
+	}
+	fingerprint := search.Fingerprint{
+		Image:   imageFP,
+		Options: fmt.Sprintf("%s.%s gran=%s", *bench, *class, *gran),
+	}
 	switch {
 	case *checkpoint != "" && *resume != "":
 		fatal(fmt.Errorf("-checkpoint and -resume are mutually exclusive (resume keeps appending)"))
@@ -195,44 +206,46 @@ func main() {
 	if res.Interrupted {
 		verdict = "not run (interrupted)"
 	}
-	fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
-	if res.Interrupted {
-		fmt.Printf("interrupted:          yes — reporting the best-so-far configuration\n")
-	}
-	fmt.Printf("candidates:           %d\n", res.Candidates)
-	fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
-	if mode == search.EngineFork {
-		fmt.Printf("forked evaluations:   %d of %d (%d shared-prefix instructions saved)\n",
-			res.Forked, res.Tested, res.PrefixInstrsSaved)
-	}
-	if res.Resumed > 0 {
-		fmt.Printf("resumed:              %d verdicts replayed from the checkpoint\n", res.Resumed)
-	}
-	fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
-	if res.Proved > 0 {
-		fmt.Printf("proved safe:          %d piece verdicts settled by the error-bound prover without a run\n", res.Proved)
-	}
-	if sh != nil {
-		fmt.Printf("sensitivity:          guided (%d aggregate failures predicted without a run)\n", res.Predicted)
-	} else {
-		fmt.Printf("sensitivity:          off\n")
-	}
-	fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
-	fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
-	fmt.Printf("final verification:   %s\n", verdict)
-	if res.Crashed > 0 || res.TimedOut > 0 {
-		fmt.Printf("failures absorbed:    %d crashed, %d timed out (see result records for faults)\n",
-			res.Crashed, res.TimedOut)
-	}
-	if chaos != nil {
-		s := chaos.Stats()
-		fmt.Printf("chaos: seed %d decided %d faults (%d panics, %d hangs, %d flaky, %d traps), %d absorbed, healed by %d retries\n",
-			chaos.Seed(), s.Total(), s.Panics, s.Hangs, s.Flakes, s.Traps, res.Injected, res.Retried)
-	} else if res.Retried > 0 {
-		fmt.Printf("retries:              %d\n", res.Retried)
-	}
-	for _, label := range res.Nondeterministic {
-		fmt.Printf("nondeterministic verifier: disagreeing verdicts on %s (pass kept)\n", label)
+	if !*jsonOut {
+		fmt.Printf("benchmark:            %s.%s\n", *bench, *class)
+		if res.Interrupted {
+			fmt.Printf("interrupted:          yes — reporting the best-so-far configuration\n")
+		}
+		fmt.Printf("candidates:           %d\n", res.Candidates)
+		fmt.Printf("configurations tested: %d (+%d memoized)\n", res.Tested, res.MemoHits)
+		if mode == search.EngineFork {
+			fmt.Printf("forked evaluations:   %d of %d (%d shared-prefix instructions saved)\n",
+				res.Forked, res.Tested, res.PrefixInstrsSaved)
+		}
+		if res.Resumed > 0 {
+			fmt.Printf("resumed:              %d verdicts replayed from the checkpoint\n", res.Resumed)
+		}
+		fmt.Printf("pruned candidates:    %d (%d unsafe sinks)\n", res.PrunedCandidates, len(res.Unsafe))
+		if res.Proved > 0 {
+			fmt.Printf("proved safe:          %d piece verdicts settled by the error-bound prover without a run\n", res.Proved)
+		}
+		if sh != nil {
+			fmt.Printf("sensitivity:          guided (%d aggregate failures predicted without a run)\n", res.Predicted)
+		} else {
+			fmt.Printf("sensitivity:          off\n")
+		}
+		fmt.Printf("static replaced:      %.1f%%\n", res.Stats.StaticPct)
+		fmt.Printf("dynamic replaced:     %.1f%%\n", res.Stats.DynamicPct)
+		fmt.Printf("final verification:   %s\n", verdict)
+		if res.Crashed > 0 || res.TimedOut > 0 {
+			fmt.Printf("failures absorbed:    %d crashed, %d timed out (see result records for faults)\n",
+				res.Crashed, res.TimedOut)
+		}
+		if chaos != nil {
+			s := chaos.Stats()
+			fmt.Printf("chaos: seed %d decided %d faults (%d panics, %d hangs, %d flaky, %d traps), %d absorbed, healed by %d retries\n",
+				chaos.Seed(), s.Total(), s.Panics, s.Hangs, s.Flakes, s.Traps, res.Injected, res.Retried)
+		} else if res.Retried > 0 {
+			fmt.Printf("retries:              %d\n", res.Retried)
+		}
+		for _, label := range res.Nondeterministic {
+			fmt.Printf("nondeterministic verifier: disagreeing verdicts on %s (pass kept)\n", label)
+		}
 	}
 	finalCfg := res.Final
 	if *compose && !res.FinalPass && !res.Interrupted {
@@ -240,18 +253,32 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("second phase:         dropped %d pieces in %d tests, pass: %v\n",
-			len(cr.Dropped), cr.Tested, cr.Pass)
+		if !*jsonOut {
+			fmt.Printf("second phase:         dropped %d pieces in %d tests, pass: %v\n",
+				len(cr.Dropped), cr.Tested, cr.Pass)
+			if cr.Pass {
+				fmt.Printf("composed replaced:    %.1f%% static, %.1f%% dynamic\n",
+					cr.Stats.StaticPct, cr.Stats.DynamicPct)
+			}
+		}
 		if cr.Pass {
-			fmt.Printf("composed replaced:    %.1f%% static, %.1f%% dynamic\n",
-				cr.Stats.StaticPct, cr.Stats.DynamicPct)
 			finalCfg = cr.Config
 		}
 	}
-	if *verbose {
+	if *verbose && !*jsonOut {
 		fmt.Println("passing pieces (coarsest granularity):")
 		for _, p := range res.Passing {
 			fmt.Printf("  %-40s %d instructions, weight %d\n", p.Label, len(p.Addrs), p.Weight)
+		}
+	}
+	// -json prints the machine-readable summary — the same encoding the
+	// fpmixd status endpoint serves, so tooling parses one shape for CLI
+	// batches and service jobs alike.
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(search.Summarize(*bench+"."+*class, res)); err != nil {
+			fatal(err)
 		}
 	}
 	if *out != "" {

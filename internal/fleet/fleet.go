@@ -1,0 +1,426 @@
+// Package fleet is the sharded-evaluation scheduler of the fpmixd
+// service: a registry of workers and a piece-granular shard queue with
+// lease/heartbeat semantics. The search coordinator stays in one
+// process (internal/search keeps its deterministic queue trajectory)
+// and routes every evaluation unit here through the search.UnitEvaluator
+// seam; the pool leases each unit to a worker, requeues it when the
+// worker dies — detected by a stopped heartbeat, or reported by Kill —
+// and accepts a result only from the unit's current lease holder, so a
+// late verdict from a dead worker can never race a reassigned one.
+// Because unit verdicts are deterministic functions of their address
+// sets, the composed final configuration is byte-identical to a serial
+// run no matter how units are sharded, reassigned or replayed.
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fpmix/internal/search"
+)
+
+// Evaluator executes one evaluation unit to a verdict. The local
+// implementation is *search.UnitRunner; tests substitute fakes.
+type Evaluator interface {
+	Evaluate(u search.EvalUnit) (search.Verdict, error)
+}
+
+// Options shape a pool's failure detection.
+type Options struct {
+	// Heartbeat is the interval at which live workers refresh their
+	// lease (default 250ms); Expiry is the silence after which the
+	// monitor declares a worker dead and reassigns its shard (default
+	// 4×Heartbeat).
+	Heartbeat time.Duration
+	Expiry    time.Duration
+	// MaxReassign bounds how many times one shard may be reassigned
+	// before the pool gives up and fails it (default 3) — a shard that
+	// kills every worker it touches must not take the fleet down with
+	// it.
+	MaxReassign int
+}
+
+// WorkerState is a worker's position in its lifecycle.
+type WorkerState string
+
+const (
+	WorkerIdle WorkerState = "idle"
+	WorkerBusy WorkerState = "busy"
+	WorkerDead WorkerState = "dead"
+)
+
+// WorkerInfo is a registry snapshot of one worker.
+type WorkerInfo struct {
+	ID        string      `json:"id"`
+	State     WorkerState `json:"state"`
+	Done      int         `json:"done"`      // units completed and accepted
+	Discarded int         `json:"discarded"` // results rejected (lease lost)
+	Job       string      `json:"job,omitempty"`
+	Unit      string      `json:"unit,omitempty"`
+	LastBeat  time.Time   `json:"last_beat"`
+}
+
+// Pool is the worker registry plus shard scheduler.
+type Pool struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*worker
+	queue   []*shard // FIFO of unleased shards
+	wseq    int
+	closed  bool
+}
+
+type worker struct {
+	id        string
+	state     WorkerState
+	dead      bool
+	done      int
+	discarded int
+	current   *shard
+	lastBeat  time.Time
+	stopBeat  chan struct{}
+}
+
+// shard is one leased evaluation unit.
+type shard struct {
+	job  *JobHandle
+	unit search.EvalUnit
+
+	owner     string // worker holding the lease ("" = queued)
+	epoch     int    // bumped at every assignment
+	reassigns int
+	delivered bool
+	done      chan shardResult // buffered 1
+}
+
+type shardResult struct {
+	v   search.Verdict
+	err error
+}
+
+// New builds an empty pool; add workers with Start or AddWorker.
+func New(opts Options) *Pool {
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = 500 * time.Millisecond
+	}
+	if opts.Expiry <= 0 {
+		// Generous by design: beat goroutines share the scheduler with
+		// CPU-saturating evaluation runs, so a tight expiry would declare
+		// healthy-but-starved workers dead under full load.
+		opts.Expiry = 8 * opts.Heartbeat
+	}
+	if opts.MaxReassign <= 0 {
+		opts.MaxReassign = 3
+	}
+	p := &Pool{opts: opts, workers: make(map[string]*worker)}
+	p.cond = sync.NewCond(&p.mu)
+	go p.monitor()
+	return p
+}
+
+// Start adds n in-process workers.
+func (p *Pool) Start(n int) {
+	for i := 0; i < n; i++ {
+		p.AddWorker()
+	}
+}
+
+// AddWorker registers one in-process worker and returns its ID.
+func (p *Pool) AddWorker() string {
+	p.mu.Lock()
+	p.wseq++
+	w := &worker{
+		id:       fmt.Sprintf("w%d", p.wseq),
+		state:    WorkerIdle,
+		lastBeat: time.Now(),
+		stopBeat: make(chan struct{}),
+	}
+	p.workers[w.id] = w
+	p.mu.Unlock()
+	go p.beat(w)
+	go p.run(w)
+	return w.id
+}
+
+// Kill reports a worker dead: its heartbeat stops, its lease (if any)
+// is broken and the shard requeued for another worker, and any verdict
+// the doomed evaluation still produces is discarded on delivery.
+func (p *Pool) Kill(id string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[id]
+	if !ok {
+		return fmt.Errorf("fleet: no worker %s", id)
+	}
+	p.markDeadLocked(w)
+	return nil
+}
+
+// Workers snapshots the registry, in ID-creation order is not
+// guaranteed — callers sort.
+func (p *Pool) Workers() []WorkerInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(p.workers))
+	for _, w := range p.workers {
+		wi := WorkerInfo{
+			ID: w.id, State: w.state, Done: w.done,
+			Discarded: w.discarded, LastBeat: w.lastBeat,
+		}
+		if w.current != nil {
+			wi.Job = w.current.job.id
+			wi.Unit = w.current.unit.Label
+		}
+		out = append(out, wi)
+	}
+	return out
+}
+
+// Alive counts workers that can still take shards.
+func (p *Pool) Alive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.aliveLocked()
+}
+
+// QueueLen is the number of shards awaiting a lease.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Close shuts the pool: queued shards fail, workers exit after their
+// current evaluation.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, sh := range p.queue {
+		sh.delivered = true
+		sh.done <- shardResult{err: fmt.Errorf("fleet: pool closed")}
+	}
+	p.queue = nil
+	p.cond.Broadcast()
+}
+
+// JobHandle is a registered job's face to the pool: it implements
+// search.UnitEvaluator, so a search hands units straight to the fleet
+// via Options.Units.
+type JobHandle struct {
+	pool *Pool
+	id   string
+	ev   Evaluator
+}
+
+// Register binds a job ID to the evaluator its units run on (one
+// shared UnitRunner per job — engines are concurrency-safe).
+func (p *Pool) Register(jobID string, ev Evaluator) *JobHandle {
+	return &JobHandle{pool: p, id: jobID, ev: ev}
+}
+
+// EvaluateUnit enqueues the unit as a shard and blocks until a worker
+// delivers its verdict (or the pool exhausts the reassignment budget).
+func (j *JobHandle) EvaluateUnit(u search.EvalUnit) (search.Verdict, error) {
+	sh := &shard{job: j, unit: u, done: make(chan shardResult, 1)}
+	p := j.pool
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return search.Verdict{}, fmt.Errorf("fleet: pool closed")
+	}
+	if p.aliveLocked() == 0 {
+		p.mu.Unlock()
+		return search.Verdict{}, fmt.Errorf("fleet: no live workers")
+	}
+	p.queue = append(p.queue, sh)
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	r := <-sh.done
+	return r.v, r.err
+}
+
+// run is a worker's claim-evaluate-deliver loop.
+func (p *Pool) run(w *worker) {
+	for {
+		sh, epoch, ok := p.claim(w)
+		if !ok {
+			return
+		}
+		v, err := sh.job.ev.Evaluate(sh.unit)
+		p.deliver(w, sh, epoch, v, err)
+		p.mu.Lock()
+		dead := w.dead
+		p.mu.Unlock()
+		if dead {
+			return
+		}
+	}
+}
+
+// claim blocks until a shard is available, leasing it to w.
+func (p *Pool) claim(w *worker) (*shard, int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.closed || w.dead {
+			return nil, 0, false
+		}
+		if len(p.queue) > 0 {
+			sh := p.queue[0]
+			p.queue = p.queue[1:]
+			sh.owner = w.id
+			sh.epoch++
+			w.current = sh
+			w.state = WorkerBusy
+			return sh, sh.epoch, true
+		}
+		p.cond.Wait()
+	}
+}
+
+// deliver hands a verdict back — accepted only from the shard's current
+// lease holder in the epoch it claimed; anything else (the worker died
+// and the shard was reassigned) is discarded.
+func (p *Pool) deliver(w *worker, sh *shard, epoch int, v search.Verdict, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sh.delivered || sh.owner != w.id || sh.epoch != epoch || w.dead {
+		w.discarded++
+		return
+	}
+	sh.delivered = true
+	sh.owner = ""
+	w.current = nil
+	w.done++
+	if w.state == WorkerBusy {
+		w.state = WorkerIdle
+	}
+	sh.done <- shardResult{v: v, err: err}
+}
+
+// beat refreshes the worker's heartbeat until it dies.
+func (p *Pool) beat(w *worker) {
+	t := time.NewTicker(p.opts.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopBeat:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			if w.dead || p.closed {
+				p.mu.Unlock()
+				return
+			}
+			w.lastBeat = time.Now()
+			p.mu.Unlock()
+		}
+	}
+}
+
+// monitor scans for workers whose heartbeat went silent (an in-process
+// worker only stops beating when killed; external workers would stop by
+// crashing) and reassigns their shards.
+func (p *Pool) monitor() {
+	t := time.NewTicker(p.opts.Heartbeat)
+	defer t.Stop()
+	for range t.C {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		now := time.Now()
+		for _, w := range p.workers {
+			if !w.dead && now.Sub(w.lastBeat) > p.opts.Expiry {
+				p.markDeadLocked(w)
+			}
+		}
+		p.mu.Unlock()
+	}
+}
+
+// markDeadLocked retires a worker and breaks its lease; callers hold
+// p.mu.
+func (p *Pool) markDeadLocked(w *worker) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.state = WorkerDead
+	select {
+	case <-w.stopBeat:
+	default:
+		close(w.stopBeat)
+	}
+	if sh := w.current; sh != nil && sh.owner == w.id {
+		w.current = nil
+		p.requeueLocked(sh)
+	}
+	if p.aliveLocked() == 0 {
+		// The last worker died: queued shards would otherwise wait forever
+		// for a lease that can never be granted.
+		for _, sh := range p.queue {
+			if !sh.delivered {
+				sh.delivered = true
+				sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
+			}
+		}
+		p.queue = nil
+	}
+	p.cond.Broadcast()
+}
+
+// requeueLocked puts a broken-lease shard back at the head of the
+// queue, or fails it when its reassignment budget is spent or no worker
+// is left to take it.
+func (p *Pool) requeueLocked(sh *shard) {
+	sh.owner = ""
+	sh.reassigns++
+	if sh.delivered {
+		return
+	}
+	if sh.reassigns > p.opts.MaxReassign {
+		sh.delivered = true
+		sh.done <- shardResult{err: fmt.Errorf("fleet: unit %q reassigned %d times, giving up", sh.unit.Label, sh.reassigns)}
+		return
+	}
+	if p.aliveLocked() == 0 {
+		sh.delivered = true
+		sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
+		return
+	}
+	p.queue = append([]*shard{sh}, p.queue...)
+	p.cond.Broadcast()
+}
+
+func (p *Pool) aliveLocked() int {
+	n := 0
+	for _, w := range p.workers {
+		if !w.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// stopBeats silences a worker's heartbeat without marking it dead — the
+// monitor must then detect the silence. Test hook for the expiry path.
+func (p *Pool) stopBeats(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if w, ok := p.workers[id]; ok {
+		select {
+		case <-w.stopBeat:
+		default:
+			close(w.stopBeat)
+		}
+	}
+}

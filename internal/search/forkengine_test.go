@@ -369,7 +369,7 @@ func TestForkCheckpointResumeByteIdentical(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "fork.ckpt")
 
-	jr, err := NewJournal(path, "mixed fork")
+	jr, err := NewJournal(path, Fingerprint{Options: "mixed fork"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -388,7 +388,7 @@ func TestForkCheckpointResumeByteIdentical(t *testing.T) {
 		t.Error("chaos-armed fork search forked no verdicts")
 	}
 
-	re, err := ResumeJournal(path, "mixed fork")
+	re, err := ResumeJournal(path, Fingerprint{Options: "mixed fork"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -129,7 +129,7 @@ func TestProveCheckpointReplay(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ep.ckpt")
 	opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
 
-	jr, err := NewJournal(path, "ep.W gran=insn")
+	jr, err := NewJournal(path, Fingerprint{Options: "ep.W gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestProveCheckpointReplay(t *testing.T) {
 	}
 
 	// A full journal replays everything, proved verdicts included.
-	re, err := ResumeJournal(path, "ep.W gran=insn")
+	re, err := ResumeJournal(path, Fingerprint{Options: "ep.W gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}

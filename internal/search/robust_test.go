@@ -283,7 +283,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	tgt := Target{Module: m, Verify: refVerify(t, m, 1e-10)}
 	path := filepath.Join(t.TempDir(), "search.ckpt")
 
-	jr, err := NewJournal(path, "mixed gran=insn")
+	jr, err := NewJournal(path, Fingerprint{Options: "mixed gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +297,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	}
 
 	truncateJournal(t, path)
-	re, err := ResumeJournal(path, "mixed gran=insn")
+	re, err := ResumeJournal(path, Fingerprint{Options: "mixed gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestCheckpointResumeByteIdentical(t *testing.T) {
 	}
 
 	// A journal from a different search must be refused.
-	if _, err := ResumeJournal(path, "other gran=func"); err == nil {
+	if _, err := ResumeJournal(path, Fingerprint{Options: "other gran=func"}); err == nil {
 		t.Error("fingerprint mismatch accepted")
 	}
 }
@@ -387,7 +387,7 @@ func TestCheckpointKernelRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ep.ckpt")
 	opts := Options{Workers: 4, BinarySplit: true, Prioritize: true}
 
-	jr, err := NewJournal(path, "ep.W gran=insn")
+	jr, err := NewJournal(path, Fingerprint{Options: "ep.W gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestCheckpointKernelRoundTrip(t *testing.T) {
 	jr.Close()
 
 	truncateJournal(t, path)
-	re, err := ResumeJournal(path, "ep.W gran=insn")
+	re, err := ResumeJournal(path, Fingerprint{Options: "ep.W gran=insn"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -136,6 +136,26 @@ type Options struct {
 	// -resume).
 	Checkpoint *Journal
 
+	// Units, when non-nil, routes every evaluation unit — each piece and
+	// the final union run — through the given evaluator instead of the
+	// in-process settler. This is the sharding seam the fleet scheduler
+	// (internal/fleet) drives: verdicts are deterministic per unit, so a
+	// sharded search composes a final configuration byte-identical to an
+	// in-process run's. Options.Workers still bounds the units in flight.
+	Units UnitEvaluator
+	// Cache, when non-nil, is a shared cross-search verdict cache
+	// (internal/jobs): consulted after the memo table and checkpoint
+	// journal, before the prover and evaluation; every evaluated or
+	// proved verdict is stored back. Cache-served verdicts replay as
+	// memo/proved provenance and count in Result.CacheHits.
+	Cache VerdictCache
+	// Observe, when non-nil, is called with every Eval record as it is
+	// appended to Result.Evals, in settle order — the progress-streaming
+	// hook the fpmixd status and stream endpoints consume. It is called
+	// from the search's coordinating goroutine; implementations must not
+	// block indefinitely.
+	Observe func(Eval)
+
 	// testEval, when set by in-package tests, overrides the evaluation
 	// backend entirely.
 	testEval evaluator
@@ -280,6 +300,11 @@ type Result struct {
 	// engine's memo table instead of re-running (binary-split re-splits
 	// and single-child aggregate chains produce such duplicates).
 	MemoHits int
+	// CacheHits is the number of verdicts served by the shared
+	// cross-search verdict cache (Options.Cache) instead of evaluation —
+	// work inherited from prior jobs over the same image, replayed as
+	// memo/proved provenance.
+	CacheHits int
 	// PrunedCandidates is the number of candidate instructions the
 	// static analyses pre-decided: exact-integer sinks found by the
 	// dataflow classification (excluded from the search tree; double in
@@ -360,19 +385,9 @@ func Run(t Target, opts Options) (*Result, error) {
 		ctx = context.Background()
 	}
 
-	base := t.Base
-	if base == nil {
-		var err error
-		base, err = config.FromModule(t.Module)
-		if err != nil {
-			return nil, err
-		}
-	}
-	ignored := make(map[uint64]bool)
-	for addr, p := range base.Effective() {
-		if p == config.Ignore {
-			ignored[addr] = true
-		}
+	base, ignored, err := baseIgnored(t)
+	if err != nil {
+		return nil, err
 	}
 
 	// Profiling run (uninstrumented) for prioritization weights and
@@ -447,8 +462,11 @@ func Run(t Target, opts Options) (*Result, error) {
 		gate = opts.SensThreshold * sensGateMargin
 	}
 
+	// With an external unit evaluator (Options.Units) no local backend is
+	// built: every unit — including the final union — is routed out to
+	// the fleet, whose workers hold the engines.
 	ev := opts.testEval
-	if ev == nil {
+	if ev == nil && opts.Units == nil {
 		ev, err = newEvaluator(t, opts.Engine, opts.NoCompile)
 		if err != nil {
 			return nil, err
@@ -535,13 +553,33 @@ func Run(t Target, opts Options) (*Result, error) {
 
 	launch := func(p *Piece, key string) {
 		inflight++
+		if opts.Units != nil {
+			u := EvalUnit{Key: key, Label: p.Label, Kind: p.Kind, Addrs: p.Addrs}
+			go func() {
+				v, uerr := opts.Units.EvaluateUnit(u)
+				s := settledOf(v)
+				if uerr != nil {
+					s = settled{err: uerr}
+				}
+				results <- evalRes{p: p, key: key, s: s}
+			}()
+			return
+		}
 		go func() {
 			results <- evalRes{p: p, key: key, s: st.settle(effFor(p.Addrs, ignored), key)}
 		}()
 	}
 
+	// emit appends one Eval record and streams it to the observer.
+	emit := func(ev Eval) {
+		res.Evals = append(res.Evals, ev)
+		if opts.Observe != nil {
+			opts.Observe(ev)
+		}
+	}
+
 	record := func(p *Piece, pass bool, prov Provenance, wall time.Duration) {
-		res.Evals = append(res.Evals, Eval{
+		emit(Eval{
 			Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
 			Pass: pass, Prov: prov, Wall: wall,
 		})
@@ -565,7 +603,7 @@ func Run(t Target, opts Options) (*Result, error) {
 			res.Forked++
 			res.PrefixInstrsSaved += s.prefixSaved
 		}
-		res.Evals = append(res.Evals, Eval{
+		emit(Eval{
 			Label: label, Kind: kind, Insns: insns,
 			Pass: s.pass, Prov: ProvEvaluated, Wall: s.wall,
 			Failure: s.failure, Fault: s.fault, Stack: s.stack,
@@ -643,7 +681,7 @@ func Run(t Target, opts Options) (*Result, error) {
 						res.Proved++
 						markProved(p)
 					}
-					res.Evals = append(res.Evals, Eval{
+					emit(Eval{
 						Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
 						Pass: jv.pass, Prov: prov,
 						Forked: jv.forked, PrefixSaved: jv.prefixSaved,
@@ -655,12 +693,41 @@ func Run(t Target, opts Options) (*Result, error) {
 					continue
 				}
 			}
+			if opts.Cache != nil {
+				// The shared cross-job verdict cache: work inherited from
+				// prior searches over the same image. After the checkpoint
+				// (the job's own prior work is accounted as Resumed, not as
+				// cache service) and before the prover and evaluation.
+				if cv, ok := opts.Cache.Lookup(key); ok {
+					res.CacheHits++
+					prov := ProvMemo
+					if cv.Proved {
+						prov = ProvProved
+						res.Proved++
+						markProved(p)
+					} else {
+						res.MemoHits++
+					}
+					emit(Eval{
+						Label: p.Label, Kind: p.Kind, Insns: len(p.Addrs),
+						Pass: cv.Pass, Prov: prov,
+					})
+					if memo != nil {
+						memo[key] = cv.Pass
+					}
+					apply(p, cv.Pass)
+					continue
+				}
+			}
 			if proveExact(p) {
 				res.Proved++
 				markProved(p)
 				record(p, true, ProvProved, 0)
 				if memo != nil {
 					memo[key] = true
+				}
+				if opts.Cache != nil {
+					opts.Cache.Store(key, CachedVerdict{Pass: true, Proved: true})
 				}
 				if opts.Checkpoint != nil {
 					if err := opts.Checkpoint.recordProved(key); err != nil {
@@ -706,6 +773,9 @@ func Run(t Target, opts Options) (*Result, error) {
 		if memo != nil {
 			memo[r.key] = r.s.pass
 		}
+		if opts.Cache != nil {
+			opts.Cache.Store(r.key, CachedVerdict{Pass: r.s.pass})
+		}
 		if opts.Checkpoint != nil {
 			if err := opts.Checkpoint.record(r.key, r.s); err != nil {
 				for inflight > 0 {
@@ -714,6 +784,14 @@ func Run(t Target, opts Options) (*Result, error) {
 				}
 				sortPassing(res.Passing)
 				return res, fmt.Errorf("search: checkpoint write: %w", err)
+			}
+			if inflight == 0 {
+				// A write-batch boundary: every launched unit has settled.
+				// Durability point for the journal — fsync the batch.
+				if err := opts.Checkpoint.Sync(); err != nil {
+					sortPassing(res.Passing)
+					return res, fmt.Errorf("search: checkpoint sync: %w", err)
+				}
 			}
 		}
 		account(r.p.Label, r.p.Kind, len(r.p.Addrs), r.s)
@@ -763,7 +841,31 @@ func Run(t Target, opts Options) (*Result, error) {
 	// The final-union run goes through the settler too, so a crash or
 	// injected fault there is recovered like any other evaluation. Its
 	// verdict is never journaled: a resumed search re-checks composition.
-	fs := st.settle(eff, "final union")
+	// Under an external unit evaluator it ships as a unit like any piece
+	// (carrying just the single-flagged addresses — absent entries
+	// instrument as double exactly like explicit ones, so the run is
+	// identical to the in-process settle over the full effective map).
+	var fs settled
+	if opts.Units != nil {
+		var singles []uint64
+		for a, p := range eff {
+			if p == config.Single {
+				singles = append(singles, a)
+			}
+		}
+		sort.Slice(singles, func(i, j int) bool { return singles[i] < singles[j] })
+		v, uerr := opts.Units.EvaluateUnit(EvalUnit{
+			Key: "final union", Label: "final union",
+			Kind: config.KindModule, Addrs: singles, Final: true,
+		})
+		if uerr != nil {
+			res.Final = nil
+			return res, uerr
+		}
+		fs = settledOf(v)
+	} else {
+		fs = st.settle(eff, "final union")
+	}
 	if fs.err != nil {
 		res.Final = nil
 		return res, fs.err
@@ -776,6 +878,27 @@ func Run(t Target, opts Options) (*Result, error) {
 	account("final union", config.KindModule, final.CountSingle(), fs)
 	res.FinalPass = fs.pass
 	return res, nil
+}
+
+// baseIgnored resolves the target's base configuration and its ignored
+// address set. Shared by Run and NewUnitRunner so the coordinator and
+// every fleet worker derive identical effective-precision maps.
+func baseIgnored(t Target) (*config.Config, map[uint64]bool, error) {
+	base := t.Base
+	if base == nil {
+		var err error
+		base, err = config.FromModule(t.Module)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	ignored := make(map[uint64]bool)
+	for addr, p := range base.Effective() {
+		if p == config.Ignore {
+			ignored[addr] = true
+		}
+	}
+	return base, ignored, nil
 }
 
 // pruneAnalysis resolves the dataflow result used for candidate

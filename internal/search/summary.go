@@ -1,0 +1,108 @@
+package search
+
+import "time"
+
+// Summary is the machine-readable image of a Result: verdict-provenance
+// counts, robustness counters, replacement statistics, and the per-piece
+// evaluation records with wall times. It is the one encoding shared by
+// `fpsearch -json` and the fpmixd status endpoint, so tooling parses the
+// same shape whether the search ran as a CLI batch or as a service job.
+type Summary struct {
+	Benchmark string `json:"benchmark,omitempty"`
+
+	Candidates       int    `json:"candidates"`
+	Tested           int    `json:"tested"`
+	MemoHits         int    `json:"memo_hits"`
+	CacheHits        int    `json:"cache_hits"`
+	PrunedCandidates int    `json:"pruned_candidates"`
+	UnsafeSinks      int    `json:"unsafe_sinks"`
+	Predicted        int    `json:"predicted"`
+	Proved           int    `json:"proved"`
+	Resumed          int    `json:"resumed"`
+	Forked           int    `json:"forked"`
+	PrefixSaved      uint64 `json:"prefix_instrs_saved"`
+
+	Crashed  int `json:"crashed"`
+	TimedOut int `json:"timed_out"`
+	Retried  int `json:"retried"`
+	Injected int `json:"injected"`
+
+	FinalPass   bool    `json:"final_pass"`
+	Interrupted bool    `json:"interrupted"`
+	StaticPct   float64 `json:"static_pct"`
+	DynamicPct  float64 `json:"dynamic_pct"`
+
+	// Provenance counts Eval records by verdict provenance
+	// (evaluated / memo / pruned / predicted / checkpoint / proved).
+	Provenance map[string]int `json:"provenance"`
+
+	Evals []EvalRecord `json:"evals,omitempty"`
+}
+
+// EvalRecord is one Eval in the summary encoding.
+type EvalRecord struct {
+	Label    string `json:"label"`
+	Kind     string `json:"kind"`
+	Insns    int    `json:"insns"`
+	Pass     bool   `json:"pass"`
+	Prov     string `json:"prov"`
+	WallNS   int64  `json:"wall_ns,omitempty"`
+	Failure  string `json:"failure,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
+	Forked   bool   `json:"forked,omitempty"`
+}
+
+// Summarize flattens a Result (possibly mid-search: the service builds
+// live summaries from partial results) into its JSON encoding. benchmark
+// labels the summary ("ep.W"); pass "" when not applicable.
+func Summarize(benchmark string, res *Result) *Summary {
+	s := &Summary{
+		Benchmark:        benchmark,
+		Candidates:       res.Candidates,
+		Tested:           res.Tested,
+		MemoHits:         res.MemoHits,
+		CacheHits:        res.CacheHits,
+		PrunedCandidates: res.PrunedCandidates,
+		UnsafeSinks:      len(res.Unsafe),
+		Predicted:        res.Predicted,
+		Proved:           res.Proved,
+		Resumed:          res.Resumed,
+		Forked:           res.Forked,
+		PrefixSaved:      res.PrefixInstrsSaved,
+		Crashed:          res.Crashed,
+		TimedOut:         res.TimedOut,
+		Retried:          res.Retried,
+		Injected:         res.Injected,
+		FinalPass:        res.FinalPass,
+		Interrupted:      res.Interrupted,
+		StaticPct:        res.Stats.StaticPct,
+		DynamicPct:       res.Stats.DynamicPct,
+		Provenance:       make(map[string]int),
+	}
+	for _, ev := range res.Evals {
+		s.Provenance[ev.Prov.String()]++
+		s.Evals = append(s.Evals, evalRecord(ev))
+	}
+	return s
+}
+
+// evalRecord encodes one Eval (also used for streaming single records).
+func evalRecord(ev Eval) EvalRecord {
+	r := EvalRecord{
+		Label:    ev.Label,
+		Kind:     ev.Kind.String(),
+		Insns:    ev.Insns,
+		Pass:     ev.Pass,
+		Prov:     ev.Prov.String(),
+		WallNS:   int64(ev.Wall / time.Nanosecond),
+		Attempts: ev.Attempts,
+		Forked:   ev.Forked,
+	}
+	if ev.Failure != FailNone {
+		r.Failure = ev.Failure.String()
+	}
+	return r
+}
+
+// Record is the exported form of evalRecord for streaming endpoints.
+func Record(ev Eval) EvalRecord { return evalRecord(ev) }

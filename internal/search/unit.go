@@ -1,0 +1,160 @@
+package search
+
+import (
+	"context"
+	"time"
+
+	"fpmix/internal/config"
+	"fpmix/internal/vm"
+)
+
+// The evaluation-unit seam: search.Run's trajectory (queue, expansion,
+// memo, checkpoint, prover, final composition) is deterministic given
+// the per-piece verdicts, and each verdict is a deterministic function
+// of the piece's address set alone. A unit is therefore the natural
+// sharding granularity — any executor that returns faithful verdicts
+// composes a final configuration byte-identical to an in-process run.
+// The fleet scheduler (internal/fleet) plugs in here: Options.Units
+// routes every evaluation unit to it instead of the in-process settler,
+// and UnitRunner is the execution side a worker wraps.
+
+// EvalUnit is one evaluation unit: an independently evaluable
+// configuration of the search (a piece, or the final union run).
+type EvalUnit struct {
+	// Key is the unit's canonical identity — the byte image of its
+	// sorted address set (addrKey), or the literal "final union" for the
+	// final composition run. It keys memoization, checkpoint journals,
+	// the cross-job verdict cache and chaos decisions, so an external
+	// executor must pass it through unchanged.
+	Key string
+	// Label and Kind describe the piece for Eval records.
+	Label string
+	Kind  config.Kind
+	// Addrs is the set of candidate addresses the unit lowers to single
+	// precision (the target's ignored set rides along implicitly:
+	// UnitRunner re-derives it from the same Target).
+	Addrs []uint64
+	// Final marks the final-union verification run.
+	Final bool
+}
+
+// Verdict is the settled outcome of an evaluation unit — the exported
+// image of the settler's verdict, carrying everything Eval records and
+// robustness counters need.
+type Verdict struct {
+	Pass    bool
+	Failure Failure
+	Fault   *vm.Fault
+	Stack   string
+
+	Attempts int
+	Retried  int
+	Injected int
+	Nondet   bool
+
+	Forked      bool
+	PrefixSaved uint64
+
+	Wall time.Duration
+
+	// Interrupted reports the unit was cancelled before a verdict; the
+	// piece stays unsettled and must not be recorded.
+	Interrupted bool
+}
+
+// UnitEvaluator evaluates units somewhere — in process, or sharded
+// across a worker fleet. Implementations must be safe for concurrent
+// use: the search keeps Options.Workers units in flight.
+type UnitEvaluator interface {
+	EvaluateUnit(u EvalUnit) (Verdict, error)
+}
+
+// VerdictCache is a shared cross-search verdict cache, keyed by the
+// unit key within a scope the caller derives from the image fingerprint
+// (internal/jobs ties the scope to module image + base configuration +
+// verifier + step budget, so a cached verdict is only ever replayed
+// into a search it is valid for). The search consults it after its own
+// memo table and checkpoint journal and stores every evaluated or
+// proved verdict back.
+type VerdictCache interface {
+	Lookup(key string) (CachedVerdict, bool)
+	Store(key string, v CachedVerdict)
+}
+
+// CachedVerdict is one cache entry: the verdict, and whether it was
+// settled by the static error-bound prover (replayed as ProvProved so
+// provenance annotations survive the cache).
+type CachedVerdict struct {
+	Pass   bool
+	Proved bool
+}
+
+// UnitRunner executes evaluation units locally: the engine + settler
+// stack search.Run itself uses, exposed so fleet workers evaluate a
+// job's units exactly as the serial search would. Safe for concurrent
+// use.
+type UnitRunner struct {
+	st      *settler
+	ignored map[uint64]bool
+}
+
+// NewUnitRunner builds a unit runner for the target with the same
+// evaluation options (engine mode, timeout, retry budget, chaos
+// injector, cancellation context) a search.Run with those Options would
+// use, so unit verdicts match the serial search's exactly.
+func NewUnitRunner(t Target, opts Options) (*UnitRunner, error) {
+	_, ignored, err := baseIgnored(t)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Chaos != nil && opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ev, err := newEvaluator(t, opts.Engine, opts.NoCompile)
+	if err != nil {
+		return nil, err
+	}
+	st := &settler{
+		ev: ev, ignored: ignored, ctx: ctx,
+		timeout: opts.Timeout, retries: opts.Retries,
+		backoff: opts.Backoff, chaos: opts.Chaos,
+		noConfirm: opts.Engine == EngineFork && opts.Chaos == nil,
+	}
+	return &UnitRunner{st: st, ignored: ignored}, nil
+}
+
+// Evaluate runs one unit to a settled verdict. An error is
+// infrastructural (instrumentation or linking broke) and aborts the
+// search the unit belongs to.
+func (r *UnitRunner) Evaluate(u EvalUnit) (Verdict, error) {
+	s := r.st.settle(effFor(u.Addrs, r.ignored), u.Key)
+	if s.err != nil {
+		return Verdict{}, s.err
+	}
+	return verdictOf(s), nil
+}
+
+// verdictOf exports a settled verdict.
+func verdictOf(s settled) Verdict {
+	return Verdict{
+		Pass: s.pass, Failure: s.failure, Fault: s.fault, Stack: s.stack,
+		Attempts: s.attempts, Retried: s.retried, Injected: s.injected,
+		Nondet: s.nondet, Forked: s.forked, PrefixSaved: s.prefixSaved,
+		Wall: s.wall, Interrupted: s.interrupted,
+	}
+}
+
+// settledOf imports an external verdict into the settler's
+// representation, so the search accounts it exactly like a local one.
+func settledOf(v Verdict) settled {
+	return settled{
+		pass: v.Pass, failure: v.Failure, fault: v.Fault, stack: v.Stack,
+		attempts: v.Attempts, retried: v.Retried, injected: v.Injected,
+		nondet: v.Nondet, forked: v.Forked, prefixSaved: v.PrefixSaved,
+		wall: v.Wall, interrupted: v.Interrupted,
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+
+	"fpmix/internal/fleet"
+	"fpmix/internal/jobs"
+	"fpmix/internal/search"
+)
+
+// JobStatus is the status-endpoint payload: the stored job record, how
+// many progress events the run has emitted, and — once the job is done
+// — its machine-readable search summary (the same shape fpsearch -json
+// prints).
+type JobStatus struct {
+	Job     jobs.Job        `json:"job"`
+	Events  int             `json:"events"`
+	Summary *search.Summary `json:"summary,omitempty"`
+}
+
+// Handler is the fpmixd HTTP API:
+//
+//	POST /api/v1/jobs              submit a job (body: jobs.Spec JSON)
+//	GET  /api/v1/jobs              list all jobs
+//	GET  /api/v1/jobs/{id}         job status (+ summary when done)
+//	POST /api/v1/jobs/{id}/cancel  cancel a job
+//	GET  /api/v1/jobs/{id}/events  progress stream (ndjson, replays then follows)
+//	GET  /api/v1/jobs/{id}/result  final configuration (exchange format)
+//	GET  /api/v1/workers           worker registry snapshot
+//	GET  /api/v1/healthz           liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /api/v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
+	mux.HandleFunc("POST /api/v1/workers/{id}/kill", s.handleKillWorker)
+	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	var spec jobs.Spec
+	if err := json.Unmarshal(body, &spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, j)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	st := JobStatus{Job: j}
+	s.mu.Lock()
+	if stream, ok := s.streams[id]; ok {
+		st.Events = stream.events()
+	}
+	s.mu.Unlock()
+	if j.State == jobs.StateDone {
+		if sum, err := s.Summary(id); err == nil {
+			st.Summary = sum
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Cancel(id); err != nil {
+		httpError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "cancel": "requested"})
+}
+
+// handleEvents streams the job's progress as newline-delimited JSON:
+// one Event per line, full history replayed first, then live events
+// until the job ends or the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.store.Get(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	s.mu.Lock()
+	stream := s.streams[id]
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	if stream == nil {
+		// Terminal job from a previous incarnation: no live stream.
+		enc.Encode(Event{Type: "end"})
+		return
+	}
+	replay, live := stream.subscribe()
+	for _, e := range replay {
+		if enc.Encode(e) != nil {
+			if live != nil {
+				stream.unsubscribe(live)
+			}
+			return
+		}
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+	if live == nil {
+		enc.Encode(Event{Type: "end"})
+		return
+	}
+	defer stream.unsubscribe(live)
+	done := r.Context().Done()
+	for {
+		select {
+		case e, ok := <-live:
+			if !ok {
+				enc.Encode(Event{Type: "end"})
+				return
+			}
+			if enc.Encode(e) != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		case <-done:
+			return
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.store.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
+		return
+	}
+	if j.State != jobs.StateDone {
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s is %s, result is available when done", id, j.State))
+		return
+	}
+	f, err := os.Open(s.store.ResultPath(id))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%s.cfg", id))
+	io.Copy(w, f)
+}
+
+func (s *Server) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	ws := s.pool.Workers()
+	sort.Slice(ws, func(i, j int) bool { return ws[i].ID < ws[j].ID })
+	writeJSON(w, http.StatusOK, ws)
+}
+
+// handleKillWorker reports a worker dead (chaos testing: its lease
+// breaks, its shard reassigns, its late result is discarded).
+func (s *Server) handleKillWorker(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.pool.Kill(id); err != nil {
+		httpError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"worker": id, "state": string(fleet.WorkerDead)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,327 @@
+// Package service glues the fpmixd pieces together: the durable job
+// store (internal/jobs), the sharded-evaluation fleet (internal/fleet)
+// and the search coordinator (internal/search). One Server owns one
+// store directory, one shared cross-job verdict cache and one worker
+// pool; every submitted job runs the exact serial search trajectory —
+// the coordinator stays in-process and only unit evaluation is sharded
+// — so a job's final configuration is byte-identical to what a serial
+// fpsearch run would compose.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fpmix/internal/faultinject"
+	"fpmix/internal/fleet"
+	"fpmix/internal/jobs"
+	"fpmix/internal/search"
+	"fpmix/internal/shadow"
+)
+
+// Options configure a server.
+type Options struct {
+	// Dir roots the job store (and the shared verdict cache file).
+	Dir string
+	// Workers is the in-process worker count (default 4); it also bounds
+	// how many units one search keeps in flight.
+	Workers int
+	// Fleet tunes failure detection (zero values take fleet defaults).
+	Fleet fleet.Options
+}
+
+// Server runs search jobs against a worker fleet.
+type Server struct {
+	store *jobs.Store
+	cache *jobs.Cache
+	pool  *fleet.Pool
+	opts  Options
+
+	mu      sync.Mutex
+	cancels map[string]context.CancelFunc
+	streams map[string]*stream
+	closing bool
+	crashed bool
+	wg      sync.WaitGroup
+}
+
+// New opens (or recovers) a server over opts.Dir: jobs a previous
+// incarnation left running re-queue at store open and relaunch
+// immediately, resuming from their checkpoint journals.
+func New(opts Options) (*Server, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	store, err := jobs.Open(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := jobs.OpenCache(filepath.Join(opts.Dir, "verdicts.cache"))
+	if err != nil {
+		return nil, err
+	}
+	pool := fleet.New(opts.Fleet)
+	pool.Start(opts.Workers)
+	s := &Server{
+		store: store, cache: cache, pool: pool, opts: opts,
+		cancels: make(map[string]context.CancelFunc),
+		streams: make(map[string]*stream),
+	}
+	// Relaunch everything a previous incarnation left unfinished: jobs
+	// recovered running→queued at store open, and jobs that were queued
+	// but never started.
+	for _, j := range store.List() {
+		if j.State == jobs.StateQueued {
+			s.launch(j.ID)
+		}
+	}
+	return s, nil
+}
+
+// Store exposes the job store (read-side: Get, List, paths).
+func (s *Server) Store() *jobs.Store { return s.store }
+
+// Pool exposes the worker registry.
+func (s *Server) Pool() *fleet.Pool { return s.pool }
+
+// CacheLen reports the shared verdict cache's size.
+func (s *Server) CacheLen() int { return s.cache.Len() }
+
+// Submit validates, persists and launches a job.
+func (s *Server) Submit(spec jobs.Spec) (jobs.Job, error) {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return jobs.Job{}, fmt.Errorf("service: server is shutting down")
+	}
+	s.mu.Unlock()
+	j, err := s.store.Create(spec)
+	if err != nil {
+		return jobs.Job{}, err
+	}
+	s.launch(j.ID)
+	return j, nil
+}
+
+// Cancel stops a job: a running one is interrupted (its in-flight units
+// settle as interrupted and the search stops), a queued one just flips
+// state.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return fmt.Errorf("service: no job %s", id)
+	}
+	s.mu.Lock()
+	cancel := s.cancels[id]
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return nil
+	}
+	if j.State == jobs.StateQueued {
+		return s.store.Transition(id, jobs.StateCancelled, "")
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("service: job %s already %s", id, j.State)
+	}
+	return nil
+}
+
+// Summary loads a finished job's search summary.
+func (s *Server) Summary(id string) (*search.Summary, error) {
+	data, err := os.ReadFile(s.store.SummaryPath(id))
+	if err != nil {
+		return nil, err
+	}
+	var sum search.Summary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		return nil, err
+	}
+	return &sum, nil
+}
+
+// Close shuts the server down gracefully: running jobs are interrupted
+// and re-queued (their journals keep every settled verdict, so the next
+// incarnation resumes them), then the fleet and cache close.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closing = true
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+	return s.cache.Close()
+}
+
+// crash simulates the server dying mid-run: job goroutines stop without
+// any state transition or requeue, leaving "running" records on disk
+// exactly as a kill -9 would. The next New over the same dir must
+// recover them. Test hook.
+func (s *Server) crash() {
+	s.mu.Lock()
+	s.crashed = true
+	s.closing = true
+	for _, cancel := range s.cancels {
+		cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.pool.Close()
+	s.cache.Close()
+}
+
+// launch starts the job's run goroutine.
+func (s *Server) launch(id string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s.mu.Lock()
+	s.cancels[id] = cancel
+	st := newStream()
+	s.streams[id] = st
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go s.runJob(id, ctx, cancel, st)
+}
+
+// runJob drives one job through its lifecycle.
+func (s *Server) runJob(id string, ctx context.Context, cancel context.CancelFunc, st *stream) {
+	defer s.wg.Done()
+	defer cancel()
+	defer func() {
+		s.mu.Lock()
+		delete(s.cancels, id)
+		s.mu.Unlock()
+	}()
+	if err := s.store.Transition(id, jobs.StateRunning, ""); err != nil {
+		st.close()
+		return
+	}
+	res, sh, err := s.execute(ctx, id, st)
+	s.mu.Lock()
+	crashed, closing := s.crashed, s.closing
+	s.mu.Unlock()
+	if crashed {
+		// Simulated death: leave the on-disk state "running" for the next
+		// incarnation's recovery. (A real crash never reaches here at all.)
+		return
+	}
+	switch {
+	case err != nil:
+		s.store.Transition(id, jobs.StateFailed, err.Error())
+	case res.Interrupted && closing:
+		// Graceful shutdown: back to queued; the journal carries the work.
+		s.store.Requeue(id)
+	case res.Interrupted:
+		s.store.Transition(id, jobs.StateCancelled, "")
+	default:
+		if werr := s.writeArtifacts(id, res, sh); werr != nil {
+			s.store.Transition(id, jobs.StateFailed, werr.Error())
+		} else {
+			s.store.Transition(id, jobs.StateDone, "")
+		}
+	}
+	st.close()
+}
+
+// execute runs the search itself: target build, sensitivity profile,
+// journal open (fresh or resumed), unit runner registration with the
+// fleet, then the coordinator. Options mirror fpsearch's defaults so a
+// service job composes the identical final configuration.
+func (s *Server) execute(ctx context.Context, id string, st *stream) (*search.Result, *shadow.Profile, error) {
+	j, ok := s.store.Get(id)
+	if !ok {
+		return nil, nil, fmt.Errorf("service: no job %s", id)
+	}
+	target, err := j.Spec.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	sensTol, err := j.Spec.SensTol()
+	if err != nil {
+		return nil, nil, err
+	}
+	var sh *shadow.Profile
+	if !j.Spec.NoSens {
+		if sh, err = shadow.Collect(j.Name, target.Module, target.MaxSteps); err != nil {
+			return nil, nil, err
+		}
+	}
+	journal, resumed, err := s.store.OpenJournal(id, j.Fingerprint())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer journal.Close()
+	if resumed > 0 {
+		st.note(fmt.Sprintf("resuming %d settled verdicts from the journal", resumed))
+	}
+	mode := search.EngineFork
+	if j.Spec.NoFork {
+		mode = search.EngineOn
+	}
+	var chaos *faultinject.Injector
+	if j.Spec.Chaos != 0 {
+		chaos = faultinject.New(j.Spec.Chaos, faultinject.DefaultRates, 0)
+	}
+	runner, err := search.NewUnitRunner(target, search.Options{
+		Engine:  mode,
+		Context: ctx,
+		Chaos:   chaos,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	handle := s.pool.Register(id, runner)
+	res, err := search.Run(target, search.Options{
+		Workers:       s.opts.Workers,
+		Granularity:   j.Spec.Kind(),
+		BinarySplit:   true,
+		Prioritize:    true,
+		Engine:        mode,
+		NoPrune:       j.Spec.NoPrune,
+		NoProve:       j.Spec.NoProve,
+		Shadow:        sh,
+		SensThreshold: sensTol,
+		Context:       ctx,
+		Checkpoint:    journal,
+		Units:         handle,
+		Cache:         s.cache.Scope(j.Image),
+		Observe:       st.observe,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sh, nil
+}
+
+// writeArtifacts persists a finished job's final configuration (in the
+// exchange format, sensitivity-annotated like fpsearch -o) and its
+// machine-readable search summary.
+func (s *Server) writeArtifacts(id string, res *search.Result, sh *shadow.Profile) error {
+	j, _ := s.store.Get(id)
+	cfg := res.Final
+	if sh != nil {
+		shadow.AnnotateConfig(sh, cfg)
+	}
+	f, err := os.Create(s.store.ResultPath(id))
+	if err != nil {
+		return err
+	}
+	if err := cfg.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	sum := search.Summarize(j.Name, res)
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.store.SummaryPath(id), append(data, '\n'), 0o644)
+}

@@ -1,0 +1,358 @@
+package service
+
+import (
+	"bytes"
+	"os"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"fpmix/internal/config"
+	"fpmix/internal/fleet"
+	"fpmix/internal/jobs"
+	"fpmix/internal/kernels"
+	"fpmix/internal/search"
+	"fpmix/internal/shadow"
+)
+
+// fastFleet keeps heartbeats quick but the expiry generous: service
+// tests saturate every core with evaluation runs, so a tight expiry
+// would let the monitor declare starved-but-healthy workers dead. The
+// expiry path itself is pinned in internal/fleet with idle workers.
+var fastFleet = fleet.Options{Heartbeat: 50 * time.Millisecond, Expiry: 30 * time.Second}
+
+var notesRE = regexp.MustCompile(`(?m)[ \t]*;[^\n]*`)
+
+// stripNotes drops exchange-format comment annotations, leaving only
+// the precision flags the byte-identity pin compares.
+func stripNotes(s string) string { return notesRE.ReplaceAllString(s, "") }
+
+// serialFinal runs the serial in-process search with the exact options
+// a service job uses and returns the exchange-format final.
+var serialMu sync.Mutex
+var serialCache = map[string]string{}
+
+func serialFinal(t *testing.T, name string) string {
+	t.Helper()
+	serialMu.Lock()
+	defer serialMu.Unlock()
+	if s, ok := serialCache[name]; ok {
+		return s
+	}
+	b, err := kernels.Get(name, kernels.ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := shadow.Collect(name+".W", b.Module, b.MaxSteps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := search.Target{Module: b.Module, Verify: b.Verify, MaxSteps: b.MaxSteps, Base: b.Base}
+	res, err := search.Run(tgt, search.Options{
+		Workers: 4, Granularity: config.KindInsn,
+		BinarySplit: true, Prioritize: true, Engine: search.EngineFork,
+		Shadow: sh, SensThreshold: b.SensTol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Final.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	serialCache[name] = buf.String()
+	return serialCache[name]
+}
+
+func waitState(t *testing.T, srv *Server, id string, want jobs.State) jobs.Job {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for time.Now().Before(deadline) {
+		j, ok := srv.Store().Get(id)
+		if !ok {
+			t.Fatalf("job %s vanished", id)
+		}
+		if j.State == want {
+			return j
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, j.State, j.Error, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %s", id, want)
+	return jobs.Job{}
+}
+
+func resultOf(t *testing.T, srv *Server, id string) string {
+	t.Helper()
+	data, err := os.ReadFile(srv.Store().ResultPath(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// testKernels is the identity-pin matrix: every registered kernel at
+// class W (the MPI variants carry no verification routine, so they are
+// not searchable targets). -short trims to a representative subset.
+func testKernels() []string {
+	if testing.Short() {
+		return []string{"ep", "mg", "cg"}
+	}
+	return kernels.Names()
+}
+
+// TestServiceFinalByteIdentical is the sharded identity pin: a service
+// job over ≥4 workers composes a final configuration byte-identical
+// (notes stripped) to serial search.Run — in the plain case for every
+// kernel, and with a worker killed mid-run and the server crashed and
+// restarted mid-run (resuming from the job store) on representative
+// kernels.
+func TestServiceFinalByteIdentical(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		for _, name := range testKernels() {
+			name := name
+			t.Run(name, func(t *testing.T) {
+				srv, err := New(Options{Dir: t.TempDir(), Workers: 4, Fleet: fastFleet})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				j, err := srv.Submit(jobs.Spec{Kernel: name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				waitState(t, srv, j.ID, jobs.StateDone)
+				got := stripNotes(resultOf(t, srv, j.ID))
+				want := stripNotes(serialFinal(t, name))
+				if got != want {
+					t.Errorf("sharded final diverged from serial for %s.W", name)
+				}
+				sum, err := srv.Summary(j.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum.Tested == 0 {
+					t.Error("summary reports no evaluations — units never reached the fleet")
+				}
+			})
+		}
+	})
+
+	t.Run("worker-killed", func(t *testing.T) {
+		for _, name := range []string{"ep", "mg"} {
+			name := name
+			t.Run(name, func(t *testing.T) {
+				srv, err := New(Options{Dir: t.TempDir(), Workers: 4, Fleet: fastFleet})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv.Close()
+				j, err := srv.Submit(jobs.Spec{Kernel: name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Kill a busy worker mid-run: its lease must break, the shard
+				// reassign, and the final must not change.
+				killed := false
+				deadline := time.Now().Add(time.Minute)
+				for !killed && time.Now().Before(deadline) {
+					if jj, _ := srv.Store().Get(j.ID); jj.State.Terminal() {
+						break
+					}
+					for _, w := range srv.Pool().Workers() {
+						if w.State == fleet.WorkerBusy {
+							if err := srv.Pool().Kill(w.ID); err != nil {
+								t.Fatal(err)
+							}
+							killed = true
+							break
+						}
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if !killed {
+					t.Fatal("no busy worker to kill before the job finished")
+				}
+				waitState(t, srv, j.ID, jobs.StateDone)
+				if alive := srv.Pool().Alive(); alive != 3 {
+					t.Errorf("Alive() = %d after killing one of four workers", alive)
+				}
+				got := stripNotes(resultOf(t, srv, j.ID))
+				want := stripNotes(serialFinal(t, name))
+				if got != want {
+					t.Errorf("final diverged from serial after a worker kill for %s.W", name)
+				}
+			})
+		}
+	})
+
+	t.Run("server-restarted", func(t *testing.T) {
+		for _, name := range []string{"ep", "mg"} {
+			name := name
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				srv1, err := New(Options{Dir: dir, Workers: 4, Fleet: fastFleet})
+				if err != nil {
+					t.Fatal(err)
+				}
+				j, err := srv1.Submit(jobs.Spec{Kernel: name})
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Let the run settle some verdicts, then die without any state
+				// transition — the on-disk record must still say "running".
+				deadline := time.Now().Add(time.Minute)
+				for time.Now().Before(deadline) {
+					srv1.mu.Lock()
+					st := srv1.streams[j.ID]
+					srv1.mu.Unlock()
+					if st != nil && st.events() >= 5 {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				srv1.crash()
+				st2, err := jobs.Open(dir)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rec, ok := st2.Get(j.ID)
+				if !ok {
+					t.Fatal("job lost across crash")
+				}
+				if rec.Recovered != 1 || rec.State != jobs.StateQueued {
+					t.Fatalf("crash left state %s recovered %d, want queued/1 after recovery open", rec.State, rec.Recovered)
+				}
+
+				// A fresh server over the same dir relaunches the job from the
+				// store, resuming its journal.
+				srv2, err := New(Options{Dir: dir, Workers: 4, Fleet: fastFleet})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer srv2.Close()
+				waitState(t, srv2, j.ID, jobs.StateDone)
+				sum, err := srv2.Summary(j.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if sum.Resumed == 0 && sum.CacheHits == 0 {
+					t.Error("restart replayed nothing: neither journal verdicts nor cache hits")
+				}
+				got := stripNotes(resultOf(t, srv2, j.ID))
+				want := stripNotes(serialFinal(t, name))
+				if got != want {
+					t.Errorf("final diverged from serial across a server restart for %s.W", name)
+				}
+			})
+		}
+	})
+}
+
+// TestServiceCrossJobDedup: a second identical submission is a new job
+// (fresh ID, fresh journal) but inherits the first job's verdicts from
+// the shared cache — the summary must report cache-served provenance.
+func TestServiceCrossJobDedup(t *testing.T) {
+	srv, err := New(Options{Dir: t.TempDir(), Workers: 4, Fleet: fastFleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	j1, err := srv.Submit(jobs.Spec{Kernel: "ep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, j1.ID, jobs.StateDone)
+	j2, err := srv.Submit(jobs.Spec{Kernel: "ep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.ID == j1.ID {
+		t.Fatal("identical submissions collapsed into one job")
+	}
+	if j2.Image != j1.Image {
+		t.Fatal("identical submissions got different cache scopes")
+	}
+	waitState(t, srv, j2.ID, jobs.StateDone)
+	sum1, err := srv.Summary(j1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := srv.Summary(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2.CacheHits < 1 {
+		t.Errorf("second identical job reports %d cache hits, want ≥1", sum2.CacheHits)
+	}
+	if sum2.Tested >= sum1.Tested {
+		t.Errorf("dedup saved nothing: %d evaluations vs %d on the first run", sum2.Tested, sum1.Tested)
+	}
+	if sum2.Provenance["memo"]+sum2.Provenance["proved"] < 1 {
+		t.Errorf("no cache-served provenance in %v", sum2.Provenance)
+	}
+	if stripNotes(resultOf(t, srv, j1.ID)) != stripNotes(resultOf(t, srv, j2.ID)) {
+		t.Error("cache-served job composed a different final")
+	}
+}
+
+// TestServiceCancel: cancelling a running job interrupts it.
+func TestServiceCancel(t *testing.T) {
+	srv, err := New(Options{Dir: t.TempDir(), Workers: 2, Fleet: fastFleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	j, err := srv.Submit(jobs.Spec{Kernel: "mg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, j.ID, jobs.StateRunning)
+	if err := srv.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Minute)
+	for time.Now().Before(deadline) {
+		jj, _ := srv.Store().Get(j.ID)
+		if jj.State.Terminal() {
+			if jj.State != jobs.StateCancelled {
+				t.Fatalf("cancelled job ended %s", jj.State)
+			}
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cancel never landed")
+}
+
+// TestServiceGracefulShutdownRequeues: Close re-queues running jobs so
+// the next incarnation resumes them.
+func TestServiceGracefulShutdownRequeues(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := New(Options{Dir: dir, Workers: 4, Fleet: fastFleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := srv.Submit(jobs.Spec{Kernel: "mg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, j.ID, jobs.StateRunning)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := jobs.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jj, ok := st.Get(j.ID)
+	if !ok {
+		t.Fatal("job lost across graceful shutdown")
+	}
+	if jj.State != jobs.StateQueued || jj.Recovered != 1 {
+		t.Errorf("graceful shutdown left state %s recovered %d, want queued/1", jj.State, jj.Recovered)
+	}
+}

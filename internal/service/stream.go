@@ -1,0 +1,101 @@
+package service
+
+import (
+	"sync"
+
+	"fpmix/internal/search"
+)
+
+// Event is one progress record on a job's stream: an evaluation, a
+// server note, or the end-of-stream marker.
+type Event struct {
+	Type string             `json:"type"` // "eval", "note", "end"
+	Eval *search.EvalRecord `json:"eval,omitempty"`
+	Note string             `json:"note,omitempty"`
+}
+
+// stream fans a job's Eval records out to any number of subscribers,
+// replaying history to late joiners. The search's Observe hook calls
+// observe from the coordinator goroutine; subscribers drain buffered
+// channels, and a subscriber that falls a full buffer behind is dropped
+// rather than allowed to stall the search.
+type stream struct {
+	mu      sync.Mutex
+	history []Event
+	subs    map[chan Event]struct{}
+	closed  bool
+}
+
+func newStream() *stream {
+	return &stream{subs: make(map[chan Event]struct{})}
+}
+
+func (st *stream) observe(ev search.Eval) {
+	r := search.Record(ev)
+	st.add(Event{Type: "eval", Eval: &r})
+}
+
+func (st *stream) note(msg string) {
+	st.add(Event{Type: "note", Note: msg})
+}
+
+func (st *stream) add(e Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.history = append(st.history, e)
+	for ch := range st.subs {
+		select {
+		case ch <- e:
+		default:
+			delete(st.subs, ch) // subscriber too slow: drop it
+			close(ch)
+		}
+	}
+}
+
+// subscribe returns the history so far and a live channel (closed at
+// end of stream). nil channel means the stream already ended — replay
+// is complete.
+func (st *stream) subscribe() ([]Event, chan Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	replay := append([]Event(nil), st.history...)
+	if st.closed {
+		return replay, nil
+	}
+	ch := make(chan Event, 1024)
+	st.subs[ch] = struct{}{}
+	return replay, ch
+}
+
+func (st *stream) unsubscribe(ch chan Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.subs[ch]; ok {
+		delete(st.subs, ch)
+		close(ch)
+	}
+}
+
+func (st *stream) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	for ch := range st.subs {
+		close(ch)
+	}
+	st.subs = nil
+}
+
+// events snapshots the history (for status endpoints).
+func (st *stream) events() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.history)
+}
