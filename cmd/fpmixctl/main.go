@@ -198,22 +198,55 @@ func (c *client) wait(args []string) error {
 	}
 }
 
-// watch follows the job's ndjson progress stream, printing one line per
-// event until the stream ends.
+// watch follows the job's ndjson progress stream, printing one line
+// per event until the stream ends. A dropped connection (daemon
+// restart, network blip) reconnects with exponential backoff and
+// resumes from the last-seen sequence number via ?from=, so no event
+// is missed or repeated across reconnects.
 func (c *client) watch(id string) error {
-	resp, err := http.Get(c.base + "/api/v1/jobs/" + id + "/events")
+	last := 0 // highest event seq already printed
+	backoff := 500 * time.Millisecond
+	const maxBackoff = 8 * time.Second
+	for attempt := 0; ; attempt++ {
+		ended, progressed, err := c.watchOnce(id, &last)
+		if ended {
+			return nil
+		}
+		if err != nil && attempt == 0 && last == 0 {
+			// The very first connect failed outright (bad job ID, no
+			// server): report it instead of retrying forever.
+			return err
+		}
+		if progressed {
+			backoff = 500 * time.Millisecond
+		}
+		fmt.Fprintf(os.Stderr, "fpmixctl: stream dropped (%v), reconnecting from seq %d in %s\n",
+			err, last+1, backoff)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// watchOnce runs one stream connection. It reports whether the stream
+// ended cleanly (the "end" marker arrived) and whether any event was
+// received on this connection (progress resets the reconnect backoff).
+func (c *client) watchOnce(id string, last *int) (ended, progressed bool, err error) {
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/events?from=%d", c.base, id, *last+1))
 	if err != nil {
-		return err
+		return false, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+		return false, false, fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		var e struct {
+			Seq  int    `json:"seq"`
 			Type string `json:"type"`
 			Note string `json:"note"`
 			Eval *struct {
@@ -227,6 +260,10 @@ func (c *client) watch(id string) error {
 			fmt.Println(sc.Text())
 			continue
 		}
+		if e.Seq > *last {
+			*last = e.Seq
+		}
+		progressed = true
 		switch e.Type {
 		case "eval":
 			verdict := "fail"
@@ -237,10 +274,13 @@ func (c *client) watch(id string) error {
 		case "note":
 			fmt.Printf("note: %s\n", e.Note)
 		case "end":
-			return nil
+			return true, progressed, nil
 		}
 	}
-	return sc.Err()
+	if err := sc.Err(); err != nil {
+		return false, progressed, err
+	}
+	return false, progressed, fmt.Errorf("stream closed without end marker")
 }
 
 // result downloads the final configuration.

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestWatchOnceResumesFromLastSeq pins the client half of watch's
+// reconnect: a connection dropped mid-stream leaves `last` at the
+// highest seq printed, and the next connection asks the server for
+// ?from=last+1 — so across a daemon restart no event is repeated or
+// lost.
+func TestWatchOnceResumesFromLastSeq(t *testing.T) {
+	var froms []string
+	conn := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn++
+		froms = append(froms, r.URL.Query().Get("from"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if conn == 1 {
+			// Three events, then the connection dies without an end marker.
+			for seq := 1; seq <= 3; seq++ {
+				fmt.Fprintf(w, `{"seq":%d,"type":"note","note":"n%d"}`+"\n", seq, seq)
+			}
+			return
+		}
+		// The resumed stream: the remaining events, then a clean end.
+		for seq := 4; seq <= 5; seq++ {
+			fmt.Fprintf(w, `{"seq":%d,"type":"note","note":"n%d"}`+"\n", seq, seq)
+		}
+		fmt.Fprintln(w, `{"type":"end"}`)
+	}))
+	defer ts.Close()
+
+	c := &client{base: ts.URL}
+	last := 0
+	ended, progressed, err := c.watchOnce("j0001", &last)
+	if ended || !progressed || err == nil {
+		t.Fatalf("dropped stream: ended=%v progressed=%v err=%v, want retryable error with progress", ended, progressed, err)
+	}
+	if last != 3 {
+		t.Fatalf("last = %d after first connection, want 3", last)
+	}
+	ended, progressed, err = c.watchOnce("j0001", &last)
+	if !ended || !progressed || err != nil {
+		t.Fatalf("resumed stream: ended=%v progressed=%v err=%v, want clean end", ended, progressed, err)
+	}
+	if last != 5 {
+		t.Fatalf("last = %d after resume, want 5", last)
+	}
+	if len(froms) != 2 || froms[0] != "1" || froms[1] != "4" {
+		t.Fatalf("server saw from=%v, want [1 4]", froms)
+	}
+}
+
+// TestWatchOnceBadStatus: a non-200 answer is a terminal error for the
+// connection, carrying the server's message.
+func TestWatchOnceBadStatus(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no job j9999", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	c := &client{base: ts.URL}
+	last := 0
+	ended, _, err := c.watchOnce("j9999", &last)
+	if ended || err == nil {
+		t.Fatalf("404 stream: ended=%v err=%v, want error", ended, err)
+	}
+}

@@ -26,8 +26,13 @@
 //	GET  /api/v1/workers           worker registry
 //	POST /api/v1/workers/{id}/kill chaos: report a worker dead
 //	GET  /api/v1/healthz           liveness
+//	POST /api/v1/fleet/...         remote-worker protocol (fpmixworker)
 //
-// fpmixctl is the matching client.
+// fpmixctl is the matching client; fpmixworker joins the evaluation
+// fleet from other processes or machines (run fpmixd -workers 0 for a
+// remote-only daemon). On SIGINT/SIGTERM the daemon drains in-flight
+// remote units up to -draintimeout so their verdicts journal, then
+// requeues the rest and exits; the next incarnation resumes.
 package main
 
 import (
@@ -46,10 +51,15 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8606", "listen address")
 	dir := flag.String("dir", "fpmixd.state", "job store directory (journals, results, verdict cache)")
-	workers := flag.Int("workers", 4, "in-process evaluation workers")
+	workers := flag.Int("workers", 4, "in-process evaluation workers (0 = remote-only: all evaluation on fpmixworker processes)")
+	drain := flag.Duration("draintimeout", 5*time.Second, "graceful-shutdown wait for in-flight remote units before requeueing them")
 	flag.Parse()
 
-	srv, err := service.New(service.Options{Dir: *dir, Workers: *workers})
+	w := *workers
+	if w == 0 {
+		w = -1 // service.Options: negative = zero in-process workers
+	}
+	srv, err := service.New(service.Options{Dir: *dir, Workers: w, DrainTimeout: *drain})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,174 @@
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Network fault injection: the wire-level sibling of the evaluation
+// injector. The remote-worker transport (internal/remote) consults a
+// NetInjector before every RPC attempt and simulates the classic
+// failure modes of a real network — a response dropped after the
+// server processed the request, a duplicated delivery, a delayed
+// heartbeat, a connection reset before the request ever lands. Like
+// the evaluation injector, decisions are a pure function of
+// (seed, op, key, attempt) and only attempt 0 of any (op, key) is
+// ever faulted, so the client's bounded retry always reaches a clean
+// attempt and a chaos run terminates deterministically. The server
+// side needs no cooperation: its idempotent claim re-delivery and
+// owner+epoch report acceptance are exactly what these faults probe.
+
+// NetKind classifies an injected network fault.
+type NetKind uint8
+
+// Injected network fault kinds.
+const (
+	// NetNone: the RPC attempt runs clean.
+	NetNone NetKind = iota
+	// NetDrop: the request is sent and processed, but the response is
+	// dropped on the way back — the client sees a transport error and
+	// retries, so the server must tolerate the duplicate (idempotent
+	// claim re-delivery; report accepted once by owner+epoch).
+	NetDrop
+	// NetDup: the request is delivered twice back-to-back (a retransmit
+	// the first copy of which actually arrived). The second delivery
+	// must be discarded by the server's idempotency tokens.
+	NetDup
+	// NetDelay: the request stalls for Decision.Delay before it is sent
+	// — a delayed heartbeat or report crossing a slow link.
+	NetDelay
+	// NetReset: the connection resets before the request reaches the
+	// server — the client sees an error, the server saw nothing, and
+	// the retry is the first delivery.
+	NetReset
+)
+
+func (k NetKind) String() string {
+	switch k {
+	case NetNone:
+		return "none"
+	case NetDrop:
+		return "drop"
+	case NetDup:
+		return "dup"
+	case NetDelay:
+		return "delay"
+	case NetReset:
+		return "reset"
+	default:
+		return "netkind?"
+	}
+}
+
+// NetRates are per-kind injection probabilities (each in [0,1], summed
+// to at most 1): the fraction of (op, key) pairs whose first RPC
+// attempt is hit by that fault kind.
+type NetRates struct {
+	Drop, Dup, Delay, Reset float64
+}
+
+// DefaultNetRates fault ~6% of RPCs with each kind (~24% total) —
+// aggressive on purpose: the transport must shrug all of it off.
+var DefaultNetRates = NetRates{Drop: 0.06, Dup: 0.06, Delay: 0.06, Reset: 0.06}
+
+// DefaultNetDelay is the default injected delay.
+const DefaultNetDelay = 150 * time.Millisecond
+
+// NetDecision is the fault chosen for one RPC attempt.
+type NetDecision struct {
+	Kind NetKind
+	// Delay is how long a NetDelay attempt stalls before sending.
+	Delay time.Duration
+}
+
+// NetStats counts a network injector's activity.
+type NetStats struct {
+	// Decisions is the number of Decide calls (RPC attempts seen).
+	Decisions int
+	// Drops, Dups, Delays and Resets count the injected faults by kind.
+	Drops, Dups, Delays, Resets int
+}
+
+// Total is the number of injected network faults across all kinds.
+func (s NetStats) Total() int { return s.Drops + s.Dups + s.Delays + s.Resets }
+
+// NetInjector decides injected network faults deterministically from
+// its seed. Safe for concurrent use.
+type NetInjector struct {
+	seed  int64
+	rates NetRates
+	delay time.Duration
+
+	mu    sync.Mutex
+	stats NetStats
+}
+
+// NewNet builds a network injector. Zero rates fall back to
+// DefaultNetRates as a whole; a zero delay falls back to
+// DefaultNetDelay.
+func NewNet(seed int64, rates NetRates, delay time.Duration) *NetInjector {
+	if rates == (NetRates{}) {
+		rates = DefaultNetRates
+	}
+	if delay <= 0 {
+		delay = DefaultNetDelay
+	}
+	return &NetInjector{seed: seed, rates: rates, delay: delay}
+}
+
+// Seed returns the injector's seed.
+func (n *NetInjector) Seed() int64 { return n.seed }
+
+// Decide returns the fault injected into the given attempt of the
+// given RPC — a pure function of (seed, op, key, attempt), so chaos
+// runs replay identically. Only the first attempt of an (op, key) pair
+// is ever faulted: retries are guaranteed clean, so bounded retry
+// terminates.
+func (n *NetInjector) Decide(op, key string, attempt int) NetDecision {
+	d := n.decide(op, key, attempt)
+	n.mu.Lock()
+	n.stats.Decisions++
+	switch d.Kind {
+	case NetDrop:
+		n.stats.Drops++
+	case NetDup:
+		n.stats.Dups++
+	case NetDelay:
+		n.stats.Delays++
+	case NetReset:
+		n.stats.Resets++
+	}
+	n.mu.Unlock()
+	return d
+}
+
+func (n *NetInjector) decide(op, key string, attempt int) NetDecision {
+	if attempt != 0 {
+		return NetDecision{}
+	}
+	// Reuse the evaluation injector's seeded FNV+splitmix64 hash so both
+	// chaos layers share one well-mixed roll.
+	inj := Injector{seed: n.seed}
+	h := inj.hash(fmt.Sprintf("net\x00%s\x00%s", op, key))
+	roll := float64(h>>11) / float64(1<<53)
+	r := n.rates
+	switch {
+	case roll < r.Drop:
+		return NetDecision{Kind: NetDrop}
+	case roll < r.Drop+r.Dup:
+		return NetDecision{Kind: NetDup}
+	case roll < r.Drop+r.Dup+r.Delay:
+		return NetDecision{Kind: NetDelay, Delay: n.delay}
+	case roll < r.Drop+r.Dup+r.Delay+r.Reset:
+		return NetDecision{Kind: NetReset}
+	}
+	return NetDecision{}
+}
+
+// Stats returns a snapshot of the injector's activity counters.
+func (n *NetInjector) Stats() NetStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}

@@ -1,0 +1,109 @@
+package faultinject
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestNetDeterministic: decisions are a pure function of
+// (seed, op, key, attempt) — two injectors with the same seed agree on
+// every decision, and replaying a decision returns the same fault.
+func TestNetDeterministic(t *testing.T) {
+	a := NewNet(42, NetRates{}, 0)
+	b := NewNet(42, NetRates{}, 0)
+	for i := 0; i < 500; i++ {
+		op := []string{"claim", "report", "heartbeat"}[i%3]
+		key := fmt.Sprintf("k%d", i)
+		da, db := a.Decide(op, key, 0), b.Decide(op, key, 0)
+		if da != db {
+			t.Fatalf("seed 42 disagrees on (%s,%s): %v vs %v", op, key, da, db)
+		}
+		if again := a.Decide(op, key, 0); again != da {
+			t.Fatalf("replay of (%s,%s) changed: %v vs %v", op, key, again, da)
+		}
+	}
+}
+
+// TestNetRetriesAlwaysClean: attempt > 0 is never faulted, so bounded
+// retry always reaches a clean attempt.
+func TestNetRetriesAlwaysClean(t *testing.T) {
+	n := NewNet(7, NetRates{Drop: 1}, 0) // every first attempt faults
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if d := n.Decide("report", key, 0); d.Kind != NetDrop {
+			t.Fatalf("rate 1.0: attempt 0 of %s not dropped (%v)", key, d)
+		}
+		for attempt := 1; attempt < 4; attempt++ {
+			if d := n.Decide("report", key, attempt); d.Kind != NetNone {
+				t.Fatalf("attempt %d of %s faulted: %v", attempt, key, d)
+			}
+		}
+	}
+}
+
+// TestNetSeedsDiffer: different seeds produce different fault plans.
+func TestNetSeedsDiffer(t *testing.T) {
+	a, b := NewNet(1, NetRates{}, 0), NewNet(2, NetRates{}, 0)
+	same := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if a.Decide("claim", key, 0) == b.Decide("claim", key, 0) {
+			same++
+		}
+	}
+	if same == trials {
+		t.Fatal("seeds 1 and 2 produced identical fault plans")
+	}
+}
+
+// TestNetRatesRespected: over many keys the injected fraction per kind
+// tracks the configured rates, and kinds partition the roll space.
+func TestNetRatesRespected(t *testing.T) {
+	rates := NetRates{Drop: 0.1, Dup: 0.1, Delay: 0.1, Reset: 0.1}
+	n := NewNet(99, rates, 25*time.Millisecond)
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		d := n.Decide("rpc", fmt.Sprintf("k%d", i), 0)
+		if d.Kind == NetDelay && d.Delay != 25*time.Millisecond {
+			t.Fatalf("delay decision carries %v, want 25ms", d.Delay)
+		}
+	}
+	st := n.Stats()
+	if st.Decisions != trials {
+		t.Fatalf("Decisions = %d, want %d", st.Decisions, trials)
+	}
+	for kind, got := range map[string]int{
+		"drop": st.Drops, "dup": st.Dups, "delay": st.Delays, "reset": st.Resets,
+	} {
+		frac := float64(got) / trials
+		if frac < 0.05 || frac > 0.15 {
+			t.Errorf("%s rate %.3f, want ≈0.10", kind, frac)
+		}
+	}
+	if st.Total() != st.Drops+st.Dups+st.Delays+st.Resets {
+		t.Error("Total() disagrees with the per-kind counters")
+	}
+}
+
+// TestNetDefaults: zero rates and delay fall back to the documented
+// defaults; the kind stringer covers every kind.
+func TestNetDefaults(t *testing.T) {
+	n := NewNet(5, NetRates{}, 0)
+	if n.rates != DefaultNetRates || n.delay != DefaultNetDelay {
+		t.Fatalf("defaults not applied: %+v / %v", n.rates, n.delay)
+	}
+	if n.Seed() != 5 {
+		t.Fatalf("Seed() = %d", n.Seed())
+	}
+	want := map[NetKind]string{
+		NetNone: "none", NetDrop: "drop", NetDup: "dup",
+		NetDelay: "delay", NetReset: "reset", NetKind(200): "netkind?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("NetKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}

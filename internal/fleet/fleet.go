@@ -10,6 +10,16 @@
 // Because unit verdicts are deterministic functions of their address
 // sets, the composed final configuration is byte-identical to a serial
 // run no matter how units are sharded, reassigned or replayed.
+//
+// Workers come in two flavors. In-process workers (Start/AddWorker) are
+// goroutines evaluating on the job's registered evaluator. Remote
+// workers (AddRemote, driven over the wire by internal/remote and
+// cmd/fpmixworker) claim, evaluate and report through explicit RPCs in
+// their own address space — a crashed worker process can never take the
+// pool down; its stopped heartbeat breaks the lease exactly like an
+// in-process death. All lease-expiry decisions use the pool's own clock
+// only: remote timestamps never enter them, so arbitrarily skewed
+// worker clocks cannot expire or extend a lease.
 package fleet
 
 import (
@@ -29,9 +39,9 @@ type Evaluator interface {
 // Options shape a pool's failure detection.
 type Options struct {
 	// Heartbeat is the interval at which live workers refresh their
-	// lease (default 250ms); Expiry is the silence after which the
+	// lease (default 500ms); Expiry is the silence after which the
 	// monitor declares a worker dead and reassigns its shard (default
-	// 4×Heartbeat).
+	// 8×Heartbeat).
 	Heartbeat time.Duration
 	Expiry    time.Duration
 	// MaxReassign bounds how many times one shard may be reassigned
@@ -39,6 +49,24 @@ type Options struct {
 	// kills every worker it touches must not take the fleet down with
 	// it.
 	MaxReassign int
+	// QuarantineAfter is the number of consecutive worker-reported
+	// evaluation failures after which a remote worker is quarantined:
+	// it keeps heartbeating but is never assigned another shard until
+	// an operator kills or restarts it (default 3). A successful report
+	// resets the count.
+	QuarantineAfter int
+	// Fallback enables graceful degradation: when no assignable worker
+	// remains (all dead or quarantined), units evaluate in-process on
+	// the job's own registered evaluator instead of failing — jobs slow
+	// down but never stall. Off by default so pure-fleet tests observe
+	// the no-live-workers error paths.
+	Fallback bool
+	// Clock overrides the time source for heartbeat/lease bookkeeping
+	// (tests drive expiry deterministically with a fake clock). Nil
+	// means time.Now. Lease expiry compares only timestamps taken from
+	// this clock — worker-side clocks are never consulted, so clock
+	// skew between daemon and workers cannot break or extend a lease.
+	Clock func() time.Time
 }
 
 // WorkerState is a worker's position in its lifecycle.
@@ -48,14 +76,21 @@ const (
 	WorkerIdle WorkerState = "idle"
 	WorkerBusy WorkerState = "busy"
 	WorkerDead WorkerState = "dead"
+	// WorkerQuarantined: too many consecutive failures; the worker is
+	// drained — it keeps heartbeating and stays visible in the
+	// registry, but no shard is ever assigned to it again.
+	WorkerQuarantined WorkerState = "quarantined"
 )
 
 // WorkerInfo is a registry snapshot of one worker.
 type WorkerInfo struct {
 	ID        string      `json:"id"`
+	Name      string      `json:"name,omitempty"` // remote self-reported name
+	Remote    bool        `json:"remote,omitempty"`
 	State     WorkerState `json:"state"`
-	Done      int         `json:"done"`      // units completed and accepted
-	Discarded int         `json:"discarded"` // results rejected (lease lost)
+	Done      int         `json:"done"`            // units completed and accepted
+	Discarded int         `json:"discarded"`       // results rejected (lease lost or duplicated)
+	Fails     int         `json:"fails,omitempty"` // consecutive reported failures
 	Job       string      `json:"job,omitempty"`
 	Unit      string      `json:"unit,omitempty"`
 	LastBeat  time.Time   `json:"last_beat"`
@@ -65,23 +100,29 @@ type WorkerInfo struct {
 type Pool struct {
 	opts Options
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	workers map[string]*worker
-	queue   []*shard // FIFO of unleased shards
-	wseq    int
-	closed  bool
+	mu           sync.Mutex
+	cond         *sync.Cond
+	workers      map[string]*worker
+	queue        []*shard // FIFO of unleased shards
+	wseq, rseq   int
+	fallbacks    int
+	draining     bool // no new remote leases (graceful shutdown)
+	interrupting bool // every queued or future unit settles interrupted
+	closed       bool
 }
 
 type worker struct {
 	id        string
+	name      string
+	remote    bool
 	state     WorkerState
 	dead      bool
 	done      int
 	discarded int
+	fails     int
 	current   *shard
 	lastBeat  time.Time
-	stopBeat  chan struct{}
+	stopBeat  chan struct{} // in-process only
 }
 
 // shard is one leased evaluation unit.
@@ -115,10 +156,21 @@ func New(opts Options) *Pool {
 	if opts.MaxReassign <= 0 {
 		opts.MaxReassign = 3
 	}
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = 3
+	}
 	p := &Pool{opts: opts, workers: make(map[string]*worker)}
 	p.cond = sync.NewCond(&p.mu)
 	go p.monitor()
 	return p
+}
+
+// now is the pool's only time source for heartbeat/lease bookkeeping.
+func (p *Pool) now() time.Time {
+	if p.opts.Clock != nil {
+		return p.opts.Clock()
+	}
+	return time.Now()
 }
 
 // Start adds n in-process workers.
@@ -135,7 +187,7 @@ func (p *Pool) AddWorker() string {
 	w := &worker{
 		id:       fmt.Sprintf("w%d", p.wseq),
 		state:    WorkerIdle,
-		lastBeat: time.Now(),
+		lastBeat: p.now(),
 		stopBeat: make(chan struct{}),
 	}
 	p.workers[w.id] = w
@@ -167,8 +219,9 @@ func (p *Pool) Workers() []WorkerInfo {
 	out := make([]WorkerInfo, 0, len(p.workers))
 	for _, w := range p.workers {
 		wi := WorkerInfo{
-			ID: w.id, State: w.state, Done: w.done,
-			Discarded: w.discarded, LastBeat: w.lastBeat,
+			ID: w.id, Name: w.name, Remote: w.remote, State: w.state,
+			Done: w.done, Discarded: w.discarded, Fails: w.fails,
+			LastBeat: w.lastBeat,
 		}
 		if w.current != nil {
 			wi.Job = w.current.job.id
@@ -179,11 +232,20 @@ func (p *Pool) Workers() []WorkerInfo {
 	return out
 }
 
-// Alive counts workers that can still take shards.
+// Alive counts workers that can still take shards (not dead, not
+// quarantined).
 func (p *Pool) Alive() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.aliveLocked()
+	return p.assignableLocked()
+}
+
+// Fallbacks counts units that degraded to in-process evaluation
+// because no assignable worker remained.
+func (p *Pool) Fallbacks() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fallbacks
 }
 
 // QueueLen is the number of shards awaiting a lease.
@@ -210,6 +272,82 @@ func (p *Pool) Close() {
 	p.cond.Broadcast()
 }
 
+// DrainRemote stops granting new leases to remote workers (graceful
+// shutdown: in-flight remote units finish and deliver; nothing new
+// ships over the wire). In-process workers keep claiming.
+func (p *Pool) DrainRemote() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.draining = true
+}
+
+// AwaitRemoteIdle blocks until no shard is leased to a remote worker,
+// or the timeout passes; it returns how many remote leases remain.
+func (p *Pool) AwaitRemoteIdle(timeout time.Duration) int {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := p.remoteLeased()
+		if n == 0 || time.Now().After(deadline) {
+			return n
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (p *Pool) remoteLeased() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if w.remote && w.current != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ReleaseRemoteLeases settles every shard still leased to a remote
+// worker as interrupted (the piece stays unsettled and is never
+// journaled; the requeued job re-evaluates it). Only safe once the
+// owning searches are cancelled — an interrupted verdict delivered to
+// a live search would silently drop the piece. The abandoned worker's
+// eventual report no longer matches the shard and is discarded.
+func (p *Pool) ReleaseRemoteLeases() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, w := range p.workers {
+		sh := w.current
+		if !w.remote || sh == nil || sh.delivered {
+			continue
+		}
+		sh.delivered = true
+		sh.owner = ""
+		w.current = nil
+		if w.state == WorkerBusy {
+			w.state = WorkerIdle
+		}
+		sh.done <- shardResult{v: search.Verdict{Interrupted: true}}
+	}
+	p.cond.Broadcast()
+}
+
+// InterruptQueued settles every queued shard — and every unit enqueued
+// from now on — as interrupted. Same safety contract as
+// ReleaseRemoteLeases: call only after cancelling the owning searches.
+func (p *Pool) InterruptQueued() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.interrupting = true
+	for _, sh := range p.queue {
+		if !sh.delivered {
+			sh.delivered = true
+			sh.done <- shardResult{v: search.Verdict{Interrupted: true}}
+		}
+	}
+	p.queue = nil
+	p.cond.Broadcast()
+}
+
 // JobHandle is a registered job's face to the pool: it implements
 // search.UnitEvaluator, so a search hands units straight to the fleet
 // via Options.Units.
@@ -220,13 +358,17 @@ type JobHandle struct {
 }
 
 // Register binds a job ID to the evaluator its units run on (one
-// shared UnitRunner per job — engines are concurrency-safe).
+// shared UnitRunner per job — engines are concurrency-safe). The
+// evaluator doubles as the in-process fallback when Options.Fallback
+// is set and no assignable worker remains.
 func (p *Pool) Register(jobID string, ev Evaluator) *JobHandle {
 	return &JobHandle{pool: p, id: jobID, ev: ev}
 }
 
 // EvaluateUnit enqueues the unit as a shard and blocks until a worker
 // delivers its verdict (or the pool exhausts the reassignment budget).
+// With Options.Fallback, a unit that finds no assignable worker runs
+// in-process instead of erroring.
 func (j *JobHandle) EvaluateUnit(u search.EvalUnit) (search.Verdict, error) {
 	sh := &shard{job: j, unit: u, done: make(chan shardResult, 1)}
 	p := j.pool
@@ -235,7 +377,16 @@ func (j *JobHandle) EvaluateUnit(u search.EvalUnit) (search.Verdict, error) {
 		p.mu.Unlock()
 		return search.Verdict{}, fmt.Errorf("fleet: pool closed")
 	}
-	if p.aliveLocked() == 0 {
+	if p.interrupting {
+		p.mu.Unlock()
+		return search.Verdict{Interrupted: true}, nil
+	}
+	if p.assignableLocked() == 0 {
+		if p.opts.Fallback {
+			p.fallbacks++
+			p.mu.Unlock()
+			return j.ev.Evaluate(u)
+		}
 		p.mu.Unlock()
 		return search.Verdict{}, fmt.Errorf("fleet: no live workers")
 	}
@@ -272,7 +423,7 @@ func (p *Pool) claim(w *worker) (*shard, int, bool) {
 		if p.closed || w.dead {
 			return nil, 0, false
 		}
-		if len(p.queue) > 0 {
+		if len(p.queue) > 0 && w.state != WorkerQuarantined {
 			sh := p.queue[0]
 			p.queue = p.queue[1:]
 			sh.owner = w.id
@@ -295,14 +446,22 @@ func (p *Pool) deliver(w *worker, sh *shard, epoch int, v search.Verdict, err er
 		w.discarded++
 		return
 	}
+	p.deliverLocked(w, sh, v, err)
+}
+
+// deliverLocked completes an accepted delivery; callers hold p.mu and
+// have verified the lease.
+func (p *Pool) deliverLocked(w *worker, sh *shard, v search.Verdict, err error) {
 	sh.delivered = true
 	sh.owner = ""
 	w.current = nil
 	w.done++
+	w.fails = 0
 	if w.state == WorkerBusy {
 		w.state = WorkerIdle
 	}
 	sh.done <- shardResult{v: v, err: err}
+	p.cond.Broadcast()
 }
 
 // beat refreshes the worker's heartbeat until it dies.
@@ -319,32 +478,42 @@ func (p *Pool) beat(w *worker) {
 				p.mu.Unlock()
 				return
 			}
-			w.lastBeat = time.Now()
+			w.lastBeat = p.now()
 			p.mu.Unlock()
 		}
 	}
 }
 
 // monitor scans for workers whose heartbeat went silent (an in-process
-// worker only stops beating when killed; external workers would stop by
-// crashing) and reassigns their shards.
+// worker only stops beating when killed; remote workers stop by
+// crashing or partitioning) and reassigns their shards.
 func (p *Pool) monitor() {
 	t := time.NewTicker(p.opts.Heartbeat)
 	defer t.Stop()
 	for range t.C {
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
+		if !p.sweep() {
 			return
 		}
-		now := time.Now()
-		for _, w := range p.workers {
-			if !w.dead && now.Sub(w.lastBeat) > p.opts.Expiry {
-				p.markDeadLocked(w)
-			}
-		}
-		p.mu.Unlock()
 	}
+}
+
+// sweep runs one monitor pass: every worker silent past Expiry on the
+// pool's clock is declared dead. Returns false once the pool is
+// closed. Exposed to in-package tests so a fake clock can drive expiry
+// deterministically.
+func (p *Pool) sweep() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	now := p.now()
+	for _, w := range p.workers {
+		if !w.dead && now.Sub(w.lastBeat) > p.opts.Expiry {
+			p.markDeadLocked(w)
+		}
+	}
+	return true
 }
 
 // markDeadLocked retires a worker and breaks its lease; callers hold
@@ -355,32 +524,61 @@ func (p *Pool) markDeadLocked(w *worker) {
 	}
 	w.dead = true
 	w.state = WorkerDead
-	select {
-	case <-w.stopBeat:
-	default:
-		close(w.stopBeat)
+	if w.stopBeat != nil {
+		select {
+		case <-w.stopBeat:
+		default:
+			close(w.stopBeat)
+		}
 	}
 	if sh := w.current; sh != nil && sh.owner == w.id {
 		w.current = nil
 		p.requeueLocked(sh)
 	}
-	if p.aliveLocked() == 0 {
-		// The last worker died: queued shards would otherwise wait forever
-		// for a lease that can never be granted.
-		for _, sh := range p.queue {
-			if !sh.delivered {
-				sh.delivered = true
-				sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
-			}
-		}
-		p.queue = nil
+	p.sweepUnassignableLocked()
+	p.cond.Broadcast()
+}
+
+// sweepUnassignableLocked fails (or falls back) every queued shard once
+// no worker can take a lease — they would otherwise wait forever.
+// Callers hold p.mu.
+func (p *Pool) sweepUnassignableLocked() {
+	if p.assignableLocked() > 0 || len(p.queue) == 0 {
+		return
 	}
+	queue := p.queue
+	p.queue = nil
+	for _, sh := range queue {
+		if sh.delivered {
+			continue
+		}
+		if p.opts.Fallback {
+			p.fallbacks++
+			go p.fallback(sh)
+			continue
+		}
+		sh.delivered = true
+		sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
+	}
+}
+
+// fallback evaluates a shard in-process on the job's own evaluator;
+// runs outside p.mu.
+func (p *Pool) fallback(sh *shard) {
+	v, err := sh.job.ev.Evaluate(sh.unit)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if sh.delivered {
+		return
+	}
+	sh.delivered = true
+	sh.done <- shardResult{v: v, err: err}
 	p.cond.Broadcast()
 }
 
 // requeueLocked puts a broken-lease shard back at the head of the
 // queue, or fails it when its reassignment budget is spent or no worker
-// is left to take it.
+// is left to take it (falling back in-process when enabled).
 func (p *Pool) requeueLocked(sh *shard) {
 	sh.owner = ""
 	sh.reassigns++
@@ -392,7 +590,12 @@ func (p *Pool) requeueLocked(sh *shard) {
 		sh.done <- shardResult{err: fmt.Errorf("fleet: unit %q reassigned %d times, giving up", sh.unit.Label, sh.reassigns)}
 		return
 	}
-	if p.aliveLocked() == 0 {
+	if p.assignableLocked() == 0 {
+		if p.opts.Fallback {
+			p.fallbacks++
+			go p.fallback(sh)
+			return
+		}
 		sh.delivered = true
 		sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
 		return
@@ -401,12 +604,18 @@ func (p *Pool) requeueLocked(sh *shard) {
 	p.cond.Broadcast()
 }
 
-func (p *Pool) aliveLocked() int {
+// assignableLocked counts workers a shard could be leased to; callers
+// hold p.mu.
+func (p *Pool) assignableLocked() int {
 	n := 0
 	for _, w := range p.workers {
-		if !w.dead {
-			n++
+		if w.dead || w.state == WorkerQuarantined {
+			continue
 		}
+		if w.remote && p.draining {
+			continue
+		}
+		n++
 	}
 	return n
 }
@@ -416,7 +625,7 @@ func (p *Pool) aliveLocked() int {
 func (p *Pool) stopBeats(id string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if w, ok := p.workers[id]; ok {
+	if w, ok := p.workers[id]; ok && w.stopBeat != nil {
 		select {
 		case <-w.stopBeat:
 		default:

@@ -1,0 +1,183 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fpmix/internal/search"
+)
+
+// ErrUnknownWorker reports a worker ID the registry does not know or
+// has already retired — the wire maps it to 410 Gone, and a worker
+// receiving it re-registers under a fresh identity (the standard
+// recovery after a daemon restart or an operator kill).
+var ErrUnknownWorker = errors.New("fleet: unknown or retired worker")
+
+// RemoteLease is one unit leased to a remote worker. The (owner,
+// epoch) pair is the idempotency token: the pool accepts exactly one
+// report carrying it, so a unit re-delivered after a partition or a
+// duplicated report RPC can never double-count.
+type RemoteLease struct {
+	Job   string
+	Unit  search.EvalUnit
+	Epoch int
+}
+
+// AddRemote registers an out-of-process worker under the given
+// self-reported name and returns its assigned ID plus the heartbeat
+// interval and expiry the worker must respect. No goroutines are
+// attached: the worker drives itself through Claim/Report and keeps
+// its registration alive through Heartbeat; silence past Expiry on the
+// pool's clock retires it exactly like an in-process death.
+func (p *Pool) AddRemote(name string) (id string, heartbeat, expiry time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rseq++
+	w := &worker{
+		id:       fmt.Sprintf("r%d", p.rseq),
+		name:     name,
+		remote:   true,
+		state:    WorkerIdle,
+		lastBeat: p.now(),
+	}
+	p.workers[w.id] = w
+	return w.id, p.opts.Heartbeat, p.opts.Expiry
+}
+
+// Heartbeat refreshes a remote worker's lease clock (stamped with the
+// pool's own clock — the worker's clock never enters expiry decisions)
+// and returns its current state, so a quarantined worker learns to
+// stop claiming.
+func (p *Pool) Heartbeat(id string) (WorkerState, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[id]
+	if !ok || w.dead {
+		return WorkerDead, ErrUnknownWorker
+	}
+	w.lastBeat = p.now()
+	return w.state, nil
+}
+
+// Claim leases the next queued unit to the remote worker, long-polling
+// up to wait. A nil lease with state WorkerIdle means no work was
+// available; state WorkerQuarantined tells the worker to drain. Claim
+// is idempotent: while the worker already holds a lease (its previous
+// claim response was lost on the wire), the same lease is re-delivered
+// with the same epoch instead of assigning a second unit.
+func (p *Pool) Claim(id string, wait time.Duration) (*RemoteLease, WorkerState, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		p.mu.Lock()
+		w, ok := p.workers[id]
+		if !ok || w.dead {
+			p.mu.Unlock()
+			return nil, WorkerDead, ErrUnknownWorker
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return nil, WorkerDead, fmt.Errorf("fleet: pool closed")
+		}
+		w.lastBeat = p.now() // a claim is as good as a heartbeat
+		if w.state == WorkerQuarantined {
+			p.mu.Unlock()
+			return nil, WorkerQuarantined, nil
+		}
+		if sh := w.current; sh != nil {
+			// Re-deliver the lease the worker never heard about. Same
+			// epoch: the idempotency token is unchanged, so whichever
+			// delivery the worker acts on, only one report is accepted.
+			lease := &RemoteLease{Job: sh.job.id, Unit: sh.unit, Epoch: sh.epoch}
+			p.mu.Unlock()
+			return lease, w.state, nil
+		}
+		if len(p.queue) > 0 && !p.draining && !p.interrupting {
+			sh := p.queue[0]
+			p.queue = p.queue[1:]
+			sh.owner = w.id
+			sh.epoch++
+			w.current = sh
+			w.state = WorkerBusy
+			lease := &RemoteLease{Job: sh.job.id, Unit: sh.unit, Epoch: sh.epoch}
+			p.mu.Unlock()
+			return lease, WorkerBusy, nil
+		}
+		p.mu.Unlock()
+		if time.Now().After(deadline) {
+			return nil, WorkerIdle, nil
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+// Report delivers a remote worker's verdict (or worker-side evaluation
+// error) for the unit it holds. Acceptance requires the full
+// idempotency token to match — worker owns the shard, same job, same
+// unit key, same epoch, not yet delivered; anything else (a duplicated
+// report RPC, a late report after the lease broke and the shard was
+// reassigned) returns accepted=false and is counted as discarded, so
+// re-delivered units never double-count.
+//
+// A worker-side evaluation error does not fail the job: the shard
+// requeues for another worker (bounded by MaxReassign) and the failure
+// counts toward the worker's quarantine threshold; QuarantineAfter
+// consecutive failures drain the worker.
+func (p *Pool) Report(id, jobID, key string, epoch int, v search.Verdict, evalErr string) (accepted bool, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[id]
+	if !ok {
+		return false, ErrUnknownWorker
+	}
+	if w.dead {
+		w.discarded++
+		return false, ErrUnknownWorker
+	}
+	w.lastBeat = p.now()
+	sh := w.current
+	if sh == nil || sh.delivered || sh.owner != w.id || sh.epoch != epoch ||
+		sh.job.id != jobID || sh.unit.Key != key {
+		w.discarded++
+		return false, nil
+	}
+	if evalErr != "" || v.Interrupted {
+		// The worker could not produce a verdict: its environment broke
+		// (evalErr — counts toward quarantine) or it is shutting down
+		// gracefully and its local context interrupted the run (no
+		// strike — a drain is not a fault). Either way the verdict must
+		// not reach the search: an Interrupted verdict delivered to a
+		// live coordinator would silently drop the piece from the final.
+		// Break the lease and requeue the shard for someone else.
+		w.current = nil
+		if w.state == WorkerBusy {
+			w.state = WorkerIdle
+		}
+		if evalErr != "" {
+			w.fails++
+			if w.fails >= p.opts.QuarantineAfter {
+				p.quarantineLocked(w)
+			}
+		}
+		p.requeueLocked(sh)
+		return true, nil
+	}
+	p.deliverLocked(w, sh, v, nil)
+	return true, nil
+}
+
+// quarantineLocked drains a worker: no further shard is ever assigned
+// to it, but it stays registered (and heartbeating) so the registry
+// shows why it was benched. Callers hold p.mu.
+func (p *Pool) quarantineLocked(w *worker) {
+	if w.dead || w.state == WorkerQuarantined {
+		return
+	}
+	w.state = WorkerQuarantined
+	if sh := w.current; sh != nil && sh.owner == w.id {
+		w.current = nil
+		p.requeueLocked(sh)
+	}
+	p.sweepUnassignableLocked()
+	p.cond.Broadcast()
+}

@@ -1,0 +1,267 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fpmix/internal/faultinject"
+	"fpmix/internal/jobs"
+)
+
+// ErrGone reports that the daemon no longer knows this worker ID (410
+// Gone): the daemon restarted, or an operator killed the worker. The
+// recovery is always the same — re-register under a fresh identity.
+var ErrGone = errors.New("remote: worker identity gone, re-register")
+
+// errInjected marks transport errors manufactured by the network
+// chaos injector; they retry exactly like real ones.
+type errInjected struct{ kind faultinject.NetKind }
+
+func (e errInjected) Error() string {
+	return fmt.Sprintf("remote: injected network fault (%s)", e.kind)
+}
+
+// Client is the worker-side transport: JSON POSTs with per-RPC
+// deadlines, jittered exponential retry on transport failures, and an
+// optional deterministic network-fault injector exercising the
+// daemon's idempotency guarantees (dropped responses force duplicate
+// deliveries; resets force clean retries; see faultinject.NetKind).
+type Client struct {
+	base string
+	hc   *http.Client
+	net  *faultinject.NetInjector
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	seq int
+}
+
+// Transport tuning. Every RPC gets its own deadline; retries back off
+// exponentially from retryBase with full jitter, capped at retryCap.
+const (
+	rpcTimeout  = 10 * time.Second
+	maxAttempts = 5
+	retryBase   = 100 * time.Millisecond
+	retryCap    = 2 * time.Second
+)
+
+// NewClient builds a transport against the daemon base URL
+// (e.g. http://127.0.0.1:8606). A non-nil injector arms deterministic
+// network chaos on every RPC.
+func NewClient(base string, net *faultinject.NetInjector) *Client {
+	return &Client{
+		base: base,
+		hc:   &http.Client{},
+		net:  net,
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Register joins the fleet, retrying transient failures.
+func (c *Client) Register(ctx context.Context, name string) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.post(ctx, "register", name, "/api/v1/fleet/register",
+		RegisterRequest{Name: name}, &resp, rpcTimeout)
+	return resp, err
+}
+
+// Claim long-polls for a lease. The RPC deadline covers the server's
+// long-poll window plus transport grace.
+func (c *Client) Claim(ctx context.Context, worker string, wait time.Duration) (ClaimResponse, error) {
+	var resp ClaimResponse
+	err := c.post(ctx, "claim", c.nextKey(worker), "/api/v1/fleet/claim",
+		ClaimRequest{Worker: worker, WaitMS: wait.Milliseconds()}, &resp, wait+rpcTimeout)
+	return resp, err
+}
+
+// Heartbeat refreshes the worker's lease clock. One attempt only — a
+// missed beat is harmless well under the expiry budget, and the next
+// tick retries naturally.
+func (c *Client) Heartbeat(ctx context.Context, worker string) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.once(ctx, "heartbeat", c.nextKey(worker), "/api/v1/fleet/heartbeat",
+		HeartbeatRequest{Worker: worker}, &resp, rpcTimeout)
+	return resp, err
+}
+
+// nextKey derives a fresh chaos key (prefix plus a client-local
+// sequence number) so successive claims and heartbeats roll
+// independent fault decisions.
+func (c *Client) nextKey(prefix string) string {
+	c.mu.Lock()
+	c.seq++
+	k := prefix + "#" + strconv.Itoa(c.seq)
+	c.mu.Unlock()
+	return k
+}
+
+// Report delivers a verdict (or worker-side error) for a lease,
+// retrying until the daemon answers. accepted=false is a normal
+// outcome — a duplicate of a delivery that already landed, or a lease
+// lost to reassignment; either way the worker moves on.
+func (c *Client) Report(ctx context.Context, req ReportRequest) (bool, error) {
+	var resp ReportResponse
+	err := c.post(ctx, "report", req.Job+"\x00"+req.Key, "/api/v1/fleet/report",
+		req, &resp, rpcTimeout)
+	return resp.Accepted, err
+}
+
+// JobSpec fetches the spec of the job a lease belongs to, from which
+// the worker builds its local evaluation stack.
+func (c *Client) JobSpec(ctx context.Context, job string) (jobs.Spec, error) {
+	var spec jobs.Spec
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return spec, err
+		}
+		rctx, cancel := context.WithTimeout(ctx, rpcTimeout)
+		req, err := http.NewRequestWithContext(rctx, "GET", c.base+"/api/v1/fleet/jobs/"+job+"/spec", nil)
+		if err != nil {
+			cancel()
+			return spec, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			return spec, fmt.Errorf("remote: job spec %s: %s: %s", job, resp.Status, bytes.TrimSpace(data))
+		}
+		return spec, json.Unmarshal(data, &spec)
+	}
+	return spec, fmt.Errorf("remote: job spec %s: %w", job, lastErr)
+}
+
+// post sends one JSON RPC with retry/backoff and chaos injection. op
+// and key feed the injector (only attempt 0 of a pair is ever
+// faulted, so the retry loop always reaches a clean attempt).
+func (c *Client) post(ctx context.Context, op, key, path string, reqBody, respBody any, deadline time.Duration) error {
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if err := c.sleepBackoff(ctx, attempt); err != nil {
+			return err
+		}
+		err := c.attempt(ctx, op, key, attempt, path, reqBody, respBody, deadline)
+		if err == nil || errors.Is(err, ErrGone) || errors.Is(err, errStatus) {
+			return err
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("remote: %s gave up after %d attempts: %w", op, maxAttempts, lastErr)
+}
+
+// once sends one JSON RPC without retry (heartbeats).
+func (c *Client) once(ctx context.Context, op, key, path string, reqBody, respBody any, deadline time.Duration) error {
+	return c.attempt(ctx, op, key, 0, path, reqBody, respBody, deadline)
+}
+
+// errStatus marks terminal HTTP-status failures (the server answered;
+// retrying the same request cannot help).
+var errStatus = errors.New("remote: rpc rejected")
+
+func (c *Client) attempt(ctx context.Context, op, key string, attempt int, path string, reqBody, respBody any, deadline time.Duration) error {
+	var dec faultinject.NetDecision
+	if c.net != nil {
+		dec = c.net.Decide(op, key, attempt)
+	}
+	switch dec.Kind {
+	case faultinject.NetReset:
+		// Connection reset before the request lands: the server saw
+		// nothing; the retry is the first delivery.
+		return errInjected{dec.Kind}
+	case faultinject.NetDelay:
+		select {
+		case <-time.After(dec.Delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	send := func(dst any) error {
+		rctx, cancel := context.WithTimeout(ctx, deadline)
+		defer cancel()
+		data, err := json.Marshal(reqBody)
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(rctx, "POST", c.base+path, bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusGone:
+			return ErrGone
+		case resp.StatusCode != http.StatusOK:
+			return fmt.Errorf("%w: %s %s: %s", errStatus, op, resp.Status, bytes.TrimSpace(body))
+		}
+		return json.Unmarshal(body, dst)
+	}
+	err := send(respBody)
+	switch dec.Kind {
+	case faultinject.NetDrop:
+		// The server processed the request; the response is dropped on
+		// the way back. The retry is a duplicate delivery the daemon's
+		// idempotency tokens must absorb.
+		if err == nil {
+			return errInjected{dec.Kind}
+		}
+		return err
+	case faultinject.NetDup:
+		// The request is delivered twice; the second copy's outcome is
+		// discarded — the daemon must have discarded it too.
+		if err == nil {
+			send(&struct{}{})
+		}
+		return err
+	}
+	return err
+}
+
+// sleepBackoff waits the jittered exponential delay before the given
+// attempt (none before the first).
+func (c *Client) sleepBackoff(ctx context.Context, attempt int) error {
+	if attempt == 0 {
+		return nil
+	}
+	d := retryBase << (attempt - 1)
+	if d > retryCap {
+		d = retryCap
+	}
+	c.mu.Lock()
+	d = time.Duration(c.rng.Int63n(int64(d))) + d/2 // full-ish jitter in [d/2, 3d/2)
+	c.mu.Unlock()
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

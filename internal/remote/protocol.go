@@ -1,0 +1,136 @@
+// Package remote is the out-of-process worker side of the fpmixd
+// fleet: the wire protocol a worker speaks to the daemon, a transport
+// client hardened against real networks (per-RPC deadlines, jittered
+// exponential retry, deterministic chaos injection), and the worker
+// runtime cmd/fpmixworker wraps.
+//
+// The protocol is four idempotent JSON-over-HTTP RPCs against the
+// daemon's /api/v1/fleet endpoints:
+//
+//	register   join the fleet; returns the worker ID and the
+//	           heartbeat interval / expiry budget to respect
+//	claim      long-poll for an evaluation unit; re-delivers the
+//	           worker's current lease (same epoch) if a previous
+//	           claim response was lost
+//	heartbeat  refresh the lease clock; returns the worker state so
+//	           a quarantined worker learns to drain
+//	report     deliver a verdict or a worker-side error; accepted at
+//	           most once per (owner, epoch) token
+//
+// plus GET /api/v1/fleet/jobs/{id}/spec, from which the worker builds
+// the job's evaluation stack (search.UnitRunner) in its own address
+// space. Every failure-domain decision lives on the daemon: lease
+// expiry uses only the daemon's clock, and duplicate or stale
+// deliveries die against the owner+epoch idempotency tokens.
+package remote
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"fpmix/internal/config"
+	"fpmix/internal/search"
+)
+
+// RegisterRequest asks the daemon for a fleet identity.
+type RegisterRequest struct {
+	Name string `json:"name"`
+}
+
+// RegisterResponse carries the assigned worker ID and the liveness
+// contract: heartbeat at least every HeartbeatMS; silence past
+// ExpiryMS (measured on the daemon's clock) retires the worker.
+type RegisterResponse struct {
+	ID          string `json:"id"`
+	HeartbeatMS int64  `json:"heartbeat_ms"`
+	ExpiryMS    int64  `json:"expiry_ms"`
+}
+
+// ClaimRequest long-polls for work.
+type ClaimRequest struct {
+	Worker string `json:"worker"`
+	WaitMS int64  `json:"wait_ms"`
+}
+
+// Lease is one evaluation unit leased to this worker. Epoch, together
+// with the worker ID, is the idempotency token a Report must echo.
+type Lease struct {
+	Job   string   `json:"job"`
+	Epoch int      `json:"epoch"`
+	Unit  WireUnit `json:"unit"`
+}
+
+// WireUnit is search.EvalUnit as it crosses the wire. A unit key is
+// the raw byte image of its sorted address set — generally not valid
+// UTF-8, which encoding/json silently coerces to U+FFFD, corrupting
+// the idempotency token and making every report of the unit
+// undeliverable — so the key travels hex-encoded.
+type WireUnit struct {
+	Key   string      `json:"key"` // hex-encoded search.EvalUnit.Key
+	Label string      `json:"label,omitempty"`
+	Kind  config.Kind `json:"kind"`
+	Addrs []uint64    `json:"addrs,omitempty"`
+	Final bool        `json:"final,omitempty"`
+}
+
+// ToWire hex-armors a unit for JSON transport.
+func ToWire(u search.EvalUnit) WireUnit {
+	return WireUnit{
+		Key:   hex.EncodeToString([]byte(u.Key)),
+		Label: u.Label,
+		Kind:  u.Kind,
+		Addrs: u.Addrs,
+		Final: u.Final,
+	}
+}
+
+// Unit restores the search-side unit, decoding the hex key.
+func (wu WireUnit) Unit() (search.EvalUnit, error) {
+	key, err := hex.DecodeString(wu.Key)
+	if err != nil {
+		return search.EvalUnit{}, fmt.Errorf("remote: undecodable unit key %q: %v", wu.Key, err)
+	}
+	return search.EvalUnit{
+		Key:   string(key),
+		Label: wu.Label,
+		Kind:  wu.Kind,
+		Addrs: wu.Addrs,
+		Final: wu.Final,
+	}, nil
+}
+
+// ClaimResponse: a lease when work was available, else just the
+// worker's state ("idle" = poll again, "quarantined" = drain).
+type ClaimResponse struct {
+	State string `json:"state"`
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// HeartbeatRequest refreshes the worker's lease clock.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse reports the worker's registry state.
+type HeartbeatResponse struct {
+	State string `json:"state"`
+}
+
+// ReportRequest delivers the verdict for a leased unit — or, when
+// Error is non-empty, the worker-side failure that prevented one (the
+// daemon requeues the unit and counts the strike toward quarantine).
+// Key echoes the lease's hex-encoded unit key verbatim.
+type ReportRequest struct {
+	Worker  string         `json:"worker"`
+	Job     string         `json:"job"`
+	Key     string         `json:"key"`
+	Epoch   int            `json:"epoch"`
+	Verdict search.Verdict `json:"verdict"`
+	Error   string         `json:"error,omitempty"`
+}
+
+// ReportResponse: Accepted is false when the delivery was a duplicate
+// or the lease was lost (both fine — the unit is in other hands).
+type ReportResponse struct {
+	Accepted bool `json:"accepted"`
+}

@@ -1,0 +1,44 @@
+package remote
+
+import (
+	"encoding/json"
+	"testing"
+
+	"fpmix/internal/search"
+)
+
+// TestWireUnitBinaryKeyRoundTrip pins the hex armor: unit keys are raw
+// address bytes (almost never valid UTF-8), and a plain JSON string
+// would silently coerce them to U+FFFD — corrupting the idempotency
+// token so no report of the unit could ever be accepted. The wire form
+// must round-trip any byte string exactly.
+func TestWireUnitBinaryKeyRoundTrip(t *testing.T) {
+	raw := string([]byte{0x00, 0x80, 0xFF, 0xC3, 0x28, 0x10, 0xED, 0xA0})
+	in := search.EvalUnit{Key: raw, Label: "piece 3", Addrs: []uint64{1 << 40, 7}, Final: true}
+	b, err := json.Marshal(Lease{Job: "j1", Epoch: 3, Unit: ToWire(in)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l Lease
+	if err := json.Unmarshal(b, &l); err != nil {
+		t.Fatal(err)
+	}
+	got, err := l.Unit.Unit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != raw {
+		t.Fatalf("key corrupted over the wire: %x != %x", got.Key, raw)
+	}
+	if got.Label != in.Label || got.Final != in.Final || len(got.Addrs) != 2 {
+		t.Fatalf("unit fields lost: %+v", got)
+	}
+}
+
+// TestWireUnitBadHex: a corrupted wire key is a decode error, not a
+// silently wrong unit.
+func TestWireUnitBadHex(t *testing.T) {
+	if _, err := (WireUnit{Key: "zz"}).Unit(); err == nil {
+		t.Fatal("bad hex decoded without error")
+	}
+}

@@ -1,0 +1,265 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fpmix/internal/faultinject"
+	"fpmix/internal/search"
+)
+
+// WorkerOptions configure one out-of-process worker runtime.
+type WorkerOptions struct {
+	// Server is the daemon base URL (e.g. http://127.0.0.1:8606).
+	Server string
+	// Name is the worker's self-reported label, shown in
+	// `fpmixctl workers`.
+	Name string
+	// Poll is the claim long-poll window (default 2s).
+	Poll time.Duration
+	// Net arms deterministic network chaos on every RPC.
+	Net *faultinject.NetInjector
+	// Sabotage > 0 reports the first N claimed units as worker-side
+	// evaluation failures instead of evaluating them — a chaos knob
+	// that drives the daemon's requeue and quarantine paths.
+	Sabotage int
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Run drives a worker until ctx is cancelled: register, then loop
+// claim → evaluate → report, heartbeating in the background. The wire
+// protocol's failure recovery is built in — transient transport errors
+// retry with backoff inside the client, a 410 Gone (daemon restarted,
+// worker retired) re-registers under a fresh identity, quarantine
+// drains the claim loop while heartbeats keep the bench visible, and a
+// cancellation mid-evaluation reports the unit Interrupted over a
+// short grace context so the daemon requeues it immediately instead of
+// waiting out the lease.
+func Run(ctx context.Context, opts WorkerOptions) error {
+	if opts.Poll <= 0 {
+		opts.Poll = 2 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	w := &workerRT{
+		c:       NewClient(opts.Server, opts.Net),
+		opts:    opts,
+		runCtx:  ctx,
+		runners: make(map[string]*search.UnitRunner),
+	}
+	for ctx.Err() == nil {
+		reg, err := w.c.Register(ctx, opts.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			opts.Logf("register: %v", err)
+			sleep(ctx, time.Second)
+			continue
+		}
+		opts.Logf("registered as %s (heartbeat %dms, expiry %dms)",
+			reg.ID, reg.HeartbeatMS, reg.ExpiryMS)
+		if err := w.serve(ctx, reg); errors.Is(err, ErrGone) {
+			opts.Logf("identity %s gone; re-registering", reg.ID)
+			continue
+		} else if err != nil && ctx.Err() == nil {
+			opts.Logf("serve: %v", err)
+			sleep(ctx, time.Second)
+		}
+	}
+	return nil
+}
+
+// workerRT is the runtime state behind Run.
+type workerRT struct {
+	c      *Client
+	opts   WorkerOptions
+	runCtx context.Context
+
+	mu        sync.Mutex
+	runners   map[string]*search.UnitRunner // job ID → local evaluation stack
+	sabotaged int
+}
+
+// serve runs one registration epoch: claim/evaluate/report under the
+// given identity until the context ends (returns nil) or the daemon
+// forgets the identity (returns ErrGone).
+func (w *workerRT) serve(ctx context.Context, reg RegisterResponse) error {
+	hctx, hcancel := context.WithCancel(ctx)
+	defer hcancel()
+	interval := time.Duration(reg.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = time.Second
+	}
+	gone := make(chan struct{})
+	go w.beat(hctx, reg.ID, interval, gone)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-gone:
+			return ErrGone
+		default:
+		}
+		resp, err := w.c.Claim(ctx, reg.ID, w.opts.Poll)
+		if errors.Is(err, ErrGone) {
+			return ErrGone
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		if err != nil {
+			w.opts.Logf("claim: %v", err)
+			sleep(ctx, time.Second)
+			continue
+		}
+		if resp.State == "quarantined" {
+			// Benched: stop claiming, keep heartbeating so the registry
+			// shows the drained worker instead of expiring it.
+			sleep(ctx, w.opts.Poll)
+			continue
+		}
+		if resp.Lease == nil {
+			continue // long-poll window elapsed empty; claim again
+		}
+		w.handle(ctx, reg.ID, resp.Lease)
+	}
+}
+
+// beat heartbeats at the daemon-assigned interval. A transient failure
+// is ignored — the next tick retries, and claims/reports count as
+// beats anyway — but a 410 Gone ends the registration epoch.
+func (w *workerRT) beat(ctx context.Context, id string, interval time.Duration, gone chan<- struct{}) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if _, err := w.c.Heartbeat(ctx, id); errors.Is(err, ErrGone) {
+			close(gone)
+			return
+		}
+	}
+}
+
+// handle evaluates one leased unit and reports the outcome. The report
+// echoes the lease's (worker, job, key, epoch) idempotency token; an
+// accepted=false answer means the delivery was a duplicate or the
+// lease broke, and the worker simply moves on.
+func (w *workerRT) handle(ctx context.Context, id string, l *Lease) {
+	req := ReportRequest{Worker: id, Job: l.Job, Key: l.Unit.Key, Epoch: l.Epoch}
+	unit, uerr := l.Unit.Unit()
+	switch {
+	case uerr != nil:
+		req.Error = uerr.Error()
+	case w.sabotageNext():
+		req.Error = "sabotage: injected worker-side fault"
+	default:
+		runner, err := w.runnerFor(ctx, l.Job)
+		if err != nil {
+			req.Error = err.Error()
+		} else if v, err := runner.Evaluate(unit); err != nil {
+			req.Error = err.Error()
+		} else {
+			req.Verdict = v
+		}
+	}
+	if req.Error != "" && ctx.Err() != nil {
+		// The failure was our own shutdown tearing the stack down, not a
+		// broken environment: report an interrupt (requeue, no strike).
+		req.Error = ""
+		req.Verdict = search.Verdict{Interrupted: true}
+	}
+	rctx := ctx
+	if ctx.Err() != nil {
+		// Graceful drain: flush the final (Interrupted) report over a
+		// short grace context so the daemon requeues the unit now rather
+		// than waiting out the lease expiry.
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+	}
+	accepted, err := w.c.Report(rctx, req)
+	switch {
+	case err != nil:
+		w.opts.Logf("report %s/%s: %v", l.Job, l.Unit.Key, err)
+	case !accepted:
+		w.opts.Logf("report %s/%s: discarded (duplicate or lost lease)", l.Job, l.Unit.Key)
+	}
+}
+
+// sabotageNext consumes one sabotage token if any remain.
+func (w *workerRT) sabotageNext() bool {
+	if w.opts.Sabotage <= 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sabotaged >= w.opts.Sabotage {
+		return false
+	}
+	w.sabotaged++
+	return true
+}
+
+// runnerFor returns the local evaluation stack for a job, building it
+// on first use from the daemon-served job spec — the same engine mode
+// and chaos wiring the daemon's own in-process runner uses, so remote
+// verdicts are indistinguishable from local ones. Runners are cached
+// per job for the life of the process; job IDs are stable across
+// daemon restarts and specs are immutable, so the cache never goes
+// stale.
+func (w *workerRT) runnerFor(ctx context.Context, job string) (*search.UnitRunner, error) {
+	w.mu.Lock()
+	if r, ok := w.runners[job]; ok {
+		w.mu.Unlock()
+		return r, nil
+	}
+	w.mu.Unlock()
+	spec, err := w.c.JobSpec(ctx, job)
+	if err != nil {
+		return nil, err
+	}
+	target, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	mode := search.EngineFork
+	if spec.NoFork {
+		mode = search.EngineOn
+	}
+	var chaos *faultinject.Injector
+	if spec.Chaos != 0 {
+		chaos = faultinject.New(spec.Chaos, faultinject.DefaultRates, 0)
+	}
+	r, err := search.NewUnitRunner(target, search.Options{
+		Engine:  mode,
+		Context: w.runCtx,
+		Chaos:   chaos,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if prev, ok := w.runners[job]; ok {
+		return prev, nil
+	}
+	w.runners[job] = r
+	return r, nil
+}
+
+// sleep waits d or until ctx ends.
+func sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}

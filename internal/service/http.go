@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 
 	"fpmix/internal/fleet"
 	"fpmix/internal/jobs"
@@ -29,10 +30,19 @@ type JobStatus struct {
 //	GET  /api/v1/jobs              list all jobs
 //	GET  /api/v1/jobs/{id}         job status (+ summary when done)
 //	POST /api/v1/jobs/{id}/cancel  cancel a job
-//	GET  /api/v1/jobs/{id}/events  progress stream (ndjson, replays then follows)
+//	GET  /api/v1/jobs/{id}/events  progress stream (ndjson, replays then follows;
+//	                               ?from=N resumes from sequence number N)
 //	GET  /api/v1/jobs/{id}/result  final configuration (exchange format)
 //	GET  /api/v1/workers           worker registry snapshot
 //	GET  /api/v1/healthz           liveness probe
+//
+// plus the remote-worker fleet protocol (see internal/remote):
+//
+//	POST /api/v1/fleet/register       join the fleet
+//	POST /api/v1/fleet/claim          long-poll for an evaluation unit
+//	POST /api/v1/fleet/heartbeat      refresh the lease clock
+//	POST /api/v1/fleet/report         deliver a verdict (idempotent)
+//	GET  /api/v1/fleet/jobs/{id}/spec job spec for worker-side builds
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -43,6 +53,11 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/workers", s.handleWorkers)
 	mux.HandleFunc("POST /api/v1/workers/{id}/kill", s.handleKillWorker)
+	mux.HandleFunc("POST /api/v1/fleet/register", s.handleFleetRegister)
+	mux.HandleFunc("POST /api/v1/fleet/claim", s.handleFleetClaim)
+	mux.HandleFunc("POST /api/v1/fleet/heartbeat", s.handleFleetHeartbeat)
+	mux.HandleFunc("POST /api/v1/fleet/report", s.handleFleetReport)
+	mux.HandleFunc("GET /api/v1/fleet/jobs/{id}/spec", s.handleJobSpec)
 	mux.HandleFunc("GET /api/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -103,13 +118,24 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleEvents streams the job's progress as newline-delimited JSON:
-// one Event per line, full history replayed first, then live events
-// until the job ends or the client goes away.
+// one Event per line, history replayed first, then live events until
+// the job ends or the client goes away. ?from=N restricts the replay
+// to events with seq >= N — the reconnect path for clients (fpmixctl
+// watch) resuming a dropped stream without gaps or duplicates.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if _, ok := s.store.Get(id); !ok {
 		httpError(w, http.StatusNotFound, fmt.Errorf("no job %s", id))
 		return
+	}
+	from := 0
+	if v := r.URL.Query().Get("from"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad from=%q", v))
+			return
+		}
+		from = n
 	}
 	s.mu.Lock()
 	stream := s.streams[id]
@@ -124,7 +150,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		enc.Encode(Event{Type: "end"})
 		return
 	}
-	replay, live := stream.subscribe()
+	replay, live := stream.subscribeFrom(from)
 	for _, e := range replay {
 		if enc.Encode(e) != nil {
 			if live != nil {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"fpmix/internal/faultinject"
 	"fpmix/internal/fleet"
@@ -27,10 +28,20 @@ import (
 type Options struct {
 	// Dir roots the job store (and the shared verdict cache file).
 	Dir string
-	// Workers is the in-process worker count (default 4); it also bounds
-	// how many units one search keeps in flight.
+	// Workers is the in-process worker count (default 4). Negative means
+	// zero in-process workers — a remote-only daemon whose evaluations
+	// all run in fpmixworker processes (falling back in-process only
+	// when no healthy remote worker remains).
 	Workers int
+	// DrainTimeout bounds graceful shutdown: Close stops granting new
+	// remote leases, waits up to this long for in-flight remote units to
+	// deliver (their verdicts journal), then requeues whatever remains.
+	// Zero skips the wait.
+	DrainTimeout time.Duration
 	// Fleet tunes failure detection (zero values take fleet defaults).
+	// The service always enables the fleet's in-process fallback: a
+	// daemon whose whole fleet dies or quarantines degrades to local
+	// evaluation instead of failing jobs.
 	Fleet fleet.Options
 }
 
@@ -53,9 +64,13 @@ type Server struct {
 // incarnation left running re-queue at store open and relaunch
 // immediately, resuming from their checkpoint journals.
 func New(opts Options) (*Server, error) {
-	if opts.Workers <= 0 {
+	switch {
+	case opts.Workers == 0:
 		opts.Workers = 4
+	case opts.Workers < 0:
+		opts.Workers = 0 // remote-only
 	}
+	opts.Fleet.Fallback = true
 	store, err := jobs.Open(opts.Dir)
 	if err != nil {
 		return nil, err
@@ -144,16 +159,34 @@ func (s *Server) Summary(id string) (*search.Summary, error) {
 	return &sum, nil
 }
 
-// Close shuts the server down gracefully: running jobs are interrupted
-// and re-queued (their journals keep every settled verdict, so the next
-// incarnation resumes them), then the fleet and cache close.
+// Close shuts the server down gracefully: remote leases drain first —
+// no new units ship over the wire, and in-flight remote units get up to
+// Options.DrainTimeout to deliver, so their verdicts reach the journals
+// — then running jobs are interrupted and re-queued (the journals keep
+// every settled verdict, so the next incarnation resumes them), any
+// remote lease still outstanding is broken and requeued, and the fleet
+// and cache close. The release/interrupt steps run strictly after the
+// job contexts are cancelled: an interrupted verdict delivered to a
+// live search would silently drop its piece from the final.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closing = true
+	s.mu.Unlock()
+	s.pool.DrainRemote()
+	if s.opts.DrainTimeout > 0 {
+		if left := s.pool.AwaitRemoteIdle(s.opts.DrainTimeout); left > 0 {
+			// Timed out: the stragglers are requeued below and re-evaluated
+			// by the next incarnation.
+			_ = left
+		}
+	}
+	s.mu.Lock()
 	for _, cancel := range s.cancels {
 		cancel()
 	}
 	s.mu.Unlock()
+	s.pool.ReleaseRemoteLeases()
+	s.pool.InterruptQueued()
 	s.wg.Wait()
 	s.pool.Close()
 	return s.cache.Close()
@@ -171,6 +204,12 @@ func (s *Server) crash() {
 		cancel()
 	}
 	s.mu.Unlock()
+	// Units leased to remote workers (or queued with none to take them)
+	// would otherwise block their coordinators forever: break them so
+	// wg.Wait terminates. Safe — the contexts above are already
+	// cancelled, so the interrupted verdicts reach only dying searches.
+	s.pool.ReleaseRemoteLeases()
+	s.pool.InterruptQueued()
 	s.wg.Wait()
 	s.pool.Close()
 	s.cache.Close()
@@ -276,8 +315,14 @@ func (s *Server) execute(ctx context.Context, id string, st *stream) (*search.Re
 		return nil, nil, err
 	}
 	handle := s.pool.Register(id, runner)
+	inflight := s.opts.Workers
+	if inflight <= 0 {
+		// Remote-only daemon: keep enough units in flight to feed a
+		// worker fleet whose size the daemon cannot know up front.
+		inflight = 8
+	}
 	res, err := search.Run(target, search.Options{
-		Workers:       s.opts.Workers,
+		Workers:       inflight,
 		Granularity:   j.Spec.Kind(),
 		BinarySplit:   true,
 		Prioritize:    true,

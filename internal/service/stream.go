@@ -7,8 +7,12 @@ import (
 )
 
 // Event is one progress record on a job's stream: an evaluation, a
-// server note, or the end-of-stream marker.
+// server note, or the end-of-stream marker. Seq numbers events 1..n in
+// emission order; a client that loses its connection reconnects with
+// ?from=<last seen seq + 1> and resumes without gaps or duplicates
+// (the end marker carries no Seq — it is a stream state, not history).
 type Event struct {
+	Seq  int                `json:"seq,omitempty"`
 	Type string             `json:"type"` // "eval", "note", "end"
 	Eval *search.EvalRecord `json:"eval,omitempty"`
 	Note string             `json:"note,omitempty"`
@@ -45,6 +49,7 @@ func (st *stream) add(e Event) {
 	if st.closed {
 		return
 	}
+	e.Seq = len(st.history) + 1
 	st.history = append(st.history, e)
 	for ch := range st.subs {
 		select {
@@ -60,9 +65,24 @@ func (st *stream) add(e Event) {
 // end of stream). nil channel means the stream already ended — replay
 // is complete.
 func (st *stream) subscribe() ([]Event, chan Event) {
+	return st.subscribeFrom(0)
+}
+
+// subscribeFrom is subscribe with the replay restricted to events with
+// Seq >= from — the reconnect path: a client that saw events up to seq
+// n resumes with from = n+1.
+func (st *stream) subscribeFrom(from int) ([]Event, chan Event) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	replay := append([]Event(nil), st.history...)
+	replay := st.history
+	if from > 1 {
+		if from > len(replay) {
+			replay = nil
+		} else {
+			replay = replay[from-1:]
+		}
+	}
+	replay = append([]Event(nil), replay...)
 	if st.closed {
 		return replay, nil
 	}
