@@ -9,6 +9,7 @@
 //	fpbench -exp sens -workers 1     # the sensitivity-guided search ablation
 //	fpbench -exp engine -class W     # compiled vs interpreted engine ablation
 //	fpbench -exp fork -class W       # fork-point evaluation vs -nofork ablation
+//	fpbench -exp remote -class W     # remote fleet vs one-unit-per-RPC throughput
 //
 // Besides the human-readable tables, -json writes the raw experiment
 // rows as JSON and -benchstat writes Go testing.B-style lines
@@ -45,10 +46,16 @@ type results struct {
 	Engine   []experiments.EngineRow   `json:"engine,omitempty"`
 	Fork     []experiments.ForkRow     `json:"fork,omitempty"`
 	Bounds   []experiments.BoundsRow   `json:"bounds,omitempty"`
+	Remote   []experiments.RemoteRow   `json:"remote,omitempty"`
+	// RemoteSweep is the wall-weighted aggregate of the Remote rows: the
+	// sweep-wide throughput ratio of the batched fleet protocol over the
+	// one-unit-per-RPC baseline.
+	RemoteSweep *experiments.RemoteSweep `json:"remote_sweep,omitempty"`
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, engine, fork, bounds, all")
+	exp := flag.String("exp", "all", "experiment: fig8, fig9, fig10, fig11, amg, bitexact, sens, engine, fork, bounds, remote, all")
+	benches := flag.String("benches", "", "comma-separated kernel subset for -exp remote (default: all searchable kernels)")
 	class := flag.String("class", "W", "input class for single-class experiments (W, A, C)")
 	classes := flag.String("classes", "W,A", "comma-separated classes for fig10")
 	workers := flag.Int("workers", runtime.NumCPU(), "parallel search evaluations")
@@ -202,6 +209,42 @@ func main() {
 					r.Bench, r.Class, r.ForkNS, r.Forked, r.PrefixSaved))
 		}
 		report.Fork(os.Stdout, rows)
+		return nil
+	})
+	run("remote", func() error {
+		names := experiments.Fig10Benches
+		if *benches != "" {
+			names = nil
+			for _, b := range strings.Split(*benches, ",") {
+				names = append(names, strings.TrimSpace(b))
+			}
+		}
+		rows, err := experiments.Remote(names, cl, *workers)
+		if err != nil {
+			return err
+		}
+		res.Remote = rows
+		if len(rows) > 1 {
+			sw := experiments.SweepOf(rows)
+			res.RemoteSweep = &sw
+			stats = append(stats,
+				fmt.Sprintf("BenchmarkRemote/sweep.%s/one 1 %d ns/op", cl, sw.OneNS),
+				fmt.Sprintf("BenchmarkRemote/sweep.%s/fleet 1 %d ns/op %d units",
+					cl, sw.FleetNS, sw.Units))
+		}
+		for _, r := range rows {
+			// One line per configuration so benchstat can diff the batched
+			// fleet against the one-unit protocol and either against prior
+			// revisions.
+			stats = append(stats,
+				fmt.Sprintf("BenchmarkRemote/%s.%s/serial 1 %d ns/op",
+					r.Bench, r.Class, r.SerialNS),
+				fmt.Sprintf("BenchmarkRemote/%s.%s/one 1 %d ns/op",
+					r.Bench, r.Class, r.OneNS),
+				fmt.Sprintf("BenchmarkRemote/%s.%s/fleet 1 %d ns/op %d units",
+					r.Bench, r.Class, r.FleetNS, r.Units))
+		}
+		report.Remote(os.Stdout, rows)
 		return nil
 	})
 	run("bounds", func() error {

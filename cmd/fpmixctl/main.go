@@ -8,7 +8,8 @@
 //	fpmixctl watch j0001                 # follow the progress stream
 //	fpmixctl cancel j0001
 //	fpmixctl result j0001 -o final.cfg   # download the final configuration
-//	fpmixctl workers
+//	fpmixctl workers                     # fleet table with throughput columns
+//	fpmixctl workers -json               # raw registry snapshot
 //	fpmixctl kill-worker w2              # chaos: report a worker dead
 //
 // The server URL defaults to http://127.0.0.1:8606 and can also come
@@ -24,7 +25,10 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"text/tabwriter"
 	"time"
+
+	"fpmix/internal/fleet"
 )
 
 func main() {
@@ -52,7 +56,7 @@ func main() {
 	case "result":
 		err = c.result(args)
 	case "workers":
-		err = c.getJSON("/api/v1/workers")
+		err = c.workers(args)
 	case "kill-worker":
 		err = c.withID(args, func(id string) error { return c.postJSON("/api/v1/workers/"+id+"/kill", nil) })
 	case "health":
@@ -281,6 +285,54 @@ func (c *client) watchOnce(id string, last *int) (ended, progressed bool, err er
 		return false, progressed, err
 	}
 	return false, progressed, fmt.Errorf("stream closed without end marker")
+}
+
+// workers renders the fleet registry as a table with per-worker
+// throughput columns (units/s, mean unit wall, in-flight) fed by the
+// daemon's batch accounting; -json dumps the raw snapshot instead.
+func (c *client) workers(args []string) error {
+	fs := flag.NewFlagSet("workers", flag.ExitOnError)
+	raw := fs.Bool("json", false, "print the raw JSON registry snapshot")
+	fs.Parse(args)
+	if *raw {
+		return c.getJSON("/api/v1/workers")
+	}
+	resp, err := http.Get(c.base + "/api/v1/workers")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var workers []fleet.WorkerInfo
+	if err := json.Unmarshal(data, &workers); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tNAME\tSTATE\tPAR\tIN-FLIGHT\tDONE\tDISC\tFAILS\tUNITS/S\tMEAN-UNIT\tLAST-BEAT")
+	for _, w := range workers {
+		name := w.Name
+		if name == "" {
+			name = "-"
+		}
+		ups, mean := "-", "-"
+		if w.Done > 0 {
+			ups = fmt.Sprintf("%.1f", w.UnitsPerSec)
+			mean = fmt.Sprintf("%.2fms", w.MeanUnitMS)
+		}
+		// IN-FLIGHT is evaluating/leased: how many units run right now
+		// over how many the daemon has in the worker's hands.
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d/%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			w.ID, name, w.State, w.Parallel, w.Evaluating, w.InFlight,
+			w.Done, w.Discarded, w.Fails, ups, mean,
+			w.LastBeat.Format("15:04:05.000"))
+	}
+	return tw.Flush()
 }
 
 // result downloads the final configuration.

@@ -9,10 +9,14 @@
 //
 //	fpmixworker -server http://127.0.0.1:8606 -name rack3
 //
-// The worker re-registers automatically when the daemon restarts
-// (its identity comes back 410 Gone), drains when the daemon
-// quarantines it, and on SIGINT/SIGTERM reports its in-flight unit as
-// interrupted so the daemon requeues it immediately.
+// The worker evaluates -parallel units concurrently over each job's
+// shared engine stack and pipelines delivery: claims prefetch the next
+// -batch units while the current ones evaluate, and verdicts ship back
+// in batches, so RPC round-trips overlap with evaluation instead of
+// serializing with it. It re-registers automatically when the daemon
+// restarts (its identity comes back 410 Gone), drains when the daemon
+// quarantines it, and on SIGINT/SIGTERM reports its in-flight units as
+// interrupted so the daemon requeues them immediately.
 //
 // Chaos flags (testing):
 //
@@ -41,6 +45,8 @@ func main() {
 	server := flag.String("server", defaultServer(), "fpmixd base URL")
 	name := flag.String("name", hostnameDefault(), "self-reported worker name (fpmixctl workers)")
 	poll := flag.Duration("poll", 2*time.Second, "claim long-poll window")
+	parallel := flag.Int("parallel", 0, "concurrent evaluations (0 = number of CPUs)")
+	batch := flag.Int("batch", 0, "leases held at once and verdicts per report RPC (0 = max(4, 2*parallel))")
 	chaosnet := flag.Int64("chaosnet", 0, "arm seeded network-fault injection (0 = off)")
 	sabotage := flag.Int("sabotage", 0, "report the first N units as failures (chaos)")
 	flag.Parse()
@@ -57,6 +63,8 @@ func main() {
 		Server:   *server,
 		Name:     *name,
 		Poll:     *poll,
+		Parallel: *parallel,
+		Batch:    *batch,
 		Net:      net,
 		Sabotage: *sabotage,
 		Logf:     logger.Printf,

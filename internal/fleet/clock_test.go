@@ -45,7 +45,7 @@ func TestClockLeaseExpiry(t *testing.T) {
 	fc := newFakeClock()
 	p := New(quietOpts(fc))
 	defer p.Close()
-	id, _, _ := p.AddRemote("silent")
+	id, _, _ := p.AddRemote("silent", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	claimSoon(t, p, id)
@@ -58,7 +58,7 @@ func TestClockLeaseExpiry(t *testing.T) {
 	}
 	// A second worker joins, then the first's budget runs out: only the
 	// silent one dies, and its shard requeues to the survivor.
-	surv, _, _ := p.AddRemote("survivor")
+	surv, _, _ := p.AddRemote("survivor", 1)
 	fc.Advance(2 * time.Second)
 	p.sweep()
 	if p.Alive() != 1 {
@@ -86,7 +86,7 @@ func TestClockSkewTolerance(t *testing.T) {
 	fc := newFakeClock()
 	p := New(quietOpts(fc))
 	defer p.Close()
-	id, _, _ := p.AddRemote("skewed")
+	id, _, _ := p.AddRemote("skewed", 1)
 	// Beats arrive every 45s (daemon clock) — inside the 60s budget —
 	// for a long stretch: the worker must survive every sweep.
 	for i := 0; i < 10; i++ {
@@ -124,7 +124,7 @@ func TestClockHeartbeatVsReassignRace(t *testing.T) {
 	opts.Fallback = true
 	p := New(opts)
 	defer p.Close()
-	p.AddRemote("anchor") // assignable at enqueue time so units queue
+	p.AddRemote("anchor", 1) // assignable at enqueue time so units queue
 	j := p.Register("j0001", &fakeEval{})
 
 	const units = 40
@@ -141,22 +141,22 @@ func TestClockHeartbeatVsReassignRace(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			id, _, _ := p.AddRemote("racer")
+			id, _, _ := p.AddRemote("racer", 2)
 			for i := 0; ; i++ {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				lease, _, err := p.Claim(id, 5*time.Millisecond)
+				leases, _, err := p.Claim(id, 5*time.Millisecond, 2)
 				if err != nil {
-					id, _, _ = p.AddRemote("racer") // expired: fresh identity
+					id, _, _ = p.AddRemote("racer", 2) // expired: fresh identity
 					continue
 				}
 				if i%3 == 0 {
 					p.Heartbeat(id)
 				}
-				if lease != nil {
+				for _, lease := range leases {
 					p.Report(id, lease.Job, lease.Unit.Key, lease.Epoch, search.Verdict{Pass: true}, "")
 				}
 			}

@@ -17,13 +17,25 @@
 // cmd/fpmixworker) claim, evaluate and report through explicit RPCs in
 // their own address space — a crashed worker process can never take the
 // pool down; its stopped heartbeat breaks the lease exactly like an
-// in-process death. All lease-expiry decisions use the pool's own clock
-// only: remote timestamps never enter them, so arbitrarily skewed
-// worker clocks cannot expire or extend a lease.
+// in-process death. A remote worker may hold several leases at once
+// (batched delivery sized to its declared parallelism); every lease
+// carries its own owner+epoch idempotency token, so batching changes
+// how many units ride one RPC, never the failure semantics. All
+// lease-expiry decisions use the pool's own clock only: remote
+// timestamps never enter them, so arbitrarily skewed worker clocks
+// cannot expire or extend a lease.
+//
+// Scheduling prefers fork affinity: units sharing a fork point (their
+// first single site) resume from the same donor snapshot under
+// fork-point evaluation, so the pool routes them to the worker that
+// already holds that snapshot when one exists, falling back to strict
+// FIFO whenever affinity would starve the queue head.
 package fleet
 
 import (
+	"encoding/binary"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -61,6 +73,14 @@ type Options struct {
 	// down but never stall. Off by default so pure-fleet tests observe
 	// the no-live-workers error paths.
 	Fallback bool
+	// ClaimPoll selects how remote claim long-polls discover new work.
+	// Zero (the default) is event-driven: a blocked Claim wakes the
+	// instant a unit is enqueued or a lease breaks. A positive value
+	// restores the periodic re-check loop of the original protocol
+	// (every enqueue is discovered up to ClaimPoll late) — kept so the
+	// remote-throughput experiment can measure the old behavior as its
+	// baseline.
+	ClaimPoll time.Duration
 	// Clock overrides the time source for heartbeat/lease bookkeeping
 	// (tests drive expiry deterministically with a fake clock). Nil
 	// means time.Now. Lease expiry compares only timestamps taken from
@@ -68,6 +88,28 @@ type Options struct {
 	// skew between daemon and workers cannot break or extend a lease.
 	Clock func() time.Time
 }
+
+// Affinity scheduling bounds. A worker looks at most affinityWindow
+// deep into the queue for a unit whose fork site it owns, and the
+// queue head can be bypassed by such picks at most starveSkips times
+// before it must be taken regardless — affinity is a preference, never
+// a starvation source.
+const (
+	affinityWindow = 16
+	starveSkips    = 8
+	// affinityGrace is how long a queued unit whose fork site belongs to
+	// another worker is reserved for that owner. While the grace runs,
+	// non-owners with nothing else to take decline instead of stealing —
+	// the owner's parked claim collects the unit within microseconds, so
+	// the donor snapshot amortizes instead of re-running on a stranger.
+	// Once the grace expires (owner saturated, slow, or gone quiet) any
+	// worker takes the unit: affinity is a preference, never a fence.
+	affinityGrace = 50 * time.Millisecond
+	// affinityCap bounds the site-ownership table; past it the table
+	// resets (ownership is a routing hint — losing it costs at most one
+	// redundant donor run per worker, never correctness).
+	affinityCap = 8192
+)
 
 // WorkerState is a worker's position in its lifecycle.
 type WorkerState string
@@ -88,12 +130,23 @@ type WorkerInfo struct {
 	Name      string      `json:"name,omitempty"` // remote self-reported name
 	Remote    bool        `json:"remote,omitempty"`
 	State     WorkerState `json:"state"`
-	Done      int         `json:"done"`            // units completed and accepted
-	Discarded int         `json:"discarded"`       // results rejected (lease lost or duplicated)
-	Fails     int         `json:"fails,omitempty"` // consecutive reported failures
-	Job       string      `json:"job,omitempty"`
-	Unit      string      `json:"unit,omitempty"`
-	LastBeat  time.Time   `json:"last_beat"`
+	Parallel  int         `json:"parallel,omitempty"` // declared concurrent evaluations
+	Done      int         `json:"done"`               // units completed and accepted
+	Discarded int         `json:"discarded"`          // results rejected (lease lost or duplicated)
+	Fails     int         `json:"fails,omitempty"`    // consecutive reported failures
+	// InFlight counts leases currently held (assigned, not yet
+	// reported); Evaluating is the worker's own last-heartbeated count
+	// of evaluations running right now (remote only).
+	InFlight   int `json:"in_flight"`
+	Evaluating int `json:"evaluating,omitempty"`
+	// UnitsPerSec is accepted units over the span from the worker's
+	// first lease to its latest delivery; MeanUnitMS is the mean
+	// worker-measured evaluation wall per accepted unit.
+	UnitsPerSec float64   `json:"units_per_sec,omitempty"`
+	MeanUnitMS  float64   `json:"mean_unit_ms,omitempty"`
+	Job         string    `json:"job,omitempty"`
+	Unit        string    `json:"unit,omitempty"`
+	LastBeat    time.Time `json:"last_beat"`
 }
 
 // Pool is the worker registry plus shard scheduler.
@@ -102,8 +155,10 @@ type Pool struct {
 
 	mu           sync.Mutex
 	cond         *sync.Cond
+	waitCh       chan struct{} // closed+replaced on every scheduling event
 	workers      map[string]*worker
-	queue        []*shard // FIFO of unleased shards
+	queue        []*shard          // FIFO of unleased shards
+	aff          map[string]string // fork-site key → owning worker ID
 	wseq, rseq   int
 	fallbacks    int
 	draining     bool // no new remote leases (graceful shutdown)
@@ -112,27 +167,39 @@ type Pool struct {
 }
 
 type worker struct {
-	id        string
-	name      string
-	remote    bool
-	state     WorkerState
-	dead      bool
-	done      int
-	discarded int
-	fails     int
-	current   *shard
-	lastBeat  time.Time
-	stopBeat  chan struct{} // in-process only
+	id       string
+	name     string
+	remote   bool
+	state    WorkerState
+	dead     bool
+	parallel int // declared concurrent evaluations (1 for in-process)
+
+	done       int
+	discarded  int
+	fails      int
+	evaluating int // last heartbeat-reported in-flight evaluations
+
+	leases map[string]*shard // leaseKey → shard currently held
+
+	firstLease time.Time
+	lastDone   time.Time
+	wallSum    time.Duration
+
+	lastBeat time.Time
+	stopBeat chan struct{} // in-process only
 }
 
 // shard is one leased evaluation unit.
 type shard struct {
 	job  *JobHandle
 	unit search.EvalUnit
+	site string // fork-affinity key (job + fork site)
 
 	owner     string // worker holding the lease ("" = queued)
 	epoch     int    // bumped at every assignment
 	reassigns int
+	skips     int       // times bypassed at the queue head by affinity picks
+	queued    time.Time // last (re-)enqueue, bounds the affinity-decline grace
 	delivered bool
 	done      chan shardResult // buffered 1
 }
@@ -159,7 +226,12 @@ func New(opts Options) *Pool {
 	if opts.QuarantineAfter <= 0 {
 		opts.QuarantineAfter = 3
 	}
-	p := &Pool{opts: opts, workers: make(map[string]*worker)}
+	p := &Pool{
+		opts:    opts,
+		workers: make(map[string]*worker),
+		waitCh:  make(chan struct{}),
+		aff:     make(map[string]string),
+	}
 	p.cond = sync.NewCond(&p.mu)
 	go p.monitor()
 	return p
@@ -171,6 +243,32 @@ func (p *Pool) now() time.Time {
 		return p.opts.Clock()
 	}
 	return time.Now()
+}
+
+// wakeLocked signals every scheduling waiter — in-process claim loops
+// on the cond, remote long-polls on the wait channel. Callers hold
+// p.mu.
+func (p *Pool) wakeLocked() {
+	p.cond.Broadcast()
+	close(p.waitCh)
+	p.waitCh = make(chan struct{})
+}
+
+// leaseKey identifies one held lease within a worker.
+func leaseKey(jobID, unitKey string) string {
+	return jobID + "\x00" + unitKey
+}
+
+// siteKey derives a shard's fork-affinity key: the job plus the unit's
+// first single site. Units created by the search carry the site as a
+// hint; for any that don't, it is re-derived from the unit key, whose
+// byte image is the little-endian form of the sorted address set.
+func siteKey(jobID string, u search.EvalUnit) string {
+	site := u.ForkSite
+	if site == 0 && len(u.Key) >= 8 && !u.Final {
+		site = binary.LittleEndian.Uint64([]byte(u.Key[:8]))
+	}
+	return jobID + "\x00" + strconv.FormatUint(site, 16)
 }
 
 // Start adds n in-process workers.
@@ -187,6 +285,8 @@ func (p *Pool) AddWorker() string {
 	w := &worker{
 		id:       fmt.Sprintf("w%d", p.wseq),
 		state:    WorkerIdle,
+		parallel: 1,
+		leases:   make(map[string]*shard),
 		lastBeat: p.now(),
 		stopBeat: make(chan struct{}),
 	}
@@ -197,9 +297,9 @@ func (p *Pool) AddWorker() string {
 	return w.id
 }
 
-// Kill reports a worker dead: its heartbeat stops, its lease (if any)
-// is broken and the shard requeued for another worker, and any verdict
-// the doomed evaluation still produces is discarded on delivery.
+// Kill reports a worker dead: its heartbeat stops, its leases are
+// broken and the shards requeued for other workers, and any verdict
+// the doomed evaluations still produce is discarded on delivery.
 func (p *Pool) Kill(id string) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -211,8 +311,8 @@ func (p *Pool) Kill(id string) error {
 	return nil
 }
 
-// Workers snapshots the registry, in ID-creation order is not
-// guaranteed — callers sort.
+// Workers snapshots the registry; order is not guaranteed — callers
+// sort.
 func (p *Pool) Workers() []WorkerInfo {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -220,12 +320,25 @@ func (p *Pool) Workers() []WorkerInfo {
 	for _, w := range p.workers {
 		wi := WorkerInfo{
 			ID: w.id, Name: w.name, Remote: w.remote, State: w.state,
-			Done: w.done, Discarded: w.discarded, Fails: w.fails,
+			Parallel: w.parallel, Done: w.done, Discarded: w.discarded,
+			Fails: w.fails, InFlight: len(w.leases), Evaluating: w.evaluating,
 			LastBeat: w.lastBeat,
 		}
-		if w.current != nil {
-			wi.Job = w.current.job.id
-			wi.Unit = w.current.unit.Label
+		if w.done > 0 {
+			wi.MeanUnitMS = float64(w.wallSum) / float64(w.done) / float64(time.Millisecond)
+			if span := w.lastDone.Sub(w.firstLease); span > 0 {
+				wi.UnitsPerSec = float64(w.done) / span.Seconds()
+			}
+		}
+		// With several leases held, show the lexicographically first so
+		// the snapshot is stable between calls.
+		min := ""
+		for k, sh := range w.leases {
+			if min == "" || k < min {
+				min = k
+				wi.Job = sh.job.id
+				wi.Unit = sh.unit.Label
+			}
 		}
 		out = append(out, wi)
 	}
@@ -269,7 +382,7 @@ func (p *Pool) Close() {
 		sh.done <- shardResult{err: fmt.Errorf("fleet: pool closed")}
 	}
 	p.queue = nil
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // DrainRemote stops granting new leases to remote workers (graceful
@@ -299,8 +412,8 @@ func (p *Pool) remoteLeased() int {
 	defer p.mu.Unlock()
 	n := 0
 	for _, w := range p.workers {
-		if w.remote && w.current != nil {
-			n++
+		if w.remote {
+			n += len(w.leases)
 		}
 	}
 	return n
@@ -311,24 +424,28 @@ func (p *Pool) remoteLeased() int {
 // journaled; the requeued job re-evaluates it). Only safe once the
 // owning searches are cancelled — an interrupted verdict delivered to
 // a live search would silently drop the piece. The abandoned worker's
-// eventual report no longer matches the shard and is discarded.
+// eventual report no longer matches any held lease and is discarded.
 func (p *Pool) ReleaseRemoteLeases() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, w := range p.workers {
-		sh := w.current
-		if !w.remote || sh == nil || sh.delivered {
+		if !w.remote || len(w.leases) == 0 {
 			continue
 		}
-		sh.delivered = true
-		sh.owner = ""
-		w.current = nil
+		for k, sh := range w.leases {
+			delete(w.leases, k)
+			if sh.delivered {
+				continue
+			}
+			sh.delivered = true
+			sh.owner = ""
+			sh.done <- shardResult{v: search.Verdict{Interrupted: true}}
+		}
 		if w.state == WorkerBusy {
 			w.state = WorkerIdle
 		}
-		sh.done <- shardResult{v: search.Verdict{Interrupted: true}}
 	}
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // InterruptQueued settles every queued shard — and every unit enqueued
@@ -345,7 +462,7 @@ func (p *Pool) InterruptQueued() {
 		}
 	}
 	p.queue = nil
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // JobHandle is a registered job's face to the pool: it implements
@@ -370,7 +487,7 @@ func (p *Pool) Register(jobID string, ev Evaluator) *JobHandle {
 // With Options.Fallback, a unit that finds no assignable worker runs
 // in-process instead of erroring.
 func (j *JobHandle) EvaluateUnit(u search.EvalUnit) (search.Verdict, error) {
-	sh := &shard{job: j, unit: u, done: make(chan shardResult, 1)}
+	sh := &shard{job: j, unit: u, site: siteKey(j.id, u), done: make(chan shardResult, 1)}
 	p := j.pool
 	p.mu.Lock()
 	if p.closed {
@@ -390,8 +507,9 @@ func (j *JobHandle) EvaluateUnit(u search.EvalUnit) (search.Verdict, error) {
 		p.mu.Unlock()
 		return search.Verdict{}, fmt.Errorf("fleet: no live workers")
 	}
+	sh.queued = p.now()
 	p.queue = append(p.queue, sh)
-	p.cond.Broadcast()
+	p.wakeLocked()
 	p.mu.Unlock()
 	r := <-sh.done
 	return r.v, r.err
@@ -423,16 +541,126 @@ func (p *Pool) claim(w *worker) (*shard, int, bool) {
 		if p.closed || w.dead {
 			return nil, 0, false
 		}
-		if len(p.queue) > 0 && w.state != WorkerQuarantined {
-			sh := p.queue[0]
-			p.queue = p.queue[1:]
-			sh.owner = w.id
-			sh.epoch++
-			w.current = sh
-			w.state = WorkerBusy
-			return sh, sh.epoch, true
+		if w.state != WorkerQuarantined {
+			if sh := p.takeLocked(w); sh != nil {
+				p.assignLocked(w, sh)
+				return sh, sh.epoch, true
+			}
 		}
 		p.cond.Wait()
+	}
+}
+
+// takeLocked removes and returns the next shard for w, preferring fork
+// affinity inside a bounded window: first a shard whose site w already
+// owns, then a shard whose site has no live owner (w becomes its
+// owner), and otherwise the queue head — which can be bypassed at most
+// starveSkips times before it is taken unconditionally. Returns nil
+// when the queue is empty. Callers hold p.mu.
+func (p *Pool) takeLocked(w *worker) *shard {
+	if len(p.queue) == 0 {
+		return nil
+	}
+	head := p.queue[0]
+	pick := 0
+	if head.skips < starveSkips {
+		limit := len(p.queue)
+		if limit > affinityWindow {
+			limit = affinityWindow
+		}
+		fresh := -1
+		mine := -1
+		for i := 0; i < limit; i++ {
+			owner, owned := p.aff[p.queue[i].site]
+			if owned && owner == w.id {
+				mine = i
+				break
+			}
+			if fresh < 0 && (!owned || !p.ownerAssignableLocked(owner)) {
+				fresh = i
+			}
+		}
+		switch {
+		case mine >= 0:
+			pick = mine
+		case fresh > 0:
+			// Bypass the head for a fresh site only when the head belongs
+			// to another live worker that will come back for it; an
+			// unowned head is taken directly (fresh == 0 lands here too).
+			if owner, owned := p.aff[head.site]; owned && owner != w.id && p.ownerAssignableLocked(owner) {
+				pick = fresh
+			}
+		case fresh < 0:
+			// Everything in the window belongs to other workers. Taking
+			// the head now would strand its donor snapshot — the thief
+			// re-runs the donor the owner already paid for — so while the
+			// unit is inside its grace and the owner is positioned to
+			// collect it (a parked claim, or an idle in-process loop on
+			// the same broadcast), decline and let the owner have it. The
+			// grace is a hard bound: past it the unit goes to whoever
+			// asks, because a stalled owner must never stall the queue.
+			if owner, owned := p.aff[head.site]; owned && owner != w.id &&
+				p.ownerWillClaimLocked(owner) && p.now().Sub(head.queued) < affinityGrace {
+				return nil
+			}
+		}
+	}
+	sh := p.queue[pick]
+	if pick > 0 {
+		head.skips++
+		p.queue = append(p.queue[:pick], p.queue[pick+1:]...)
+	} else {
+		p.queue = p.queue[1:]
+	}
+	return sh
+}
+
+// ownerWillClaimLocked reports whether the affinity owner is in a
+// position to collect more queued work promptly: a remote worker with
+// spare lease capacity keeps a claim parked at the daemon, and an
+// in-process worker between units claims on the next broadcast. A
+// saturated owner cannot — waiting on it would idle the queue, so a
+// decline is only worth it when this returns true. Callers hold p.mu.
+func (p *Pool) ownerWillClaimLocked(id string) bool {
+	w, ok := p.workers[id]
+	if !ok || !p.ownerAssignableLocked(id) {
+		return false
+	}
+	if w.remote {
+		return len(w.leases) < leaseCapLocked(w)
+	}
+	return len(w.leases) == 0
+}
+
+// ownerAssignableLocked reports whether the worker behind an affinity
+// entry can still be assigned shards; callers hold p.mu.
+func (p *Pool) ownerAssignableLocked(id string) bool {
+	w, ok := p.workers[id]
+	if !ok || w.dead || w.state == WorkerQuarantined {
+		return false
+	}
+	if w.remote && p.draining {
+		return false
+	}
+	return true
+}
+
+// assignLocked leases a shard (already removed from the queue) to w
+// and records fork-site ownership; callers hold p.mu.
+func (p *Pool) assignLocked(w *worker, sh *shard) {
+	sh.owner = w.id
+	sh.epoch++
+	sh.skips = 0
+	w.leases[leaseKey(sh.job.id, sh.unit.Key)] = sh
+	w.state = WorkerBusy
+	if w.firstLease.IsZero() {
+		w.firstLease = p.now()
+	}
+	if len(p.aff) >= affinityCap {
+		p.aff = make(map[string]string)
+	}
+	if cur, ok := p.aff[sh.site]; !ok || !p.ownerAssignableLocked(cur) {
+		p.aff[sh.site] = w.id
 	}
 }
 
@@ -454,14 +682,25 @@ func (p *Pool) deliver(w *worker, sh *shard, epoch int, v search.Verdict, err er
 func (p *Pool) deliverLocked(w *worker, sh *shard, v search.Verdict, err error) {
 	sh.delivered = true
 	sh.owner = ""
-	w.current = nil
+	delete(w.leases, leaseKey(sh.job.id, sh.unit.Key))
 	w.done++
 	w.fails = 0
-	if w.state == WorkerBusy {
+	w.wallSum += v.Wall
+	w.lastDone = p.now()
+	if w.state == WorkerBusy && len(w.leases) == 0 {
 		w.state = WorkerIdle
 	}
 	sh.done <- shardResult{v: v, err: err}
-	p.cond.Broadcast()
+	p.wakeLocked()
+}
+
+// breakLeaseLocked detaches a shard from its holder without settling
+// it; callers hold p.mu and requeue or fail the shard themselves.
+func (p *Pool) breakLeaseLocked(w *worker, sh *shard) {
+	delete(w.leases, leaseKey(sh.job.id, sh.unit.Key))
+	if w.state == WorkerBusy && len(w.leases) == 0 {
+		w.state = WorkerIdle
+	}
 }
 
 // beat refreshes the worker's heartbeat until it dies.
@@ -516,8 +755,8 @@ func (p *Pool) sweep() bool {
 	return true
 }
 
-// markDeadLocked retires a worker and breaks its lease; callers hold
-// p.mu.
+// markDeadLocked retires a worker, breaks all its leases and clears
+// its fork-site ownerships; callers hold p.mu.
 func (p *Pool) markDeadLocked(w *worker) {
 	if w.dead {
 		return
@@ -531,12 +770,25 @@ func (p *Pool) markDeadLocked(w *worker) {
 			close(w.stopBeat)
 		}
 	}
-	if sh := w.current; sh != nil && sh.owner == w.id {
-		w.current = nil
-		p.requeueLocked(sh)
+	p.disownSitesLocked(w)
+	for k, sh := range w.leases {
+		delete(w.leases, k)
+		if sh.owner == w.id {
+			p.requeueLocked(sh)
+		}
 	}
 	p.sweepUnassignableLocked()
-	p.cond.Broadcast()
+	p.wakeLocked()
+}
+
+// disownSitesLocked removes every fork-site ownership held by w, so
+// its sites route fresh; callers hold p.mu.
+func (p *Pool) disownSitesLocked(w *worker) {
+	for site, owner := range p.aff {
+		if owner == w.id {
+			delete(p.aff, site)
+		}
+	}
 }
 
 // sweepUnassignableLocked fails (or falls back) every queued shard once
@@ -573,7 +825,7 @@ func (p *Pool) fallback(sh *shard) {
 	}
 	sh.delivered = true
 	sh.done <- shardResult{v: v, err: err}
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // requeueLocked puts a broken-lease shard back at the head of the
@@ -600,8 +852,9 @@ func (p *Pool) requeueLocked(sh *shard) {
 		sh.done <- shardResult{err: fmt.Errorf("fleet: no live workers left for unit %q", sh.unit.Label)}
 		return
 	}
+	sh.queued = p.now()
 	p.queue = append([]*shard{sh}, p.queue...)
-	p.cond.Broadcast()
+	p.wakeLocked()
 }
 
 // assignableLocked counts workers a shard could be leased to; callers

@@ -18,18 +18,18 @@ func evalAsync(j *JobHandle, key string) chan shardResult {
 	return out
 }
 
-// claimSoon polls Claim until a lease arrives (the shard queue is fed
-// by a concurrent EvaluateUnit).
+// claimSoon polls Claim (for a single unit) until a lease arrives (the
+// shard queue is fed by a concurrent EvaluateUnit).
 func claimSoon(t *testing.T, p *Pool, id string) *RemoteLease {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		lease, _, err := p.Claim(id, 50*time.Millisecond)
+		leases, _, err := p.Claim(id, 50*time.Millisecond, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if lease != nil {
-			return lease
+		if len(leases) > 0 {
+			return &leases[0]
 		}
 	}
 	t.Fatal("no lease arrived")
@@ -41,7 +41,7 @@ func claimSoon(t *testing.T, p *Pool, id string) *RemoteLease {
 func TestRemoteClaimReport(t *testing.T) {
 	p := New(Options{Heartbeat: 10 * time.Millisecond, Expiry: 30 * time.Second})
 	defer p.Close()
-	id, hb, exp := p.AddRemote("rack1")
+	id, hb, exp := p.AddRemote("rack1", 1)
 	if hb <= 0 || exp <= 0 {
 		t.Fatalf("AddRemote returned heartbeat %v expiry %v", hb, exp)
 	}
@@ -72,7 +72,7 @@ func TestRemoteClaimReport(t *testing.T) {
 func TestRemoteReportIdempotent(t *testing.T) {
 	p := New(Options{})
 	defer p.Close()
-	id, _, _ := p.AddRemote("dup")
+	id, _, _ := p.AddRemote("dup", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	lease := claimSoon(t, p, id)
@@ -94,21 +94,30 @@ func TestRemoteReportIdempotent(t *testing.T) {
 
 // TestRemoteClaimRedelivery: when the claim response is lost, the
 // worker's next claim re-delivers the same lease with the same epoch —
-// never a second unit.
+// the idempotency token is unchanged — never a fresh-epoch duplicate of
+// a unit the worker already holds.
 func TestRemoteClaimRedelivery(t *testing.T) {
 	p := New(Options{})
 	defer p.Close()
-	id, _, _ := p.AddRemote("lossy")
+	id, _, _ := p.AddRemote("lossy", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	res2 := evalAsync(j, "k2long") // a second unit is queued behind
 	first := claimSoon(t, p, id)
-	again, state, err := p.Claim(id, 0)
-	if err != nil || again == nil {
-		t.Fatalf("re-claim: lease=%v state=%s err=%v", again, state, err)
+	again, state, err := p.Claim(id, 0, 1)
+	if err != nil || len(again) == 0 {
+		t.Fatalf("re-claim: leases=%v state=%s err=%v", again, state, err)
 	}
-	if again.Unit.Key != first.Unit.Key || again.Epoch != first.Epoch {
-		t.Fatalf("re-claim delivered %s@%d, want %s@%d", again.Unit.Key, again.Epoch, first.Unit.Key, first.Epoch)
+	// Held leases come back first; the re-claim may also top up with the
+	// queued second unit, but the held one keeps its epoch and is never
+	// duplicated.
+	if again[0].Unit.Key != first.Unit.Key || again[0].Epoch != first.Epoch {
+		t.Fatalf("re-claim delivered %s@%d, want %s@%d", again[0].Unit.Key, again[0].Epoch, first.Unit.Key, first.Epoch)
+	}
+	for _, l := range again[1:] {
+		if l.Unit.Key == first.Unit.Key {
+			t.Fatalf("re-claim duplicated held unit %s under epoch %d", l.Unit.Key, l.Epoch)
+		}
 	}
 	if acc, _ := p.Report(id, first.Job, first.Unit.Key, first.Epoch, search.Verdict{Pass: true}, ""); !acc {
 		t.Fatal("report after redelivery not accepted")
@@ -129,7 +138,7 @@ func TestRemoteStaleEpochDiscarded(t *testing.T) {
 	fc := newFakeClock()
 	p := New(Options{Heartbeat: time.Hour, Expiry: time.Minute, Clock: fc.Now})
 	defer p.Close()
-	dead, _, _ := p.AddRemote("doomed")
+	dead, _, _ := p.AddRemote("doomed", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	stale := claimSoon(t, p, dead)
@@ -137,7 +146,7 @@ func TestRemoteStaleEpochDiscarded(t *testing.T) {
 	// The doomed worker partitions: no beats, lease expires on the
 	// pool's clock, shard requeues.
 	fc.Advance(2 * time.Minute)
-	surv, _, _ := p.AddRemote("survivor")
+	surv, _, _ := p.AddRemote("survivor", 1)
 	p.sweep()
 	fresh := claimSoon(t, p, surv)
 	if fresh.Unit.Key != stale.Unit.Key || fresh.Epoch == stale.Epoch {
@@ -162,8 +171,8 @@ func TestRemoteStaleEpochDiscarded(t *testing.T) {
 func TestRemoteQuarantine(t *testing.T) {
 	p := New(Options{QuarantineAfter: 2})
 	defer p.Close()
-	bad, _, _ := p.AddRemote("bad")
-	good, _, _ := p.AddRemote("good")
+	bad, _, _ := p.AddRemote("bad", 1)
+	good, _, _ := p.AddRemote("good", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 
@@ -174,8 +183,8 @@ func TestRemoteQuarantine(t *testing.T) {
 			t.Fatalf("failure report %d: accepted=%v err=%v", i, acc, err)
 		}
 	}
-	if lease, state, err := p.Claim(bad, 0); err != nil || lease != nil || state != WorkerQuarantined {
-		t.Fatalf("claim after quarantine: lease=%v state=%s err=%v, want nil/quarantined", lease, state, err)
+	if leases, state, err := p.Claim(bad, 0, 1); err != nil || len(leases) != 0 || state != WorkerQuarantined {
+		t.Fatalf("claim after quarantine: leases=%v state=%s err=%v, want none/quarantined", leases, state, err)
 	}
 	if st, err := p.Heartbeat(bad); err != nil || st != WorkerQuarantined {
 		t.Fatalf("quarantined worker heartbeat: state=%s err=%v, want it kept alive", st, err)
@@ -202,7 +211,7 @@ func TestRemoteQuarantine(t *testing.T) {
 func TestRemoteFailureCountResets(t *testing.T) {
 	p := New(Options{QuarantineAfter: 2})
 	defer p.Close()
-	id, _, _ := p.AddRemote("flaky")
+	id, _, _ := p.AddRemote("flaky", 1)
 	j := p.Register("j0001", &fakeEval{})
 	keys := []string{"k1", "k2", "k3"}
 	var results []chan shardResult
@@ -220,18 +229,20 @@ func TestRemoteFailureCountResets(t *testing.T) {
 	}
 	// Settle whatever remains.
 	for done := false; !done; {
-		lease, state, err := p.Claim(id, 50*time.Millisecond)
+		leases, state, err := p.Claim(id, 50*time.Millisecond, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if state == WorkerQuarantined {
 			t.Fatal("worker quarantined despite non-consecutive failures")
 		}
-		if lease == nil {
+		if len(leases) == 0 {
 			done = true
 			continue
 		}
-		p.Report(id, lease.Job, lease.Unit.Key, lease.Epoch, search.Verdict{Pass: true}, "")
+		for _, lease := range leases {
+			p.Report(id, lease.Job, lease.Unit.Key, lease.Epoch, search.Verdict{Pass: true}, "")
+		}
 	}
 	for _, res := range results {
 		if r := <-res; r.err != nil {
@@ -247,8 +258,8 @@ func TestRemoteFailureCountResets(t *testing.T) {
 func TestRemoteInterruptedReportRequeues(t *testing.T) {
 	p := New(Options{QuarantineAfter: 1})
 	defer p.Close()
-	leaving, _, _ := p.AddRemote("leaving")
-	staying, _, _ := p.AddRemote("staying")
+	leaving, _, _ := p.AddRemote("leaving", 1)
+	staying, _, _ := p.AddRemote("staying", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	lease := claimSoon(t, p, leaving)
@@ -295,7 +306,7 @@ func TestRemoteFallbackInProcess(t *testing.T) {
 
 	// A remote worker joins, claims a unit, then dies: the unit must
 	// fall back, not strand.
-	id, _, _ := p.AddRemote("mortal")
+	id, _, _ := p.AddRemote("mortal", 1)
 	res := evalAsync(j, "k2")
 	claimSoon(t, p, id)
 	if err := p.Kill(id); err != nil {
@@ -317,13 +328,13 @@ func TestRemoteUnknownWorker(t *testing.T) {
 	if _, err := p.Heartbeat("r99"); err != ErrUnknownWorker {
 		t.Errorf("Heartbeat(r99) err = %v", err)
 	}
-	if _, _, err := p.Claim("r99", 0); err != ErrUnknownWorker {
+	if _, _, err := p.Claim("r99", 0, 1); err != ErrUnknownWorker {
 		t.Errorf("Claim(r99) err = %v", err)
 	}
 	if _, err := p.Report("r99", "j", "k", 1, search.Verdict{}, ""); err != ErrUnknownWorker {
 		t.Errorf("Report(r99) err = %v", err)
 	}
-	id, _, _ := p.AddRemote("gone")
+	id, _, _ := p.AddRemote("gone", 1)
 	p.Kill(id)
 	if _, err := p.Heartbeat(id); err != ErrUnknownWorker {
 		t.Errorf("Heartbeat(dead) err = %v", err)
@@ -336,7 +347,7 @@ func TestRemoteUnknownWorker(t *testing.T) {
 func TestRemoteDrain(t *testing.T) {
 	p := New(Options{})
 	defer p.Close()
-	id, _, _ := p.AddRemote("draining")
+	id, _, _ := p.AddRemote("draining", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res1 := evalAsync(j, "k1")
 	lease := claimSoon(t, p, id)
@@ -352,7 +363,7 @@ func TestRemoteDrain(t *testing.T) {
 		t.Fatalf("AwaitRemoteIdle = %d after delivery", n)
 	}
 	// No new lease while draining.
-	if lease, _, _ := p.Claim(id, 0); lease != nil {
+	if leases, _, _ := p.Claim(id, 0, 1); len(leases) != 0 {
 		t.Fatal("drain granted a new remote lease")
 	}
 }
@@ -363,7 +374,7 @@ func TestRemoteDrain(t *testing.T) {
 func TestRemoteReleaseBreaksLease(t *testing.T) {
 	p := New(Options{})
 	defer p.Close()
-	id, _, _ := p.AddRemote("stuck")
+	id, _, _ := p.AddRemote("stuck", 1)
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	lease := claimSoon(t, p, id)
@@ -381,7 +392,7 @@ func TestRemoteReleaseBreaksLease(t *testing.T) {
 func TestRemoteInterruptQueued(t *testing.T) {
 	p := New(Options{})
 	defer p.Close()
-	p.AddRemote("idle") // assignable, so units queue instead of erroring
+	p.AddRemote("idle", 1) // assignable, so units queue instead of erroring
 	j := p.Register("j0001", &fakeEval{})
 	res := evalAsync(j, "k1")
 	deadline := time.Now().Add(5 * time.Second)

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,30 +67,32 @@ func NewClient(base string, net *faultinject.NetInjector) *Client {
 	}
 }
 
-// Register joins the fleet, retrying transient failures.
-func (c *Client) Register(ctx context.Context, name string) (RegisterResponse, error) {
+// Register joins the fleet, declaring the worker's evaluation
+// parallelism, retrying transient failures.
+func (c *Client) Register(ctx context.Context, name string, parallel int) (RegisterResponse, error) {
 	var resp RegisterResponse
 	err := c.post(ctx, "register", name, "/api/v1/fleet/register",
-		RegisterRequest{Name: name}, &resp, rpcTimeout)
+		RegisterRequest{Name: name, Parallel: parallel}, &resp, rpcTimeout)
 	return resp, err
 }
 
-// Claim long-polls for a lease. The RPC deadline covers the server's
-// long-poll window plus transport grace.
-func (c *Client) Claim(ctx context.Context, worker string, wait time.Duration) (ClaimResponse, error) {
+// Claim long-polls for up to max leases. The RPC deadline covers the
+// server's long-poll window plus transport grace.
+func (c *Client) Claim(ctx context.Context, worker string, wait time.Duration, max int) (ClaimResponse, error) {
 	var resp ClaimResponse
 	err := c.post(ctx, "claim", c.nextKey(worker), "/api/v1/fleet/claim",
-		ClaimRequest{Worker: worker, WaitMS: wait.Milliseconds()}, &resp, wait+rpcTimeout)
+		ClaimRequest{Worker: worker, WaitMS: wait.Milliseconds(), Max: max}, &resp, wait+rpcTimeout)
 	return resp, err
 }
 
-// Heartbeat refreshes the worker's lease clock. One attempt only — a
-// missed beat is harmless well under the expiry budget, and the next
-// tick retries naturally.
-func (c *Client) Heartbeat(ctx context.Context, worker string) (HeartbeatResponse, error) {
+// Heartbeat refreshes the worker's lease clock, reporting how many
+// evaluations are running right now. One attempt only — a missed beat
+// is harmless well under the expiry budget, and the next tick retries
+// naturally.
+func (c *Client) Heartbeat(ctx context.Context, worker string, inflight int) (HeartbeatResponse, error) {
 	var resp HeartbeatResponse
 	err := c.once(ctx, "heartbeat", c.nextKey(worker), "/api/v1/fleet/heartbeat",
-		HeartbeatRequest{Worker: worker}, &resp, rpcTimeout)
+		HeartbeatRequest{Worker: worker, InFlight: inflight}, &resp, rpcTimeout)
 	return resp, err
 }
 
@@ -104,15 +107,36 @@ func (c *Client) nextKey(prefix string) string {
 	return k
 }
 
-// Report delivers a verdict (or worker-side error) for a lease,
-// retrying until the daemon answers. accepted=false is a normal
-// outcome — a duplicate of a delivery that already landed, or a lease
-// lost to reassignment; either way the worker moves on.
-func (c *Client) Report(ctx context.Context, req ReportRequest) (bool, error) {
+// Report delivers a batch of verdicts (or worker-side errors),
+// retrying until the daemon answers. Accepted[i]=false is a normal
+// outcome for a unit — a duplicate of a delivery that already landed,
+// or a lease lost to reassignment; either way the worker moves on. The
+// chaos key is derived from the batch's (job, key) pairs, so retries
+// of one logical batch roll one fault decision while distinct batches
+// roll independently.
+func (c *Client) Report(ctx context.Context, req ReportRequest) ([]bool, error) {
+	var b strings.Builder
+	for i, r := range req.Reports {
+		if i > 0 {
+			b.WriteByte('\x01')
+		}
+		b.WriteString(r.Job)
+		b.WriteByte('\x00')
+		b.WriteString(r.Key)
+	}
 	var resp ReportResponse
-	err := c.post(ctx, "report", req.Job+"\x00"+req.Key, "/api/v1/fleet/report",
+	err := c.post(ctx, "report", b.String(), "/api/v1/fleet/report",
 		req, &resp, rpcTimeout)
 	return resp.Accepted, err
+}
+
+// Backoff sleeps the client's jittered exponential retry delay before
+// the given attempt (none for attempt 0) — exported so the worker
+// runtime's register/claim loops share the transport's backoff policy
+// instead of hammering a briefly-unreachable daemon in lockstep with
+// the rest of the fleet.
+func (c *Client) Backoff(ctx context.Context, attempt int) error {
+	return c.sleepBackoff(ctx, attempt)
 }
 
 // JobSpec fetches the spec of the job a lease belongs to, from which

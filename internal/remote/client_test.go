@@ -31,10 +31,11 @@ func countingServer(t *testing.T, payload any) (*httptest.Server, *atomic.Int64)
 // request lands — the server must see exactly one (clean, retried)
 // delivery and the call succeeds.
 func TestClientResetRetries(t *testing.T) {
-	ts, hits := countingServer(t, ReportResponse{Accepted: true})
+	ts, hits := countingServer(t, ReportResponse{Accepted: []bool{true}})
 	c := NewClient(ts.URL, faultinject.NewNet(1, faultinject.NetRates{Reset: 1}, 0))
-	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1", Job: "j1", Key: "k", Epoch: 1})
-	if err != nil || !acc {
+	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1",
+		Reports: []UnitReport{{Job: "j1", Key: "6b", Epoch: 1}}})
+	if err != nil || len(acc) != 1 || !acc[0] {
 		t.Fatalf("Report: accepted=%v err=%v", acc, err)
 	}
 	if got := hits.Load(); got != 1 {
@@ -50,10 +51,11 @@ func TestClientResetRetries(t *testing.T) {
 // server processed the request — the retry is a duplicate delivery, so
 // the server sees two.
 func TestClientDropDuplicates(t *testing.T) {
-	ts, hits := countingServer(t, ReportResponse{Accepted: true})
+	ts, hits := countingServer(t, ReportResponse{Accepted: []bool{true}})
 	c := NewClient(ts.URL, faultinject.NewNet(1, faultinject.NetRates{Drop: 1}, 0))
-	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1", Job: "j1", Key: "k", Epoch: 1})
-	if err != nil || !acc {
+	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1",
+		Reports: []UnitReport{{Job: "j1", Key: "6b", Epoch: 1}}})
+	if err != nil || len(acc) != 1 || !acc[0] {
 		t.Fatalf("Report: accepted=%v err=%v", acc, err)
 	}
 	if got := hits.Load(); got != 2 {
@@ -70,12 +72,13 @@ func TestClientDupDelivers(t *testing.T) {
 		n := hits.Add(1)
 		// First delivery accepted; the duplicate is rejected the way the
 		// daemon's idempotency tokens would reject it.
-		json.NewEncoder(w).Encode(ReportResponse{Accepted: n == 1})
+		json.NewEncoder(w).Encode(ReportResponse{Accepted: []bool{n == 1}})
 	}))
 	defer ts.Close()
 	c := NewClient(ts.URL, faultinject.NewNet(1, faultinject.NetRates{Dup: 1}, 0))
-	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1", Job: "j1", Key: "k", Epoch: 1})
-	if err != nil || !acc {
+	acc, err := c.Report(context.Background(), ReportRequest{Worker: "r1",
+		Reports: []UnitReport{{Job: "j1", Key: "6b", Epoch: 1}}})
+	if err != nil || len(acc) != 1 || !acc[0] {
 		t.Fatalf("Report: accepted=%v err=%v, want first response to win", acc, err)
 	}
 	if got := hits.Load(); got != 2 {
@@ -94,7 +97,7 @@ func TestClientGoneTerminal(t *testing.T) {
 	}))
 	defer ts.Close()
 	c := NewClient(ts.URL, nil)
-	if _, err := c.Heartbeat(context.Background(), "r9"); !errors.Is(err, ErrGone) {
+	if _, err := c.Heartbeat(context.Background(), "r9", 0); !errors.Is(err, ErrGone) {
 		t.Fatalf("Heartbeat err = %v, want ErrGone", err)
 	}
 	if _, err := c.Report(context.Background(), ReportRequest{Worker: "r9"}); !errors.Is(err, ErrGone) {
@@ -115,7 +118,7 @@ func TestClientRejectionTerminal(t *testing.T) {
 	}))
 	defer ts.Close()
 	c := NewClient(ts.URL, nil)
-	if _, err := c.Register(context.Background(), "w"); err == nil {
+	if _, err := c.Register(context.Background(), "w", 1); err == nil {
 		t.Fatal("Register against 400 succeeded")
 	}
 	if got := hits.Load(); got != 1 {
@@ -132,12 +135,12 @@ func TestClientTransportRetry(t *testing.T) {
 	dead := NewClient("http://127.0.0.1:1", nil)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if _, err := dead.Register(ctx, "w"); err == nil {
+	if _, err := dead.Register(ctx, "w", 1); err == nil {
 		t.Fatal("Register against a dead port succeeded")
 	}
 	// Against a live server the same call lands.
 	live := NewClient(ts.URL, nil)
-	resp, err := live.Register(context.Background(), "w")
+	resp, err := live.Register(context.Background(), "w", 1)
 	if err != nil || resp.ID != "r1" {
 		t.Fatalf("Register: %+v err=%v", resp, err)
 	}
@@ -149,7 +152,7 @@ func TestClientDelayStalls(t *testing.T) {
 	ts, hits := countingServer(t, HeartbeatResponse{State: "idle"})
 	c := NewClient(ts.URL, faultinject.NewNet(1, faultinject.NetRates{Delay: 1}, 30*time.Millisecond))
 	start := time.Now()
-	if _, err := c.Heartbeat(context.Background(), "r1"); err != nil {
+	if _, err := c.Heartbeat(context.Background(), "r1", 2); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {

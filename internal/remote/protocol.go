@@ -7,21 +7,26 @@
 // The protocol is four idempotent JSON-over-HTTP RPCs against the
 // daemon's /api/v1/fleet endpoints:
 //
-//	register   join the fleet; returns the worker ID and the
-//	           heartbeat interval / expiry budget to respect
-//	claim      long-poll for an evaluation unit; re-delivers the
-//	           worker's current lease (same epoch) if a previous
-//	           claim response was lost
-//	heartbeat  refresh the lease clock; returns the worker state so
+//	register   join the fleet, declaring evaluation parallelism;
+//	           returns the worker ID and the heartbeat interval /
+//	           expiry budget to respect
+//	claim      long-poll for a batch of evaluation units; always
+//	           re-delivers every lease the worker still holds (same
+//	           epochs) before topping up, so claim responses lost on
+//	           the wire can never strand or double-assign a unit
+//	heartbeat  refresh the lease clock, carrying the worker's current
+//	           in-flight evaluation count; returns the worker state so
 //	           a quarantined worker learns to drain
-//	report     deliver a verdict or a worker-side error; accepted at
-//	           most once per (owner, epoch) token
+//	report     deliver a batch of verdicts or worker-side errors; each
+//	           unit is accepted at most once per (owner, epoch) token,
+//	           judged independently of its batchmates
 //
 // plus GET /api/v1/fleet/jobs/{id}/spec, from which the worker builds
 // the job's evaluation stack (search.UnitRunner) in its own address
 // space. Every failure-domain decision lives on the daemon: lease
 // expiry uses only the daemon's clock, and duplicate or stale
-// deliveries die against the owner+epoch idempotency tokens.
+// deliveries die against the per-unit owner+epoch idempotency tokens —
+// batching changes how many units ride one RPC, never the tokens.
 package remote
 
 import (
@@ -32,9 +37,12 @@ import (
 	"fpmix/internal/search"
 )
 
-// RegisterRequest asks the daemon for a fleet identity.
+// RegisterRequest asks the daemon for a fleet identity. Parallel
+// declares how many evaluations the worker runs concurrently; the
+// daemon sizes lease grants to that capacity.
 type RegisterRequest struct {
-	Name string `json:"name"`
+	Name     string `json:"name"`
+	Parallel int    `json:"parallel,omitempty"`
 }
 
 // RegisterResponse carries the assigned worker ID and the liveness
@@ -46,14 +54,18 @@ type RegisterResponse struct {
 	ExpiryMS    int64  `json:"expiry_ms"`
 }
 
-// ClaimRequest long-polls for work.
+// ClaimRequest long-polls for up to Max units (the worker's free batch
+// slots). The daemon may return fewer — including only re-deliveries
+// of leases the worker already holds — and never more than the
+// capacity it computed from the worker's declared parallelism.
 type ClaimRequest struct {
 	Worker string `json:"worker"`
 	WaitMS int64  `json:"wait_ms"`
+	Max    int    `json:"max,omitempty"`
 }
 
 // Lease is one evaluation unit leased to this worker. Epoch, together
-// with the worker ID, is the idempotency token a Report must echo.
+// with the worker ID, is the idempotency token a report must echo.
 type Lease struct {
 	Job   string   `json:"job"`
 	Epoch int      `json:"epoch"`
@@ -66,21 +78,25 @@ type Lease struct {
 // the idempotency token and making every report of the unit
 // undeliverable — so the key travels hex-encoded.
 type WireUnit struct {
-	Key   string      `json:"key"` // hex-encoded search.EvalUnit.Key
-	Label string      `json:"label,omitempty"`
-	Kind  config.Kind `json:"kind"`
-	Addrs []uint64    `json:"addrs,omitempty"`
-	Final bool        `json:"final,omitempty"`
+	Key      string      `json:"key"` // hex-encoded search.EvalUnit.Key
+	Label    string      `json:"label,omitempty"`
+	Kind     config.Kind `json:"kind"`
+	Addrs    []uint64    `json:"addrs,omitempty"`
+	Final    bool        `json:"final,omitempty"`
+	ForkSite uint64      `json:"fork_site,omitempty"`
+	Weight   int         `json:"weight,omitempty"`
 }
 
 // ToWire hex-armors a unit for JSON transport.
 func ToWire(u search.EvalUnit) WireUnit {
 	return WireUnit{
-		Key:   hex.EncodeToString([]byte(u.Key)),
-		Label: u.Label,
-		Kind:  u.Kind,
-		Addrs: u.Addrs,
-		Final: u.Final,
+		Key:      hex.EncodeToString([]byte(u.Key)),
+		Label:    u.Label,
+		Kind:     u.Kind,
+		Addrs:    u.Addrs,
+		Final:    u.Final,
+		ForkSite: u.ForkSite,
+		Weight:   u.Weight,
 	}
 }
 
@@ -91,24 +107,32 @@ func (wu WireUnit) Unit() (search.EvalUnit, error) {
 		return search.EvalUnit{}, fmt.Errorf("remote: undecodable unit key %q: %v", wu.Key, err)
 	}
 	return search.EvalUnit{
-		Key:   string(key),
-		Label: wu.Label,
-		Kind:  wu.Kind,
-		Addrs: wu.Addrs,
-		Final: wu.Final,
+		Key:      string(key),
+		Label:    wu.Label,
+		Kind:     wu.Kind,
+		Addrs:    wu.Addrs,
+		Final:    wu.Final,
+		ForkSite: wu.ForkSite,
+		Weight:   wu.Weight,
 	}, nil
 }
 
-// ClaimResponse: a lease when work was available, else just the
-// worker's state ("idle" = poll again, "quarantined" = drain).
+// ClaimResponse: the worker's state plus every lease it now holds —
+// re-deliveries first, then units newly assigned by this claim. Empty
+// Leases with state "idle" means the long-poll window elapsed with no
+// work; "quarantined" tells the worker to drain.
 type ClaimResponse struct {
-	State string `json:"state"`
-	Lease *Lease `json:"lease,omitempty"`
+	State  string  `json:"state"`
+	Leases []Lease `json:"leases,omitempty"`
 }
 
-// HeartbeatRequest refreshes the worker's lease clock.
+// HeartbeatRequest refreshes the worker's lease clock and reports how
+// many evaluations the worker is running right now, so the registry
+// shows live saturation and the daemon can spot a wedged worker that
+// still beats.
 type HeartbeatRequest struct {
-	Worker string `json:"worker"`
+	Worker   string `json:"worker"`
+	InFlight int    `json:"in_flight"`
 }
 
 // HeartbeatResponse reports the worker's registry state.
@@ -116,12 +140,12 @@ type HeartbeatResponse struct {
 	State string `json:"state"`
 }
 
-// ReportRequest delivers the verdict for a leased unit — or, when
-// Error is non-empty, the worker-side failure that prevented one (the
-// daemon requeues the unit and counts the strike toward quarantine).
-// Key echoes the lease's hex-encoded unit key verbatim.
-type ReportRequest struct {
-	Worker  string         `json:"worker"`
+// UnitReport is one unit's outcome inside a report batch: a verdict,
+// or — when Error is non-empty — the worker-side failure that
+// prevented one (the daemon requeues the unit and counts the strike
+// toward quarantine). Key echoes the lease's hex-encoded unit key
+// verbatim.
+type UnitReport struct {
 	Job     string         `json:"job"`
 	Key     string         `json:"key"`
 	Epoch   int            `json:"epoch"`
@@ -129,8 +153,17 @@ type ReportRequest struct {
 	Error   string         `json:"error,omitempty"`
 }
 
-// ReportResponse: Accepted is false when the delivery was a duplicate
-// or the lease was lost (both fine — the unit is in other hands).
+// ReportRequest delivers a batch of unit outcomes. Each entry carries
+// its own idempotency token and is judged independently: a duplicate
+// in position i never poisons position i+1.
+type ReportRequest struct {
+	Worker  string       `json:"worker"`
+	Reports []UnitReport `json:"reports"`
+}
+
+// ReportResponse: Accepted[i] answers Reports[i]; false means that
+// delivery was a duplicate or its lease was lost (both fine — the unit
+// is in other hands).
 type ReportResponse struct {
-	Accepted bool `json:"accepted"`
+	Accepted []bool `json:"accepted"`
 }

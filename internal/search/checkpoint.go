@@ -8,6 +8,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"time"
 
 	"fpmix/internal/prog"
 )
@@ -77,6 +78,11 @@ type Journal struct {
 	f       *os.File
 	prior   map[string]journalVerdict
 	pending int // appends since the last fsync
+
+	// groupCommit, when positive, rate-limits Sync to one fsync per
+	// window; lastSync is when the file was last made durable.
+	groupCommit time.Duration
+	lastSync    time.Time
 }
 
 // journalVerdict is one replayable journal line: the verdict plus its
@@ -217,11 +223,30 @@ func (j *Journal) Prior() int {
 // Sync fsyncs any verdicts appended since the last sync. The search
 // calls it at write-batch boundaries (whenever every launched
 // evaluation has settled); callers holding a journal the search never
-// reached need not bother — Close syncs too.
+// reached need not bother — Close syncs too. Under SetGroupCommit a
+// call landing inside the commit window returns immediately with the
+// appends still buffered.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.groupCommit > 0 && j.pending > 0 && time.Since(j.lastSync) < j.groupCommit {
+		return nil
+	}
 	return j.syncLocked()
+}
+
+// SetGroupCommit rate-limits Sync to one fsync per window d (zero
+// restores sync-every-call). During a search's sequential descent every
+// settled verdict is a write-batch boundary, so an eager journal
+// serializes an fsync into every unit; the journal is a cache of
+// deterministic verdicts, so a crash inside the window only re-runs the
+// last window's units on resume. Daemons trade that bounded
+// recomputation for not stalling the settle loop. Close still always
+// syncs.
+func (j *Journal) SetGroupCommit(d time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.groupCommit = d
 }
 
 func (j *Journal) syncLocked() error {
@@ -232,6 +257,7 @@ func (j *Journal) syncLocked() error {
 		return err
 	}
 	j.pending = 0
+	j.lastSync = time.Now()
 	return nil
 }
 

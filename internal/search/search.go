@@ -554,7 +554,7 @@ func Run(t Target, opts Options) (*Result, error) {
 	launch := func(p *Piece, key string) {
 		inflight++
 		if opts.Units != nil {
-			u := EvalUnit{Key: key, Label: p.Label, Kind: p.Kind, Addrs: p.Addrs}
+			u := newEvalUnit(key, p.Label, p.Kind, p.Addrs, false)
 			go func() {
 				v, uerr := opts.Units.EvaluateUnit(u)
 				s := settledOf(v)
@@ -854,10 +854,8 @@ func Run(t Target, opts Options) (*Result, error) {
 			}
 		}
 		sort.Slice(singles, func(i, j int) bool { return singles[i] < singles[j] })
-		v, uerr := opts.Units.EvaluateUnit(EvalUnit{
-			Key: "final union", Label: "final union",
-			Kind: config.KindModule, Addrs: singles, Final: true,
-		})
+		v, uerr := opts.Units.EvaluateUnit(newEvalUnit(
+			"final union", "final union", config.KindModule, singles, true))
 		if uerr != nil {
 			res.Final = nil
 			return res, uerr

@@ -32,7 +32,7 @@ func (s *Server) handleFleetRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		req.Name = "worker"
 	}
-	id, hb, exp := s.pool.AddRemote(req.Name)
+	id, hb, exp := s.pool.AddRemote(req.Name, req.Parallel)
 	writeJSON(w, http.StatusOK, remote.RegisterResponse{
 		ID:          id,
 		HeartbeatMS: hb.Milliseconds(),
@@ -45,7 +45,7 @@ func (s *Server) handleFleetHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if err := readJSON(w, r, &req); err != nil {
 		return
 	}
-	state, err := s.pool.Heartbeat(req.Worker)
+	state, err := s.pool.HeartbeatLoad(req.Worker, req.InFlight)
 	if err != nil {
 		fleetError(w, err)
 		return
@@ -65,14 +65,16 @@ func (s *Server) handleFleetClaim(w http.ResponseWriter, r *http.Request) {
 	if wait > maxClaimWait {
 		wait = maxClaimWait
 	}
-	lease, state, err := s.pool.Claim(req.Worker, wait)
+	leases, state, err := s.pool.Claim(req.Worker, wait, req.Max)
 	if err != nil {
 		fleetError(w, err)
 		return
 	}
 	resp := remote.ClaimResponse{State: string(state)}
-	if lease != nil {
-		resp.Lease = &remote.Lease{Job: lease.Job, Epoch: lease.Epoch, Unit: remote.ToWire(lease.Unit)}
+	for _, lease := range leases {
+		resp.Leases = append(resp.Leases, remote.Lease{
+			Job: lease.Job, Epoch: lease.Epoch, Unit: remote.ToWire(lease.Unit),
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -82,12 +84,21 @@ func (s *Server) handleFleetReport(w http.ResponseWriter, r *http.Request) {
 	if err := readJSON(w, r, &req); err != nil {
 		return
 	}
-	key, err := hex.DecodeString(req.Key)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("undecodable unit key %q: %v", req.Key, err))
-		return
+	reports := make([]fleet.RemoteReport, len(req.Reports))
+	for i, ur := range req.Reports {
+		key, err := hex.DecodeString(ur.Key)
+		if err != nil {
+			// An undecodable key can never match a lease; judge the rest
+			// of the batch normally and let this entry settle unaccepted
+			// instead of failing its batchmates' deliveries with a 400.
+			key = []byte("\x00undecodable:" + ur.Key)
+		}
+		reports[i] = fleet.RemoteReport{
+			Job: ur.Job, Key: string(key), Epoch: ur.Epoch,
+			Verdict: ur.Verdict, Err: ur.Error,
+		}
 	}
-	accepted, err := s.pool.Report(req.Worker, req.Job, string(key), req.Epoch, req.Verdict, req.Error)
+	accepted, err := s.pool.ReportBatch(req.Worker, reports)
 	if err != nil {
 		fleetError(w, err)
 		return

@@ -285,6 +285,68 @@ func TestRemoteFinalByteIdentical(t *testing.T) {
 	})
 }
 
+// TestRemoteBatchedChaosIdempotent: a worker evaluating in parallel
+// with batched delivery under heavy drop/dup chaos — every dropped
+// report response forces a whole-batch duplicate redelivery, every dup
+// delivers a batch twice — must still land each verdict exactly once:
+// the daemon absorbs the duplicates as per-unit discards and the final
+// stays byte-identical to serial. Runs the worker runtime in-process so
+// -race covers the pipelined claim/evaluate/report interleavings.
+func TestRemoteBatchedChaosIdempotent(t *testing.T) {
+	fl := remoteFleet
+	fl.Expiry = 30 * time.Second // in-process worker under -race: be lenient
+	srv, err := New(Options{Dir: t.TempDir(), Workers: -1, Fleet: fl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	wctx, wcancel := context.WithCancel(context.Background())
+	defer wcancel()
+	workerDone := make(chan struct{})
+	go func() {
+		defer close(workerDone)
+		remote.Run(wctx, remote.WorkerOptions{
+			Server: ts.URL, Name: "stormy", Poll: 100 * time.Millisecond,
+			Parallel: 2, Batch: 4,
+			// No resets or delays: every fault is a duplicate-delivery
+			// fault, the pure idempotency workload.
+			Net: faultinject.NewNet(97, faultinject.NetRates{Drop: 0.35, Dup: 0.35}, 0),
+		})
+	}()
+	waitRemoteWorkers(t, srv, 1)
+	j, err := srv.Submit(jobs.Spec{Kernel: "ep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, srv, j.ID, jobs.StateDone)
+	got := stripNotes(resultOf(t, srv, j.ID))
+	want := stripNotes(serialFinal(t, "ep"))
+	if got != want {
+		t.Error("batched chaos final diverged from serial")
+	}
+	done, discarded := 0, 0
+	for _, w := range srv.Pool().Workers() {
+		if w.Remote {
+			done += w.Done
+			discarded += w.Discarded
+		}
+	}
+	if done == 0 {
+		t.Error("no unit delivered remotely")
+	}
+	if discarded == 0 {
+		t.Error("chaos produced no duplicate deliveries — idempotency never exercised")
+	}
+	wcancel()
+	select {
+	case <-workerDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker runtime did not exit on cancel")
+	}
+}
+
 // TestRemoteQuarantineDegrades: a worker whose environment is broken
 // (every evaluation errors) is quarantined after QuarantineAfter
 // consecutive strikes — visible in the registry, still heartbeating —

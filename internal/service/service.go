@@ -295,6 +295,11 @@ func (s *Server) execute(ctx context.Context, id string, st *stream) (*search.Re
 		return nil, nil, err
 	}
 	defer journal.Close()
+	// Group-commit the journal: during sequential descent every settle
+	// is a write-batch boundary, and an fsync per verdict serializes
+	// ~ms of disk wait into the settle loop. A crash inside the window
+	// re-runs at most the last window's units on resume.
+	journal.SetGroupCommit(100 * time.Millisecond)
 	if resumed > 0 {
 		st.note(fmt.Sprintf("resuming %d settled verdicts from the journal", resumed))
 	}
@@ -318,8 +323,11 @@ func (s *Server) execute(ctx context.Context, id string, st *stream) (*search.Re
 	inflight := s.opts.Workers
 	if inflight <= 0 {
 		// Remote-only daemon: keep enough units in flight to feed a
-		// worker fleet whose size the daemon cannot know up front.
-		inflight = 8
+		// worker fleet whose size the daemon cannot know up front —
+		// batched leasing hands each remote worker several units per
+		// claim, so the queue must run deep enough to fill every
+		// worker's prefetch buffer without starving its peers.
+		inflight = 32
 	}
 	res, err := search.Run(target, search.Options{
 		Workers:       inflight,

@@ -1,0 +1,64 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunContextCompiledTier: a cancel flag does not force the machine
+// off the compiled tier — the block-dispatch loop polls it between
+// blocks — and a mid-run cancel still lands as FaultCancelled.
+func TestRunContextCompiledTier(t *testing.T) {
+	m0, _ := loopProgram(t, 1<<40)
+	lp, err := Link(m0.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := lp.NewMachine()
+	m.MaxSteps = 1 << 50
+	var flag atomic.Bool
+	m.cancelled = &flag
+	if !m.compiledTier() {
+		t.Fatal("cancel flag forced the machine off the compiled tier")
+	}
+	m.cancelled = nil
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err = m.RunContext(ctx)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultCancelled {
+		t.Fatalf("err = %v, want FaultCancelled", err)
+	}
+	if m.Steps == 0 {
+		t.Error("cancelled before executing anything")
+	}
+
+	// A live-but-never-cancelled context must complete with exactly the
+	// plain-Run machine's state: same step count, same halt.
+	ms, _ := loopProgram(t, 1000)
+	lps, err := Link(ms.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := lps.NewMachine()
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	if err := mc.RunContext(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	mr := lps.NewMachine()
+	if err := mr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Steps != mr.Steps || mc.Halted() != mr.Halted() {
+		t.Errorf("RunContext machine (steps=%d halted=%v) diverged from Run (steps=%d halted=%v)",
+			mc.Steps, mc.Halted(), mr.Steps, mr.Halted())
+	}
+}

@@ -225,15 +225,17 @@ func compileProgramWith(lp *Program, opAt func(int) microOp, extraLeaders []int3
 
 // compiledTier reports whether the next Run may take the compiled fast
 // path: a compiled program is bound and no per-step hook — shadow
-// collection, an armed injected trap, RunContext cancellation, or
-// unreplaced-input trapping — needs per-instruction observation.
-// Breakpoint stops do not force the per-step tier by themselves:
-// runCompiled serves stops whose addresses all begin basic blocks from
-// the block-dispatch loop, and falls back per-step only for a mid-block
-// stop.
+// collection, an armed injected trap, or unreplaced-input trapping —
+// needs per-instruction observation. Breakpoint stops do not force the
+// per-step tier by themselves: runCompiled serves stops whose addresses
+// all begin basic blocks from the block-dispatch loop, and falls back
+// per-step only for a mid-block stop. RunContext cancellation does not
+// force it either — the dispatch loop polls the flag between blocks,
+// and a cancelled run's partial state never feeds a verdict, so the
+// coarser stop granularity is unobservable.
 func (m *Machine) compiledTier() bool {
 	return !m.NoCompile && m.lp != nil && m.lp.compiled != nil &&
-		m.shadow == nil && m.inject == nil && m.cancelled == nil &&
+		m.shadow == nil && m.inject == nil &&
 		!m.TrapUnreplaced
 }
 
@@ -292,6 +294,14 @@ outer:
 		// Steady state: block to block through resolved successor
 		// pointers; pcIdx is materialized only on exits.
 		for {
+			if m.cancelled != nil && m.cancelled.Load() {
+				// Between blocks the machine state is bit-identical to the
+				// per-step tier's before the same instruction, so stopping
+				// here matches runInstrumented's check exactly — only the
+				// polling stride is coarser (one block, not one step).
+				m.pcIdx = cur.start
+				return &Fault{Kind: FaultCancelled, PC: m.PC(), Detail: fmt.Sprintf("after %d steps", m.Steps)}
+			}
 			if stopBlk != nil && stopBlk[cur.id] {
 				// Checked before the budget, matching the per-step loop's
 				// order; stops live only at block starts here, so the

@@ -259,9 +259,10 @@ func (m *Machine) Profile() map[uint64]uint64 {
 // bound to a linked program with no per-step hook active run on the
 // compiled direct-threaded engine (pre-decoded closures, per-block
 // accounting — see compile.go). Shadow collection, armed injected traps,
-// RunContext cancellation, TrapUnreplaced, or NoCompile route the run to
-// the instrumented per-step interpreter instead, which observes every
-// instruction. Both tiers produce byte-identical machines.
+// TrapUnreplaced, or NoCompile route the run to the instrumented
+// per-step interpreter instead, which observes every instruction.
+// RunContext cancellation stays on the compiled tier (the flag is
+// polled between blocks). Both tiers produce byte-identical machines.
 func (m *Machine) Run() error {
 	max := m.MaxSteps
 	if max == 0 {
@@ -298,9 +299,10 @@ func (m *Machine) runInstrumented(max uint64) error {
 
 // RunContext executes like Run but additionally stops with FaultCancelled
 // when ctx is cancelled. Cancellation is delivered through an atomic flag
-// polled on the step loop, so an expired deadline ends the run within one
-// instruction; a context that can never be cancelled falls back to Run
-// with no per-step cost.
+// polled on the dispatch loop — every step on the instrumented tier,
+// every block boundary on the compiled tier — so an expired deadline
+// ends the run within one basic block at worst; a context that can never
+// be cancelled falls back to Run with no polling cost.
 func (m *Machine) RunContext(ctx context.Context) error {
 	done := ctx.Done()
 	if done == nil {
